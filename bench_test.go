@@ -1,0 +1,363 @@
+package exbox
+
+// Benchmarks regenerating every figure of the paper's evaluation plus
+// the Section 5.3 latency study and the ablations called out in
+// DESIGN.md. Figure benchmarks run the Quick-scale experiment once per
+// iteration and report the headline metric of the figure via
+// b.ReportMetric, so `go test -bench=. -benchmem` both regenerates the
+// results and times the pipeline. Use cmd/exbench for full-scale runs
+// and printed tables.
+
+import (
+	"testing"
+
+	"exbox/internal/classifier"
+	"exbox/internal/dtree"
+	"exbox/internal/eval"
+	"exbox/internal/excr"
+	"exbox/internal/learner"
+	"exbox/internal/mathx"
+	"exbox/internal/netsim"
+	"exbox/internal/svm"
+	"exbox/internal/traffic"
+)
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		hm := eval.Figure2(eval.Quick)
+		if len(hm) != 3 {
+			b.Fatal("figure 2 incomplete")
+		}
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		fig := eval.Figure3(eval.Quick)
+		last = fig.MustGet("startup-delay-s/low-snr").Last().Y
+	}
+	b.ReportMetric(last, "worst-startup-s")
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	var p float64
+	for i := 0; i < b.N; i++ {
+		figs := eval.Figure7(eval.Quick)
+		p = figs[0].MustGet("precision/ExBox").Last().Y
+	}
+	b.ReportMetric(p, "exbox-precision")
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	var p float64
+	for i := 0; i < b.N; i++ {
+		figs := eval.Figure8(eval.Quick)
+		p = figs[0].MustGet("precision/ExBox").Last().Y
+	}
+	b.ReportMetric(p, "exbox-precision")
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	var a float64
+	for i := 0; i < b.N; i++ {
+		figs := eval.Figure9(eval.Quick)
+		a = figs[0].MustGet("accuracy/ExBox").Last().Y
+	}
+	b.ReportMetric(a, "exbox-accuracy")
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	var p float64
+	for i := 0; i < b.N; i++ {
+		figs := eval.Figure10(eval.Quick)
+		p = figs[0].MustGet("precision/ExBox-b20").Last().Y
+	}
+	b.ReportMetric(p, "exbox-b20-precision")
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	var p float64
+	for i := 0; i < b.N; i++ {
+		figs := eval.Figure11(eval.Quick)
+		p = figs[0].MustGet("precision/ExBox").Last().Y
+	}
+	b.ReportMetric(p, "adapted-precision")
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := eval.Figure12(eval.Quick)
+		if len(fig.Series) != 3 {
+			b.Fatal("figure 12 incomplete")
+		}
+	}
+}
+
+func BenchmarkFigure13(b *testing.B) {
+	var p float64
+	for i := 0; i < b.N; i++ {
+		fig := eval.Figure13(eval.Quick)
+		p = fig.MustGet("precision/ExBox-b50").Last().Y
+	}
+	b.ReportMetric(p, "exbox-precision")
+}
+
+func BenchmarkFigure14(b *testing.B) {
+	var p float64
+	for i := 0; i < b.N; i++ {
+		figs := eval.Figure14(eval.Quick)
+		p = figs[1].MustGet("precision/ExBox").Last().Y
+	}
+	b.ReportMetric(p, "lte-exbox-precision")
+}
+
+// trainedController returns an online Admittance Classifier fed n
+// labeled samples from the simulated WiFi cell, plus a fresh probe.
+func trainedController(b *testing.B, n int) (*classifier.AdmittanceClassifier, excr.Arrival) {
+	b.Helper()
+	oracle := Oracle{Net: netsim.FluidWiFi{Config: netsim.SimWiFi()}}
+	ac := classifier.New(excr.DefaultSpace, classifier.DefaultConfig())
+	rng := mathx.NewRand(1)
+	fed := 0
+	for fed < n {
+		for _, e := range traffic.Arrivals(traffic.Random(rng, 10, 20, 0, excr.DefaultSpace), nil) {
+			if fed >= n {
+				break
+			}
+			ac.Observe(excr.Sample{Arrival: e.Arrival, Label: oracle.Label(e.Arrival)})
+			fed++
+		}
+	}
+	if ac.Bootstrapping() {
+		if err := ac.ForceOnline(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	probe := excr.Arrival{
+		Matrix: excr.NewMatrix(excr.DefaultSpace).Set(excr.Streaming, 0, 12),
+		Class:  excr.Web,
+	}
+	return ac, probe
+}
+
+// Section 5.3: admission-decision latency. The paper measures ≈5 ms
+// for its Python ExBox and ≤2 ms for the baselines; the shape to
+// preserve is ExBox being slower than both baselines but still
+// comfortably interactive.
+func BenchmarkDecisionLatencyExBox(b *testing.B) {
+	ac, probe := trainedController(b, 300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ac.Decide(probe)
+	}
+}
+
+func BenchmarkDecisionLatencyRateBased(b *testing.B) {
+	rb := NewRateBased(97.5e6)
+	probe := excr.Arrival{
+		Matrix: excr.NewMatrix(excr.DefaultSpace).Set(excr.Streaming, 0, 12),
+		Class:  excr.Web,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rb.Decide(probe)
+	}
+}
+
+func BenchmarkDecisionLatencyMaxClient(b *testing.B) {
+	mc := NewMaxClient(10)
+	probe := excr.Arrival{
+		Matrix: excr.NewMatrix(excr.DefaultSpace).Set(excr.Streaming, 0, 12),
+		Class:  excr.Web,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mc.Decide(probe)
+	}
+}
+
+// Section 5.3: SVM training latency at 50 vs 1000 samples (the paper
+// reports ≈360 ms and >2 s for its implementation; ours should scale
+// the same way — superlinearly — even if the constants differ).
+func benchmarkTraining(b *testing.B, n int) {
+	oracle := Oracle{Net: netsim.FluidWiFi{Config: netsim.SimWiFi()}}
+	rng := mathx.NewRand(2)
+	var x [][]float64
+	var y []float64
+	for len(x) < n {
+		for _, e := range traffic.Arrivals(traffic.Random(rng, 10, 20, 0, excr.DefaultSpace), nil) {
+			if len(x) >= n {
+				break
+			}
+			x = append(x, e.Arrival.Features())
+			y = append(y, oracle.Label(e.Arrival))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svm.Train(svm.DefaultConfig(), x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainingLatency50(b *testing.B)   { benchmarkTraining(b, 50) }
+func BenchmarkTrainingLatency200(b *testing.B)  { benchmarkTraining(b, 200) }
+func BenchmarkTrainingLatency1000(b *testing.B) { benchmarkTraining(b, 1000) }
+
+// Ablation: SVM kernel choice. The linear kernel trains faster but
+// cannot bend around the ExCR boundary's curvature in mixed spaces.
+func benchmarkKernel(b *testing.B, kind svm.KernelKind) {
+	oracle := Oracle{Net: netsim.FluidWiFi{Config: netsim.SimWiFi()}}
+	rng := mathx.NewRand(3)
+	var x [][]float64
+	var y []float64
+	for len(x) < 400 {
+		for _, e := range traffic.Arrivals(traffic.Random(rng, 10, 20, 0, excr.DefaultSpace), nil) {
+			if len(x) >= 400 {
+				break
+			}
+			x = append(x, e.Arrival.Features())
+			y = append(y, oracle.Label(e.Arrival))
+		}
+	}
+	cfg := svm.DefaultConfig()
+	cfg.Kernel = kind
+	var acc float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := svm.Train(cfg, x, y)
+		if err != nil {
+			b.Fatal(err)
+		}
+		correct := 0
+		for j := range x {
+			if m.Predict(x[j]) == y[j] {
+				correct++
+			}
+		}
+		acc = float64(correct) / float64(len(x))
+	}
+	b.ReportMetric(acc, "train-accuracy")
+}
+
+func BenchmarkAblationKernelRBF(b *testing.B)    { benchmarkKernel(b, svm.RBF) }
+func BenchmarkAblationKernelLinear(b *testing.B) { benchmarkKernel(b, svm.Linear) }
+
+// Ablation: fluid model vs packet-level simulation of the same cell.
+func BenchmarkAblationNetModelFluid(b *testing.B) {
+	net := netsim.FluidWiFi{Config: netsim.SimWiFi()}
+	m := excr.NewMatrix(excr.DefaultSpace).Set(excr.Streaming, 0, 20).Set(excr.Web, 0, 10)
+	flows := netsim.FlowsForMatrix(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Evaluate(flows)
+	}
+}
+
+func BenchmarkAblationNetModelPacket(b *testing.B) {
+	m := excr.NewMatrix(excr.DefaultSpace).Set(excr.Streaming, 0, 20).Set(excr.Web, 0, 10)
+	flows := netsim.FlowsForMatrix(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ps := netsim.NewPacketSim(netsim.WiFiCell, int64(i))
+		ps.Evaluate(flows)
+	}
+}
+
+// Ablation: replace-repeated-matrix policy vs append-only. Replacement
+// keeps the training set (and hence retraining cost) bounded by the
+// number of distinct matrices; append-only grows without bound.
+func benchmarkReplacePolicy(b *testing.B, replace bool) {
+	oracle := Oracle{Net: netsim.FluidWiFi{Config: netsim.SimWiFi()}}
+	cfg := classifier.DefaultConfig()
+	cfg.ReplaceRepeated = replace
+	var setSize float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ac := classifier.New(excr.DefaultSpace, cfg)
+		rng := mathx.NewRand(4)
+		// A workload with heavy matrix repetition (small universe).
+		for _, e := range traffic.Arrivals(traffic.Random(rng, 120, 3, 0, excr.DefaultSpace), nil) {
+			ac.Observe(excr.Sample{Arrival: e.Arrival, Label: oracle.Label(e.Arrival)})
+		}
+		setSize = float64(ac.TrainingSetSize())
+	}
+	b.ReportMetric(setSize, "training-set")
+}
+
+func BenchmarkAblationReplaceRepeated(b *testing.B) { benchmarkReplacePolicy(b, true) }
+func BenchmarkAblationAppendOnly(b *testing.B)      { benchmarkReplacePolicy(b, false) }
+
+// Ablation: bootstrap CV threshold. Stricter thresholds need more
+// samples before going online.
+func benchmarkBootstrap(b *testing.B, threshold float64) {
+	oracle := Oracle{Net: netsim.FluidWiFi{Config: netsim.SimWiFi()}}
+	cfg := classifier.DefaultConfig()
+	cfg.CVThreshold = threshold
+	var used float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ac := classifier.New(excr.DefaultSpace, cfg)
+		rng := mathx.NewRand(5)
+		fed := 0
+		for ac.Bootstrapping() && fed < 2000 {
+			for _, e := range traffic.Arrivals(traffic.Random(rng, 5, 20, 0, excr.DefaultSpace), nil) {
+				if !ac.Bootstrapping() {
+					break
+				}
+				ac.Observe(excr.Sample{Arrival: e.Arrival, Label: oracle.Label(e.Arrival)})
+				fed++
+			}
+		}
+		used = float64(fed)
+	}
+	b.ReportMetric(used, "bootstrap-samples")
+}
+
+func BenchmarkAblationBootstrapCV60(b *testing.B) { benchmarkBootstrap(b, 0.6) }
+func BenchmarkAblationBootstrapCV97(b *testing.B) { benchmarkBootstrap(b, 0.97) }
+
+// Ablation: learner choice — RBF SVM (the paper's pick) vs CART tree.
+func benchmarkLearnerChoice(b *testing.B, l learner.Learner) {
+	oracle := Oracle{Net: netsim.FluidWiFi{Config: netsim.SimWiFi()}}
+	cfg := classifier.DefaultConfig()
+	cfg.Learner = l
+	var acc float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ac := classifier.New(excr.DefaultSpace, cfg)
+		rng := mathx.NewRand(6)
+		for _, e := range traffic.Arrivals(traffic.Random(rng, 30, 20, 0, excr.DefaultSpace), nil) {
+			ac.Observe(excr.Sample{Arrival: e.Arrival, Label: oracle.Label(e.Arrival)})
+		}
+		if ac.Bootstrapping() {
+			if err := ac.ForceOnline(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		eRng := mathx.NewRand(7)
+		correct, total := 0, 0
+		for _, e := range traffic.Arrivals(traffic.Random(eRng, 15, 20, 0, excr.DefaultSpace), nil) {
+			pred := -1.0
+			if ac.Decide(e.Arrival).Admit {
+				pred = 1
+			}
+			if pred == oracle.Label(e.Arrival) {
+				correct++
+			}
+			total++
+		}
+		acc = float64(correct) / float64(total)
+	}
+	b.ReportMetric(acc, "holdout-accuracy")
+}
+
+func BenchmarkAblationLearnerSVM(b *testing.B) {
+	benchmarkLearnerChoice(b, learner.SVM{Config: svm.DefaultConfig()})
+}
+
+func BenchmarkAblationLearnerTree(b *testing.B) {
+	benchmarkLearnerChoice(b, learner.Tree{Config: dtree.DefaultConfig()})
+}

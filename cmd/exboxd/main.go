@@ -1,0 +1,292 @@
+// Command exboxd runs ExBox as a live UDP middlebox on localhost: a
+// gateway socket accepts client datagrams, tracks flows in a flow
+// table, classifies each flow from its first packets, and applies
+// admission control with an Admittance Classifier pre-trained against
+// a simulated cell. Admitted traffic is forwarded to an upstream sink;
+// rejected flows are dropped at the gateway, exactly as Section 4.2
+// describes.
+//
+// Usage:
+//
+//	exboxd [-listen 127.0.0.1:0] [-duration 10s] [-demo]
+//
+// With -demo (the default), built-in traffic generators emulate a mix
+// of web, streaming and conferencing clients so the daemon is fully
+// self-contained; without it, point any UDP sources at the printed
+// gateway address.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"exbox/internal/classifier"
+	"exbox/internal/exboxcore"
+	"exbox/internal/excr"
+	"exbox/internal/flowclass"
+	"exbox/internal/flows"
+	"exbox/internal/mathx"
+	"exbox/internal/netsim"
+	"exbox/internal/traffic"
+
+	"exbox/internal/apps"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "gateway UDP listen address")
+	duration := flag.Duration("duration", 10*time.Second, "how long to run")
+	demo := flag.Bool("demo", true, "spawn built-in demo traffic generators")
+	flag.Parse()
+
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+
+	gw, err := newGateway(*listen)
+	if err != nil {
+		log.Fatalf("exboxd: %v", err)
+	}
+	defer gw.close()
+	log.Printf("gateway listening on %s, sink on %s", gw.conn.LocalAddr(), gw.sink.LocalAddr())
+
+	done := make(chan struct{})
+	go gw.run(done)
+
+	if *demo {
+		var wg sync.WaitGroup
+		rng := mathx.NewRand(time.Now().UnixNano())
+		for i, class := range []excr.AppClass{
+			excr.Web, excr.Streaming, excr.Conferencing,
+			excr.Streaming, excr.Web, excr.Conferencing,
+		} {
+			wg.Add(1)
+			go func(i int, class excr.AppClass, seed int64) {
+				defer wg.Done()
+				if err := sendTrace(gw.conn.LocalAddr().String(), class, *duration, seed); err != nil {
+					log.Printf("generator %d (%v): %v", i, class, err)
+				}
+			}(i, class, rng.Int63())
+		}
+		wg.Wait()
+	} else {
+		time.Sleep(*duration)
+	}
+	close(done)
+	gw.report()
+}
+
+// gateway is the UDP middlebox: one ingress socket, one upstream sink,
+// a flow table, a traffic classifier and the ExBox middlebox core.
+type gateway struct {
+	conn *net.UDPConn
+	sink *net.UDPConn
+
+	mu        sync.Mutex
+	table     *flows.Table
+	fc        *flowclass.Classifier
+	mb        *exboxcore.Middlebox
+	start     time.Time
+	forwarded int
+	dropped   int
+	admitted  int
+	rejected  int
+}
+
+const cellID = exboxcore.CellID("ap0")
+
+func newGateway(listen string) (*gateway, error) {
+	addr, err := net.ResolveUDPAddr("udp", listen)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	sink, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+
+	// Train the flow classifier on synthetic per-class traces and the
+	// admittance classifier against the simulated cell's ground truth
+	// (the operator's bootstrap, done offline here for a snappy demo).
+	rng := mathx.NewRand(7)
+	fc, err := flowclass.Train(
+		[]excr.AppClass{excr.Web, excr.Streaming, excr.Conferencing}, 40, 10, rng)
+	if err != nil {
+		conn.Close()
+		sink.Close()
+		return nil, fmt.Errorf("training flow classifier: %w", err)
+	}
+	mb := exboxcore.New(excr.DefaultSpace, exboxcore.Discontinue)
+	if _, err := mb.AddCell(cellID, classifier.DefaultConfig()); err != nil {
+		conn.Close()
+		sink.Close()
+		return nil, err
+	}
+	oracle := apps.Oracle{Net: netsim.FluidWiFi{Config: netsim.TestbedWiFi()}}
+	for _, e := range traffic.Arrivals(traffic.Random(rng, 30, 10, 10, excr.DefaultSpace), nil) {
+		if err := mb.Observe(cellID, excr.Sample{Arrival: e.Arrival, Label: oracle.Label(e.Arrival)}); err != nil {
+			conn.Close()
+			sink.Close()
+			return nil, err
+		}
+	}
+
+	return &gateway{
+		conn:  conn,
+		sink:  sink,
+		table: flows.NewTable(10, 30),
+		fc:    fc,
+		mb:    mb,
+		start: time.Now(),
+	}, nil
+}
+
+func (g *gateway) close() {
+	g.conn.Close()
+	g.sink.Close()
+}
+
+// run is the forwarding loop: account each datagram to its flow,
+// classify once enough head packets arrived, decide admission, forward
+// or drop.
+func (g *gateway) run(done chan struct{}) {
+	buf := make([]byte, 64*1024)
+	sinkAddr := g.sink.LocalAddr().(*net.UDPAddr)
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		g.conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		n, src, err := g.conn.ReadFromUDP(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		up := n > 0 && buf[0] == 'U'
+		if g.handle(src, n, up) {
+			if _, err := g.conn.WriteToUDP(buf[:n], sinkAddr); err != nil {
+				log.Printf("forward: %v", err)
+			}
+		}
+	}
+}
+
+// handle updates flow state and returns whether to forward the packet.
+// The first payload byte carries the direction marker the demo
+// generators set ('U' uplink, 'D' downlink), standing in for the
+// ingress interface a real gateway would key on.
+func (g *gateway) handle(src *net.UDPAddr, bytes int, up bool) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	key := flows.Key{
+		Src: src.IP.String(), Dst: "sink",
+		SrcPort: uint16(src.Port), DstPort: 9, Proto: flows.UDP,
+	}
+	now := time.Since(g.start).Seconds()
+	f := g.table.Observe(key, flows.PacketMeta{Time: now, Bytes: bytes, Up: up})
+	f.SNR = excr.SNRHigh
+
+	if !f.Classified && f.ReadyToClassify(g.table.HeadCap) {
+		class, conf, err := g.fc.ClassifyFlow(f)
+		if err == nil {
+			f.Class, f.Classified = class, true
+			current := g.table.Matrix(excr.DefaultSpace)
+			out, err := g.mb.Admit(cellID, excr.Arrival{Matrix: current, Class: class})
+			if err == nil {
+				f.Decided = true
+				f.Admitted = out.Verdict == exboxcore.Admit
+				if f.Admitted {
+					g.admitted++
+				} else {
+					g.rejected++
+				}
+				log.Printf("flow %s classified %v (p=%.2f) with matrix %v -> %v (margin %.2f)",
+					f.Key, class, conf, current, out.Verdict, out.Decision.Margin)
+			}
+		}
+	}
+	// Pre-decision packets pass (classification needs them); after the
+	// decision, rejected flows are dropped at the gateway.
+	if f.Decided && !f.Admitted {
+		g.dropped++
+		return false
+	}
+	g.forwarded++
+	return true
+}
+
+func (g *gateway) report() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	fmt.Printf("\n=== exboxd summary ===\n")
+	fmt.Printf("flows admitted: %d, rejected: %d\n", g.admitted, g.rejected)
+	fmt.Printf("packets forwarded: %d, dropped: %d\n", g.forwarded, g.dropped)
+	for _, f := range g.table.Active() {
+		verdict := "undecided"
+		if f.Decided {
+			verdict = "rejected"
+			if f.Admitted {
+				verdict = "admitted"
+			}
+		}
+		fmt.Printf("  %-32s class=%-12v pkts=%-6d bytes=%-8d %s\n",
+			f.Key, f.Class, f.Packets, f.Bytes, verdict)
+	}
+}
+
+// sendTrace plays a synthetic class trace against the gateway from its
+// own UDP socket (one socket = one flow).
+func sendTrace(gwAddr string, class excr.AppClass, d time.Duration, seed int64) error {
+	raddr, err := net.ResolveUDPAddr("udp", gwAddr)
+	if err != nil {
+		return err
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	tr := traffic.Synthesize(class, d.Seconds(), mathx.NewRand(seed))
+	start := time.Now()
+	payload := make([]byte, 64*1024)
+	for _, p := range tr.Packets {
+		if p.Bytes <= 0 {
+			continue
+		}
+		at := time.Duration(p.TimeSec * float64(time.Second))
+		if sleep := at - time.Since(start); sleep > 0 {
+			time.Sleep(sleep)
+		}
+		// First byte marks the direction so the gateway can fold both
+		// directions of the flow, as it would from interface context.
+		if p.Up {
+			payload[0] = 'U'
+		} else {
+			payload[0] = 'D'
+		}
+		size := p.Bytes
+		if size > len(payload) {
+			size = len(payload)
+		}
+		if _, err := conn.Write(payload[:size]); err != nil {
+			return err
+		}
+		if time.Since(start) > d {
+			break
+		}
+	}
+	_ = os.Stdout.Sync()
+	return nil
+}

@@ -1,0 +1,156 @@
+// Command excr learns the Experiential Capacity Region of a simulated
+// wireless cell and renders a 2-D slice of it as an ASCII map, with
+// the ground-truth region for comparison. It is the fastest way to
+// *see* what ExBox learns.
+//
+// Usage:
+//
+//	excr [-cell wifi|lte] [-samples 600] [-xclass streaming] [-yclass conferencing] [-max 50]
+//
+// Legend: '#' learned admissible and truly achievable, 'x' learned
+// admissible but NOT achievable (false admit), '.' learned
+// inadmissible but achievable (missed capacity), ' ' both agree the
+// point is outside.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"exbox/internal/apps"
+	"exbox/internal/classifier"
+	"exbox/internal/excr"
+	"exbox/internal/mathx"
+	"exbox/internal/netsim"
+	"exbox/internal/traffic"
+)
+
+func classByName(name string) (excr.AppClass, bool) {
+	switch name {
+	case "web":
+		return excr.Web, true
+	case "streaming":
+		return excr.Streaming, true
+	case "conferencing":
+		return excr.Conferencing, true
+	}
+	return 0, false
+}
+
+func main() {
+	cell := flag.String("cell", "wifi", "cell type: wifi or lte")
+	samples := flag.Int("samples", 600, "labeled training samples to feed the classifier")
+	xName := flag.String("xclass", "conferencing", "class on the x axis")
+	yName := flag.String("yclass", "streaming", "class on the y axis")
+	max := flag.Int("max", 50, "largest per-class flow count to map")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	xClass, ok := classByName(*xName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "excr: unknown class %q\n", *xName)
+		os.Exit(2)
+	}
+	yClass, ok := classByName(*yName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "excr: unknown class %q\n", *yName)
+		os.Exit(2)
+	}
+
+	var net netsim.Network
+	switch *cell {
+	case "wifi":
+		net = netsim.FluidWiFi{Config: netsim.SimWiFi()}
+	case "lte":
+		net = netsim.FluidLTE{Config: netsim.SimLTE()}
+	default:
+		fmt.Fprintf(os.Stderr, "excr: unknown cell %q\n", *cell)
+		os.Exit(2)
+	}
+	oracle := apps.Oracle{Net: net}
+
+	// Train the Admittance Classifier on random traffic.
+	ac := classifier.New(excr.DefaultSpace, classifier.DefaultConfig())
+	rng := mathx.NewRand(*seed)
+	fed := 0
+	// Cover the whole displayed range so the map never asks the SVM to
+	// extrapolate beyond its training distribution.
+	perClass := *max
+	if perClass < 10 {
+		perClass = 10
+	}
+	for fed < *samples {
+		for _, e := range traffic.Arrivals(traffic.Random(rng, 20, perClass, 0, excr.DefaultSpace), nil) {
+			if fed >= *samples {
+				break
+			}
+			ac.Observe(excr.Sample{Arrival: e.Arrival, Label: oracle.Label(e.Arrival)})
+			fed++
+		}
+	}
+	if ac.Bootstrapping() {
+		if err := ac.ForceOnline(); err != nil {
+			fmt.Fprintf(os.Stderr, "excr: classifier not trainable: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("Learned ExCR of %s after %d samples (training set %d, cv %.2f)\n",
+		net.Name(), ac.Observed(), ac.TrainingSetSize(), ac.LastCVScore())
+	fmt.Printf("y: # %s flows (0 at bottom), x: # %s flows\n\n", yClass, xClass)
+
+	learned := func(m excr.Matrix) bool {
+		// A matrix is inside the learned region when removing any one
+		// flow and re-admitting it classifies positive; probing with a
+		// zero-cost query: classify the matrix as "arrival of its last
+		// flow". For display, probe with a web arrival on top of m-1.
+		if m.Total() == 0 {
+			return true
+		}
+		// Use the matrix minus one yClass flow if possible, else xClass.
+		if m.Get(yClass, 0) > 0 {
+			return ac.Decide(excr.Arrival{Matrix: m.Dec(yClass, 0), Class: yClass}).Admit
+		}
+		if m.Get(xClass, 0) > 0 {
+			return ac.Decide(excr.Arrival{Matrix: m.Dec(xClass, 0), Class: xClass}).Admit
+		}
+		return true
+	}
+	truth := oracle.Region(excr.DefaultSpace)
+
+	step := 1
+	if *max > 40 {
+		step = 2
+	}
+	for y := *max; y >= 0; y -= step {
+		fmt.Printf("%4d |", y)
+		for x := 0; x <= *max; x += step {
+			m := excr.NewMatrix(excr.DefaultSpace).Set(yClass, 0, y).Set(xClass, 0, x)
+			l := learned(m)
+			tr := truth.Achievable(m)
+			var ch byte
+			switch {
+			case l && tr:
+				ch = '#'
+			case l && !tr:
+				ch = 'x'
+			case !l && tr:
+				ch = '.'
+			default:
+				ch = ' '
+			}
+			fmt.Printf("%c", ch)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("     +%s\n", dashes((*max/step)+1))
+	fmt.Println("\n# admissible&achievable  x false-admit  . missed-capacity  (blank) outside")
+}
+
+func dashes(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '-'
+	}
+	return string(b)
+}

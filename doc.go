@@ -1,0 +1,34 @@
+// Package exbox is a from-scratch Go reproduction of "ExBox:
+// Experience Management Middlebox for Wireless Networks" (Chakraborty,
+// Sanadhya, Das, Kim and Kim, ACM CoNEXT 2016).
+//
+// ExBox rethinks wireless network capacity in terms of user experience:
+// instead of a single throughput number, a cell's capacity is the
+// Experiential Capacity Region (ExCR) — the set of traffic matrices
+// (flow counts per application class and SNR level) for which every
+// flow's QoE stays acceptable. ExBox learns this region online with an
+// SVM-backed Admittance Classifier, estimates per-application QoE from
+// passive network measurements via the IQX hypothesis
+// (QoE = α + β·e^(−γ·QoS)), and uses the learned region for admission
+// control, WiFi/LTE network selection, and re-evaluation of admitted
+// flows as conditions drift.
+//
+// This package is the public facade over the implementation packages:
+//
+//   - Middlebox, Cell, Policy: the gateway component (admission
+//     control, network selection, dynamics) from internal/exboxcore.
+//   - AdmittanceClassifier, ClassifierConfig, Controller: the online
+//     learner from internal/classifier, plus the RateBased and
+//     MaxClient baselines from internal/baseline.
+//   - QoEEstimator, IQXModel: the network-side QoE machinery from
+//     internal/qoe and internal/iqx.
+//   - Matrix, Arrival, Space, AppClass, SNRLevel: the ExCR domain model
+//     from internal/excr.
+//   - Networks (FluidWiFi, FluidLTE, PacketSim) and Testbeds: the
+//     wireless substrates standing in for the paper's ns-3 simulations
+//     and phone testbeds.
+//
+// See README.md for a quickstart, DESIGN.md for the system inventory
+// and substitutions, and EXPERIMENTS.md for the paper-vs-measured
+// record of every reproduced figure.
+package exbox

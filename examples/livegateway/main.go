@@ -1,0 +1,174 @@
+// Livegateway: ExBox in the packet path over real UDP sockets. A
+// gateway goroutine forwards client datagrams to a sink, maintains a
+// flow table, classifies flows from their first packets with the
+// naive-Bayes traffic classifier, and drops flows the Admittance
+// Classifier rejects. Two well-behaved clients and one cell-filling
+// burst of streaming clients demonstrate an actual rejection.
+//
+//	go run ./examples/livegateway
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"exbox"
+	"exbox/internal/classifier"
+	"exbox/internal/exboxcore"
+	"exbox/internal/excr"
+	"exbox/internal/flowclass"
+	"exbox/internal/flows"
+	"exbox/internal/mathx"
+	"exbox/internal/traffic"
+)
+
+const cell = exboxcore.CellID("ap0")
+
+func main() {
+	// Gateway socket and upstream sink.
+	gw, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer gw.Close()
+	sink, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sink.Close()
+
+	// Train the two learners offline: the flow classifier from
+	// synthetic traces, the admittance classifier from a *small* cell's
+	// ground truth so a handful of streams already fills it.
+	rng := mathx.NewRand(3)
+	fc, err := flowclass.Train([]excr.AppClass{excr.Web, excr.Streaming, excr.Conferencing}, 40, 10, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	smallCell := exbox.TestbedWiFiConfig()
+	oracle := exbox.Oracle{Net: exbox.FluidWiFi{Config: smallCell}}
+	mb := exboxcore.New(excr.DefaultSpace, exboxcore.Discontinue)
+	if _, err := mb.AddCell(cell, classifier.DefaultConfig()); err != nil {
+		log.Fatal(err)
+	}
+	for _, ev := range traffic.Arrivals(traffic.Random(rng, 30, 10, 10, excr.DefaultSpace), nil) {
+		mb.Observe(cell, excr.Sample{Arrival: ev.Arrival, Label: oracle.Label(ev.Arrival)})
+	}
+
+	table := flows.NewTable(10, 30)
+	var mu sync.Mutex
+	start := time.Now()
+	decisions := make(chan string, 64)
+
+	// Forwarding loop.
+	done := make(chan struct{})
+	go func() {
+		buf := make([]byte, 64*1024)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			gw.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+			n, src, err := gw.ReadFromUDP(buf)
+			if err != nil {
+				continue
+			}
+			up := n > 0 && buf[0] == 'U'
+			mu.Lock()
+			key := flows.Key{Src: src.IP.String(), SrcPort: uint16(src.Port), Dst: "sink", DstPort: 9, Proto: flows.UDP}
+			f := table.Observe(key, flows.PacketMeta{Time: time.Since(start).Seconds(), Bytes: n, Up: up})
+			if !f.Classified && f.ReadyToClassify(table.HeadCap) {
+				if class, _, err := fc.ClassifyFlow(f); err == nil {
+					f.Class, f.Classified = class, true
+					out, err := mb.Admit(cell, excr.Arrival{Matrix: table.Matrix(excr.DefaultSpace), Class: class})
+					if err == nil {
+						f.Decided = true
+						f.Admitted = out.Verdict == exboxcore.Admit
+						decisions <- fmt.Sprintf("%s -> %v as %v", f.Key, out.Verdict, class)
+					}
+				}
+			}
+			forward := !(f.Decided && !f.Admitted)
+			mu.Unlock()
+			if forward {
+				gw.WriteToUDP(buf[:n], sink.LocalAddr().(*net.UDPAddr))
+			}
+		}
+	}()
+
+	// Clients: a web flow and a call first, then a burst of six
+	// streaming flows that overruns the small cell — the later ones
+	// must be rejected.
+	var wg sync.WaitGroup
+	send := func(class excr.AppClass, seed int64, d time.Duration) {
+		defer wg.Done()
+		conn, err := net.DialUDP("udp", nil, gw.LocalAddr().(*net.UDPAddr))
+		if err != nil {
+			log.Print(err)
+			return
+		}
+		defer conn.Close()
+		payload := make([]byte, 64*1024)
+		tr := traffic.Synthesize(class, d.Seconds(), mathx.NewRand(seed))
+		t0 := time.Now()
+		for _, p := range tr.Packets {
+			at := time.Duration(p.TimeSec * float64(time.Second))
+			if sleep := at - time.Since(t0); sleep > 0 {
+				time.Sleep(sleep)
+			}
+			if time.Since(t0) > d {
+				return
+			}
+			payload[0] = 'D'
+			if p.Up {
+				payload[0] = 'U'
+			}
+			size := p.Bytes
+			if size > len(payload) {
+				size = len(payload)
+			}
+			conn.Write(payload[:size])
+		}
+	}
+	wg.Add(2)
+	go send(excr.Web, 101, 4*time.Second)
+	go send(excr.Conferencing, 102, 4*time.Second)
+	time.Sleep(500 * time.Millisecond)
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go send(excr.Streaming, 200+int64(i), 3*time.Second)
+	}
+
+	go func() { wg.Wait(); close(done) }()
+	admitted, rejected := 0, 0
+	for {
+		select {
+		case d := <-decisions:
+			fmt.Println(d)
+			if len(d) > 0 {
+				if containsReject(d) {
+					rejected++
+				} else {
+					admitted++
+				}
+			}
+		case <-done:
+			fmt.Printf("\n%d flows admitted, %d rejected by the live gateway\n", admitted, rejected)
+			return
+		}
+	}
+}
+
+func containsReject(s string) bool {
+	for i := 0; i+6 <= len(s); i++ {
+		if s[i:i+6] == "reject" {
+			return true
+		}
+	}
+	return false
+}

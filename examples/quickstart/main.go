@@ -1,0 +1,62 @@
+// Quickstart: learn a wireless cell's Experiential Capacity Region and
+// use it for admission control — the whole ExBox loop in ~60 lines of
+// API calls.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"exbox"
+	"exbox/internal/mathx"
+)
+
+func main() {
+	// 1. A wireless cell. Here the ns-3-like simulated 802.11n WLAN;
+	// in a deployment this is the network behind your gateway.
+	cell := exbox.FluidWiFi{Config: exbox.SimWiFiConfig()}
+
+	// 2. Ground truth comes from instrumented apps measuring QoE on
+	// the device side (page load time, video startup delay, PSNR).
+	oracle := exbox.Oracle{Net: cell}
+
+	// 3. The Admittance Classifier starts in its bootstrap phase:
+	// every flow is admitted while it observes (X, Y) tuples.
+	ac := exbox.NewAdmittanceClassifier(exbox.DefaultSpace, exbox.DefaultClassifierConfig())
+
+	rng := mathx.NewRand(42)
+	seq := exbox.RandomMatrices(rng, 30, 20, 0, exbox.DefaultSpace)
+	for _, ev := range exbox.ArrivalEvents(seq, nil) {
+		ac.Observe(exbox.Sample{Arrival: ev.Arrival, Label: oracle.Label(ev.Arrival)})
+	}
+	if ac.Bootstrapping() {
+		log.Fatal("classifier did not graduate; feed it more diverse traffic")
+	}
+	fmt.Printf("classifier online after %d observations (cross-validation %.2f)\n\n",
+		ac.Observed(), ac.LastCVScore())
+
+	// 4. Admission control: classify arrivals against the learned
+	// region.
+	cases := []struct {
+		desc    string
+		matrix  exbox.Matrix
+		arrival exbox.AppClass
+	}{
+		{"empty cell, streaming flow", exbox.NewMatrix(exbox.DefaultSpace), exbox.Streaming},
+		{"10 streams, another stream", exbox.NewMatrix(exbox.DefaultSpace).Set(exbox.Streaming, 0, 10), exbox.Streaming},
+		{"22 streams, web flow", exbox.NewMatrix(exbox.DefaultSpace).Set(exbox.Streaming, 0, 22), exbox.Web},
+		{"18 streams + 14 calls, another call", exbox.NewMatrix(exbox.DefaultSpace).
+			Set(exbox.Streaming, 0, 18).Set(exbox.Conferencing, 0, 14), exbox.Conferencing},
+	}
+	for _, c := range cases {
+		d := ac.Decide(exbox.Arrival{Matrix: c.matrix, Class: c.arrival})
+		verdict := "REJECT"
+		if d.Admit {
+			verdict = "admit"
+		}
+		truth := oracle.Label(exbox.Arrival{Matrix: c.matrix, Class: c.arrival})
+		fmt.Printf("%-38s -> %-6s (margin %+.2f, ground truth %+v)\n", c.desc, verdict, d.Margin, truth)
+	}
+}

@@ -1,0 +1,283 @@
+package exbox
+
+import (
+	"io"
+	"math/rand"
+
+	"exbox/internal/apps"
+	"exbox/internal/baseline"
+	"exbox/internal/classifier"
+	"exbox/internal/eval"
+	"exbox/internal/exboxcore"
+	"exbox/internal/excr"
+	"exbox/internal/iqx"
+	"exbox/internal/metrics"
+	"exbox/internal/netsim"
+	"exbox/internal/qoe"
+	"exbox/internal/testbed"
+	"exbox/internal/traffic"
+)
+
+// Domain model (internal/excr).
+type (
+	// AppClass identifies an application class (web, streaming,
+	// conferencing).
+	AppClass = excr.AppClass
+	// SNRLevel is a discretized wireless channel-quality bin.
+	SNRLevel = excr.SNRLevel
+	// Space fixes the traffic-matrix dimensionality: classes × levels.
+	Space = excr.Space
+	// Matrix is a traffic matrix <a_{1,1} … a_{k,r}>.
+	Matrix = excr.Matrix
+	// Arrival is a new flow offered to a cell carrying Matrix.
+	Arrival = excr.Arrival
+	// Sample is a labeled (X_m, Y_m) training tuple.
+	Sample = excr.Sample
+	// Region is an Experiential Capacity Region predicate.
+	Region = excr.Region
+)
+
+// Application classes and SNR levels used across the evaluation.
+const (
+	Web          = excr.Web
+	Streaming    = excr.Streaming
+	Conferencing = excr.Conferencing
+	SNRLow       = excr.SNRLow
+	SNRHigh      = excr.SNRHigh
+)
+
+// Default traffic-matrix spaces.
+var (
+	// DefaultSpace is 3 application classes × 1 SNR level (the paper's
+	// testbed setting).
+	DefaultSpace = excr.DefaultSpace
+	// MixedSNRSpace is 3 classes × 2 SNR levels (Section 6.3).
+	MixedSNRSpace = excr.MixedSNRSpace
+)
+
+// NewMatrix returns the all-zero traffic matrix over the space.
+func NewMatrix(s Space) Matrix { return excr.NewMatrix(s) }
+
+// Admission control (internal/classifier, internal/baseline).
+type (
+	// AdmittanceClassifier is ExBox's online SVM learner.
+	AdmittanceClassifier = classifier.AdmittanceClassifier
+	// ClassifierConfig holds Admittance Classifier hyperparameters.
+	ClassifierConfig = classifier.Config
+	// Decision is one admission decision with its SVM margin/depth.
+	Decision = classifier.Decision
+	// Controller is the admission-control interface shared by ExBox
+	// and the baselines.
+	Controller = classifier.Controller
+	// RateBased is the purely rate-driven commercial baseline.
+	RateBased = baseline.RateBased
+	// MaxClient is the flow-count baseline.
+	MaxClient = baseline.MaxClient
+)
+
+// NewAdmittanceClassifier returns a fresh classifier (bootstrap phase)
+// for the space.
+func NewAdmittanceClassifier(s Space, cfg ClassifierConfig) *AdmittanceClassifier {
+	return classifier.New(s, cfg)
+}
+
+// DefaultClassifierConfig returns the paper's WiFi-testbed
+// configuration (RBF SVM, batch 20, 5-fold CV at 0.7).
+func DefaultClassifierConfig() ClassifierConfig { return classifier.DefaultConfig() }
+
+// NewRateBased returns a RateBased controller with provisioned
+// capacity C in bits per second.
+func NewRateBased(capacityBps float64) *RateBased { return baseline.NewRateBased(capacityBps) }
+
+// NewMaxClient returns a MaxClient controller admitting up to max
+// flows.
+func NewMaxClient(max int) *MaxClient { return baseline.NewMaxClient(max) }
+
+// The middlebox (internal/exboxcore).
+type (
+	// Middlebox is the ExBox gateway component.
+	Middlebox = exboxcore.Middlebox
+	// CellID names one access device.
+	CellID = exboxcore.CellID
+	// Policy selects what happens to inadmissible flows.
+	Policy = exboxcore.Policy
+	// Candidate pairs a cell with the arrival it would see.
+	Candidate = exboxcore.Candidate
+	// Outcome is a middlebox admission outcome.
+	Outcome = exboxcore.Outcome
+	// ActiveFlow describes an admitted flow for re-evaluation.
+	ActiveFlow = exboxcore.ActiveFlow
+)
+
+// Inadmissible-flow policies.
+const (
+	Discontinue  = exboxcore.Discontinue
+	Deprioritize = exboxcore.Deprioritize
+)
+
+// NewMiddlebox returns an empty middlebox for the space.
+func NewMiddlebox(s Space, p Policy) *Middlebox { return exboxcore.New(s, p) }
+
+// QoE machinery (internal/qoe, internal/iqx, internal/apps).
+type (
+	// QoEEstimator maps passive QoS to per-class QoE labels.
+	QoEEstimator = qoe.Estimator
+	// IQXModel is a fitted QoE = α + β·e^(−γ·QoS) relationship.
+	IQXModel = iqx.Model
+	// QoS is the passive per-flow measurement vector.
+	QoS = metrics.QoS
+	// GroundTruthQoE is one instrumented-app measurement.
+	GroundTruthQoE = apps.QoE
+	// Oracle labels traffic matrices with device-side ground truth.
+	Oracle = apps.Oracle
+)
+
+// FitIQX fits the IQX hypothesis to paired (QoS, QoE) observations.
+func FitIQX(qos, qoeVals []float64) (iqx.FitResult, error) { return iqx.Fit(qos, qoeVals) }
+
+// TrainQoEEstimator runs the Figure 12 methodology on a testbed and
+// fits one IQX model per class.
+func TrainQoEEstimator(tb *Testbed, classes []AppClass, runs int) (*QoEEstimator, error) {
+	return qoe.Train(tb, classes, runs)
+}
+
+// MeasureQoE returns the device-side ground-truth QoE for a flow of
+// the class under the given QoS (rng adds measurement noise; nil for
+// the noiseless model).
+func MeasureQoE(class AppClass, q QoS, rng *rand.Rand) GroundTruthQoE {
+	return apps.Measure(class, q, rng)
+}
+
+// Network substrates (internal/netsim, internal/testbed).
+type (
+	// Network evaluates the QoS of concurrent flows on a cell.
+	Network = netsim.Network
+	// FlowSpec describes one downlink flow.
+	FlowSpec = netsim.FlowSpec
+	// FluidWiFi is the closed-form 802.11 cell model.
+	FluidWiFi = netsim.FluidWiFi
+	// FluidLTE is the closed-form LTE cell model.
+	FluidLTE = netsim.FluidLTE
+	// PacketSim is the discrete-event packet-level cell model.
+	PacketSim = netsim.PacketSim
+	// Testbed emulates the paper's WiFi/LTE lab setups.
+	Testbed = testbed.Testbed
+	// Shaper applies tc/netem-style impairments to a Network.
+	Shaper = testbed.Shaper
+)
+
+// Simulated-cell and testbed constructors.
+var (
+	// SimWiFiConfig is the ns-3-like 802.11n cell of Section 6.
+	SimWiFiConfig = netsim.SimWiFi
+	// SimLTEConfig is the ns-3-like LTE cell of Section 6.
+	SimLTEConfig = netsim.SimLTE
+	// TestbedWiFiConfig is the laptop-hosted hotspot cell.
+	TestbedWiFiConfig = netsim.TestbedWiFi
+	// TestbedLTEConfig is the E-40 small-cell configuration.
+	TestbedLTEConfig = netsim.TestbedLTE
+)
+
+// Testbed kinds.
+const (
+	WiFiTestbed = testbed.WiFi
+	LTETestbed  = testbed.LTE
+)
+
+// NewTestbed returns an emulated lab testbed.
+func NewTestbed(kind testbed.Kind, seed int64) *Testbed { return testbed.New(kind, seed) }
+
+// NewWiFiPacketSim returns the packet-level 802.11 simulator.
+func NewWiFiPacketSim(seed int64) *PacketSim { return netsim.NewPacketSim(netsim.WiFiCell, seed) }
+
+// NewLTEPacketSim returns the packet-level LTE simulator.
+func NewLTEPacketSim(seed int64) *PacketSim { return netsim.NewPacketSim(netsim.LTECell, seed) }
+
+// FlowsForMatrix expands a traffic matrix into per-flow specs.
+func FlowsForMatrix(m Matrix) []FlowSpec { return netsim.FlowsForMatrix(m) }
+
+// Workloads (internal/traffic).
+type (
+	// TrafficEvent is one flow arrival derived from a matrix sequence.
+	TrafficEvent = traffic.Event
+	// LiveLabConfig parameterizes the LiveLab-like workload generator.
+	LiveLabConfig = traffic.LiveLabConfig
+)
+
+// RandomMatrices generates the paper's Random traffic scheme.
+func RandomMatrices(rng *rand.Rand, n, perClassMax, maxTotal int, s Space) []Matrix {
+	return traffic.Random(rng, n, perClassMax, maxTotal, s)
+}
+
+// LiveLabMatrices generates the LiveLab-like chronological workload.
+func LiveLabMatrices(rng *rand.Rand, cfg LiveLabConfig) []Matrix {
+	return traffic.LiveLab(rng, cfg)
+}
+
+// DefaultLiveLab returns the 34-user LiveLab-like configuration.
+func DefaultLiveLab() LiveLabConfig { return traffic.DefaultLiveLab() }
+
+// ArrivalEvents derives arrival events from a matrix sequence.
+func ArrivalEvents(seq []Matrix, assignLevel func(AppClass) SNRLevel) []TrafficEvent {
+	return traffic.Arrivals(seq, assignLevel)
+}
+
+// Experiments (internal/eval).
+type (
+	// Figure is a regenerated evaluation figure.
+	Figure = eval.Figure
+	// Heatmap is a regenerated heatmap figure.
+	Heatmap = eval.Heatmap
+	// Scale selects Quick (test) or Full (paper-size) experiments.
+	Scale = eval.Scale
+)
+
+// Experiment scales.
+const (
+	Quick = eval.Quick
+	Full  = eval.Full
+)
+
+// Experiment runners, one per figure of the paper.
+var (
+	Figure2  = eval.Figure2
+	Figure3  = eval.Figure3
+	Figure7  = eval.Figure7
+	Figure8  = eval.Figure8
+	Figure9  = eval.Figure9
+	Figure10 = eval.Figure10
+	Figure11 = eval.Figure11
+	Figure12 = eval.Figure12
+	Figure13 = eval.Figure13
+	Figure14 = eval.Figure14
+)
+
+// Multi-flow applications and mobility (Section 4 extensions).
+type (
+	// AppFlow is one flow of a multi-flow application.
+	AppFlow = exboxcore.AppFlow
+	// AppRequest is an application (several flows, some dominant)
+	// asking to join a cell; see Middlebox.AdmitApp.
+	AppRequest = exboxcore.AppRequest
+)
+
+// Trace replay (the tcpreplay-into-simulator path).
+type (
+	// Trace is a synthetic or captured application packet trace.
+	Trace = traffic.Trace
+	// TracePacket is one packet of a Trace.
+	TracePacket = traffic.Packet
+	// ReplayFlow describes one flow of a replayed trace set.
+	ReplayFlow = netsim.ReplayFlow
+	// InjectedPacket is one externally supplied packet for replay.
+	InjectedPacket = netsim.InjectedPacket
+)
+
+// SynthesizeTrace returns a class-typical packet trace (the stand-in
+// for the paper's Skype/YouTube/BBC captures).
+func SynthesizeTrace(class AppClass, durationSec float64, rng *rand.Rand) Trace {
+	return traffic.Synthesize(class, durationSec, rng)
+}
+
+// ReadTrace decodes a trace serialized with Trace.WriteTo.
+func ReadTrace(r io.Reader) (Trace, error) { return traffic.ReadTrace(r) }

@@ -1,0 +1,219 @@
+package exbox
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"exbox/internal/mathx"
+)
+
+// trainViaFacade builds an online classifier through the public API.
+func trainViaFacade(t testing.TB, seed int64) *AdmittanceClassifier {
+	cell := FluidWiFi{Config: SimWiFiConfig()}
+	oracle := Oracle{Net: cell}
+	ac := NewAdmittanceClassifier(DefaultSpace, DefaultClassifierConfig())
+	rng := mathx.NewRand(seed)
+	for _, ev := range ArrivalEvents(RandomMatrices(rng, 25, 20, 0, DefaultSpace), nil) {
+		ac.Observe(Sample{Arrival: ev.Arrival, Label: oracle.Label(ev.Arrival)})
+	}
+	if ac.Bootstrapping() {
+		t.Fatal("facade classifier did not graduate")
+	}
+	return ac
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	ac := trainViaFacade(t, 1)
+	empty := Arrival{Matrix: NewMatrix(DefaultSpace), Class: Streaming}
+	if d := ac.Decide(empty); !d.Admit {
+		t.Fatal("empty cell should admit")
+	}
+	full := Arrival{
+		Matrix: NewMatrix(DefaultSpace).Set(Streaming, 0, 18).Set(Conferencing, 0, 15).Set(Web, 0, 12),
+		Class:  Streaming,
+	}
+	if d := ac.Decide(full); d.Admit {
+		t.Fatal("overloaded cell should reject")
+	}
+}
+
+func TestFacadeMiddlebox(t *testing.T) {
+	mb := NewMiddlebox(DefaultSpace, Deprioritize)
+	if _, err := mb.AddCell("ap", DefaultClassifierConfig()); err != nil {
+		t.Fatal(err)
+	}
+	oracle := Oracle{Net: FluidWiFi{Config: SimWiFiConfig()}}
+	rng := mathx.NewRand(2)
+	for _, ev := range ArrivalEvents(RandomMatrices(rng, 25, 20, 0, DefaultSpace), nil) {
+		if err := mb.Observe("ap", Sample{Arrival: ev.Arrival, Label: oracle.Label(ev.Arrival)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := mb.Admit("ap", Arrival{Matrix: NewMatrix(DefaultSpace), Class: Web})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict.String() != "admit" {
+		t.Fatalf("verdict = %v", out.Verdict)
+	}
+}
+
+func TestFacadeQoEEstimator(t *testing.T) {
+	tb := NewTestbed(WiFiTestbed, 3)
+	est, err := TrainQoEEstimator(tb, []AppClass{Web, Streaming, Conferencing}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := QoS{ThroughputBps: 10e6, DelayMs: 20}
+	for _, class := range []AppClass{Web, Streaming, Conferencing} {
+		v, err := est.Estimate(class, good)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := MeasureQoE(class, good, nil)
+		// Network-side estimate and device ground truth must agree on
+		// acceptability for clearly good QoS.
+		y, _ := est.LabelFlow(class, good)
+		if y != 1 || !truth.Acceptable() {
+			t.Fatalf("%v: estimate %v (label %v) disagrees with ground truth %v", class, v, y, truth)
+		}
+	}
+}
+
+func TestFacadeIQXFit(t *testing.T) {
+	truth := IQXModel{Alpha: 2, Beta: 10, Gamma: 0.7}
+	var qos, qoe []float64
+	for q := 0.0; q <= 10; q += 0.25 {
+		qos = append(qos, q)
+		qoe = append(qoe, truth.Eval(q))
+	}
+	res, err := FitIQX(qos, qoe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RMSE > 1e-6 {
+		t.Fatalf("facade fit RMSE = %v", res.RMSE)
+	}
+}
+
+func TestFacadeNetworksAndWorkloads(t *testing.T) {
+	// Every exported network backend evaluates a matrix's flows.
+	m := NewMatrix(DefaultSpace).Set(Streaming, 0, 3)
+	flows := FlowsForMatrix(m)
+	for _, net := range []Network{
+		FluidWiFi{Config: SimWiFiConfig()},
+		FluidLTE{Config: SimLTEConfig()},
+		FluidWiFi{Config: TestbedWiFiConfig()},
+		FluidLTE{Config: TestbedLTEConfig()},
+		NewWiFiPacketSim(1),
+		NewLTEPacketSim(1),
+	} {
+		qos := net.Evaluate(flows)
+		if len(qos) != len(flows) {
+			t.Fatalf("%s: %d results for %d flows", net.Name(), len(qos), len(flows))
+		}
+		if qos[0].ThroughputBps <= 0 {
+			t.Fatalf("%s: zero throughput", net.Name())
+		}
+	}
+	// LiveLab config round trip.
+	cfg := DefaultLiveLab()
+	cfg.Days = 1
+	if got := LiveLabMatrices(mathx.NewRand(4), cfg); len(got) == 0 {
+		t.Fatal("LiveLabMatrices empty")
+	}
+}
+
+func TestFacadeShaper(t *testing.T) {
+	base := FluidWiFi{Config: TestbedWiFiConfig()}
+	shaped := Shaper{Net: base, RateBps: 1e6, ExtraDelayMs: 100}
+	qos := shaped.Evaluate(FlowsForMatrix(NewMatrix(DefaultSpace).Set(Streaming, 0, 2)))
+	if qos[0].ThroughputBps > 1e6 {
+		t.Fatal("shaper cap not applied")
+	}
+	if qos[0].DelayMs < 100 {
+		t.Fatal("shaper delay not applied")
+	}
+}
+
+// ExampleMatrix shows traffic-matrix arithmetic.
+func ExampleMatrix() {
+	m := NewMatrix(DefaultSpace).
+		Set(Web, 0, 3).
+		Set(Streaming, 0, 2).
+		Inc(Conferencing, 0)
+	fmt.Println(m, "total:", m.Total())
+	// Output: <3,2,1> total: 6
+}
+
+// ExampleRateBased shows the commercial rate-based baseline.
+func ExampleRateBased() {
+	rb := NewRateBased(16e6) // 16 Mbps provisioned
+	cell := NewMatrix(DefaultSpace).Set(Streaming, 0, 3)
+	d := rb.Decide(Arrival{Matrix: cell, Class: Streaming})
+	fmt.Println("4th stream admitted:", d.Admit)
+	d = rb.Decide(Arrival{Matrix: cell.Inc(Streaming, 0), Class: Streaming})
+	fmt.Println("5th stream admitted:", d.Admit)
+	// Output:
+	// 4th stream admitted: true
+	// 5th stream admitted: false
+}
+
+// ExampleOracle shows device-side ground-truth labeling.
+func ExampleOracle() {
+	oracle := Oracle{Net: FluidWiFi{Config: SimWiFiConfig()}}
+	light := Arrival{Matrix: NewMatrix(DefaultSpace), Class: Web}
+	heavy := Arrival{Matrix: NewMatrix(DefaultSpace).Set(Streaming, 0, 40), Class: Web}
+	fmt.Println(oracle.Label(light), oracle.Label(heavy))
+	// Output: 1 -1
+}
+
+func TestFacadeAppAdmissionAndReplay(t *testing.T) {
+	// App-based admission through the facade.
+	mb := NewMiddlebox(DefaultSpace, Discontinue)
+	if _, err := mb.AddCell("ap", DefaultClassifierConfig()); err != nil {
+		t.Fatal(err)
+	}
+	oracle := Oracle{Net: FluidWiFi{Config: SimWiFiConfig()}}
+	rng := mathx.NewRand(9)
+	for _, ev := range ArrivalEvents(RandomMatrices(rng, 25, 20, 0, DefaultSpace), nil) {
+		mb.Observe("ap", Sample{Arrival: ev.Arrival, Label: oracle.Label(ev.Arrival)})
+	}
+	req := AppRequest{Flows: []AppFlow{
+		{Class: Streaming, Dominant: true},
+		{Class: Web},
+	}}
+	out, after, err := mb.AdmitApp("ap", NewMatrix(DefaultSpace), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict.String() != "admit" || after.Total() != 2 {
+		t.Fatalf("app admission wrong: %v, matrix %v", out.Verdict, after)
+	}
+
+	// Trace synth → serialize → replay into the packet simulator.
+	tr := SynthesizeTrace(Streaming, 5, mathx.NewRand(10))
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkts []InjectedPacket
+	for _, p := range back.Packets {
+		if !p.Up {
+			pkts = append(pkts, InjectedPacket{Flow: 0, AtSec: p.TimeSec, Bytes: p.Bytes})
+		}
+	}
+	ps := NewWiFiPacketSim(11)
+	qos, err := ps.EvaluateInjected([]ReplayFlow{{Class: Streaming, Level: SNRHigh}}, pkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qos[0].ThroughputBps < 1e6 {
+		t.Fatalf("replayed streaming trace goodput = %v", qos[0].ThroughputBps)
+	}
+}

@@ -1,0 +1,3 @@
+module exbox
+
+go 1.22

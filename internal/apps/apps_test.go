@@ -1,0 +1,224 @@
+package apps
+
+import (
+	"testing"
+	"testing/quick"
+
+	"exbox/internal/excr"
+	"exbox/internal/mathx"
+	"exbox/internal/metrics"
+	"exbox/internal/netsim"
+)
+
+func goodQoS() metrics.QoS {
+	return metrics.QoS{ThroughputBps: 10e6, DelayMs: 20, LossRate: 0}
+}
+
+func badQoS() metrics.QoS {
+	return metrics.QoS{ThroughputBps: 0.2e6, DelayMs: 600, LossRate: 0.1}
+}
+
+func TestMeasureGoodAndBad(t *testing.T) {
+	for _, class := range []excr.AppClass{excr.Web, excr.Streaming, excr.Conferencing} {
+		good := Measure(class, goodQoS(), nil)
+		if !good.Acceptable() {
+			t.Fatalf("%v: good QoS should be acceptable, got %v", class, good)
+		}
+		bad := Measure(class, badQoS(), nil)
+		if bad.Acceptable() {
+			t.Fatalf("%v: bad QoS should be unacceptable, got %v", class, bad)
+		}
+	}
+}
+
+func TestMeasureUnknownClassPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown class")
+		}
+	}()
+	Measure(excr.AppClass(9), goodQoS(), nil)
+}
+
+func TestQoEString(t *testing.T) {
+	if Measure(excr.Web, goodQoS(), nil).String() == "" {
+		t.Fatal("String empty")
+	}
+	if Measure(excr.Conferencing, goodQoS(), nil).String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestThresholdDirections(t *testing.T) {
+	// Web/Streaming: lower is better. Conferencing: higher is better.
+	if !(QoE{Class: excr.Web, Value: 2.9}).Acceptable() || (QoE{Class: excr.Web, Value: 3.1}).Acceptable() {
+		t.Fatal("web threshold direction wrong")
+	}
+	if !(QoE{Class: excr.Streaming, Value: 4.9}).Acceptable() || (QoE{Class: excr.Streaming, Value: 5.1}).Acceptable() {
+		t.Fatal("streaming threshold direction wrong")
+	}
+	if !(QoE{Class: excr.Conferencing, Value: 31}).Acceptable() || (QoE{Class: excr.Conferencing, Value: 29}).Acceptable() {
+		t.Fatal("conferencing threshold direction wrong")
+	}
+}
+
+// Property: every class's QoE degrades monotonically as QoS worsens
+// along each axis.
+func TestQuickMonotoneDegradation(t *testing.T) {
+	rng := mathx.NewRand(31)
+	worse := func(q metrics.QoS, axis int) metrics.QoS {
+		switch axis {
+		case 0:
+			q.ThroughputBps *= 0.5
+		case 1:
+			q.DelayMs += 100
+		default:
+			q.LossRate = mathx.Clamp(q.LossRate+0.05, 0, 1)
+		}
+		return q
+	}
+	f := func() bool {
+		q := metrics.QoS{
+			ThroughputBps: 0.3e6 + rng.Float64()*15e6,
+			DelayMs:       5 + rng.Float64()*400,
+			LossRate:      rng.Float64() * 0.2,
+		}
+		axis := rng.Intn(3)
+		for _, class := range []excr.AppClass{excr.Web, excr.Streaming, excr.Conferencing} {
+			before := Measure(class, q, nil).Value
+			after := Measure(class, worse(q, axis), nil).Value
+			switch class {
+			case excr.Conferencing:
+				if after > before+1e-9 {
+					return false
+				}
+			default:
+				if after < before-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoiseIsBoundedAndDeterministic(t *testing.T) {
+	rng1 := mathx.NewRand(5)
+	rng2 := mathx.NewRand(5)
+	for i := 0; i < 100; i++ {
+		a := Measure(excr.Web, goodQoS(), rng1)
+		b := Measure(excr.Web, goodQoS(), rng2)
+		if a != b {
+			t.Fatal("same seed should give same noisy measurement")
+		}
+		base := Measure(excr.Web, goodQoS(), nil).Value
+		if a.Value < base*0.84 || a.Value > base*1.16 {
+			t.Fatalf("noise out of bounds: %v vs base %v", a.Value, base)
+		}
+	}
+}
+
+func TestPSNRClamped(t *testing.T) {
+	q := Measure(excr.Conferencing, metrics.QoS{ThroughputBps: 0, DelayMs: 2000, LossRate: 1}, nil)
+	if q.Value < confMinPSNR-1e-9 {
+		t.Fatalf("PSNR below floor: %v", q.Value)
+	}
+	q = Measure(excr.Conferencing, metrics.QoS{ThroughputBps: 100e6, DelayMs: 1, LossRate: 0}, nil)
+	if q.Value > confMaxPSNR+1e-9 {
+		t.Fatalf("PSNR above ceiling: %v", q.Value)
+	}
+}
+
+func TestOracleLightVsOverload(t *testing.T) {
+	o := Oracle{Net: netsim.FluidWiFi{Config: netsim.SimWiFi()}}
+	light := excr.NewMatrix(excr.DefaultSpace).Set(excr.Streaming, 0, 3)
+	if !o.Achievable(light) {
+		t.Fatal("3 streaming flows should be achievable on the sim cell")
+	}
+	heavy := excr.NewMatrix(excr.DefaultSpace).Set(excr.Streaming, 0, 45)
+	if o.Achievable(heavy) {
+		t.Fatal("45 streaming flows should not be achievable")
+	}
+	// Labels follow achievability of the post-admission matrix.
+	almost := excr.NewMatrix(excr.DefaultSpace).Set(excr.Streaming, 0, 2)
+	if o.Label(excr.Arrival{Matrix: almost, Class: excr.Streaming, Level: 0}) != 1 {
+		t.Fatal("admitting a 3rd streaming flow should be labeled +1")
+	}
+	full := excr.NewMatrix(excr.DefaultSpace).Set(excr.Streaming, 0, 44)
+	if o.Label(excr.Arrival{Matrix: full, Class: excr.Streaming, Level: 0}) != -1 {
+		t.Fatal("admitting a 45th streaming flow should be labeled -1")
+	}
+}
+
+func TestOracleMeasureMatrixOrder(t *testing.T) {
+	o := Oracle{Net: netsim.FluidWiFi{Config: netsim.SimWiFi()}}
+	m := excr.NewMatrix(excr.DefaultSpace).Set(excr.Web, 0, 1).Set(excr.Conferencing, 0, 2)
+	qoe := o.MeasureMatrix(m)
+	if len(qoe) != 3 {
+		t.Fatalf("len = %d", len(qoe))
+	}
+	if qoe[0].Class != excr.Web || qoe[1].Class != excr.Conferencing || qoe[2].Class != excr.Conferencing {
+		t.Fatalf("class order wrong: %v", qoe)
+	}
+}
+
+// Property: the oracle's region is monotone — removing flows from an
+// achievable matrix keeps it achievable. This is the capacity-region
+// property the whole ExCR idea rests on.
+func TestQuickRegionMonotone(t *testing.T) {
+	o := Oracle{Net: netsim.FluidWiFi{Config: netsim.SimWiFi()}}
+	rng := mathx.NewRand(33)
+	f := func() bool {
+		m := excr.NewMatrix(excr.DefaultSpace)
+		for c := 0; c < 3; c++ {
+			m = m.Set(excr.AppClass(c), 0, rng.Intn(20))
+		}
+		if m.Total() == 0 || !o.Achievable(m) {
+			return true // vacuous
+		}
+		// Drop one random flow: must remain achievable.
+		for c := 0; c < 3; c++ {
+			if m.Get(excr.AppClass(c), 0) > 0 {
+				if !o.Achievable(m.Dec(excr.AppClass(c), 0)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOracleRegionSliceShape(t *testing.T) {
+	// Figure 2's qualitative claim: ≈25 streaming max but ≈40
+	// conferencing max on the ns-3-like WiFi cell.
+	o := Oracle{Net: netsim.FluidWiFi{Config: netsim.SimWiFi()}}
+	r := o.Region(excr.DefaultSpace)
+	s := r.Slice(excr.Streaming, excr.Conferencing, 0, 50, 50)
+	maxStream := -1
+	for i := 0; i <= 50; i++ {
+		if s[i][0] {
+			maxStream = i
+		}
+	}
+	maxConf := -1
+	for j := 0; j <= 50; j++ {
+		if s[0][j] {
+			maxConf = j
+		}
+	}
+	if maxStream < 18 || maxStream > 32 {
+		t.Fatalf("streaming-only capacity = %d, want ≈25", maxStream)
+	}
+	if maxConf < 33 || maxConf > 50 {
+		t.Fatalf("conferencing-only capacity = %d, want ≈40", maxConf)
+	}
+	if maxConf <= maxStream {
+		t.Fatal("conferencing capacity should exceed streaming capacity")
+	}
+}

@@ -1,0 +1,89 @@
+// Package baseline implements the two admission-control baselines the
+// paper compares ExBox against:
+//
+//   - RateBased: the purely rate-driven scheme used by commercial
+//     products (Cisco, Ruckus, Microsoft Skype for Business): a flow
+//     is admitted while the sum of per-flow rate requirements stays
+//     under the provisioned capacity C.
+//
+//   - MaxClient: the maximum-flow-count scheme (Aruba, IBM): admit up
+//     to N flows, reject everything beyond.
+//
+// Both are stateless with respect to observations — they have no
+// training phase and ignore ground-truth labels — which is exactly why
+// the paper finds them insensitive to batch size and unable to adapt.
+package baseline
+
+import (
+	"exbox/internal/classifier"
+	"exbox/internal/excr"
+	"exbox/internal/netsim"
+)
+
+// RateBased admits a flow of class g only when
+// C − Σ_{ongoing flows} c_f ≥ c_g, with per-class rate requirements
+// taken from the traffic profiles.
+type RateBased struct {
+	// CapacityBps is C, the provisioned capacity. The paper sets it to
+	// the maximum UDP throughput measured on each testbed.
+	CapacityBps float64
+	// Demands maps each class to its rate requirement c_f. Nil uses
+	// netsim.DefaultProfiles.
+	Demands map[excr.AppClass]float64
+}
+
+// NewRateBased returns a RateBased controller for capacity C using the
+// default class demands.
+func NewRateBased(capacityBps float64) *RateBased {
+	return &RateBased{CapacityBps: capacityBps}
+}
+
+// Name implements classifier.Controller.
+func (r *RateBased) Name() string { return "RateBased" }
+
+// Observe implements classifier.Controller; RateBased does not learn.
+func (r *RateBased) Observe(excr.Sample) {}
+
+// Decide implements classifier.Controller.
+func (r *RateBased) Decide(a excr.Arrival) classifier.Decision {
+	used := 0.0
+	space := a.Matrix.Space()
+	for c := 0; c < space.Classes; c++ {
+		cls := excr.AppClass(c)
+		used += float64(a.Matrix.ClassTotal(cls)) * r.demand(cls)
+	}
+	admit := r.CapacityBps-used >= r.demand(a.Class)
+	return classifier.Decision{Admit: admit}
+}
+
+func (r *RateBased) demand(c excr.AppClass) float64 {
+	if r.Demands != nil {
+		if d, ok := r.Demands[c]; ok {
+			return d
+		}
+	}
+	if p, ok := netsim.DefaultProfiles()[c]; ok {
+		return p.DemandBps
+	}
+	return 1e6
+}
+
+// MaxClient admits up to MaxFlows concurrent flows. The paper
+// configures 10, following Aruba's and IBM's defaults.
+type MaxClient struct {
+	MaxFlows int
+}
+
+// NewMaxClient returns a MaxClient controller with the given limit.
+func NewMaxClient(max int) *MaxClient { return &MaxClient{MaxFlows: max} }
+
+// Name implements classifier.Controller.
+func (m *MaxClient) Name() string { return "MaxClient" }
+
+// Observe implements classifier.Controller; MaxClient does not learn.
+func (m *MaxClient) Observe(excr.Sample) {}
+
+// Decide implements classifier.Controller.
+func (m *MaxClient) Decide(a excr.Arrival) classifier.Decision {
+	return classifier.Decision{Admit: a.Matrix.Total() < m.MaxFlows}
+}

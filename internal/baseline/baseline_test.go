@@ -1,0 +1,74 @@
+package baseline
+
+import (
+	"testing"
+
+	"exbox/internal/classifier"
+	"exbox/internal/excr"
+)
+
+func TestRateBased(t *testing.T) {
+	// Capacity for exactly 4 streaming flows at 4 Mbps.
+	r := NewRateBased(16e6)
+	m := excr.NewMatrix(excr.DefaultSpace).Set(excr.Streaming, 0, 3)
+	if !r.Decide(excr.Arrival{Matrix: m, Class: excr.Streaming}).Admit {
+		t.Fatal("4th streaming flow fits 16 Mbps")
+	}
+	m = m.Inc(excr.Streaming, 0)
+	if r.Decide(excr.Arrival{Matrix: m, Class: excr.Streaming}).Admit {
+		t.Fatal("5th streaming flow must be rejected")
+	}
+	// With 3 streaming flows (12 Mbps used), a lighter class still
+	// fits the leftover capacity even though another stream would not.
+	three := excr.NewMatrix(excr.DefaultSpace).Set(excr.Streaming, 0, 3)
+	if !r.Decide(excr.Arrival{Matrix: three, Class: excr.Web}).Admit {
+		t.Fatal("web flow (1 Mbps) should fit the remaining 4 Mbps")
+	}
+}
+
+func TestRateBasedCustomDemands(t *testing.T) {
+	r := &RateBased{CapacityBps: 5e6, Demands: map[excr.AppClass]float64{excr.Web: 5e6}}
+	empty := excr.NewMatrix(excr.DefaultSpace)
+	if !r.Decide(excr.Arrival{Matrix: empty, Class: excr.Web}).Admit {
+		t.Fatal("first 5 Mbps flow fits exactly")
+	}
+	one := empty.Inc(excr.Web, 0)
+	if r.Decide(excr.Arrival{Matrix: one, Class: excr.Web}).Admit {
+		t.Fatal("second 5 Mbps flow must be rejected")
+	}
+	// Unknown class in Demands map falls back to defaults.
+	if !r.Decide(excr.Arrival{Matrix: empty, Class: excr.Conferencing}).Admit {
+		t.Fatal("conferencing should use default demand and fit")
+	}
+}
+
+func TestMaxClient(t *testing.T) {
+	mc := NewMaxClient(10)
+	m := excr.NewMatrix(excr.DefaultSpace).Set(excr.Web, 0, 9)
+	if !mc.Decide(excr.Arrival{Matrix: m, Class: excr.Web}).Admit {
+		t.Fatal("10th client should be admitted")
+	}
+	m = m.Inc(excr.Web, 0)
+	if mc.Decide(excr.Arrival{Matrix: m, Class: excr.Web}).Admit {
+		t.Fatal("11th client must be rejected")
+	}
+}
+
+func TestControllersIgnoreObservations(t *testing.T) {
+	// Baselines satisfy the Controller interface and are insensitive
+	// to training data.
+	var controllers = []classifier.Controller{NewRateBased(20e6), NewMaxClient(10)}
+	a := excr.Arrival{Matrix: excr.NewMatrix(excr.DefaultSpace), Class: excr.Web}
+	for _, c := range controllers {
+		before := c.Decide(a)
+		for i := 0; i < 50; i++ {
+			c.Observe(excr.Sample{Arrival: a, Label: -1})
+		}
+		if c.Decide(a) != before {
+			t.Fatalf("%s changed its decision after observations", c.Name())
+		}
+	}
+	if controllers[0].Name() != "RateBased" || controllers[1].Name() != "MaxClient" {
+		t.Fatal("names wrong")
+	}
+}

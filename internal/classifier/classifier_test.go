@@ -1,0 +1,296 @@
+package classifier
+
+import (
+	"testing"
+
+	"exbox/internal/apps"
+	"exbox/internal/dtree"
+	"exbox/internal/excr"
+	"exbox/internal/learner"
+	"exbox/internal/mathx"
+	"exbox/internal/metrics"
+	"exbox/internal/netsim"
+	"exbox/internal/traffic"
+)
+
+// wifiOracle returns a ground-truth labeler on the simulated WiFi cell.
+func wifiOracle() apps.Oracle {
+	return apps.Oracle{Net: netsim.FluidWiFi{Config: netsim.SimWiFi()}}
+}
+
+// feedRandom streams n labeled random arrivals into the classifier and
+// returns the events used.
+func feedRandom(ac *AdmittanceClassifier, o apps.Oracle, n int, seed int64) []traffic.Event {
+	rng := mathx.NewRand(seed)
+	seq := traffic.Random(rng, n, 20, 0, excr.DefaultSpace)
+	evs := traffic.Arrivals(seq, nil)
+	for _, e := range evs {
+		ac.Observe(excr.Sample{Arrival: e.Arrival, Label: o.Label(e.Arrival)})
+	}
+	return evs
+}
+
+func TestBootstrapGraduates(t *testing.T) {
+	ac := New(excr.DefaultSpace, DefaultConfig())
+	if !ac.Bootstrapping() {
+		t.Fatal("fresh classifier should bootstrap")
+	}
+	d := ac.Decide(excr.Arrival{Matrix: excr.NewMatrix(excr.DefaultSpace), Class: excr.Web})
+	if !d.Admit || !d.Bootstrap {
+		t.Fatal("bootstrap phase must admit everything")
+	}
+	feedRandom(ac, wifiOracle(), 20, 1)
+	if ac.Bootstrapping() {
+		t.Fatalf("classifier should graduate after diverse training (cv=%v, set=%d)",
+			ac.LastCVScore(), ac.TrainingSetSize())
+	}
+	if ac.LastCVScore() < 0.7 {
+		t.Fatalf("graduation cv score %v below threshold", ac.LastCVScore())
+	}
+}
+
+func TestOnlineDecisionsMatchOracle(t *testing.T) {
+	ac := New(excr.DefaultSpace, DefaultConfig())
+	o := wifiOracle()
+	feedRandom(ac, o, 25, 2)
+	if ac.Bootstrapping() {
+		t.Fatal("should be online")
+	}
+	// Fresh arrivals: accuracy must be well above chance.
+	rng := mathx.NewRand(3)
+	var conf metrics.Confusion
+	for _, e := range traffic.Arrivals(traffic.Random(rng, 20, 20, 0, excr.DefaultSpace), nil) {
+		d := ac.Decide(e.Arrival)
+		pred := -1.0
+		if d.Admit {
+			pred = 1.0
+		}
+		conf.Observe(pred, o.Label(e.Arrival))
+	}
+	if conf.Accuracy() < 0.8 {
+		t.Fatalf("online accuracy = %v (%v)", conf.Accuracy(), conf)
+	}
+	if conf.Precision() < 0.8 {
+		t.Fatalf("online precision = %v (%v)", conf.Precision(), conf)
+	}
+}
+
+func TestMarginDepth(t *testing.T) {
+	ac := New(excr.DefaultSpace, DefaultConfig())
+	feedRandom(ac, wifiOracle(), 25, 4)
+	empty := excr.Arrival{Matrix: excr.NewMatrix(excr.DefaultSpace), Class: excr.Conferencing}
+	// Inside the training range but clearly over capacity:
+	// 15·0.8 + 18·2.5 + 15·1.5 ≈ 79 Mbps of demand on a ~65 Mbps cell.
+	outside := excr.Arrival{
+		Matrix: excr.NewMatrix(excr.DefaultSpace).
+			Set(excr.Web, 0, 15).Set(excr.Streaming, 0, 18).Set(excr.Conferencing, 0, 15),
+		Class: excr.Conferencing,
+	}
+	de, do := ac.Decide(empty), ac.Decide(outside)
+	if !de.Admit {
+		t.Fatal("empty network should admit")
+	}
+	if do.Admit {
+		t.Fatal("overloaded matrix should reject the arrival")
+	}
+	if de.Margin <= 0 || do.Margin >= 0 || de.Margin <= do.Margin {
+		t.Fatalf("margins should straddle the boundary: inside=%v outside=%v", de.Margin, do.Margin)
+	}
+}
+
+func TestObservePanicsOnBadLabel(t *testing.T) {
+	ac := New(excr.DefaultSpace, DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for label 0")
+		}
+	}()
+	ac.Observe(excr.Sample{Arrival: excr.Arrival{Matrix: excr.NewMatrix(excr.DefaultSpace)}, Label: 0})
+}
+
+func TestReplaceRepeatedMatrix(t *testing.T) {
+	cfg := DefaultConfig()
+	ac := New(excr.DefaultSpace, cfg)
+	a := excr.Arrival{Matrix: excr.NewMatrix(excr.DefaultSpace).Set(excr.Web, 0, 2), Class: excr.Web}
+	ac.Observe(excr.Sample{Arrival: a, Label: 1})
+	ac.Observe(excr.Sample{Arrival: a, Label: -1})
+	if ac.TrainingSetSize() != 1 {
+		t.Fatalf("repeated matrix should be replaced, set=%d", ac.TrainingSetSize())
+	}
+	if ac.samples[0].Label != -1 {
+		t.Fatal("newest label should win")
+	}
+	if ac.Observed() != 2 {
+		t.Fatal("Observed should count raw observations")
+	}
+
+	// Ablation: append-only keeps both.
+	cfg.ReplaceRepeated = false
+	ac2 := New(excr.DefaultSpace, cfg)
+	ac2.Observe(excr.Sample{Arrival: a, Label: 1})
+	ac2.Observe(excr.Sample{Arrival: a, Label: -1})
+	if ac2.TrainingSetSize() != 2 {
+		t.Fatalf("append-only should keep both, set=%d", ac2.TrainingSetSize())
+	}
+}
+
+func TestEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxTrainingSet = 50
+	ac := New(excr.DefaultSpace, cfg)
+	feedRandom(ac, wifiOracle(), 12, 5)
+	if ac.TrainingSetSize() > 50 {
+		t.Fatalf("training set %d exceeds cap", ac.TrainingSetSize())
+	}
+	// Index must stay consistent after eviction.
+	if len(ac.index) != len(ac.samples) || len(ac.keys) != len(ac.samples) {
+		t.Fatal("index/keys out of sync after eviction")
+	}
+	for i, k := range ac.keys {
+		if ac.index[k] != i {
+			t.Fatal("index points at wrong slot after eviction")
+		}
+	}
+}
+
+func TestRetrainNotReady(t *testing.T) {
+	ac := New(excr.DefaultSpace, DefaultConfig())
+	if err := ac.Retrain(); err != ErrNotReady {
+		t.Fatalf("empty retrain err = %v", err)
+	}
+	a := excr.Arrival{Matrix: excr.NewMatrix(excr.DefaultSpace), Class: excr.Web}
+	ac.Observe(excr.Sample{Arrival: a, Label: 1})
+	if err := ac.Retrain(); err != ErrNotReady {
+		t.Fatalf("one-class retrain err = %v", err)
+	}
+	if err := ac.ForceOnline(); err != ErrNotReady {
+		t.Fatalf("ForceOnline should propagate ErrNotReady, got %v", err)
+	}
+	if !ac.Bootstrapping() {
+		t.Fatal("failed ForceOnline must stay in bootstrap")
+	}
+}
+
+func TestForceOnline(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CVThreshold = 0.99999 // make natural graduation implausible
+	cfg.MinBootstrap = 1 << 30
+	ac := New(excr.DefaultSpace, cfg)
+	o := wifiOracle()
+	rng := mathx.NewRand(6)
+	for _, e := range traffic.Arrivals(traffic.Random(rng, 20, 20, 0, excr.DefaultSpace), nil) {
+		ac.Observe(excr.Sample{Arrival: e.Arrival, Label: o.Label(e.Arrival)})
+	}
+	if !ac.Bootstrapping() {
+		t.Fatal("should still bootstrap under extreme threshold")
+	}
+	if err := ac.ForceOnline(); err != nil {
+		t.Fatal(err)
+	}
+	if ac.Bootstrapping() {
+		t.Fatal("ForceOnline should end bootstrap")
+	}
+}
+
+func TestOnlineAdaptsToNetworkChange(t *testing.T) {
+	// Figure 11 in miniature: train on a clean network, then flip the
+	// ground truth to a throttled network and keep feeding batches;
+	// accuracy must recover.
+	cfg := DefaultConfig()
+	cfg.BatchSize = 10
+	ac := New(excr.DefaultSpace, cfg)
+	clean := wifiOracle()
+	feedRandom(ac, clean, 25, 7)
+	if ac.Bootstrapping() {
+		t.Fatal("should be online after clean training")
+	}
+
+	// Throttled network: capacity halved.
+	cfgW := netsim.SimWiFi()
+	cfgW.PHYRateBps = map[excr.SNRLevel]float64{excr.SNRLow: 6e6, excr.SNRHigh: 40e6}
+	throttled := apps.Oracle{Net: netsim.FluidWiFi{Config: cfgW}}
+
+	accOn := func(o apps.Oracle, seed int64) float64 {
+		rng := mathx.NewRand(seed)
+		var conf metrics.Confusion
+		for _, e := range traffic.Arrivals(traffic.Random(rng, 15, 20, 0, excr.DefaultSpace), nil) {
+			d := ac.Decide(e.Arrival)
+			pred := -1.0
+			if d.Admit {
+				pred = 1.0
+			}
+			conf.Observe(pred, o.Label(e.Arrival))
+		}
+		return conf.Accuracy()
+	}
+	before := accOn(throttled, 8)
+
+	// Online updates against the throttled truth.
+	rng := mathx.NewRand(9)
+	for _, e := range traffic.Arrivals(traffic.Random(rng, 35, 20, 0, excr.DefaultSpace), nil) {
+		ac.Observe(excr.Sample{Arrival: e.Arrival, Label: throttled.Label(e.Arrival)})
+	}
+	after := accOn(throttled, 10)
+	if after < before {
+		t.Fatalf("online learning failed to adapt: before=%v after=%v", before, after)
+	}
+	if after < 0.75 {
+		t.Fatalf("post-adaptation accuracy %v too low", after)
+	}
+}
+
+func TestDecisionDeterministic(t *testing.T) {
+	build := func() *AdmittanceClassifier {
+		ac := New(excr.DefaultSpace, DefaultConfig())
+		feedRandom(ac, wifiOracle(), 15, 11)
+		return ac
+	}
+	a, b := build(), build()
+	probe := excr.Arrival{
+		Matrix: excr.NewMatrix(excr.DefaultSpace).Set(excr.Streaming, 0, 10),
+		Class:  excr.Web,
+	}
+	if a.Decide(probe) != b.Decide(probe) {
+		t.Fatal("identical training should give identical decisions")
+	}
+}
+
+func TestConfigDefaultsApplied(t *testing.T) {
+	ac := New(excr.DefaultSpace, Config{SVM: DefaultConfig().SVM})
+	if ac.cfg.BatchSize != 20 || ac.cfg.CVFolds != 5 || ac.cfg.CVThreshold != 0.7 ||
+		ac.cfg.MinBootstrap != 20 || ac.cfg.CVEvery != 10 {
+		t.Fatalf("zero-value config not defaulted: %+v", ac.cfg)
+	}
+	if ac.Name() != "ExBox" {
+		t.Fatal("Name wrong")
+	}
+}
+
+func TestDecisionTreeLearnerPluggable(t *testing.T) {
+	// The paper: "other supervised classification methods (e.g.,
+	// decision trees) could be used by ExBox as well". Swap the
+	// learner and verify the classifier still works end to end.
+	cfg := DefaultConfig()
+	cfg.Learner = learner.Tree{Config: dtree.DefaultConfig()}
+	ac := New(excr.DefaultSpace, cfg)
+	o := wifiOracle()
+	feedRandom(ac, o, 35, 21)
+	if ac.Bootstrapping() {
+		t.Fatalf("tree-backed classifier did not graduate (cv=%v)", ac.LastCVScore())
+	}
+	rng := mathx.NewRand(22)
+	var conf metrics.Confusion
+	for _, e := range traffic.Arrivals(traffic.Random(rng, 20, 20, 0, excr.DefaultSpace), nil) {
+		d := ac.Decide(e.Arrival)
+		pred := -1.0
+		if d.Admit {
+			pred = 1.0
+		}
+		conf.Observe(pred, o.Label(e.Arrival))
+	}
+	// Trees trail the RBF SVM here (one reason the paper picked SVM),
+	// but a pluggable learner must still be clearly better than chance.
+	if conf.Accuracy() < 0.7 {
+		t.Fatalf("tree-backed accuracy = %v (%v)", conf.Accuracy(), conf)
+	}
+}

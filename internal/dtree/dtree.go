@@ -1,0 +1,208 @@
+// Package dtree implements a CART-style binary classification tree —
+// the alternative supervised learner the paper mentions alongside SVM
+// ("other supervised classification methods (e.g., decision trees)
+// could be used by ExBox as well"). It plugs into the Admittance
+// Classifier through internal/learner.
+//
+// The tree greedily splits on the axis-aligned threshold minimizing
+// Gini impurity, with depth and leaf-size bounds for regularization.
+// Decision values are signed leaf purities in [-1, 1], so thresholding
+// at 0 recovers the class and the magnitude is a crude confidence.
+package dtree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Config bounds tree growth.
+type Config struct {
+	// MaxDepth limits tree height; 0 means 12.
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf; 0 means 2.
+	MinLeaf int
+}
+
+// DefaultConfig returns bounds that work well on ExCR-sized problems.
+func DefaultConfig() Config { return Config{MaxDepth: 12, MinLeaf: 2} }
+
+// ErrOneClass is returned by Train when the labels contain one class.
+var ErrOneClass = errors.New("dtree: training data contains a single class")
+
+// node is one tree node; leaves have feature == -1.
+type node struct {
+	feature     int
+	threshold   float64
+	left, right *node
+	value       float64 // signed purity at leaves
+}
+
+// Tree is a trained decision tree. Immutable after training.
+type Tree struct {
+	root *node
+	dim  int
+}
+
+// Train grows a tree on rows x with labels y in {-1, +1}.
+func Train(cfg Config, x [][]float64, y []float64) (*Tree, error) {
+	if len(x) == 0 {
+		return nil, errors.New("dtree: no training data")
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("dtree: %d rows but %d labels", len(x), len(y))
+	}
+	dim := len(x[0])
+	var pos, neg int
+	for i, yi := range y {
+		if len(x[i]) != dim {
+			return nil, fmt.Errorf("dtree: row %d has dim %d, want %d", i, len(x[i]), dim)
+		}
+		switch yi {
+		case 1:
+			pos++
+		case -1:
+			neg++
+		default:
+			return nil, fmt.Errorf("dtree: label %v at row %d, want ±1", yi, i)
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return nil, ErrOneClass
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 12
+	}
+	if cfg.MinLeaf <= 0 {
+		cfg.MinLeaf = 2
+	}
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	t := &Tree{dim: dim}
+	t.root = grow(cfg, x, y, idx, 0)
+	return t, nil
+}
+
+// grow recursively builds the subtree over the sample indices idx.
+func grow(cfg Config, x [][]float64, y []float64, idx []int, depth int) *node {
+	var pos int
+	for _, i := range idx {
+		if y[i] > 0 {
+			pos++
+		}
+	}
+	n := len(idx)
+	purity := float64(2*pos-n) / float64(n) // in [-1, 1]
+	if depth >= cfg.MaxDepth || n < 2*cfg.MinLeaf || pos == 0 || pos == n {
+		return &node{feature: -1, value: purity}
+	}
+
+	bestFeat, bestThresh, bestGini := -1, 0.0, giniOf(pos, n)
+	dim := len(x[idx[0]])
+	order := make([]int, n)
+	for f := 0; f < dim; f++ {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return x[order[a]][f] < x[order[b]][f] })
+		// Sweep split points between distinct consecutive values.
+		leftPos, leftN := 0, 0
+		for k := 0; k < n-1; k++ {
+			i := order[k]
+			leftN++
+			if y[i] > 0 {
+				leftPos++
+			}
+			v, next := x[i][f], x[order[k+1]][f]
+			if v == next {
+				continue
+			}
+			rightN := n - leftN
+			if leftN < cfg.MinLeaf || rightN < cfg.MinLeaf {
+				continue
+			}
+			rightPos := pos - leftPos
+			g := (float64(leftN)*giniOf(leftPos, leftN) + float64(rightN)*giniOf(rightPos, rightN)) / float64(n)
+			if g < bestGini-1e-12 {
+				bestGini, bestFeat, bestThresh = g, f, (v+next)/2
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return &node{feature: -1, value: purity}
+	}
+	var left, right []int
+	for _, i := range idx {
+		if x[i][bestFeat] <= bestThresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	return &node{
+		feature:   bestFeat,
+		threshold: bestThresh,
+		left:      grow(cfg, x, y, left, depth+1),
+		right:     grow(cfg, x, y, right, depth+1),
+	}
+}
+
+// giniOf returns the Gini impurity of a node with pos positives of n.
+func giniOf(pos, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	p := float64(pos) / float64(n)
+	return 2 * p * (1 - p)
+}
+
+// Decision returns the signed purity of the leaf the row lands in.
+func (t *Tree) Decision(row []float64) float64 {
+	n := t.root
+	for n.feature >= 0 {
+		if row[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// Predict returns +1 or -1 for the row.
+func (t *Tree) Predict(row []float64) float64 {
+	if t.Decision(row) >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// Depth returns the height of the tree (leaves have depth 1).
+func (t *Tree) Depth() int { return depthOf(t.root) }
+
+func depthOf(n *node) int {
+	if n == nil {
+		return 0
+	}
+	if n.feature < 0 {
+		return 1
+	}
+	l, r := depthOf(n.left), depthOf(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// Leaves returns the number of leaves.
+func (t *Tree) Leaves() int { return leavesOf(t.root) }
+
+func leavesOf(n *node) int {
+	if n == nil {
+		return 0
+	}
+	if n.feature < 0 {
+		return 1
+	}
+	return leavesOf(n.left) + leavesOf(n.right)
+}

@@ -1,0 +1,166 @@
+package dtree
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"exbox/internal/mathx"
+)
+
+// boxData labels points +1 inside the axis-aligned box [0,5]×[0,5].
+func boxData(n int, seed int64) (x [][]float64, y []float64) {
+	rng := mathx.NewRand(seed)
+	for i := 0; i < n; i++ {
+		p := []float64{rng.Float64() * 10, rng.Float64() * 10}
+		x = append(x, p)
+		if p[0] <= 5 && p[1] <= 5 {
+			y = append(y, 1)
+		} else {
+			y = append(y, -1)
+		}
+	}
+	return x, y
+}
+
+func accuracy(t *Tree, x [][]float64, y []float64) float64 {
+	c := 0
+	for i := range x {
+		if t.Predict(x[i]) == y[i] {
+			c++
+		}
+	}
+	return float64(c) / float64(len(x))
+}
+
+func TestTrainBox(t *testing.T) {
+	x, y := boxData(400, 1)
+	tr, err := Train(DefaultConfig(), x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(tr, x, y); acc < 0.97 {
+		t.Fatalf("training accuracy = %v", acc)
+	}
+	// Held-out accuracy.
+	xt, yt := boxData(400, 2)
+	if acc := accuracy(tr, xt, yt); acc < 0.9 {
+		t.Fatalf("holdout accuracy = %v", acc)
+	}
+	if tr.Depth() < 2 || tr.Leaves() < 2 {
+		t.Fatalf("degenerate tree: depth=%d leaves=%d", tr.Depth(), tr.Leaves())
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(DefaultConfig(), nil, nil); err == nil {
+		t.Fatal("expected error for empty data")
+	}
+	if _, err := Train(DefaultConfig(), [][]float64{{1}}, []float64{1, -1}); err == nil {
+		t.Fatal("expected error for length mismatch")
+	}
+	if _, err := Train(DefaultConfig(), [][]float64{{1}, {2, 3}}, []float64{1, -1}); err == nil {
+		t.Fatal("expected error for ragged rows")
+	}
+	if _, err := Train(DefaultConfig(), [][]float64{{1}, {2}}, []float64{1, 0}); err == nil {
+		t.Fatal("expected error for bad label")
+	}
+	_, err := Train(DefaultConfig(), [][]float64{{1}, {2}}, []float64{1, 1})
+	if !errors.Is(err, ErrOneClass) {
+		t.Fatalf("err = %v, want ErrOneClass", err)
+	}
+}
+
+func TestDepthBound(t *testing.T) {
+	x, y := boxData(500, 3)
+	cfg := Config{MaxDepth: 3, MinLeaf: 1}
+	tr, err := Train(cfg, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() > 4 { // root at depth 1 + 3 splits
+		t.Fatalf("depth %d exceeds bound", tr.Depth())
+	}
+}
+
+func TestMinLeaf(t *testing.T) {
+	x, y := boxData(200, 4)
+	tr, err := Train(Config{MaxDepth: 20, MinLeaf: 50}, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Leaves() > 4 {
+		t.Fatalf("MinLeaf=50 should give few leaves, got %d", tr.Leaves())
+	}
+}
+
+func TestDecisionSignedPurity(t *testing.T) {
+	x, y := boxData(400, 5)
+	tr, err := Train(DefaultConfig(), x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inside := tr.Decision([]float64{2, 2})
+	outside := tr.Decision([]float64{9, 9})
+	if inside <= 0 || outside >= 0 {
+		t.Fatalf("decision signs wrong: inside=%v outside=%v", inside, outside)
+	}
+	if inside > 1 || outside < -1 {
+		t.Fatalf("purity out of [-1,1]: %v %v", inside, outside)
+	}
+}
+
+func TestConstantFeatureIgnored(t *testing.T) {
+	// Second feature is constant: the tree must split on the first.
+	x := [][]float64{{1, 7}, {2, 7}, {3, 7}, {10, 7}, {11, 7}, {12, 7}}
+	y := []float64{1, 1, 1, -1, -1, -1}
+	tr, err := Train(Config{MaxDepth: 4, MinLeaf: 1}, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accuracy(tr, x, y) != 1 {
+		t.Fatal("separable 1-D data should be fit exactly")
+	}
+}
+
+// Property: predictions are deterministic and bounded; depth respects
+// the configuration.
+func TestQuickTreeInvariants(t *testing.T) {
+	rng := mathx.NewRand(6)
+	f := func() bool {
+		n := 20 + rng.Intn(100)
+		x := make([][]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+			if x[i][0]+x[i][1] > 0 {
+				y[i] = 1
+			} else {
+				y[i] = -1
+			}
+		}
+		// Guarantee both classes.
+		y[0], y[1] = 1, -1
+		maxDepth := 2 + rng.Intn(8)
+		tr, err := Train(Config{MaxDepth: maxDepth, MinLeaf: 1 + rng.Intn(5)}, x, y)
+		if err != nil {
+			return errors.Is(err, ErrOneClass)
+		}
+		if tr.Depth() > maxDepth+1 {
+			return false
+		}
+		for i := range x {
+			d := tr.Decision(x[i])
+			if d < -1 || d > 1 {
+				return false
+			}
+			if tr.Decision(x[i]) != d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

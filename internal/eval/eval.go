@@ -1,0 +1,225 @@
+// Package eval is the experiment harness: one runner per figure of the
+// paper's evaluation (Sections 2, 5 and 6). Each runner regenerates
+// the corresponding figure's data series from this repository's
+// substrates, so the whole evaluation can be reproduced with
+// cmd/exbench or the root benchmarks.
+//
+// Runners accept a Scale so tests can exercise the full pipeline
+// cheaply while benchmarks run at paper scale.
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"exbox/internal/classifier"
+	"exbox/internal/excr"
+	"exbox/internal/metrics"
+)
+
+// Scale selects experiment sizing.
+type Scale int
+
+const (
+	// Quick shrinks sample counts for tests while preserving every
+	// pipeline stage and the qualitative shapes.
+	Quick Scale = iota
+	// Full runs at the paper's reported sizes.
+	Full
+)
+
+// String implements fmt.Stringer.
+func (s Scale) String() string {
+	if s == Quick {
+		return "quick"
+	}
+	return "full"
+}
+
+// Point is one (x, y) sample of a series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is one labeled line of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Last returns the final point of the series; it panics when empty.
+func (s Series) Last() Point {
+	if len(s.Points) == 0 {
+		panic("eval: empty series " + s.Name)
+	}
+	return s.Points[len(s.Points)-1]
+}
+
+// Figure is a regenerated figure: named series plus free-form notes
+// (fitted parameters, capacities, etc).
+type Figure struct {
+	ID     string
+	Title  string
+	Series []Series
+	Notes  []string
+}
+
+// Get returns the named series, or false.
+func (f Figure) Get(name string) (Series, bool) {
+	for _, s := range f.Series {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Series{}, false
+}
+
+// MustGet returns the named series and panics if missing.
+func (f Figure) MustGet(name string) Series {
+	s, ok := f.Get(name)
+	if !ok {
+		panic(fmt.Sprintf("eval: figure %s has no series %q", f.ID, name))
+	}
+	return s
+}
+
+// Render formats the figure as an aligned text table, one row per x
+// value, one column per series — the form cmd/exbench prints and
+// EXPERIMENTS.md records.
+func (f Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.ID, f.Title)
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	// Collect x values in order of the first series that has them.
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	fmt.Fprintf(&b, "%12s", "x")
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %22s", s.Name)
+	}
+	b.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%12.4g", x)
+		for _, s := range f.Series {
+			v, ok := seriesAt(s, x)
+			if ok {
+				fmt.Fprintf(&b, " %22.4f", v)
+			} else {
+				fmt.Fprintf(&b, " %22s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func seriesAt(s Series, x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// LabeledEvent is one flow arrival with its ground-truth label.
+type LabeledEvent struct {
+	Arrival excr.Arrival
+	Label   float64
+}
+
+// replayResult carries per-controller cumulative metrics sampled at
+// checkpoints of the online stream.
+type replayResult struct {
+	name      string
+	x         []float64 // samples fed online at each checkpoint
+	precision []float64
+	recall    []float64
+	accuracy  []float64
+	perClass  map[excr.AppClass]*metrics.Confusion
+}
+
+// replay evaluates controllers on a shared online stream: each event
+// is first classified by every controller, then its ground truth is
+// fed to them (learners retrain per their batch schedule). Cumulative
+// precision/recall/accuracy are recorded every window events.
+func replay(events []LabeledEvent, controllers []classifier.Controller, window int) []replayResult {
+	if window <= 0 {
+		window = 20
+	}
+	out := make([]replayResult, len(controllers))
+	confs := make([]metrics.Confusion, len(controllers))
+	for i, c := range controllers {
+		out[i] = replayResult{name: c.Name(), perClass: map[excr.AppClass]*metrics.Confusion{}}
+	}
+	checkpoint := func(n int) {
+		for i := range out {
+			out[i].x = append(out[i].x, float64(n))
+			out[i].precision = append(out[i].precision, confs[i].Precision())
+			out[i].recall = append(out[i].recall, confs[i].Recall())
+			out[i].accuracy = append(out[i].accuracy, confs[i].Accuracy())
+		}
+	}
+	for n, e := range events {
+		for i, c := range controllers {
+			d := c.Decide(e.Arrival)
+			pred := -1.0
+			if d.Admit {
+				pred = 1.0
+			}
+			confs[i].Observe(pred, e.Label)
+			pc := out[i].perClass[e.Arrival.Class]
+			if pc == nil {
+				pc = &metrics.Confusion{}
+				out[i].perClass[e.Arrival.Class] = pc
+			}
+			pc.Observe(pred, e.Label)
+			c.Observe(excr.Sample{Arrival: e.Arrival, Label: e.Label})
+		}
+		if (n+1)%window == 0 {
+			checkpoint(n + 1)
+		}
+	}
+	if len(events)%window != 0 {
+		checkpoint(len(events))
+	}
+	return out
+}
+
+// seriesFrom converts a replay metric into figure series, one per
+// controller, named "<metric>/<controller>".
+func seriesFrom(results []replayResult, metric string) []Series {
+	var out []Series
+	for _, r := range results {
+		s := Series{Name: metric + "/" + r.name}
+		var ys []float64
+		switch metric {
+		case "precision":
+			ys = r.precision
+		case "recall":
+			ys = r.recall
+		case "accuracy":
+			ys = r.accuracy
+		default:
+			panic("eval: unknown metric " + metric)
+		}
+		for i, x := range r.x {
+			s.Points = append(s.Points, Point{X: x, Y: ys[i]})
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,364 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"exbox/internal/classifier"
+	"exbox/internal/excr"
+)
+
+func TestScaleString(t *testing.T) {
+	if Quick.String() != "quick" || Full.String() != "full" {
+		t.Fatal("Scale strings wrong")
+	}
+}
+
+func TestSeriesLastPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Series{Name: "empty"}.Last()
+}
+
+func TestFigureGetAndRender(t *testing.T) {
+	fig := Figure{
+		ID:    "t",
+		Title: "test",
+		Notes: []string{"a note"},
+		Series: []Series{
+			{Name: "a", Points: []Point{{X: 1, Y: 2}, {X: 2, Y: 3}}},
+			{Name: "b", Points: []Point{{X: 1, Y: 5}}},
+		},
+	}
+	if _, ok := fig.Get("a"); !ok {
+		t.Fatal("Get(a) failed")
+	}
+	if _, ok := fig.Get("zzz"); ok {
+		t.Fatal("Get(zzz) should fail")
+	}
+	out := fig.Render()
+	for _, want := range []string{"== t: test ==", "# a note", "a", "b", "2.0000", "-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render missing %q:\n%s", want, out)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGet should panic for missing series")
+		}
+	}()
+	fig.MustGet("zzz")
+}
+
+func TestNormalizeQoE(t *testing.T) {
+	if NormalizeQoE(excr.Web, 0.5) != 1 || NormalizeQoE(excr.Web, 10) != 0 {
+		t.Fatal("web normalization endpoints wrong")
+	}
+	if NormalizeQoE(excr.Conferencing, 42) != 1 || NormalizeQoE(excr.Conferencing, 15) != 0 {
+		t.Fatal("conferencing normalization endpoints wrong")
+	}
+	if v := NormalizeQoE(excr.Streaming, 8.5); v <= 0 || v >= 1 {
+		t.Fatalf("mid streaming normalization = %v", v)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown class should panic")
+		}
+	}()
+	NormalizeQoE(excr.AppClass(9), 1)
+}
+
+func TestFigure2Shapes(t *testing.T) {
+	hm := Figure2(Quick)
+	if len(hm) != 3 {
+		t.Fatalf("want 3 heatmaps, got %d", len(hm))
+	}
+	stream := hm[0]
+	if stream.Render() == "" {
+		t.Fatal("empty render")
+	}
+	// Streaming QoE degrades down the rows (more streams) and across
+	// the columns (more conferencing): corner checks.
+	last := len(stream.Ys) - 1
+	if !(stream.Values[0][0] > 0.8) {
+		t.Fatalf("empty-ish cell should have high QoE, got %v", stream.Values[0][0])
+	}
+	if !(stream.Values[last][0] < 0.2) {
+		t.Fatalf("50-streams cell should be bad, got %v", stream.Values[last][0])
+	}
+	// The paper's asymmetry: conferencing-only capacity exceeds
+	// streaming-only capacity. Find the largest count with good QoE
+	// along each axis of the overall heatmap.
+	overall := hm[2]
+	maxStream, maxConf := 0, 0
+	for i, y := range overall.Ys {
+		if overall.Values[i][0] >= 0.5 {
+			maxStream = y
+		}
+	}
+	for j, x := range overall.Xs {
+		if overall.Values[0][j] >= 0.5 {
+			maxConf = x
+		}
+	}
+	if maxConf <= maxStream {
+		t.Fatalf("conferencing capacity (%d) should exceed streaming capacity (%d)", maxConf, maxStream)
+	}
+	if maxStream < 15 || maxStream > 35 {
+		t.Fatalf("streaming capacity = %d, want ≈25 region", maxStream)
+	}
+	if maxConf < 33 {
+		t.Fatalf("conferencing capacity = %d, want ≈40+", maxConf)
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	fig := Figure3(Quick)
+	high := fig.MustGet("startup-delay-s/high-snr")
+	low := fig.MustGet("startup-delay-s/low-snr")
+	// All-high split meets the 5 s threshold.
+	if high.Points[0].Y > 5 {
+		t.Fatalf("(4,0) split should meet the threshold, got %v", high.Points[0].Y)
+	}
+	// The anomaly: high-SNR clients degrade as low-SNR clients join.
+	for i := 1; i < len(high.Points); i++ {
+		if high.Points[i].Y < high.Points[i-1].Y-1e-9 {
+			t.Fatal("high-SNR startup delay should not improve with more low-SNR clients")
+		}
+	}
+	// (2,2) split already violates the threshold for everyone.
+	if v := high.Points[2].Y; v < 5 {
+		t.Fatalf("(2,2) split should violate the threshold, got %v", v)
+	}
+	// All-low split is catastrophically bad (the video barely plays).
+	if last := low.Last().Y; last < 15 {
+		t.Fatalf("(0,4) split should be far past the threshold, got %v", last)
+	}
+}
+
+// checkComparison asserts the qualitative Figures 7/8 claims on one
+// comparison figure: ExBox precision and accuracy at the final
+// checkpoint within/above the paper's bands and at least on par with
+// the baselines' worst case.
+func checkComparison(t *testing.T, fig Figure) {
+	t.Helper()
+	exP := fig.MustGet("precision/ExBox").Last().Y
+	exA := fig.MustGet("accuracy/ExBox").Last().Y
+	exR := fig.MustGet("recall/ExBox").Last().Y
+	mcP := fig.MustGet("precision/MaxClient").Last().Y
+	if exP < 0.75 {
+		t.Fatalf("%s: ExBox precision %v too low", fig.ID, exP)
+	}
+	if exA < 0.7 {
+		t.Fatalf("%s: ExBox accuracy %v too low", fig.ID, exA)
+	}
+	if exR < 0.6 {
+		t.Fatalf("%s: ExBox recall %v too low", fig.ID, exR)
+	}
+	if exP+0.05 < mcP && exA < fig.MustGet("accuracy/MaxClient").Last().Y {
+		t.Fatalf("%s: ExBox (p=%v) should not lose to MaxClient (p=%v) on both metrics", fig.ID, exP, mcP)
+	}
+}
+
+func TestFigure7(t *testing.T) {
+	figs := Figure7(Quick)
+	if len(figs) != 2 {
+		t.Fatalf("want 2 figures, got %d", len(figs))
+	}
+	for _, fig := range figs {
+		checkComparison(t, fig)
+	}
+	// Random traffic: ExBox must beat MaxClient on accuracy at the end
+	// (the paper's headline ordering).
+	random := figs[0]
+	if random.MustGet("accuracy/ExBox").Last().Y < random.MustGet("accuracy/MaxClient").Last().Y {
+		t.Fatal("fig7-random: ExBox accuracy should beat MaxClient")
+	}
+}
+
+func TestFigure8(t *testing.T) {
+	figs := Figure8(Quick)
+	if len(figs) != 2 {
+		t.Fatalf("want 2 figures, got %d", len(figs))
+	}
+	for _, fig := range figs {
+		checkComparison(t, fig)
+	}
+	// LTE improves with samples (paper: "ExBox over LTE adapts faster").
+	ex := figs[0].MustGet("precision/ExBox")
+	if ex.Last().Y < ex.Points[0].Y-0.05 {
+		t.Fatalf("fig8-random: ExBox precision should not degrade: %v -> %v", ex.Points[0].Y, ex.Last().Y)
+	}
+}
+
+func TestFigure9(t *testing.T) {
+	figs := Figure9(Quick)
+	if len(figs) != 2 {
+		t.Fatalf("want 2 figures, got %d", len(figs))
+	}
+	for _, fig := range figs {
+		ex := fig.MustGet("accuracy/ExBox")
+		if len(ex.Points) != excr.NumAppClasses {
+			t.Fatalf("%s: want one point per class, got %d", fig.ID, len(ex.Points))
+		}
+		for _, p := range ex.Points {
+			if p.Y < 0.6 {
+				t.Fatalf("%s: per-class accuracy %v too low for class %v", fig.ID, p.Y, p.X)
+			}
+		}
+	}
+}
+
+func TestFigure10BatchSensitivity(t *testing.T) {
+	figs := Figure10(Quick)
+	if len(figs) != 2 {
+		t.Fatalf("want 2 figures, got %d", len(figs))
+	}
+	for _, fig := range figs {
+		for _, b := range []string{"precision/ExBox-b10", "precision/ExBox-b20", "precision/ExBox-b40"} {
+			s := fig.MustGet(b)
+			if s.Last().Y < 0.75 {
+				t.Fatalf("%s: %s final precision %v too low", fig.ID, b, s.Last().Y)
+			}
+		}
+		// Baselines present exactly once.
+		if _, ok := fig.Get("precision/RateBased"); !ok {
+			t.Fatalf("%s: RateBased series missing", fig.ID)
+		}
+	}
+}
+
+func TestFigure11Adaptation(t *testing.T) {
+	figs := Figure11(Quick)
+	if len(figs) != 2 {
+		t.Fatalf("want 2 figures, got %d", len(figs))
+	}
+	// WiFi: precision recovers with online batches (final >= first) and
+	// ends above the baselines-or-near, per the paper's Figure 11.
+	wifi := figs[0]
+	ex := wifi.MustGet("precision/ExBox")
+	if ex.Last().Y < ex.Points[0].Y-0.02 {
+		t.Fatalf("fig11-wifi: precision did not recover: %v -> %v", ex.Points[0].Y, ex.Last().Y)
+	}
+	if ex.Last().Y < 0.8 {
+		t.Fatalf("fig11-wifi: final precision %v, want >= 0.8", ex.Last().Y)
+	}
+	mc := wifi.MustGet("precision/MaxClient")
+	if ex.Last().Y < mc.Last().Y {
+		t.Fatal("fig11-wifi: adapted ExBox should beat MaxClient")
+	}
+}
+
+func TestFigure12Fits(t *testing.T) {
+	fig := Figure12(Quick)
+	if len(fig.Series) != 3 {
+		t.Fatalf("want 3 fitted curves, got %d", len(fig.Series))
+	}
+	if len(fig.Notes) != 3 {
+		t.Fatalf("want 3 fit notes, got %d: %v", len(fig.Notes), fig.Notes)
+	}
+	web := fig.MustGet("iqx-fit/web")
+	conf := fig.MustGet("iqx-fit/conferencing")
+	// Directions: web PLT falls with QoS; PSNR rises.
+	if !(web.Points[0].Y > web.Last().Y) {
+		t.Fatal("web fit should decrease with QoS")
+	}
+	if !(conf.Points[0].Y < conf.Last().Y) {
+		t.Fatal("conferencing fit should increase with QoS")
+	}
+	for _, n := range fig.Notes {
+		if strings.Contains(n, "fit failed") {
+			t.Fatalf("fit failed: %s", n)
+		}
+	}
+}
+
+func TestFigure13MixedSNR(t *testing.T) {
+	fig := Figure13(Quick)
+	// The paper's claims: ExBox precision ≥ 0.8 with larger batches
+	// pushing toward 0.95; RateBased materially lower.
+	small := fig.MustGet("precision/ExBox-b50")
+	rate := fig.MustGet("precision/RateBased")
+	if small.Last().Y < 0.85 {
+		t.Fatalf("ExBox-b50 final precision %v, want >= 0.85", small.Last().Y)
+	}
+	if rate.Last().Y > small.Last().Y-0.05 {
+		t.Fatalf("RateBased (%v) should trail ExBox (%v) clearly under SNR diversity",
+			rate.Last().Y, small.Last().Y)
+	}
+}
+
+func TestFigure14Populous(t *testing.T) {
+	figs := Figure14(Quick)
+	if len(figs) != 2 {
+		t.Fatalf("want 2 figures, got %d", len(figs))
+	}
+	wifi, lte := figs[0], figs[1]
+	if p := wifi.MustGet("precision/ExBox").Last().Y; p < 0.85 {
+		t.Fatalf("fig14-wifi: ExBox precision %v, want ≈0.9", p)
+	}
+	if r := wifi.MustGet("recall/ExBox").Last().Y; r < 0.7 {
+		t.Fatalf("fig14-wifi: ExBox recall %v too low", r)
+	}
+	// MaxClient=10 collapses in populous networks (the paper's point
+	// about count-based admission control).
+	if a := wifi.MustGet("accuracy/MaxClient").Last().Y; a > 0.7 {
+		t.Fatalf("fig14-wifi: MaxClient accuracy %v unexpectedly high", a)
+	}
+	// LTE: ExBox climbs to ≈0.9+ precision; RateBased trails badly
+	// because it ignores the per-UE capacity cost.
+	exP := lte.MustGet("precision/ExBox").Last().Y
+	rbP := lte.MustGet("precision/RateBased").Last().Y
+	if exP < 0.85 {
+		t.Fatalf("fig14-lte: ExBox precision %v, want >= 0.85", exP)
+	}
+	if rbP > exP-0.1 {
+		t.Fatalf("fig14-lte: RateBased (%v) should trail ExBox (%v)", rbP, exP)
+	}
+}
+
+// alwaysAdmit is a trivial controller for replay plumbing tests.
+type alwaysAdmit struct{}
+
+func (alwaysAdmit) Decide(excr.Arrival) classifier.Decision {
+	return classifier.Decision{Admit: true}
+}
+func (alwaysAdmit) Observe(excr.Sample) {}
+func (alwaysAdmit) Name() string        { return "always-admit" }
+
+func TestReplayWindowing(t *testing.T) {
+	// replay checkpoints every window and once more at the tail.
+	var events []LabeledEvent
+	m := excr.NewMatrix(excr.DefaultSpace)
+	for i := 0; i < 25; i++ {
+		label := 1.0
+		if i%5 == 0 {
+			label = -1
+		}
+		events = append(events, LabeledEvent{
+			Arrival: excr.Arrival{Matrix: m, Class: excr.Web},
+			Label:   label,
+		})
+	}
+	res := replay(events, []classifier.Controller{alwaysAdmit{}}, 10)
+	if len(res) != 1 {
+		t.Fatalf("want 1 result, got %d", len(res))
+	}
+	r := res[0]
+	if len(r.x) != 3 || r.x[0] != 10 || r.x[1] != 20 || r.x[2] != 25 {
+		t.Fatalf("checkpoints = %v, want [10 20 25]", r.x)
+	}
+	// Always-admit: precision = fraction of positives, recall = 1.
+	if r.recall[2] != 1 {
+		t.Fatalf("recall = %v, want 1", r.recall[2])
+	}
+	if r.precision[2] != 20.0/25.0 {
+		t.Fatalf("precision = %v, want 0.8", r.precision[2])
+	}
+	if r.perClass[excr.Web] == nil || r.perClass[excr.Web].Total() != 25 {
+		t.Fatal("per-class confusion not accumulated")
+	}
+}

@@ -1,0 +1,105 @@
+package eval
+
+import (
+	"fmt"
+
+	"exbox/internal/baseline"
+	"exbox/internal/classifier"
+	"exbox/internal/excr"
+	"exbox/internal/iqx"
+	"exbox/internal/mathx"
+	"exbox/internal/testbed"
+)
+
+// Figure11 regenerates the network-change adaptation experiment: the
+// Admittance Classifier bootstraps on 10% of data from the clean
+// network, then every subsequent arrival is labeled by a traffic-
+// shaped network with 200 ms of added latency. Precision starts poor
+// and recovers as online batches retrain the model.
+func Figure11(scale Scale) []Figure {
+	var out []Figure
+	for _, kind := range []testbed.Kind{testbed.WiFi, testbed.LTE} {
+		online, window, batch := 225, 25, 20
+		if kind == testbed.LTE {
+			online, window, batch = 120, 20, 10
+		}
+		if scale == Quick {
+			online /= 2
+		}
+		seed := 110 + int64(kind)
+		tb := testbed.New(kind, seed)
+
+		// Clean-network stream for bootstrap (the "10% data points").
+		cleanEvents := testbedEvents(tb, RandomScheme, 80, seed+1)
+		nBoot := len(cleanEvents) / 10
+		if nBoot < 25 {
+			nBoot = 25
+		}
+		ccfg := classifier.DefaultConfig()
+		ccfg.BatchSize = batch
+		ccfg.Seed = seed + 2
+		ac := classifier.New(excr.DefaultSpace, ccfg)
+		for _, e := range cleanEvents[:nBoot] {
+			ac.Observe(excr.Sample{Arrival: e.Arrival, Label: e.Label})
+		}
+		_ = ac.ForceOnline()
+
+		// Throttle the path: 200 ms added latency, as in the paper.
+		tb.Throttle(0, 200, 0)
+		shaped := testbedEvents(tb, RandomScheme, online, seed+3)
+		if len(shaped) > online {
+			shaped = shaped[:online]
+		}
+		controllers := []classifier.Controller{
+			ac,
+			baseline.NewRateBased(testbedCapacity(kind)),
+			baseline.NewMaxClient(10),
+		}
+		res := replay(shaped, controllers, window)
+		fig := comparisonFigure(
+			fmt.Sprintf("fig11-%s", kind),
+			fmt.Sprintf("Adaptation to network change on the %s (bootstrap clean, then +200 ms latency)", kind),
+			res)
+		out = append(out, fig)
+	}
+	return out
+}
+
+// Figure12 regenerates the IQX fitting study: for each application
+// class, a single training device sweeps shaped rate/latency profiles;
+// the (QoS, QoE) pairs are fit with the IQX hypothesis. The figure's
+// series are the fitted curves over the observed QoS range; the notes
+// record the fitted parameters and RMSE (the paper reports 1.37 s web,
+// 3.64 s streaming, 4.462 dB conferencing).
+func Figure12(scale Scale) Figure {
+	runs := 10
+	if scale == Quick {
+		runs = 3
+	}
+	tb := testbed.New(testbed.WiFi, 120)
+	fig := Figure{ID: "fig12", Title: "Fitting the IQX equation for web, streaming and conferencing"}
+	for _, class := range []excr.AppClass{excr.Web, excr.Streaming, excr.Conferencing} {
+		pts := tb.TrainingSweep(class, testbed.DefaultSweepRates(), testbed.DefaultSweepDelays(), runs)
+		qos := make([]float64, len(pts))
+		qoeVals := make([]float64, len(pts))
+		for i, p := range pts {
+			qos[i] = p.QoS
+			qoeVals[i] = p.QoE
+		}
+		res, err := iqx.Fit(qos, qoeVals)
+		if err != nil {
+			fig.Notes = append(fig.Notes, fmt.Sprintf("%v: fit failed: %v", class, err))
+			continue
+		}
+		fig.Notes = append(fig.Notes, fmt.Sprintf("%v: %v, RMSE %.3f (n=%d)", class, res.Model, res.RMSE, len(pts)))
+		// Fitted curve over the normalized QoS range.
+		lo, hi := mathx.Min(qos), mathx.Max(qos)
+		s := Series{Name: "iqx-fit/" + class.String()}
+		for _, t := range mathx.Linspace(0, 1, 11) {
+			q := lo + t*(hi-lo)
+			s.Points = append(s.Points, Point{X: t, Y: res.Model.Eval(q)})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}

@@ -1,0 +1,134 @@
+package eval
+
+import (
+	"fmt"
+
+	"exbox/internal/apps"
+	"exbox/internal/excr"
+	"exbox/internal/mathx"
+	"exbox/internal/netsim"
+)
+
+// Heatmap is a regenerated heatmap figure: Values[i][j] is the cell
+// for Ys[i] (rows) and Xs[j] (columns).
+type Heatmap struct {
+	ID, Title      string
+	XLabel, YLabel string
+	Xs, Ys         []int
+	Values         [][]float64
+}
+
+// Render formats the heatmap as a text grid.
+func (h Heatmap) Render() string {
+	s := fmt.Sprintf("== %s: %s ==\n# rows: %s, cols: %s\n", h.ID, h.Title, h.YLabel, h.XLabel)
+	s += fmt.Sprintf("%6s", "")
+	for _, x := range h.Xs {
+		s += fmt.Sprintf(" %5d", x)
+	}
+	s += "\n"
+	for i, y := range h.Ys {
+		s += fmt.Sprintf("%6d", y)
+		for j := range h.Xs {
+			s += fmt.Sprintf(" %5.2f", h.Values[i][j])
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// NormalizeQoE maps a raw class QoE value into [0, 1] (1 = excellent),
+// the normalization Figure 2 applies so different class metrics can be
+// averaged.
+func NormalizeQoE(class excr.AppClass, value float64) float64 {
+	switch class {
+	case excr.Web:
+		return mathx.Clamp((10-value)/(10-0.5), 0, 1)
+	case excr.Streaming:
+		return mathx.Clamp((15-value)/(15-2), 0, 1)
+	case excr.Conferencing:
+		return mathx.Clamp((value-15)/(42-15), 0, 1)
+	default:
+		panic(fmt.Sprintf("eval: no normalization for %v", class))
+	}
+}
+
+// Figure2 regenerates the Section 2 motivation heatmaps: median
+// streaming QoE, median conferencing QoE, and overall network QoE as
+// the numbers of streaming and conferencing flows vary on the
+// simulated WiFi cell.
+func Figure2(scale Scale) []Heatmap {
+	step := 5
+	if scale == Full {
+		step = 2
+	}
+	const max = 50
+	var counts []int
+	for v := 0; v <= max; v += step {
+		counts = append(counts, v)
+	}
+	net := netsim.FluidWiFi{Config: netsim.SimWiFi()}
+
+	grid := func(f func(stream, conf int) float64) [][]float64 {
+		vals := make([][]float64, len(counts))
+		for i, s := range counts {
+			vals[i] = make([]float64, len(counts))
+			for j, c := range counts {
+				vals[i][j] = f(s, c)
+			}
+		}
+		return vals
+	}
+
+	evalCell := func(stream, conf int) (streamQoE, confQoE []float64) {
+		m := excr.NewMatrix(excr.DefaultSpace).
+			Set(excr.Streaming, 0, stream).Set(excr.Conferencing, 0, conf)
+		flows := netsim.FlowsForMatrix(m)
+		qos := net.Evaluate(flows)
+		for i, f := range flows {
+			q := apps.Measure(f.Class, qos[i], nil)
+			n := NormalizeQoE(f.Class, q.Value)
+			if f.Class == excr.Streaming {
+				streamQoE = append(streamQoE, n)
+			} else {
+				confQoE = append(confQoE, n)
+			}
+		}
+		return streamQoE, confQoE
+	}
+
+	streaming := grid(func(s, c int) float64 {
+		sq, _ := evalCell(s, c)
+		if len(sq) == 0 {
+			return 1
+		}
+		return mathx.Median(sq)
+	})
+	conferencing := grid(func(s, c int) float64 {
+		_, cq := evalCell(s, c)
+		if len(cq) == 0 {
+			return 1
+		}
+		return mathx.Median(cq)
+	})
+	overall := grid(func(s, c int) float64 {
+		sq, cq := evalCell(s, c)
+		all := append(sq, cq...)
+		if len(all) == 0 {
+			return 1
+		}
+		return mathx.Median(all)
+	})
+
+	mk := func(id, title string, vals [][]float64) Heatmap {
+		return Heatmap{
+			ID: id, Title: title,
+			XLabel: "# video conferencing flows", YLabel: "# streaming flows",
+			Xs: counts, Ys: counts, Values: vals,
+		}
+	}
+	return []Heatmap{
+		mk("fig2a", "Median QoE for streaming flows", streaming),
+		mk("fig2b", "Median QoE for video conferencing flows", conferencing),
+		mk("fig2c", "Average QoE of the network", overall),
+	}
+}

@@ -1,0 +1,264 @@
+package eval
+
+import (
+	"fmt"
+
+	"exbox/internal/baseline"
+	"exbox/internal/classifier"
+	"exbox/internal/excr"
+	"exbox/internal/mathx"
+	"exbox/internal/testbed"
+	"exbox/internal/traffic"
+)
+
+// Scheme selects a traffic workload.
+type Scheme int
+
+const (
+	// RandomScheme is the paper's fully random traffic-matrix pattern.
+	RandomScheme Scheme = iota
+	// LiveLabScheme is the LiveLab-derived realistic pattern.
+	LiveLabScheme
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	if s == RandomScheme {
+		return "random"
+	}
+	return "livelab"
+}
+
+// testbedCapacity returns the RateBased capacity C for each testbed —
+// the maximum UDP throughput the paper measured (20 Mbps WiFi hotspot,
+// >30 Mbps LTE small cell).
+func testbedCapacity(kind testbed.Kind) float64 {
+	if kind == testbed.WiFi {
+		return 20e6
+	}
+	return 32e6
+}
+
+// testbedEvents derives a labeled arrival stream for one testbed and
+// scheme. Arrivals whose post-admission matrix exceeds the hardware
+// client limit are skipped, exactly as the paper restricted its traces.
+func testbedEvents(tb *testbed.Testbed, scheme Scheme, nMatrices int, seed int64) []LabeledEvent {
+	rng := mathx.NewRand(seed)
+	var seq []excr.Matrix
+	switch scheme {
+	case RandomScheme:
+		seq = traffic.Random(rng, nMatrices, tb.MaxClients, tb.MaxClients, excr.DefaultSpace)
+	case LiveLabScheme:
+		cfg := traffic.DefaultLiveLab()
+		cfg.MaxTotal = tb.MaxClients
+		// LiveLab change-points carry ~0.5 arrivals each; scale the
+		// horizon until the derived event count suffices.
+		for days := 14; ; days += 28 {
+			cfg.Days = days
+			seq = traffic.LiveLab(mathx.NewRand(seed), cfg)
+			if len(traffic.Arrivals(seq, nil)) >= nMatrices || days > 400 {
+				break
+			}
+		}
+	default:
+		panic("eval: unknown scheme")
+	}
+	var out []LabeledEvent
+	for _, e := range traffic.Arrivals(seq, nil) {
+		y, err := tb.Label(e.Arrival)
+		if err != nil {
+			continue // over the client limit
+		}
+		out = append(out, LabeledEvent{Arrival: e.Arrival, Label: y})
+	}
+	return out
+}
+
+// bootstrapThenOnline feeds events into a fresh Admittance Classifier
+// until it graduates (or maxBootstrap events pass, after which it is
+// forced online), returning the classifier and the remaining online
+// stream.
+func bootstrapThenOnline(cfg classifier.Config, events []LabeledEvent, maxBootstrap int) (*classifier.AdmittanceClassifier, []LabeledEvent) {
+	space := excr.DefaultSpace
+	if len(events) > 0 {
+		space = events[0].Arrival.Matrix.Space()
+	}
+	ac := classifier.New(space, cfg)
+	used := 0
+	for used < len(events) && ac.Bootstrapping() && used < maxBootstrap {
+		e := events[used]
+		ac.Observe(excr.Sample{Arrival: e.Arrival, Label: e.Label})
+		used++
+	}
+	if ac.Bootstrapping() {
+		// The paper's bootstrap always terminates because admission
+		// control cannot start otherwise; mirror that determinism.
+		_ = ac.ForceOnline()
+	}
+	return ac, events[used:]
+}
+
+// ReplayConfig parameterizes a testbed comparison run (Figures 7, 8,
+// 9, 10).
+type ReplayConfig struct {
+	Kind      testbed.Kind
+	Scheme    Scheme
+	BatchSize int
+	Online    int // online samples to evaluate
+	Window    int // checkpoint spacing
+	Seed      int64
+}
+
+// runTestbedComparison executes one ExBox-vs-baselines replay and
+// returns the per-controller results plus the events replayed.
+func runTestbedComparison(cfg ReplayConfig) ([]replayResult, []LabeledEvent) {
+	tb := testbed.New(cfg.Kind, cfg.Seed)
+	// A matrix yields ~tb.MaxClients/2 arrivals on average; generate
+	// enough, then trim after bootstrap.
+	need := cfg.Online + 400
+	events := testbedEvents(tb, cfg.Scheme, need/3+100, cfg.Seed+1)
+
+	ccfg := classifier.DefaultConfig()
+	ccfg.BatchSize = cfg.BatchSize
+	ccfg.Seed = cfg.Seed + 2
+	ac, online := bootstrapThenOnline(ccfg, events, 120)
+	if len(online) > cfg.Online {
+		online = online[:cfg.Online]
+	}
+
+	controllers := []classifier.Controller{
+		ac,
+		baseline.NewRateBased(testbedCapacity(cfg.Kind)),
+		baseline.NewMaxClient(10),
+	}
+	return replay(online, controllers, cfg.Window), online
+}
+
+// comparisonFigure renders a testbed comparison as the paper's
+// three-panel (precision/recall/accuracy vs samples) figure.
+func comparisonFigure(id, title string, results []replayResult) Figure {
+	fig := Figure{ID: id, Title: title}
+	for _, metric := range []string{"precision", "accuracy", "recall"} {
+		fig.Series = append(fig.Series, seriesFrom(results, metric)...)
+	}
+	return fig
+}
+
+// Figure7 regenerates the WiFi-testbed comparison (precision, accuracy
+// and recall vs samples fed online, Random and LiveLab traffic;
+// batch 20).
+func Figure7(scale Scale) []Figure {
+	online, window := 240, 20
+	if scale == Quick {
+		online, window = 120, 20
+	}
+	var out []Figure
+	for _, scheme := range []Scheme{RandomScheme, LiveLabScheme} {
+		res, _ := runTestbedComparison(ReplayConfig{
+			Kind: testbed.WiFi, Scheme: scheme, BatchSize: 20,
+			Online: online, Window: window, Seed: 70 + int64(scheme),
+		})
+		fig := comparisonFigure(
+			fmt.Sprintf("fig7-%s", scheme),
+			fmt.Sprintf("WiFi testbed, %s traffic: ExBox vs RateBased vs MaxClient", scheme),
+			res)
+		out = append(out, fig)
+	}
+	return out
+}
+
+// Figure8 regenerates the LTE-testbed comparison (batch 10, up to 90
+// samples fed online).
+func Figure8(scale Scale) []Figure {
+	online, window := 90, 10
+	if scale == Quick {
+		online, window = 60, 10
+	}
+	var out []Figure
+	for _, scheme := range []Scheme{RandomScheme, LiveLabScheme} {
+		res, _ := runTestbedComparison(ReplayConfig{
+			Kind: testbed.LTE, Scheme: scheme, BatchSize: 10,
+			Online: online, Window: window, Seed: 80 + int64(scheme),
+		})
+		fig := comparisonFigure(
+			fmt.Sprintf("fig8-%s", scheme),
+			fmt.Sprintf("LTE testbed, %s traffic: ExBox vs RateBased vs MaxClient", scheme),
+			res)
+		out = append(out, fig)
+	}
+	return out
+}
+
+// Figure9 regenerates the per-application accuracy comparison (Random
+// traffic on both testbeds). The x axis is the application class index
+// (0 = web, 1 = streaming, 2 = conferencing).
+func Figure9(scale Scale) []Figure {
+	online := 240
+	if scale == Quick {
+		online = 120
+	}
+	var out []Figure
+	for _, kind := range []testbed.Kind{testbed.WiFi, testbed.LTE} {
+		batch := 20
+		if kind == testbed.LTE {
+			batch = 10
+		}
+		res, _ := runTestbedComparison(ReplayConfig{
+			Kind: kind, Scheme: RandomScheme, BatchSize: batch,
+			Online: online, Window: 20, Seed: 90 + int64(kind),
+		})
+		fig := Figure{
+			ID:    fmt.Sprintf("fig9-%s", kind),
+			Title: fmt.Sprintf("Per-application accuracy on the %s (Random traffic)", kind),
+			Notes: []string{"x = application class: 0 web, 1 streaming, 2 conferencing"},
+		}
+		for _, r := range res {
+			s := Series{Name: "accuracy/" + r.name}
+			for c := 0; c < excr.NumAppClasses; c++ {
+				pc := r.perClass[excr.AppClass(c)]
+				if pc == nil {
+					continue
+				}
+				s.Points = append(s.Points, Point{X: float64(c), Y: pc.Accuracy()})
+			}
+			fig.Series = append(fig.Series, s)
+		}
+		out = append(out, fig)
+	}
+	return out
+}
+
+// Figure10 regenerates the batch-size sensitivity study: ExBox with
+// batches 10/20/40 against the (batch-insensitive) baselines on both
+// testbeds, Random traffic.
+func Figure10(scale Scale) []Figure {
+	online := 300
+	if scale == Quick {
+		online = 120
+	}
+	var out []Figure
+	for _, kind := range []testbed.Kind{testbed.WiFi, testbed.LTE} {
+		if kind == testbed.LTE {
+			online = online / 2
+		}
+		fig := Figure{
+			ID:    fmt.Sprintf("fig10-%s", kind),
+			Title: fmt.Sprintf("Sensitivity to batch size on the %s (Random traffic)", kind),
+		}
+		for _, batch := range []int{10, 20, 40} {
+			res, _ := runTestbedComparison(ReplayConfig{
+				Kind: kind, Scheme: RandomScheme, BatchSize: batch,
+				Online: online, Window: 20, Seed: 100 + int64(kind),
+			})
+			// res[0] is ExBox; baselines are identical across batches.
+			ex := seriesFrom(res[:1], "precision")[0]
+			ex.Name = fmt.Sprintf("precision/ExBox-b%d", batch)
+			fig.Series = append(fig.Series, ex)
+			if batch == 10 {
+				fig.Series = append(fig.Series, seriesFrom(res[1:], "precision")...)
+			}
+		}
+		out = append(out, fig)
+	}
+	return out
+}

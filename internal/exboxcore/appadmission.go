@@ -1,0 +1,130 @@
+package exboxcore
+
+import (
+	"errors"
+	"fmt"
+
+	"exbox/internal/excr"
+)
+
+// This file implements the app-based admission control of Section 4.5:
+// modern applications open several flows (video data, control,
+// analytics, ads), and per-flow admission can split an app across
+// verdicts. The paper's heuristic: identify the app's *dominant* flows
+// — the ones that determine its QoE — and admit the whole app iff the
+// dominant flows are admitted.
+
+// AppFlow is one flow of a multi-flow application.
+type AppFlow struct {
+	Class excr.AppClass
+	Level excr.SNRLevel
+	// Dominant marks a flow that determines the app's QoE (e.g. the
+	// video data flow of a streaming app, as opposed to its analytics
+	// or advertisement flows).
+	Dominant bool
+}
+
+// AppRequest is an application asking to join a cell.
+type AppRequest struct {
+	Flows []AppFlow
+}
+
+// Dominant returns the request's dominant flows.
+func (r AppRequest) Dominant() []AppFlow {
+	var out []AppFlow
+	for _, f := range r.Flows {
+		if f.Dominant {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// ErrNoDominantFlow is returned when an app request marks no flow as
+// dominant; the heuristic has nothing to decide on.
+var ErrNoDominantFlow = errors.New("exboxcore: app request has no dominant flow")
+
+// AdmitApp applies the Section 4.5 heuristic on one cell: classify the
+// app's dominant flows in sequence against the current traffic matrix
+// (each admitted dominant flow joins the matrix seen by the next); if
+// every dominant flow is admissible, the whole app — auxiliary flows
+// included — is admitted. If any dominant flow is inadmissible the app
+// gets the policy verdict.
+//
+// The returned matrix is the cell's traffic matrix after the decision:
+// with all the app's flows added on admit, unchanged on reject, and
+// with all flows added under Deprioritize (they ride the best-effort
+// class but still occupy the cell).
+func (mb *Middlebox) AdmitApp(id CellID, current excr.Matrix, req AppRequest) (Outcome, excr.Matrix, error) {
+	dominant := req.Dominant()
+	if len(dominant) == 0 {
+		return Outcome{}, current, ErrNoDominantFlow
+	}
+	working := current
+	var last Outcome
+	admitAll := true
+	for _, f := range dominant {
+		lvl := f.Level
+		if mb.Space.Levels == 1 {
+			lvl = 0
+		}
+		out, err := mb.Admit(id, excr.Arrival{Matrix: working, Class: f.Class, Level: lvl})
+		if err != nil {
+			return Outcome{}, current, fmt.Errorf("admitting dominant %v flow: %w", f.Class, err)
+		}
+		last = out
+		if out.Verdict != Admit {
+			admitAll = false
+			break
+		}
+		working = working.Inc(f.Class, lvl)
+	}
+	if !admitAll {
+		if last.Verdict == LowPriority {
+			// Deprioritized apps still occupy airtime.
+			return last, addAppFlows(mb.Space, current, req.Flows), nil
+		}
+		return last, current, nil
+	}
+	return last, addAppFlows(mb.Space, current, req.Flows), nil
+}
+
+// addAppFlows folds every flow of the app into the matrix.
+func addAppFlows(space excr.Space, m excr.Matrix, fs []AppFlow) excr.Matrix {
+	for _, f := range fs {
+		lvl := f.Level
+		if space.Levels == 1 {
+			lvl = 0
+		}
+		if int(f.Class) < space.Classes && int(lvl) < space.Levels {
+			m = m.Inc(f.Class, lvl)
+		}
+	}
+	return m
+}
+
+// MigrateFlow implements the flow-migration primitive of Section 4.2:
+// move one admitted flow from one cell to another (WiFi controller AP
+// handoff, or LTE S-GW assisted mobility). The target cell must admit
+// the flow against its own current matrix; on success the caller's two
+// matrices are updated accordingly.
+func (mb *Middlebox) MigrateFlow(from, to CellID, fromMatrix, toMatrix excr.Matrix, f ActiveFlow) (excr.Matrix, excr.Matrix, error) {
+	if mb.Cell(from) == nil {
+		return fromMatrix, toMatrix, fmt.Errorf("%w: %q", ErrUnknownCell, from)
+	}
+	lvl := f.Level
+	if mb.Space.Levels == 1 {
+		lvl = 0
+	}
+	if fromMatrix.Get(f.Class, lvl) == 0 {
+		return fromMatrix, toMatrix, fmt.Errorf("exboxcore: flow %d (%v) not present on cell %q", f.ID, f.Class, from)
+	}
+	out, err := mb.Admit(to, excr.Arrival{Matrix: toMatrix, Class: f.Class, Level: lvl})
+	if err != nil {
+		return fromMatrix, toMatrix, err
+	}
+	if out.Verdict != Admit {
+		return fromMatrix, toMatrix, fmt.Errorf("exboxcore: cell %q cannot take the flow (%v)", to, out.Verdict)
+	}
+	return fromMatrix.Dec(f.Class, lvl), toMatrix.Inc(f.Class, lvl), nil
+}

@@ -1,0 +1,145 @@
+package exboxcore
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"exbox/internal/classifier"
+	"exbox/internal/excr"
+)
+
+// streamingApp is a YouTube-like multi-flow app: one dominant video
+// flow plus an auxiliary web flow (recommendations/analytics).
+func streamingApp() AppRequest {
+	return AppRequest{Flows: []AppFlow{
+		{Class: excr.Streaming, Dominant: true},
+		{Class: excr.Web},
+	}}
+}
+
+func TestAdmitAppAdmitsWholeApp(t *testing.T) {
+	mb := New(excr.DefaultSpace, Discontinue)
+	mb.AddCell("ap", classifier.DefaultConfig())
+	trainCell(t, mb, "ap", wifiOracle(), 11)
+
+	current := excr.NewMatrix(excr.DefaultSpace).Set(excr.Streaming, 0, 3)
+	out, after, err := mb.AdmitApp("ap", current, streamingApp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict != Admit {
+		t.Fatalf("light cell should admit the app, got %v", out.Verdict)
+	}
+	// All flows (dominant + auxiliary) joined the matrix.
+	if after.Get(excr.Streaming, 0) != 4 || after.Get(excr.Web, 0) != 1 {
+		t.Fatalf("post matrix %v, want streaming 4 / web 1", after)
+	}
+}
+
+func TestAdmitAppRejectsOnDominant(t *testing.T) {
+	mb := New(excr.DefaultSpace, Discontinue)
+	mb.AddCell("ap", classifier.DefaultConfig())
+	trainCell(t, mb, "ap", wifiOracle(), 12)
+
+	over := excr.NewMatrix(excr.DefaultSpace).
+		Set(excr.Web, 0, 15).Set(excr.Streaming, 0, 18).Set(excr.Conferencing, 0, 14)
+	out, after, err := mb.AdmitApp("ap", over, streamingApp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict != Reject {
+		t.Fatalf("overloaded cell should reject, got %v", out.Verdict)
+	}
+	if !after.Equal(over) {
+		t.Fatal("rejected app must not change the matrix")
+	}
+}
+
+func TestAdmitAppDeprioritizeStillOccupies(t *testing.T) {
+	mb := New(excr.DefaultSpace, Deprioritize)
+	mb.AddCell("ap", classifier.DefaultConfig())
+	trainCell(t, mb, "ap", wifiOracle(), 13)
+
+	over := excr.NewMatrix(excr.DefaultSpace).
+		Set(excr.Web, 0, 15).Set(excr.Streaming, 0, 18).Set(excr.Conferencing, 0, 14)
+	out, after, err := mb.AdmitApp("ap", over, streamingApp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict != LowPriority {
+		t.Fatalf("verdict = %v, want low-priority", out.Verdict)
+	}
+	if after.Total() != over.Total()+2 {
+		t.Fatal("deprioritized app should still occupy the cell")
+	}
+}
+
+func TestAdmitAppMultipleDominant(t *testing.T) {
+	// A conferencing app with dominant audio+video flows: the second
+	// dominant flow must be classified against the matrix including
+	// the first.
+	mb := New(excr.DefaultSpace, Discontinue)
+	mb.AddCell("ap", classifier.DefaultConfig())
+	trainCell(t, mb, "ap", wifiOracle(), 14)
+	req := AppRequest{Flows: []AppFlow{
+		{Class: excr.Conferencing, Dominant: true},
+		{Class: excr.Conferencing, Dominant: true},
+	}}
+	out, after, err := mb.AdmitApp("ap", excr.NewMatrix(excr.DefaultSpace), req)
+	if err != nil || out.Verdict != Admit {
+		t.Fatalf("verdict=%v err=%v", out.Verdict, err)
+	}
+	if after.Get(excr.Conferencing, 0) != 2 {
+		t.Fatalf("post matrix %v", after)
+	}
+}
+
+func TestAdmitAppErrors(t *testing.T) {
+	mb := New(excr.DefaultSpace, Discontinue)
+	mb.AddCell("ap", classifier.DefaultConfig())
+	_, _, err := mb.AdmitApp("ap", excr.NewMatrix(excr.DefaultSpace), AppRequest{Flows: []AppFlow{{Class: excr.Web}}})
+	if !errors.Is(err, ErrNoDominantFlow) {
+		t.Fatalf("err = %v, want ErrNoDominantFlow", err)
+	}
+	_, _, err = mb.AdmitApp("ghost", excr.NewMatrix(excr.DefaultSpace), streamingApp())
+	if !errors.Is(err, ErrUnknownCell) {
+		t.Fatalf("err = %v, want ErrUnknownCell", err)
+	}
+}
+
+func TestMigrateFlow(t *testing.T) {
+	mb := New(excr.DefaultSpace, Discontinue)
+	mb.AddCell("wifi", classifier.DefaultConfig())
+	mb.AddCell("lte", classifier.DefaultConfig())
+	trainCell(t, mb, "wifi", wifiOracle(), 15)
+	trainCell(t, mb, "lte", lteOracle(), 16)
+
+	wifiM := excr.NewMatrix(excr.DefaultSpace).Set(excr.Streaming, 0, 5)
+	lteM := excr.NewMatrix(excr.DefaultSpace).Set(excr.Web, 0, 2)
+	f := ActiveFlow{ID: 1, Class: excr.Streaming}
+
+	newWifi, newLTE, err := mb.MigrateFlow("wifi", "lte", wifiM, lteM, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newWifi.Get(excr.Streaming, 0) != 4 || newLTE.Get(excr.Streaming, 0) != 1 {
+		t.Fatalf("migration matrices wrong: %v / %v", newWifi, newLTE)
+	}
+
+	// Migrating a flow the source does not carry fails.
+	if _, _, err := mb.MigrateFlow("wifi", "lte", excr.NewMatrix(excr.DefaultSpace), lteM, f); err == nil {
+		t.Fatal("absent flow should fail")
+	}
+	// Target refusing: overload the LTE matrix.
+	overLTE := excr.NewMatrix(excr.DefaultSpace).
+		Set(excr.Streaming, 0, 18).Set(excr.Web, 0, 15).Set(excr.Conferencing, 0, 15)
+	_, _, err = mb.MigrateFlow("wifi", "lte", wifiM, overLTE, f)
+	if err == nil || !strings.Contains(err.Error(), "cannot take") {
+		t.Fatalf("err = %v, want target-refused", err)
+	}
+	// Unknown source cell.
+	if _, _, err := mb.MigrateFlow("ghost", "lte", wifiM, lteM, f); !errors.Is(err, ErrUnknownCell) {
+		t.Fatal("unknown source should fail")
+	}
+}

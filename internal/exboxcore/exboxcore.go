@@ -1,0 +1,256 @@
+// Package exboxcore assembles ExBox itself: the experience-management
+// middlebox that sits at the WiFi controller or LTE PDN gateway,
+// maintains one Admittance Classifier per cell, and uses them for the
+// three QoE-management workflows of Section 4:
+//
+//   - Admission control: classify each arriving flow against its
+//     cell's learned capacity region; inadmissible flows are
+//     discontinued or deprioritized according to the administrator's
+//     policy.
+//   - Network selection: when several cells could carry a flow (e.g.
+//     hybrid WiFi+LTE), admit it to the cell whose classifier places
+//     the post-admission state deepest inside its capacity region
+//     (largest SVM margin).
+//   - Dynamics: periodically re-evaluate admitted flows against the
+//     current traffic matrix; flows whose re-classification turns
+//     negative are handed back for offload or discontinuation.
+package exboxcore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"exbox/internal/classifier"
+	"exbox/internal/excr"
+	"exbox/internal/metrics"
+	"exbox/internal/qoe"
+)
+
+// Policy is what the middlebox does with an inadmissible flow
+// (Section 4.2): drop it at the gateway or push it into a low-priority
+// access category (802.11e-style).
+type Policy int
+
+const (
+	// Discontinue drops inadmissible flows at the gateway.
+	Discontinue Policy = iota
+	// Deprioritize admits inadmissible flows into a best-effort,
+	// low-priority class instead of dropping them.
+	Deprioritize
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	if p == Discontinue {
+		return "discontinue"
+	}
+	return "deprioritize"
+}
+
+// CellID names one access device (WiFi AP or LTE eNodeB).
+type CellID string
+
+// Cell is the middlebox's per-access-device state: a dedicated
+// Admittance Classifier learning that cell's ExCR.
+type Cell struct {
+	ID         CellID
+	Classifier *classifier.AdmittanceClassifier
+}
+
+// Verdict is the middlebox's disposition for one flow.
+type Verdict int
+
+const (
+	// Admit carries the flow normally.
+	Admit Verdict = iota
+	// Reject drops the flow at the gateway.
+	Reject
+	// LowPriority admits the flow into the best-effort class.
+	LowPriority
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case Admit:
+		return "admit"
+	case Reject:
+		return "reject"
+	default:
+		return "low-priority"
+	}
+}
+
+// Outcome reports one admission decision with its classifier detail.
+type Outcome struct {
+	Cell     CellID
+	Verdict  Verdict
+	Decision classifier.Decision
+}
+
+// Middlebox is the ExBox gateway component. It is not safe for
+// concurrent use; callers serialize (the gateway's packet path is a
+// single pipeline in this reproduction).
+type Middlebox struct {
+	Space     excr.Space
+	Policy    Policy
+	Estimator *qoe.Estimator // optional: network-side QoE estimation
+
+	cells map[CellID]*Cell
+	order []CellID
+}
+
+// New returns an empty middlebox for the given traffic-matrix space.
+func New(space excr.Space, policy Policy) *Middlebox {
+	if !space.Valid() {
+		panic("exboxcore: invalid space")
+	}
+	return &Middlebox{Space: space, Policy: policy, cells: make(map[CellID]*Cell)}
+}
+
+// AddCell registers an access device and creates its Admittance
+// Classifier with the given configuration.
+func (mb *Middlebox) AddCell(id CellID, cfg classifier.Config) (*Cell, error) {
+	if _, dup := mb.cells[id]; dup {
+		return nil, fmt.Errorf("exboxcore: cell %q already registered", id)
+	}
+	c := &Cell{ID: id, Classifier: classifier.New(mb.Space, cfg)}
+	mb.cells[id] = c
+	mb.order = append(mb.order, id)
+	return c, nil
+}
+
+// Cell returns the registered cell, or nil.
+func (mb *Middlebox) Cell(id CellID) *Cell { return mb.cells[id] }
+
+// Cells returns the registered cells in registration order.
+func (mb *Middlebox) Cells() []*Cell {
+	out := make([]*Cell, 0, len(mb.order))
+	for _, id := range mb.order {
+		out = append(out, mb.cells[id])
+	}
+	return out
+}
+
+// ErrUnknownCell is returned for operations on unregistered cells.
+var ErrUnknownCell = errors.New("exboxcore: unknown cell")
+
+// Admit runs admission control for an arrival on one cell and applies
+// the policy to the classifier's answer.
+func (mb *Middlebox) Admit(id CellID, a excr.Arrival) (Outcome, error) {
+	cell, ok := mb.cells[id]
+	if !ok {
+		return Outcome{}, fmt.Errorf("%w: %q", ErrUnknownCell, id)
+	}
+	d := cell.Classifier.Decide(a)
+	out := Outcome{Cell: id, Decision: d, Verdict: Admit}
+	if !d.Admit {
+		if mb.Policy == Deprioritize {
+			out.Verdict = LowPriority
+		} else {
+			out.Verdict = Reject
+		}
+	}
+	return out, nil
+}
+
+// Observe feeds a ground-truth labeled tuple to one cell's classifier.
+func (mb *Middlebox) Observe(id CellID, s excr.Sample) error {
+	cell, ok := mb.cells[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownCell, id)
+	}
+	cell.Classifier.Observe(s)
+	return nil
+}
+
+// Candidate pairs a cell with the arrival as that cell would see it
+// (each cell carries its own current traffic matrix).
+type Candidate struct {
+	Cell    CellID
+	Arrival excr.Arrival
+}
+
+// SelectNetwork implements Section 4.1: classify the flow against
+// every candidate cell; among the cells that admit it, pick the one
+// whose post-admission state sits deepest inside the capacity region.
+// Depth (the margin normalized per cell) is compared rather than the
+// raw margin, because raw SVM decision values are not on a common
+// scale across independently trained cells. Bootstrap-phase cells
+// admit with depth 0, so a trained cell that admits wins over a
+// bootstrapping one.
+//
+// The boolean result is false when no candidate admits the flow; the
+// returned Outcome is then the least-bad candidate under the policy.
+func (mb *Middlebox) SelectNetwork(cands []Candidate) (Outcome, bool, error) {
+	if len(cands) == 0 {
+		return Outcome{}, false, errors.New("exboxcore: no candidates")
+	}
+	// Deterministic evaluation order.
+	sorted := append([]Candidate(nil), cands...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Cell < sorted[j].Cell })
+
+	var best Outcome
+	var bestOK bool
+	for _, cand := range sorted {
+		out, err := mb.Admit(cand.Cell, cand.Arrival)
+		if err != nil {
+			return Outcome{}, false, err
+		}
+		admits := out.Verdict == Admit
+		switch {
+		case admits && (!bestOK || out.Decision.Depth > best.Decision.Depth):
+			best, bestOK = out, true
+		case !bestOK && (best.Cell == "" || out.Decision.Depth > best.Decision.Depth):
+			best = out
+		}
+	}
+	return best, bestOK, nil
+}
+
+// ActiveFlow describes one admitted flow for re-evaluation.
+type ActiveFlow struct {
+	ID    int
+	Class excr.AppClass
+	Level excr.SNRLevel
+}
+
+// Reevaluate implements Section 4.3: for each admitted flow, rebuild
+// the X tuple it would present if it arrived now (the current matrix
+// minus the flow itself) and reclassify. Flows whose classification
+// turned negative are returned for offload or discontinuation.
+//
+// current must be the cell's present traffic matrix including all the
+// given flows.
+func (mb *Middlebox) Reevaluate(id CellID, current excr.Matrix, active []ActiveFlow) ([]ActiveFlow, error) {
+	cell, ok := mb.cells[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownCell, id)
+	}
+	var evict []ActiveFlow
+	for _, f := range active {
+		lvl := f.Level
+		if mb.Space.Levels == 1 {
+			lvl = 0
+		}
+		if current.Get(f.Class, lvl) == 0 {
+			return nil, fmt.Errorf("exboxcore: flow %d (%v,%v) not present in matrix %v", f.ID, f.Class, lvl, current)
+		}
+		without := current.Dec(f.Class, lvl)
+		d := cell.Classifier.Decide(excr.Arrival{Matrix: without, Class: f.Class, Level: lvl})
+		if !d.Admit {
+			evict = append(evict, f)
+		}
+	}
+	return evict, nil
+}
+
+// EstimateQoE exposes the network-side QoE estimate for a flow when an
+// estimator is configured.
+func (mb *Middlebox) EstimateQoE(class excr.AppClass, q metrics.QoS) (float64, error) {
+	if mb.Estimator == nil {
+		return 0, errors.New("exboxcore: no QoE estimator configured")
+	}
+	return mb.Estimator.Estimate(class, q)
+}

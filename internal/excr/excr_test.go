@@ -1,0 +1,220 @@
+package excr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"exbox/internal/mathx"
+)
+
+func TestStringers(t *testing.T) {
+	if Web.String() != "web" || Streaming.String() != "streaming" || Conferencing.String() != "conferencing" {
+		t.Fatal("AppClass strings wrong")
+	}
+	if AppClass(9).String() != "class9" {
+		t.Fatal("unknown class string wrong")
+	}
+	if SNRLow.String() != "low" || SNRHigh.String() != "high" {
+		t.Fatal("SNRLevel strings wrong")
+	}
+	if SNRLevel(5).String() != "snr5" {
+		t.Fatal("unknown level string wrong")
+	}
+}
+
+func TestLevelForSNR(t *testing.T) {
+	if LevelForSNR(23) != SNRLow {
+		t.Fatal("23 dB should be low")
+	}
+	if LevelForSNR(53) != SNRHigh {
+		t.Fatal("53 dB should be high")
+	}
+}
+
+func TestSpace(t *testing.T) {
+	if DefaultSpace.Dim() != 3 {
+		t.Fatalf("DefaultSpace.Dim = %d", DefaultSpace.Dim())
+	}
+	if MixedSNRSpace.Dim() != 6 {
+		t.Fatalf("MixedSNRSpace.Dim = %d", MixedSNRSpace.Dim())
+	}
+	if (Space{}).Valid() {
+		t.Fatal("zero space should be invalid")
+	}
+	if FeatureDim(MixedSNRSpace) != 8 {
+		t.Fatalf("FeatureDim = %d, want 8 (paper's Fig 13 X has 8 dims)", FeatureDim(MixedSNRSpace))
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(MixedSNRSpace)
+	if m.Total() != 0 {
+		t.Fatal("fresh matrix not empty")
+	}
+	m2 := m.Inc(Web, SNRHigh).Inc(Web, SNRHigh).Inc(Streaming, SNRLow)
+	if m2.Get(Web, SNRHigh) != 2 || m2.Get(Streaming, SNRLow) != 1 {
+		t.Fatalf("counts wrong: %v", m2)
+	}
+	if m.Total() != 0 {
+		t.Fatal("Inc mutated the receiver")
+	}
+	if m2.Total() != 3 {
+		t.Fatalf("Total = %d", m2.Total())
+	}
+	if m2.ClassTotal(Web) != 2 || m2.ClassTotal(Conferencing) != 0 {
+		t.Fatal("ClassTotal wrong")
+	}
+	if m2.LevelTotal(SNRLow) != 1 || m2.LevelTotal(SNRHigh) != 2 {
+		t.Fatal("LevelTotal wrong")
+	}
+	m3 := m2.Dec(Web, SNRHigh)
+	if m3.Get(Web, SNRHigh) != 1 || m2.Get(Web, SNRHigh) != 2 {
+		t.Fatal("Dec wrong or mutated receiver")
+	}
+	m4 := m.Set(Conferencing, SNRLow, 7)
+	if m4.Get(Conferencing, SNRLow) != 7 {
+		t.Fatal("Set wrong")
+	}
+}
+
+func TestMatrixPanics(t *testing.T) {
+	m := NewMatrix(DefaultSpace)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Dec empty", func() { m.Dec(Web, 0) })
+	mustPanic("Set negative", func() { m.Set(Web, 0, -1) })
+	mustPanic("out of space", func() { m.Get(Web, SNRHigh) }) // DefaultSpace has 1 level
+	mustPanic("invalid space", func() { NewMatrix(Space{}) })
+}
+
+func TestKeyEqualString(t *testing.T) {
+	a := NewMatrix(DefaultSpace).Inc(Web, 0).Inc(Streaming, 0)
+	b := NewMatrix(DefaultSpace).Inc(Streaming, 0).Inc(Web, 0)
+	if a.Key() != b.Key() {
+		t.Fatal("order of Inc should not matter for Key")
+	}
+	if !a.Equal(b) {
+		t.Fatal("Equal should hold")
+	}
+	if a.String() != "<1,1,0>" {
+		t.Fatalf("String = %q", a.String())
+	}
+	c := a.Inc(Web, 0)
+	if a.Equal(c) || a.Key() == c.Key() {
+		t.Fatal("distinct matrices compare equal")
+	}
+	other := NewMatrix(MixedSNRSpace)
+	if a.Equal(other) {
+		t.Fatal("matrices of different spaces compare equal")
+	}
+}
+
+func TestDominates(t *testing.T) {
+	a := NewMatrix(DefaultSpace).Set(Web, 0, 3).Set(Streaming, 0, 2)
+	b := NewMatrix(DefaultSpace).Set(Web, 0, 1).Set(Streaming, 0, 2)
+	if !a.Dominates(b) {
+		t.Fatal("a should dominate b")
+	}
+	if b.Dominates(a) {
+		t.Fatal("b should not dominate a")
+	}
+	if !a.Dominates(a) {
+		t.Fatal("Dominates should be reflexive")
+	}
+}
+
+func TestArrival(t *testing.T) {
+	m := NewMatrix(MixedSNRSpace).Set(Web, SNRHigh, 2).Set(Streaming, SNRLow, 1)
+	a := Arrival{Matrix: m, Class: Conferencing, Level: SNRLow}
+	after := a.After()
+	if after.Get(Conferencing, SNRLow) != 1 {
+		t.Fatal("After did not add the flow")
+	}
+	f := a.Features()
+	if len(f) != 8 {
+		t.Fatalf("feature dim = %d, want 8", len(f))
+	}
+	// counts are class-major: web(low,high), stream(low,high), conf(low,high)
+	want := []float64{0, 2, 1, 0, 0, 0, float64(Conferencing), float64(SNRLow)}
+	for i := range want {
+		if f[i] != want[i] {
+			t.Fatalf("Features = %v, want %v", f, want)
+		}
+	}
+}
+
+func TestRegionSlice(t *testing.T) {
+	// Toy region: achievable iff 2·web + 3·stream <= 12.
+	r := Region{
+		Space: DefaultSpace,
+		Achievable: func(m Matrix) bool {
+			return 2*m.ClassTotal(Web)+3*m.ClassTotal(Streaming) <= 12
+		},
+	}
+	s := r.Slice(Web, Streaming, 0, 6, 4)
+	if len(s) != 7 || len(s[0]) != 5 {
+		t.Fatalf("slice dims %dx%d", len(s), len(s[0]))
+	}
+	if !s[6][0] || s[0][4] == false && 3*4 <= 12 {
+		t.Fatal("boundary cells wrong")
+	}
+	if s[6][1] { // 12 + 3 > 12
+		t.Fatal("(6,1) should be unachievable")
+	}
+	if !s[0][4] { // 12 <= 12
+		t.Fatal("(0,4) should be achievable")
+	}
+}
+
+// Property: Inc then Dec round-trips; totals stay consistent.
+func TestQuickIncDecRoundTrip(t *testing.T) {
+	rng := mathx.NewRand(17)
+	f := func() bool {
+		m := NewMatrix(MixedSNRSpace)
+		for i := 0; i < 20; i++ {
+			c := AppClass(rng.Intn(3))
+			l := SNRLevel(rng.Intn(2))
+			m = m.Inc(c, l)
+			if !m.Dec(c, l).Inc(c, l).Equal(m) {
+				return false
+			}
+		}
+		sum := 0
+		for c := 0; c < 3; c++ {
+			sum += m.ClassTotal(AppClass(c))
+		}
+		if sum != m.Total() || m.Total() != 20 {
+			return false
+		}
+		sumL := m.LevelTotal(SNRLow) + m.LevelTotal(SNRHigh)
+		return sumL == m.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Key is injective over distinct small matrices.
+func TestQuickKeyInjective(t *testing.T) {
+	rng := mathx.NewRand(18)
+	seen := map[string]Matrix{}
+	for i := 0; i < 500; i++ {
+		m := NewMatrix(MixedSNRSpace)
+		for c := 0; c < 3; c++ {
+			for l := 0; l < 2; l++ {
+				m = m.Set(AppClass(c), SNRLevel(l), rng.Intn(5))
+			}
+		}
+		if prev, ok := seen[m.Key()]; ok && !prev.Equal(m) {
+			t.Fatalf("key collision: %v vs %v", prev, m)
+		}
+		seen[m.Key()] = m
+	}
+}

@@ -1,0 +1,231 @@
+// Package flowclass classifies flows into application classes from
+// their first few packets — the traffic-classification substrate the
+// paper assumes (it cites a long line of prior work and notes such
+// classifiers achieve "modest accuracy" even on encrypted traffic).
+//
+// The classifier is a Gaussian naive Bayes over payload-free features
+// of the flow head (packet sizes, directions, interarrival times),
+// trained on synthetic per-class traces from internal/traffic. A
+// port-based hint is available as a fallback for well-known services.
+package flowclass
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"exbox/internal/excr"
+	"exbox/internal/flows"
+	"exbox/internal/traffic"
+)
+
+// NumFeatures is the dimensionality of the feature vector extracted
+// from a flow head.
+const NumFeatures = 7
+
+// Features summarizes the first packets of a flow into a fixed-size
+// vector: up-packet fraction, mean/max downlink size, mean uplink
+// size, mean and coefficient-of-variation of interarrival gaps, and
+// downlink byte share.
+func Features(head []flows.PacketMeta) ([]float64, error) {
+	if len(head) < 2 {
+		return nil, errors.New("flowclass: need at least 2 packets")
+	}
+	var upCount, downBytes, upBytes, downMax float64
+	var downCount float64
+	for _, p := range head {
+		if p.Up {
+			upCount++
+			upBytes += float64(p.Bytes)
+		} else {
+			downCount++
+			downBytes += float64(p.Bytes)
+			if float64(p.Bytes) > downMax {
+				downMax = float64(p.Bytes)
+			}
+		}
+	}
+	gaps := make([]float64, 0, len(head)-1)
+	var gapSum float64
+	for i := 1; i < len(head); i++ {
+		g := head[i].Time - head[i-1].Time
+		if g < 0 {
+			g = 0
+		}
+		gaps = append(gaps, g)
+		gapSum += g
+	}
+	gapMean := gapSum / float64(len(gaps))
+	var gapVar float64
+	for _, g := range gaps {
+		d := g - gapMean
+		gapVar += d * d
+	}
+	gapVar /= float64(len(gaps))
+	gapCV := 0.0
+	if gapMean > 1e-9 {
+		gapCV = math.Sqrt(gapVar) / gapMean
+	}
+	meanDown := 0.0
+	if downCount > 0 {
+		meanDown = downBytes / downCount
+	}
+	meanUp := 0.0
+	if upCount > 0 {
+		meanUp = upBytes / upCount
+	}
+	total := downBytes + upBytes
+	downShare := 0.0
+	if total > 0 {
+		downShare = downBytes / total
+	}
+	return []float64{
+		upCount / float64(len(head)),
+		meanDown,
+		downMax,
+		meanUp,
+		gapMean,
+		gapCV,
+		downShare,
+	}, nil
+}
+
+// Classifier is a Gaussian naive Bayes model over head features.
+type Classifier struct {
+	classes []excr.AppClass
+	mean    [][]float64
+	vari    [][]float64
+	prior   []float64
+}
+
+// Train fits the classifier from nPerClass synthetic flows of each
+// class, using heads of headCap packets.
+func Train(classes []excr.AppClass, nPerClass, headCap int, rng *rand.Rand) (*Classifier, error) {
+	if len(classes) == 0 {
+		return nil, errors.New("flowclass: no classes")
+	}
+	if nPerClass < 2 {
+		return nil, errors.New("flowclass: need at least 2 flows per class")
+	}
+	if headCap < 2 {
+		headCap = 10
+	}
+	c := &Classifier{
+		classes: append([]excr.AppClass(nil), classes...),
+		mean:    make([][]float64, len(classes)),
+		vari:    make([][]float64, len(classes)),
+		prior:   make([]float64, len(classes)),
+	}
+	for ci, class := range classes {
+		var rows [][]float64
+		for i := 0; i < nPerClass; i++ {
+			tr := traffic.Synthesize(class, 12, rng)
+			head := headFromTrace(tr, headCap)
+			f, err := Features(head)
+			if err != nil {
+				continue
+			}
+			rows = append(rows, f)
+		}
+		if len(rows) < 2 {
+			return nil, fmt.Errorf("flowclass: class %v produced too few usable flows", class)
+		}
+		c.mean[ci] = make([]float64, NumFeatures)
+		c.vari[ci] = make([]float64, NumFeatures)
+		for _, r := range rows {
+			for j, v := range r {
+				c.mean[ci][j] += v
+			}
+		}
+		for j := range c.mean[ci] {
+			c.mean[ci][j] /= float64(len(rows))
+		}
+		for _, r := range rows {
+			for j, v := range r {
+				d := v - c.mean[ci][j]
+				c.vari[ci][j] += d * d
+			}
+		}
+		for j := range c.vari[ci] {
+			c.vari[ci][j] /= float64(len(rows))
+			// Variance floor keeps the likelihood finite for features
+			// that are near-constant within a class.
+			if c.vari[ci][j] < 1e-6 {
+				c.vari[ci][j] = 1e-6
+			}
+		}
+		c.prior[ci] = 1 / float64(len(classes))
+	}
+	return c, nil
+}
+
+// headFromTrace converts the first packets of a synthetic trace into
+// flow-table packet metadata.
+func headFromTrace(tr traffic.Trace, headCap int) []flows.PacketMeta {
+	n := headCap
+	if n > len(tr.Packets) {
+		n = len(tr.Packets)
+	}
+	head := make([]flows.PacketMeta, n)
+	for i := 0; i < n; i++ {
+		p := tr.Packets[i]
+		head[i] = flows.PacketMeta{Time: p.TimeSec, Bytes: p.Bytes, Up: p.Up}
+	}
+	return head
+}
+
+// Classify returns the most likely class for the feature vector and
+// the posterior probability of that class.
+func (c *Classifier) Classify(features []float64) (excr.AppClass, float64, error) {
+	if len(features) != NumFeatures {
+		return 0, 0, fmt.Errorf("flowclass: got %d features, want %d", len(features), NumFeatures)
+	}
+	logp := make([]float64, len(c.classes))
+	for ci := range c.classes {
+		lp := math.Log(c.prior[ci])
+		for j, v := range features {
+			m, s2 := c.mean[ci][j], c.vari[ci][j]
+			lp += -0.5*math.Log(2*math.Pi*s2) - (v-m)*(v-m)/(2*s2)
+		}
+		logp[ci] = lp
+	}
+	best := 0
+	for ci := range logp {
+		if logp[ci] > logp[best] {
+			best = ci
+		}
+	}
+	// Posterior via log-sum-exp.
+	var denom float64
+	for _, lp := range logp {
+		denom += math.Exp(lp - logp[best])
+	}
+	return c.classes[best], 1 / denom, nil
+}
+
+// ClassifyFlow extracts features from the flow's head and classifies
+// it.
+func (c *Classifier) ClassifyFlow(f *flows.Flow) (excr.AppClass, float64, error) {
+	feats, err := Features(f.Head)
+	if err != nil {
+		return 0, 0, err
+	}
+	return c.Classify(feats)
+}
+
+// PortHint returns a class guess from the server port for well-known
+// services, and whether the port is recognized. Real deployments use
+// it to shortcut classification for unambiguous services.
+func PortHint(dstPort uint16) (excr.AppClass, bool) {
+	switch dstPort {
+	case 80, 443, 8080:
+		return excr.Web, true
+	case 1935, 8443: // RTMP, streaming CDN alt
+		return excr.Streaming, true
+	case 3478, 19302, 19305: // STUN/TURN, Google Meet/Hangouts media
+		return excr.Conferencing, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,143 @@
+package flowclass
+
+import (
+	"testing"
+
+	"exbox/internal/excr"
+	"exbox/internal/flows"
+	"exbox/internal/mathx"
+	"exbox/internal/traffic"
+)
+
+func allClasses() []excr.AppClass {
+	return []excr.AppClass{excr.Web, excr.Streaming, excr.Conferencing}
+}
+
+func TestFeaturesValidation(t *testing.T) {
+	if _, err := Features(nil); err == nil {
+		t.Fatal("expected error for empty head")
+	}
+	if _, err := Features([]flows.PacketMeta{{Time: 1, Bytes: 10}}); err == nil {
+		t.Fatal("expected error for single packet")
+	}
+	f, err := Features([]flows.PacketMeta{
+		{Time: 1, Bytes: 300, Up: true},
+		{Time: 1.1, Bytes: 1400},
+		{Time: 1.15, Bytes: 1400},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f) != NumFeatures {
+		t.Fatalf("feature dim = %d, want %d", len(f), NumFeatures)
+	}
+	// Up fraction = 1/3, down share near 0.9.
+	if f[0] < 0.3 || f[0] > 0.35 {
+		t.Fatalf("up fraction = %v", f[0])
+	}
+	if f[6] < 0.85 || f[6] > 0.95 {
+		t.Fatalf("down share = %v", f[6])
+	}
+}
+
+func TestFeaturesAllUp(t *testing.T) {
+	// No downlink packets must not divide by zero.
+	f, err := Features([]flows.PacketMeta{
+		{Time: 1, Bytes: 100, Up: true},
+		{Time: 2, Bytes: 100, Up: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f[1] != 0 || f[2] != 0 || f[6] != 0 {
+		t.Fatalf("downlink features should be zero: %v", f)
+	}
+}
+
+func TestTrainAndClassifyAccuracy(t *testing.T) {
+	rng := mathx.NewRand(1)
+	c, err := Train(allClasses(), 60, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Held-out flows.
+	correct, total := 0, 0
+	eval := mathx.NewRand(2)
+	for _, class := range allClasses() {
+		for i := 0; i < 40; i++ {
+			tr := traffic.Synthesize(class, 12, eval)
+			head := headFromTrace(tr, 10)
+			got, conf, err := c.ClassifyFlow(&flows.Flow{Head: head})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if conf <= 0 || conf > 1+1e-9 {
+				t.Fatalf("posterior out of range: %v", conf)
+			}
+			if got == class {
+				correct++
+			}
+			total++
+		}
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.9 {
+		t.Fatalf("classification accuracy = %v, want >= 0.9", acc)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	rng := mathx.NewRand(3)
+	if _, err := Train(nil, 10, 10, rng); err == nil {
+		t.Fatal("expected error for no classes")
+	}
+	if _, err := Train(allClasses(), 1, 10, rng); err == nil {
+		t.Fatal("expected error for too few flows")
+	}
+}
+
+func TestClassifyValidation(t *testing.T) {
+	rng := mathx.NewRand(4)
+	c, err := Train(allClasses(), 20, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Classify([]float64{1, 2}); err == nil {
+		t.Fatal("expected error for wrong feature dim")
+	}
+	if _, _, err := c.ClassifyFlow(&flows.Flow{}); err == nil {
+		t.Fatal("expected error for empty flow head")
+	}
+}
+
+func TestPortHint(t *testing.T) {
+	if c, ok := PortHint(443); !ok || c != excr.Web {
+		t.Fatal("443 should hint web")
+	}
+	if c, ok := PortHint(19302); !ok || c != excr.Conferencing {
+		t.Fatal("19302 should hint conferencing")
+	}
+	if c, ok := PortHint(1935); !ok || c != excr.Streaming {
+		t.Fatal("1935 should hint streaming")
+	}
+	if _, ok := PortHint(22); ok {
+		t.Fatal("22 should not be recognized")
+	}
+}
+
+func TestTrainingDeterministic(t *testing.T) {
+	a, err := Train(allClasses(), 30, 10, mathx.NewRand(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(allClasses(), 30, 10, mathx.NewRand(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, _ := Features(headFromTrace(traffic.Synthesize(excr.Web, 12, mathx.NewRand(6)), 10))
+	ca, pa, _ := a.Classify(probe)
+	cb, pb, _ := b.Classify(probe)
+	if ca != cb || pa != pb {
+		t.Fatal("same seed should give same classifier")
+	}
+}

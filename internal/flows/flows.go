@@ -1,0 +1,198 @@
+// Package flows provides the middlebox-side flow abstraction: 5-tuple
+// keys, per-flow packet accounting, and a flow table with idle expiry.
+// The live gateway (cmd/exboxd and examples/livegateway) builds on it,
+// and the flow classifier consumes the first-packets window it keeps.
+//
+// The design follows the usual middlebox pattern: a flow must be
+// observed briefly before an admission decision can be made, because
+// traffic classification needs the first few packets (Section 4.2 of
+// the paper).
+package flows
+
+import (
+	"fmt"
+	"sort"
+
+	"exbox/internal/excr"
+)
+
+// Proto is an IP protocol number; only TCP and UDP appear here.
+type Proto uint8
+
+// Common transport protocols.
+const (
+	TCP Proto = 6
+	UDP Proto = 17
+)
+
+// String implements fmt.Stringer.
+func (p Proto) String() string {
+	switch p {
+	case TCP:
+		return "tcp"
+	case UDP:
+		return "udp"
+	default:
+		return fmt.Sprintf("proto%d", uint8(p))
+	}
+}
+
+// Key is a directed flow 5-tuple. The convention is client→server:
+// Src identifies the mobile device, Dst the remote service.
+type Key struct {
+	Src, Dst         string // IP addresses (opaque strings)
+	SrcPort, DstPort uint16
+	Proto            Proto
+}
+
+// String implements fmt.Stringer.
+func (k Key) String() string {
+	return fmt.Sprintf("%s:%d->%s:%d/%s", k.Src, k.SrcPort, k.Dst, k.DstPort, k.Proto)
+}
+
+// Reverse returns the opposite direction's key, used to fold both
+// directions of a connection into one flow record.
+func (k Key) Reverse() Key {
+	return Key{Src: k.Dst, Dst: k.Src, SrcPort: k.DstPort, DstPort: k.SrcPort, Proto: k.Proto}
+}
+
+// PacketMeta is the per-packet information the gateway records: no
+// payload, matching the paper's note that classification works on
+// encrypted traffic.
+type PacketMeta struct {
+	Time  float64 // seconds
+	Bytes int
+	Up    bool // client→server direction
+}
+
+// Flow is the table's per-flow record.
+type Flow struct {
+	Key  Key
+	SNR  excr.SNRLevel // wireless link quality of the client, as reported by the AP/eNodeB
+	Head []PacketMeta  // first packets, capped at the table's HeadCap
+
+	Packets   int
+	Bytes     int
+	FirstSeen float64
+	LastSeen  float64
+
+	// Class is valid once Classified is true.
+	Class      excr.AppClass
+	Classified bool
+	// Admitted reports the middlebox's decision for this flow.
+	Admitted bool
+	Decided  bool
+}
+
+// ReadyToClassify reports whether enough of the flow's head has been
+// seen for the classifier to run (headCap packets, or any packets plus
+// silence — the table resolves the silence case during Expire).
+func (f *Flow) ReadyToClassify(headCap int) bool {
+	return !f.Classified && len(f.Head) >= headCap
+}
+
+// Table tracks active flows at the gateway.
+type Table struct {
+	// HeadCap is how many leading packets are retained per flow for
+	// classification.
+	HeadCap int
+	// IdleTimeout expires flows with no traffic for this many seconds.
+	IdleTimeout float64
+
+	flows map[Key]*Flow
+}
+
+// NewTable returns a table keeping headCap packets per flow and
+// expiring flows idle longer than idleTimeout seconds.
+func NewTable(headCap int, idleTimeout float64) *Table {
+	if headCap <= 0 {
+		headCap = 10
+	}
+	if idleTimeout <= 0 {
+		idleTimeout = 60
+	}
+	return &Table{HeadCap: headCap, IdleTimeout: idleTimeout, flows: make(map[Key]*Flow)}
+}
+
+// Len returns the number of tracked flows.
+func (t *Table) Len() int { return len(t.flows) }
+
+// Get returns the flow for the key (or its reverse), or nil.
+func (t *Table) Get(k Key) *Flow {
+	if f, ok := t.flows[k]; ok {
+		return f
+	}
+	if f, ok := t.flows[k.Reverse()]; ok {
+		return f
+	}
+	return nil
+}
+
+// Observe accounts one packet to its flow, creating the flow on first
+// sight. The returned flow is the live record (not a copy). A packet
+// arriving on the reverse key is folded into the same flow with Up
+// flipped.
+func (t *Table) Observe(k Key, p PacketMeta) *Flow {
+	f, ok := t.flows[k]
+	if !ok {
+		if rf, rok := t.flows[k.Reverse()]; rok {
+			f = rf
+			p.Up = !p.Up
+		} else {
+			f = &Flow{Key: k, FirstSeen: p.Time, LastSeen: p.Time}
+			t.flows[k] = f
+		}
+	}
+	f.Packets++
+	f.Bytes += p.Bytes
+	if p.Time > f.LastSeen {
+		f.LastSeen = p.Time
+	}
+	if len(f.Head) < t.HeadCap {
+		f.Head = append(f.Head, p)
+	}
+	return f
+}
+
+// Expire removes and returns flows idle past the timeout at time now,
+// sorted by first-seen time for deterministic processing.
+func (t *Table) Expire(now float64) []*Flow {
+	var out []*Flow
+	for k, f := range t.flows {
+		if now-f.LastSeen >= t.IdleTimeout {
+			out = append(out, f)
+			delete(t.flows, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FirstSeen < out[j].FirstSeen })
+	return out
+}
+
+// Active returns the live flows sorted by first-seen time.
+func (t *Table) Active() []*Flow {
+	out := make([]*Flow, 0, len(t.flows))
+	for _, f := range t.flows {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FirstSeen < out[j].FirstSeen })
+	return out
+}
+
+// Matrix summarizes the admitted, classified flows as a traffic matrix
+// over the space — the X the Admittance Classifier conditions on.
+func (t *Table) Matrix(space excr.Space) excr.Matrix {
+	m := excr.NewMatrix(space)
+	for _, f := range t.flows {
+		if !f.Classified || !f.Decided || !f.Admitted {
+			continue
+		}
+		lvl := f.SNR
+		if space.Levels == 1 {
+			lvl = 0
+		}
+		if int(f.Class) < space.Classes && int(lvl) < space.Levels {
+			m = m.Inc(f.Class, lvl)
+		}
+	}
+	return m
+}

@@ -1,0 +1,178 @@
+package flows
+
+import (
+	"testing"
+
+	"exbox/internal/excr"
+)
+
+func key() Key {
+	return Key{Src: "10.0.0.2", Dst: "93.184.216.34", SrcPort: 41000, DstPort: 443, Proto: TCP}
+}
+
+func TestKeyStringAndReverse(t *testing.T) {
+	k := key()
+	if k.String() != "10.0.0.2:41000->93.184.216.34:443/tcp" {
+		t.Fatalf("String = %q", k.String())
+	}
+	r := k.Reverse()
+	if r.Src != k.Dst || r.SrcPort != k.DstPort || r.Proto != k.Proto {
+		t.Fatalf("Reverse wrong: %+v", r)
+	}
+	if r.Reverse() != k {
+		t.Fatal("double reverse should round trip")
+	}
+	if UDP.String() != "udp" || Proto(99).String() != "proto99" {
+		t.Fatal("Proto strings wrong")
+	}
+}
+
+func TestObserveCreatesAndAccounts(t *testing.T) {
+	tab := NewTable(3, 30)
+	f := tab.Observe(key(), PacketMeta{Time: 1, Bytes: 100, Up: true})
+	if tab.Len() != 1 || f.Packets != 1 || f.Bytes != 100 {
+		t.Fatalf("flow state wrong: %+v", f)
+	}
+	tab.Observe(key(), PacketMeta{Time: 1.1, Bytes: 200})
+	tab.Observe(key(), PacketMeta{Time: 1.2, Bytes: 300})
+	tab.Observe(key(), PacketMeta{Time: 1.3, Bytes: 400})
+	if f.Packets != 4 || f.Bytes != 1000 {
+		t.Fatalf("accounting wrong: %+v", f)
+	}
+	if len(f.Head) != 3 {
+		t.Fatalf("head should cap at 3, got %d", len(f.Head))
+	}
+	if f.FirstSeen != 1 || f.LastSeen != 1.3 {
+		t.Fatalf("times wrong: %+v", f)
+	}
+}
+
+func TestObserveFoldsReverseDirection(t *testing.T) {
+	tab := NewTable(10, 30)
+	up := tab.Observe(key(), PacketMeta{Time: 1, Bytes: 100, Up: true})
+	down := tab.Observe(key().Reverse(), PacketMeta{Time: 1.05, Bytes: 1400, Up: true})
+	if up != down {
+		t.Fatal("reverse packets should fold into one flow")
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("table should hold one flow, got %d", tab.Len())
+	}
+	// The reverse packet's direction must be flipped.
+	if up.Head[1].Up {
+		t.Fatal("reverse packet should be recorded as downlink")
+	}
+	if got := tab.Get(key().Reverse()); got != up {
+		t.Fatal("Get should find the flow by reverse key")
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	tab := NewTable(10, 30)
+	if tab.Get(key()) != nil {
+		t.Fatal("missing flow should be nil")
+	}
+}
+
+func TestExpire(t *testing.T) {
+	tab := NewTable(10, 10)
+	tab.Observe(key(), PacketMeta{Time: 0, Bytes: 100})
+	k2 := key()
+	k2.SrcPort = 50000
+	tab.Observe(k2, PacketMeta{Time: 8, Bytes: 100})
+	gone := tab.Expire(12)
+	if len(gone) != 1 || gone[0].Key.SrcPort != 41000 {
+		t.Fatalf("expire wrong: %v", gone)
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("table should keep the fresh flow, len=%d", tab.Len())
+	}
+	// Sorted output with several expiring flows.
+	tab2 := NewTable(10, 1)
+	for i := 0; i < 5; i++ {
+		k := key()
+		k.SrcPort = uint16(40000 + i)
+		tab2.Observe(k, PacketMeta{Time: float64(5 - i), Bytes: 10})
+	}
+	gone = tab2.Expire(100)
+	for i := 1; i < len(gone); i++ {
+		if gone[i].FirstSeen < gone[i-1].FirstSeen {
+			t.Fatal("Expire output not sorted")
+		}
+	}
+}
+
+func TestActiveSorted(t *testing.T) {
+	tab := NewTable(10, 30)
+	for i := 0; i < 4; i++ {
+		k := key()
+		k.SrcPort = uint16(40000 + i)
+		tab.Observe(k, PacketMeta{Time: float64(4 - i), Bytes: 10})
+	}
+	act := tab.Active()
+	if len(act) != 4 {
+		t.Fatalf("Active len = %d", len(act))
+	}
+	for i := 1; i < len(act); i++ {
+		if act[i].FirstSeen < act[i-1].FirstSeen {
+			t.Fatal("Active not sorted")
+		}
+	}
+}
+
+func TestMatrixCountsOnlyAdmittedClassified(t *testing.T) {
+	tab := NewTable(10, 30)
+	mk := func(port uint16) *Flow {
+		k := key()
+		k.SrcPort = port
+		return tab.Observe(k, PacketMeta{Time: 1, Bytes: 10})
+	}
+	a := mk(1) // classified + admitted: counted
+	a.Class, a.Classified, a.Admitted, a.Decided = excr.Web, true, true, true
+	b := mk(2) // not yet decided: not counted
+	b.Class, b.Classified = excr.Streaming, true
+	c := mk(3) // rejected: not counted
+	c.Class, c.Classified, c.Decided, c.Admitted = excr.Conferencing, true, true, false
+	d := mk(4) // admitted at low SNR in a mixed space
+	d.Class, d.Classified, d.Admitted, d.Decided = excr.Streaming, true, true, true
+	d.SNR = excr.SNRLow
+
+	m := tab.Matrix(excr.MixedSNRSpace)
+	if m.Total() != 2 {
+		t.Fatalf("matrix total = %d, want 2 (%v)", m.Total(), m)
+	}
+	if m.Get(excr.Web, excr.SNRLow) != 1 { // a.SNR zero value = low
+		t.Fatalf("web count wrong: %v", m)
+	}
+	if m.Get(excr.Streaming, excr.SNRLow) != 1 {
+		t.Fatalf("streaming count wrong: %v", m)
+	}
+	// Single-level space folds SNR.
+	m1 := tab.Matrix(excr.DefaultSpace)
+	if m1.Total() != 2 {
+		t.Fatalf("single-level total = %d", m1.Total())
+	}
+}
+
+func TestReadyToClassify(t *testing.T) {
+	tab := NewTable(3, 30)
+	f := tab.Observe(key(), PacketMeta{Time: 1, Bytes: 10})
+	if f.ReadyToClassify(3) {
+		t.Fatal("1 packet should not be ready")
+	}
+	tab.Observe(key(), PacketMeta{Time: 1.1, Bytes: 10})
+	tab.Observe(key(), PacketMeta{Time: 1.2, Bytes: 10})
+	if !f.ReadyToClassify(3) {
+		t.Fatal("3 packets should be ready")
+	}
+	f.Classified = true
+	if f.ReadyToClassify(3) {
+		t.Fatal("already classified flow should not re-classify")
+	}
+}
+
+func TestNewTableDefaults(t *testing.T) {
+	tab := NewTable(0, 0)
+	if tab.HeadCap != 10 || tab.IdleTimeout != 60 {
+		t.Fatalf("defaults wrong: %+v", tab)
+	}
+}

@@ -1,0 +1,187 @@
+// Package iqx implements the IQX hypothesis of Fiedler, Hossfeld and
+// Tran-Gia — "a generic quantitative relationship between quality of
+// experience and quality of service" — used by ExBox's QoE Estimator:
+//
+//	QoE = α + β·exp(−γ·QoS)
+//
+// Each application class gets its own fitted (α, β, γ). The package
+// provides evaluation, inversion, and least-squares fitting from
+// (QoS, QoE) observations collected on a training device, via
+// Gauss-Newton with Levenberg-style damping and a multistart grid over
+// γ to escape the model's flat regions.
+package iqx
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"exbox/internal/mathx"
+)
+
+// Model holds fitted IQX parameters for one application class.
+type Model struct {
+	Alpha float64 // asymptotic QoE as QoS → ∞
+	Beta  float64 // QoE swing: Model at QoS=0 is Alpha+Beta
+	Gamma float64 // sensitivity of QoE to QoS
+}
+
+// Eval returns the modeled QoE at the given scalar QoS.
+func (m Model) Eval(qos float64) float64 {
+	return m.Alpha + m.Beta*math.Exp(-m.Gamma*qos)
+}
+
+// Invert returns the QoS at which the model crosses the given QoE, or
+// an error when the target lies outside the model's range. It is used
+// to translate administrator QoE thresholds into QoS thresholds.
+func (m Model) Invert(qoe float64) (float64, error) {
+	if m.Beta == 0 || m.Gamma == 0 {
+		return 0, errors.New("iqx: model is constant, cannot invert")
+	}
+	ratio := (qoe - m.Alpha) / m.Beta
+	if ratio <= 0 {
+		return 0, fmt.Errorf("iqx: QoE %v unreachable (asymptote %v)", qoe, m.Alpha)
+	}
+	return -math.Log(ratio) / m.Gamma, nil
+}
+
+// Decreasing reports whether higher QoS improves the metric by
+// lowering it (true for delay-like QoE metrics such as page load time
+// or startup delay, where β > 0) as opposed to raising it (PSNR-like,
+// β < 0).
+func (m Model) Decreasing() bool { return m.Beta > 0 }
+
+// String renders the model for logs and EXPERIMENTS.md.
+func (m Model) String() string {
+	return fmt.Sprintf("QoE = %.4g + %.4g·exp(−%.4g·QoS)", m.Alpha, m.Beta, m.Gamma)
+}
+
+// FitResult bundles a fitted model with its goodness of fit.
+type FitResult struct {
+	Model Model
+	RMSE  float64
+}
+
+// Fit estimates (α, β, γ) from paired observations by nonlinear least
+// squares. For each candidate γ on a log grid, the conditionally linear
+// parameters (α, β) are solved in closed form; the best candidate then
+// seeds a damped Gauss-Newton refinement over all three parameters.
+//
+// At least three distinct QoS values are required.
+func Fit(qos, qoe []float64) (FitResult, error) {
+	if len(qos) != len(qoe) {
+		return FitResult{}, fmt.Errorf("iqx: %d QoS values but %d QoE values", len(qos), len(qoe))
+	}
+	if len(qos) < 3 {
+		return FitResult{}, errors.New("iqx: need at least 3 observations")
+	}
+	distinct := map[float64]struct{}{}
+	for _, q := range qos {
+		distinct[q] = struct{}{}
+	}
+	if len(distinct) < 3 {
+		return FitResult{}, errors.New("iqx: need at least 3 distinct QoS values")
+	}
+
+	span := mathx.Max(qos) - mathx.Min(qos)
+	if span <= 0 {
+		return FitResult{}, errors.New("iqx: QoS values have no spread")
+	}
+
+	best := FitResult{RMSE: math.Inf(1)}
+	// γ grid: decay lengths from 100× the span down to 1/100 of it.
+	for _, g := range mathx.Linspace(-2, 2, 41) {
+		gamma := math.Pow(10, g) / span
+		alpha, beta, ok := linearFit(qos, qoe, gamma)
+		if !ok {
+			continue
+		}
+		cand := Model{Alpha: alpha, Beta: beta, Gamma: gamma}
+		if r := rmse(cand, qos, qoe); r < best.RMSE {
+			best = FitResult{Model: cand, RMSE: r}
+		}
+	}
+	if math.IsInf(best.RMSE, 1) {
+		return FitResult{}, errors.New("iqx: no viable starting point")
+	}
+	refined := gaussNewton(best.Model, qos, qoe)
+	if r := rmse(refined, qos, qoe); r < best.RMSE {
+		best = FitResult{Model: refined, RMSE: r}
+	}
+	return best, nil
+}
+
+// linearFit solves for (α, β) given a fixed γ.
+func linearFit(qos, qoe []float64, gamma float64) (alpha, beta float64, ok bool) {
+	rows := make([][]float64, len(qos))
+	for i, q := range qos {
+		rows[i] = []float64{1, math.Exp(-gamma * q)}
+	}
+	coef, err := mathx.LeastSquares(rows, qoe)
+	if err != nil {
+		return 0, 0, false
+	}
+	return coef[0], coef[1], true
+}
+
+func rmse(m Model, qos, qoe []float64) float64 {
+	pred := make([]float64, len(qos))
+	for i, q := range qos {
+		pred[i] = m.Eval(q)
+	}
+	return mathx.RMSE(pred, qoe)
+}
+
+// gaussNewton refines the model with a damped Gauss-Newton iteration on
+// the residuals r_i = m(qos_i) − qoe_i.
+func gaussNewton(m Model, qos, qoe []float64) Model {
+	lambda := 1e-3
+	cur := m
+	curErr := rmse(cur, qos, qoe)
+	for iter := 0; iter < 100; iter++ {
+		// Jacobian: ∂r/∂α = 1, ∂r/∂β = e^{−γq}, ∂r/∂γ = −β q e^{−γq}.
+		jtj := make([][]float64, 3)
+		for i := range jtj {
+			jtj[i] = make([]float64, 3)
+		}
+		jtr := make([]float64, 3)
+		for i, q := range qos {
+			e := math.Exp(-cur.Gamma * q)
+			j := [3]float64{1, e, -cur.Beta * q * e}
+			r := cur.Eval(q) - qoe[i]
+			for a := 0; a < 3; a++ {
+				jtr[a] += j[a] * r
+				for b := 0; b < 3; b++ {
+					jtj[a][b] += j[a] * j[b]
+				}
+			}
+		}
+		for a := 0; a < 3; a++ {
+			jtj[a][a] *= 1 + lambda
+		}
+		step, err := mathx.SolveLinear(jtj, jtr)
+		if err != nil {
+			break
+		}
+		next := Model{
+			Alpha: cur.Alpha - step[0],
+			Beta:  cur.Beta - step[1],
+			Gamma: cur.Gamma - step[2],
+		}
+		nextErr := rmse(next, qos, qoe)
+		if math.IsNaN(nextErr) || nextErr >= curErr {
+			lambda *= 10
+			if lambda > 1e8 {
+				break
+			}
+			continue
+		}
+		improvement := curErr - nextErr
+		cur, curErr = next, nextErr
+		lambda = math.Max(lambda/10, 1e-12)
+		if improvement < 1e-10*(1+curErr) {
+			break
+		}
+	}
+	return cur
+}

@@ -1,0 +1,208 @@
+package iqx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"exbox/internal/mathx"
+)
+
+func TestEval(t *testing.T) {
+	m := Model{Alpha: 1, Beta: 9, Gamma: 2}
+	if got := m.Eval(0); got != 10 {
+		t.Fatalf("Eval(0) = %v, want 10", got)
+	}
+	if got := m.Eval(1000); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("Eval(∞) = %v, want → 1", got)
+	}
+}
+
+func TestInvert(t *testing.T) {
+	m := Model{Alpha: 1, Beta: 9, Gamma: 2}
+	q, err := m.Invert(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Eval(q); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("Eval(Invert(5)) = %v", got)
+	}
+	if _, err := m.Invert(0.5); err == nil {
+		t.Fatal("expected error below asymptote")
+	}
+	if _, err := (Model{Alpha: 1}).Invert(1); err == nil {
+		t.Fatal("expected error for constant model")
+	}
+}
+
+func TestDecreasing(t *testing.T) {
+	if !(Model{Beta: 3}).Decreasing() {
+		t.Fatal("positive beta should be Decreasing")
+	}
+	if (Model{Beta: -3}).Decreasing() {
+		t.Fatal("negative beta should not be Decreasing")
+	}
+}
+
+func TestString(t *testing.T) {
+	if (Model{Alpha: 1, Beta: 2, Gamma: 3}).String() == "" {
+		t.Fatal("String should be non-empty")
+	}
+}
+
+func TestFitRecoversExactModel(t *testing.T) {
+	truth := Model{Alpha: 2, Beta: 12, Gamma: 0.8}
+	qos := mathx.Linspace(0, 10, 40)
+	qoe := make([]float64, len(qos))
+	for i, q := range qos {
+		qoe[i] = truth.Eval(q)
+	}
+	res, err := Fit(qos, qoe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RMSE > 1e-6 {
+		t.Fatalf("RMSE = %v on noiseless data, want ~0 (model %v)", res.RMSE, res.Model)
+	}
+	if math.Abs(res.Model.Alpha-truth.Alpha) > 1e-3 ||
+		math.Abs(res.Model.Beta-truth.Beta) > 1e-3 ||
+		math.Abs(res.Model.Gamma-truth.Gamma) > 1e-3 {
+		t.Fatalf("recovered %v, want %v", res.Model, truth)
+	}
+}
+
+func TestFitNegativeBeta(t *testing.T) {
+	// PSNR-like metric: grows with QoS toward an asymptote.
+	truth := Model{Alpha: 35, Beta: -30, Gamma: 1.5}
+	qos := mathx.Linspace(0, 5, 30)
+	qoe := make([]float64, len(qos))
+	for i, q := range qos {
+		qoe[i] = truth.Eval(q)
+	}
+	res, err := Fit(qos, qoe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RMSE > 1e-5 {
+		t.Fatalf("RMSE = %v, model %v", res.RMSE, res.Model)
+	}
+	if res.Model.Decreasing() {
+		t.Fatal("fit should preserve increasing QoE shape")
+	}
+}
+
+func TestFitWithNoise(t *testing.T) {
+	truth := Model{Alpha: 1, Beta: 10, Gamma: 0.5}
+	rng := mathx.NewRand(3)
+	var qos, qoe []float64
+	for i := 0; i < 200; i++ {
+		q := rng.Float64() * 12
+		qos = append(qos, q)
+		qoe = append(qoe, truth.Eval(q)+rng.NormFloat64()*0.4)
+	}
+	res, err := Fit(qos, qoe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RMSE > 0.6 {
+		t.Fatalf("noisy RMSE = %v, want <= 0.6", res.RMSE)
+	}
+	// Parameters should land near the truth despite noise.
+	if math.Abs(res.Model.Alpha-truth.Alpha) > 0.5 ||
+		math.Abs(res.Model.Gamma-truth.Gamma) > 0.3 {
+		t.Fatalf("fit %v too far from truth %v", res.Model, truth)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("expected error for length mismatch")
+	}
+	if _, err := Fit([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Fatal("expected error for too few points")
+	}
+	if _, err := Fit([]float64{1, 1, 1, 1}, []float64{1, 2, 3, 4}); err == nil {
+		t.Fatal("expected error for no distinct QoS")
+	}
+}
+
+func TestFitConstantData(t *testing.T) {
+	// Flat QoE: fit should succeed with β ≈ 0 and near-zero RMSE.
+	qos := mathx.Linspace(0, 10, 20)
+	qoe := make([]float64, len(qos))
+	for i := range qoe {
+		qoe[i] = 5
+	}
+	res, err := Fit(qos, qoe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RMSE > 1e-8 {
+		t.Fatalf("flat-data RMSE = %v", res.RMSE)
+	}
+	if math.Abs(res.Model.Eval(3)-5) > 1e-6 {
+		t.Fatalf("flat fit evaluates to %v", res.Model.Eval(3))
+	}
+}
+
+// Property: fitted model never has larger RMSE than the best grid
+// candidate would, and round-tripping Eval∘Invert is the identity in
+// the reachable range.
+func TestQuickFitInvertRoundTrip(t *testing.T) {
+	rng := mathx.NewRand(5)
+	f := func() bool {
+		truth := Model{
+			Alpha: rng.Float64() * 10,
+			Beta:  1 + rng.Float64()*20,
+			Gamma: 0.1 + rng.Float64()*2,
+		}
+		qos := mathx.Linspace(0, 8, 25)
+		qoe := make([]float64, len(qos))
+		for i, q := range qos {
+			qoe[i] = truth.Eval(q)
+		}
+		res, err := Fit(qos, qoe)
+		if err != nil || res.RMSE > 1e-4 {
+			return false
+		}
+		m := res.Model
+		for _, q := range []float64{0.5, 2, 5} {
+			v := m.Eval(q)
+			back, err := m.Invert(v)
+			if err != nil || math.Abs(back-q) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Eval is monotone in QoS (direction given by sign of beta).
+func TestQuickEvalMonotone(t *testing.T) {
+	rng := mathx.NewRand(6)
+	f := func() bool {
+		m := Model{
+			Alpha: rng.NormFloat64() * 5,
+			Beta:  rng.NormFloat64() * 10,
+			Gamma: rng.Float64() * 3,
+		}
+		prev := m.Eval(0)
+		for q := 0.2; q <= 10; q += 0.2 {
+			v := m.Eval(q)
+			if m.Beta > 0 && v > prev+1e-12 {
+				return false
+			}
+			if m.Beta < 0 && v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

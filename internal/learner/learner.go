@@ -1,0 +1,136 @@
+// Package learner abstracts the supervised binary learner behind
+// ExBox's Admittance Classifier. The paper notes the learning
+// technique "is not central to the concept of ExBox and can be
+// implemented as a separate module that can be refined as needed";
+// this package is that module boundary: SVM (the paper's choice) and
+// a CART decision tree both satisfy Learner, and the classifier takes
+// whichever it is configured with.
+package learner
+
+import (
+	"errors"
+	"math/rand"
+
+	"exbox/internal/dtree"
+	"exbox/internal/svm"
+)
+
+// Predictor is a trained binary classifier. Decision returns a signed
+// score: >= 0 means the positive (+1, admissible) class, and the
+// magnitude orders confidence.
+type Predictor interface {
+	Decision(row []float64) float64
+}
+
+// Learner trains Predictors from labeled rows (labels in {-1, +1}).
+type Learner interface {
+	Train(x [][]float64, y []float64) (Predictor, error)
+	Name() string
+}
+
+// ErrOneClass is returned by Train when the labels contain a single
+// class, making the problem unlearnable for now.
+var ErrOneClass = errors.New("learner: training data contains a single class")
+
+// SVM adapts internal/svm to the Learner interface.
+type SVM struct {
+	Config svm.Config
+}
+
+// Name implements Learner.
+func (s SVM) Name() string { return "svm-" + s.Config.Kernel.String() }
+
+// Train implements Learner.
+func (s SVM) Train(x [][]float64, y []float64) (Predictor, error) {
+	m, err := svm.Train(s.Config, x, y)
+	if errors.Is(err, svm.ErrOneClass) {
+		return nil, ErrOneClass
+	}
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Tree adapts internal/dtree to the Learner interface.
+type Tree struct {
+	Config dtree.Config
+}
+
+// Name implements Learner.
+func (t Tree) Name() string { return "dtree" }
+
+// Train implements Learner.
+func (t Tree) Train(x [][]float64, y []float64) (Predictor, error) {
+	m, err := dtree.Train(t.Config, x, y)
+	if errors.Is(err, dtree.ErrOneClass) {
+		return nil, ErrOneClass
+	}
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// CrossValidate estimates generalization accuracy of the learner by
+// n-fold cross validation, mirroring svm.CrossValidate but for any
+// Learner. Folds whose training split collapses to one class are
+// scored by majority-class prediction.
+func CrossValidate(l Learner, x [][]float64, y []float64, folds int, rng *rand.Rand) (float64, error) {
+	if folds < 2 {
+		return 0, errors.New("learner: cross validation needs at least 2 folds")
+	}
+	if len(x) != len(y) {
+		return 0, errors.New("learner: rows/labels mismatch")
+	}
+	if len(x) < folds {
+		return 0, errors.New("learner: fewer samples than folds")
+	}
+	idx := rng.Perm(len(x))
+
+	var correct, total int
+	for f := 0; f < folds; f++ {
+		var trainX, testX [][]float64
+		var trainY, testY []float64
+		for pos, i := range idx {
+			if pos%folds == f {
+				testX = append(testX, x[i])
+				testY = append(testY, y[i])
+			} else {
+				trainX = append(trainX, x[i])
+				trainY = append(trainY, y[i])
+			}
+		}
+		p, err := l.Train(trainX, trainY)
+		if errors.Is(err, ErrOneClass) {
+			cls := 1.0
+			if len(trainY) > 0 {
+				cls = trainY[0]
+			}
+			for _, yt := range testY {
+				if yt == cls {
+					correct++
+				}
+				total++
+			}
+			continue
+		}
+		if err != nil {
+			return 0, err
+		}
+		for i, row := range testX {
+			pred := -1.0
+			if p.Decision(row) >= 0 {
+				pred = 1
+			}
+			if pred == testY[i] {
+				correct++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return 0, errors.New("learner: empty folds")
+	}
+	return float64(correct) / float64(total), nil
+}

@@ -1,0 +1,106 @@
+package mathx
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a linear system has no unique solution.
+var ErrSingular = errors.New("mathx: singular system")
+
+// SolveLinear solves the square linear system A·x = b using Gaussian
+// elimination with partial pivoting. A and b are not modified.
+// It returns ErrSingular when the pivot collapses below a small
+// tolerance, which in this codebase indicates a degenerate fit (for
+// example an IQX Jacobian with no curvature left).
+func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, fmt.Errorf("mathx: SolveLinear wants square system, got %dx? with b of %d", n, len(b))
+	}
+	// Work on copies: callers reuse their matrices across iterations.
+	m := make([][]float64, n)
+	for i := range m {
+		if len(a[i]) != n {
+			return nil, fmt.Errorf("mathx: SolveLinear row %d has %d columns, want %d", i, len(a[i]), n)
+		}
+		m[i] = Clone(a[i])
+	}
+	x := Clone(b)
+
+	const tiny = 1e-12
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(m[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m[r][col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < tiny {
+			return nil, ErrSingular
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		x[col], x[pivot] = x[pivot], x[col]
+
+		inv := 1 / m[col][col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for col := n - 1; col >= 0; col-- {
+		s := x[col]
+		for c := col + 1; c < n; c++ {
+			s -= m[col][c] * x[c]
+		}
+		x[col] = s / m[col][col]
+	}
+	return x, nil
+}
+
+// LeastSquares solves the overdetermined system X·beta ≈ y in the
+// least-squares sense via the normal equations XᵀX·beta = Xᵀy.
+// Each row of x is one observation. The normal-equation route is fine
+// here because every design matrix in this repository is tiny (2–4
+// parameters) and well scaled.
+func LeastSquares(x [][]float64, y []float64) ([]float64, error) {
+	if len(x) == 0 {
+		return nil, errors.New("mathx: LeastSquares with no rows")
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("mathx: LeastSquares rows %d != observations %d", len(x), len(y))
+	}
+	p := len(x[0])
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p)
+	}
+	xty := make([]float64, p)
+	for r, row := range x {
+		if len(row) != p {
+			return nil, fmt.Errorf("mathx: LeastSquares row %d has %d columns, want %d", r, len(row), p)
+		}
+		for i := 0; i < p; i++ {
+			xty[i] += row[i] * y[r]
+			for j := i; j < p; j++ {
+				xtx[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+	}
+	return SolveLinear(xtx, xty)
+}

@@ -1,0 +1,353 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+	if got := Dot(nil, nil); got != 0 {
+		t.Fatalf("Dot(nil,nil) = %v, want 0", got)
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestNorm2(t *testing.T) {
+	if got := Norm2([]float64{3, 4}); !almostEq(got, 5, 1e-12) {
+		t.Fatalf("Norm2 = %v, want 5", got)
+	}
+}
+
+func TestSqDist(t *testing.T) {
+	if got := SqDist([]float64{1, 1}, []float64{4, 5}); !almostEq(got, 25, 1e-12) {
+		t.Fatalf("SqDist = %v, want 25", got)
+	}
+}
+
+func TestAXPY(t *testing.T) {
+	y := []float64{1, 1}
+	AXPY(2, []float64{3, 4}, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Fatalf("AXPY result = %v, want [7 9]", y)
+	}
+}
+
+func TestScaleAndClone(t *testing.T) {
+	v := []float64{1, 2}
+	c := Clone(v)
+	Scale(3, v)
+	if v[0] != 3 || v[1] != 6 {
+		t.Fatalf("Scale result = %v", v)
+	}
+	if c[0] != 1 || c[1] != 2 {
+		t.Fatal("Clone aliases the original")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ x, lo, hi, want float64 }{
+		{5, 0, 10, 5},
+		{-1, 0, 10, 0},
+		{11, 0, 10, 10},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.x, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%v,%v,%v) = %v, want %v", c.x, c.lo, c.hi, got, c.want)
+		}
+	}
+	if got := ClampInt(7, 0, 5); got != 5 {
+		t.Errorf("ClampInt = %d, want 5", got)
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	v := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if !almostEq(v[i], want[i], 1e-12) {
+			t.Fatalf("Linspace = %v", v)
+		}
+	}
+}
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	v := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(v); !almostEq(got, 5, 1e-12) {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	if got := Variance(v); !almostEq(got, 4, 1e-12) {
+		t.Fatalf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(v); !almostEq(got, 2, 1e-12) {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Fatal("degenerate inputs should return 0")
+	}
+}
+
+func TestMedianQuantile(t *testing.T) {
+	v := []float64{5, 1, 3}
+	if got := Median(v); got != 3 {
+		t.Fatalf("Median = %v, want 3", got)
+	}
+	// Median must not reorder the input.
+	if v[0] != 5 || v[1] != 1 || v[2] != 3 {
+		t.Fatal("Median mutated its input")
+	}
+	even := []float64{1, 2, 3, 4}
+	if got := Median(even); !almostEq(got, 2.5, 1e-12) {
+		t.Fatalf("Median(even) = %v, want 2.5", got)
+	}
+	if got := Quantile(even, 0); got != 1 {
+		t.Fatalf("Quantile(0) = %v, want 1", got)
+	}
+	if got := Quantile(even, 1); got != 4 {
+		t.Fatalf("Quantile(1) = %v, want 4", got)
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Fatalf("Quantile(empty) = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	v := []float64{3, -1, 7, 2}
+	if Min(v) != -1 || Max(v) != 7 {
+		t.Fatalf("Min/Max = %v/%v", Min(v), Max(v))
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	if got := RMSE([]float64{1, 2}, []float64{1, 2}); got != 0 {
+		t.Fatalf("RMSE identical = %v", got)
+	}
+	if got := RMSE([]float64{0, 0}, []float64{3, 4}); !almostEq(got, math.Sqrt(12.5), 1e-12) {
+		t.Fatalf("RMSE = %v", got)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Initialized() {
+		t.Fatal("fresh EWMA should not be initialized")
+	}
+	e.Observe(10)
+	if e.Value() != 10 {
+		t.Fatalf("first sample should initialize, got %v", e.Value())
+	}
+	e.Observe(20)
+	if !almostEq(e.Value(), 15, 1e-12) {
+		t.Fatalf("EWMA = %v, want 15", e.Value())
+	}
+}
+
+func TestEWMABadAlphaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for alpha=0")
+		}
+	}()
+	NewEWMA(0)
+}
+
+func TestSolveLinear(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 1, 1e-9) || !almostEq(x[1], 3, 1e-9) {
+		t.Fatalf("SolveLinear = %v, want [1 3]", x)
+	}
+	// Inputs must be untouched.
+	if a[0][0] != 2 || b[0] != 5 {
+		t.Fatal("SolveLinear mutated its inputs")
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	_, err := SolveLinear([][]float64{{1, 2}, {2, 4}}, []float64{1, 2})
+	if err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveLinearNeedsPivot(t *testing.T) {
+	// Leading zero pivot forces a row swap.
+	a := [][]float64{{0, 1}, {1, 0}}
+	x, err := SolveLinear(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 3, 1e-9) || !almostEq(x[1], 2, 1e-9) {
+		t.Fatalf("SolveLinear = %v, want [3 2]", x)
+	}
+}
+
+func TestLeastSquaresRecoversLine(t *testing.T) {
+	// y = 2 + 3x exactly.
+	var rows [][]float64
+	var y []float64
+	for i := 0; i < 10; i++ {
+		x := float64(i)
+		rows = append(rows, []float64{1, x})
+		y = append(y, 2+3*x)
+	}
+	beta, err := LeastSquares(rows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(beta[0], 2, 1e-8) || !almostEq(beta[1], 3, 1e-8) {
+		t.Fatalf("beta = %v, want [2 3]", beta)
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	if _, err := LeastSquares(nil, nil); err == nil {
+		t.Fatal("expected error for empty system")
+	}
+	if _, err := LeastSquares([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("expected error for row/observation mismatch")
+	}
+}
+
+// Property: solving A·x = b then multiplying back recovers b.
+func TestQuickSolveLinearRoundTrip(t *testing.T) {
+	rng := NewRand(7)
+	f := func() bool {
+		n := 1 + rng.Intn(5)
+		a := make([][]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = rng.NormFloat64()
+			}
+			a[i][i] += float64(n) // diagonally dominant => well-conditioned
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if !almostEq(Dot(a[i], x), b[i], 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuickQuantileMonotone(t *testing.T) {
+	rng := NewRand(11)
+	f := func() bool {
+		n := 1 + rng.Intn(40)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64() * 10
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			x := Quantile(v, q)
+			if x < prev-1e-12 || x < Min(v)-1e-12 || x > Max(v)+1e-12 {
+				return false
+			}
+			prev = x
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomHelpers(t *testing.T) {
+	rng := NewRand(42)
+	// Pareto stays within bounds.
+	for i := 0; i < 1000; i++ {
+		x := Pareto(rng, 1.2, 10, 1000)
+		if x < 10-1e-9 || x > 1000+1e-9 {
+			t.Fatalf("Pareto out of bounds: %v", x)
+		}
+	}
+	// TruncNormal respects bounds.
+	for i := 0; i < 1000; i++ {
+		x := TruncNormal(rng, 0, 100, -1, 1)
+		if x < -1 || x > 1 {
+			t.Fatalf("TruncNormal out of bounds: %v", x)
+		}
+	}
+	// Exponential has roughly the requested mean.
+	var s float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		s += Exponential(rng, 5)
+	}
+	if m := s / n; m < 4.5 || m > 5.5 {
+		t.Fatalf("Exponential mean = %v, want ~5", m)
+	}
+}
+
+func TestWeightedChoice(t *testing.T) {
+	rng := NewRand(1)
+	counts := make([]int, 3)
+	for i := 0; i < 30000; i++ {
+		counts[WeightedChoice(rng, []float64{1, 2, 7})]++
+	}
+	if counts[2] < counts[1] || counts[1] < counts[0] {
+		t.Fatalf("WeightedChoice ordering wrong: %v", counts)
+	}
+	// Zero-weight entries are never chosen.
+	for i := 0; i < 1000; i++ {
+		if WeightedChoice(rng, []float64{0, 1, 0}) != 1 {
+			t.Fatal("WeightedChoice picked a zero-weight entry")
+		}
+	}
+}
+
+func TestWeightedChoicePanics(t *testing.T) {
+	rng := NewRand(1)
+	for _, w := range [][]float64{nil, {0, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for weights %v", w)
+				}
+			}()
+			WeightedChoice(rng, w)
+		}()
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := NewRand(123), NewRand(123)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("NewRand with same seed diverged")
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+)
+
+// NewRand returns a deterministic *rand.Rand seeded with seed.
+// Every stochastic component in the repository takes an explicit
+// *rand.Rand so that experiments and tests are reproducible.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Normal draws one sample from N(mean, stddev²).
+func Normal(rng *rand.Rand, mean, stddev float64) float64 {
+	return mean + stddev*rng.NormFloat64()
+}
+
+// TruncNormal draws from N(mean, stddev²) truncated to [lo, hi] by
+// clamping. Clamping (rather than rejection) keeps the draw O(1) and is
+// adequate for the noise models here, where the bounds sit several
+// standard deviations from the mean.
+func TruncNormal(rng *rand.Rand, mean, stddev, lo, hi float64) float64 {
+	return Clamp(Normal(rng, mean, stddev), lo, hi)
+}
+
+// Exponential draws from an exponential distribution with the given
+// mean. It is used for flow inter-arrival times.
+func Exponential(rng *rand.Rand, mean float64) float64 {
+	return rng.ExpFloat64() * mean
+}
+
+// Pareto draws from a bounded Pareto distribution with shape alpha on
+// [lo, hi]. Heavy-tailed sizes (web pages, video segments) use this.
+func Pareto(rng *rand.Rand, alpha, lo, hi float64) float64 {
+	if lo <= 0 || hi <= lo {
+		panic("mathx: Pareto wants 0 < lo < hi")
+	}
+	u := rng.Float64()
+	// Inverse CDF of the bounded Pareto.
+	la := math.Pow(lo, alpha)
+	ha := math.Pow(hi, alpha)
+	return math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+}
+
+// WeightedChoice returns an index in [0, len(weights)) drawn with
+// probability proportional to weights[i]. It panics if weights is empty
+// or sums to a non-positive value.
+func WeightedChoice(rng *rand.Rand, weights []float64) int {
+	if len(weights) == 0 {
+		panic("mathx: WeightedChoice with no weights")
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("mathx: WeightedChoice with negative weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("mathx: WeightedChoice weights sum to zero")
+	}
+	r := rng.Float64() * total
+	for i, w := range weights {
+		r -= w
+		if r < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Shuffle permutes idx in place using rng.
+func Shuffle(rng *rand.Rand, idx []int) {
+	rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+}
+
+// Perm returns a random permutation of [0, n).
+func Perm(rng *rand.Rand, n int) []int {
+	return rng.Perm(n)
+}

@@ -1,0 +1,149 @@
+package mathx
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of v, or 0 for an empty slice.
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// Variance returns the population variance of v, or 0 when len(v) < 2.
+func Variance(v []float64) float64 {
+	if len(v) < 2 {
+		return 0
+	}
+	m := Mean(v)
+	var s float64
+	for _, x := range v {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(v))
+}
+
+// StdDev returns the population standard deviation of v.
+func StdDev(v []float64) float64 {
+	return math.Sqrt(Variance(v))
+}
+
+// Median returns the median of v, or 0 for an empty slice.
+// v is not modified.
+func Median(v []float64) float64 {
+	return Quantile(v, 0.5)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of v using linear
+// interpolation between order statistics. v is not modified.
+func Quantile(v []float64, q float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := Clone(v)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Min returns the smallest element of v. It panics on an empty slice.
+func Min(v []float64) float64 {
+	if len(v) == 0 {
+		panic("mathx: Min of empty slice")
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of v. It panics on an empty slice.
+func Max(v []float64) float64 {
+	if len(v) == 0 {
+		panic("mathx: Max of empty slice")
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// RMSE returns the root-mean-square error between predictions pred and
+// observations obs. It panics if the lengths differ and returns 0 for
+// empty input.
+func RMSE(pred, obs []float64) float64 {
+	if len(pred) != len(obs) {
+		panic("mathx: RMSE length mismatch")
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range pred {
+		d := pred[i] - obs[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(pred)))
+}
+
+// EWMA is an exponentially weighted moving average with a configurable
+// smoothing factor. The zero value is not ready for use; construct one
+// with NewEWMA. EWMA is the building block for the passive QoS monitors
+// in internal/metrics.
+type EWMA struct {
+	alpha float64
+	value float64
+	init  bool
+}
+
+// NewEWMA returns an EWMA with smoothing factor alpha in (0, 1].
+// Larger alpha weights recent observations more heavily.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic("mathx: EWMA alpha must be in (0, 1]")
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds a new sample into the average. The first sample
+// initializes the average directly.
+func (e *EWMA) Observe(x float64) {
+	if !e.init {
+		e.value = x
+		e.init = true
+		return
+	}
+	e.value = e.alpha*x + (1-e.alpha)*e.value
+}
+
+// Value returns the current average, or 0 before any observation.
+func (e *EWMA) Value() float64 { return e.value }
+
+// Initialized reports whether at least one sample has been observed.
+func (e *EWMA) Initialized() bool { return e.init }

@@ -1,0 +1,175 @@
+// Package metrics provides the evaluation arithmetic used throughout
+// the ExBox experiments (precision, recall, accuracy over admission
+// decisions) and passive per-flow QoS monitors that mirror what the
+// middlebox can observe on the network side (throughput, delay, loss).
+package metrics
+
+import (
+	"fmt"
+
+	"exbox/internal/mathx"
+)
+
+// Confusion accumulates binary admission outcomes. The positive class
+// is "admit" (+1): a true positive is a flow that was admitted and
+// indeed kept the network's QoE acceptable.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Observe records one decision. predicted and actual follow the paper's
+// label convention: +1 admissible, -1 inadmissible. Any positive value
+// counts as +1 and any other value as -1.
+func (c *Confusion) Observe(predicted, actual float64) {
+	p := predicted > 0
+	a := actual > 0
+	switch {
+	case p && a:
+		c.TP++
+	case p && !a:
+		c.FP++
+	case !p && !a:
+		c.TN++
+	default:
+		c.FN++
+	}
+}
+
+// Add merges another confusion matrix into c.
+func (c *Confusion) Add(o Confusion) {
+	c.TP += o.TP
+	c.FP += o.FP
+	c.TN += o.TN
+	c.FN += o.FN
+}
+
+// Total returns the number of recorded decisions.
+func (c Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// Precision is the ratio of correctly admitted flows to admitted flows.
+// Following the paper's usage, an undefined ratio (no admissions yet)
+// reports 1: the classifier has made no admission mistakes.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall is the ratio of correctly admitted flows to flows that could
+// have been admitted. Undefined (no admissible flows seen) reports 1.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// Accuracy is the overall fraction of correct decisions (admit or
+// reject). Undefined (no decisions) reports 0.
+func (c Confusion) Accuracy() float64 {
+	if c.Total() == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(c.Total())
+}
+
+// F1 returns the harmonic mean of precision and recall, 0 when both
+// are 0.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders the matrix compactly for logs.
+func (c Confusion) String() string {
+	return fmt.Sprintf("tp=%d fp=%d tn=%d fn=%d p=%.3f r=%.3f a=%.3f",
+		c.TP, c.FP, c.TN, c.FN, c.Precision(), c.Recall(), c.Accuracy())
+}
+
+// QoS is the per-flow quality-of-service snapshot the middlebox
+// measures passively at the gateway. Section 5.3 of the paper models
+// the scalar QoS driving IQX as throughput/delay; Scalar implements
+// that convention.
+type QoS struct {
+	ThroughputBps float64 // application-level goodput, bits per second
+	DelayMs       float64 // round-trip delay, milliseconds
+	LossRate      float64 // packet loss fraction in [0, 1]
+	// Utilization is the fraction of the cell's capacity in use
+	// (channel-busy fraction at a WiFi AP, resource-block usage at an
+	// eNodeB). Gateways can measure it passively; the app models use
+	// it to slow short bursts down in busy cells.
+	Utilization float64
+}
+
+// Scalar collapses the QoS vector into the single value used by the
+// IQX hypothesis: average throughput (Mbps) divided by delay (ms).
+// A floor on delay avoids division blow-ups on idealized simulations.
+func (q QoS) Scalar() float64 {
+	d := q.DelayMs
+	if d < 1 {
+		d = 1
+	}
+	return (q.ThroughputBps / 1e6) / d
+}
+
+// Monitor is a passive per-flow QoS monitor fed from gateway
+// observations (bytes forwarded, RTT probes, loss counts). It keeps
+// exponentially weighted estimates so the middlebox reacts to drift
+// without being whipped by per-packet noise.
+type Monitor struct {
+	tput  *mathx.EWMA
+	delay *mathx.EWMA
+	loss  *mathx.EWMA
+
+	bytes    float64
+	lastTick float64
+}
+
+// NewMonitor returns a monitor with smoothing factor alpha (0,1].
+func NewMonitor(alpha float64) *Monitor {
+	return &Monitor{
+		tput:  mathx.NewEWMA(alpha),
+		delay: mathx.NewEWMA(alpha),
+		loss:  mathx.NewEWMA(alpha),
+	}
+}
+
+// AddBytes accounts payload bytes forwarded for the flow.
+func (m *Monitor) AddBytes(n int) { m.bytes += float64(n) }
+
+// Tick closes the current accounting window at time now (seconds) and
+// folds the window's throughput into the estimate.
+func (m *Monitor) Tick(now float64) {
+	dt := now - m.lastTick
+	if dt <= 0 {
+		return
+	}
+	m.tput.Observe(m.bytes * 8 / dt)
+	m.bytes = 0
+	m.lastTick = now
+}
+
+// ObserveDelay folds one RTT sample (milliseconds) into the estimate.
+func (m *Monitor) ObserveDelay(ms float64) { m.delay.Observe(ms) }
+
+// ObserveLoss folds one loss-rate sample in [0,1] into the estimate.
+func (m *Monitor) ObserveLoss(rate float64) { m.loss.Observe(mathx.Clamp(rate, 0, 1)) }
+
+// Snapshot returns the current QoS estimate.
+func (m *Monitor) Snapshot() QoS {
+	return QoS{
+		ThroughputBps: m.tput.Value(),
+		DelayMs:       m.delay.Value(),
+		LossRate:      m.loss.Value(),
+	}
+}
+
+// Ready reports whether both throughput and delay have been observed at
+// least once, i.e. the snapshot is meaningful.
+func (m *Monitor) Ready() bool {
+	return m.tput.Initialized() && m.delay.Initialized()
+}

@@ -1,0 +1,152 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"exbox/internal/mathx"
+)
+
+func TestConfusionCounts(t *testing.T) {
+	var c Confusion
+	c.Observe(+1, +1) // TP
+	c.Observe(+1, -1) // FP
+	c.Observe(-1, -1) // TN
+	c.Observe(-1, +1) // FN
+	if c.TP != 1 || c.FP != 1 || c.TN != 1 || c.FN != 1 {
+		t.Fatalf("counts wrong: %+v", c)
+	}
+	if c.Total() != 4 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+	if got := c.Precision(); got != 0.5 {
+		t.Fatalf("Precision = %v", got)
+	}
+	if got := c.Recall(); got != 0.5 {
+		t.Fatalf("Recall = %v", got)
+	}
+	if got := c.Accuracy(); got != 0.5 {
+		t.Fatalf("Accuracy = %v", got)
+	}
+	if got := c.F1(); got != 0.5 {
+		t.Fatalf("F1 = %v", got)
+	}
+}
+
+func TestConfusionDegenerate(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 1 || c.Recall() != 1 {
+		t.Fatal("empty confusion should report precision=recall=1")
+	}
+	if c.Accuracy() != 0 {
+		t.Fatal("empty confusion accuracy should be 0")
+	}
+	c.Observe(-1, -1)
+	if c.Precision() != 1 {
+		t.Fatal("no admissions yet: precision should stay 1")
+	}
+}
+
+func TestConfusionAdd(t *testing.T) {
+	a := Confusion{TP: 1, FP: 2, TN: 3, FN: 4}
+	b := Confusion{TP: 10, FP: 20, TN: 30, FN: 40}
+	a.Add(b)
+	if a.TP != 11 || a.FP != 22 || a.TN != 33 || a.FN != 44 {
+		t.Fatalf("Add result: %+v", a)
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	c := Confusion{TP: 1}
+	if c.String() == "" {
+		t.Fatal("String should be non-empty")
+	}
+}
+
+// Property: metrics always land in [0,1] no matter the outcome stream.
+func TestQuickConfusionBounds(t *testing.T) {
+	rng := mathx.NewRand(3)
+	f := func() bool {
+		var c Confusion
+		n := rng.Intn(50)
+		for i := 0; i < n; i++ {
+			pred := float64(rng.Intn(3) - 1) // -1, 0, +1: 0 must count as reject
+			act := float64(rng.Intn(2)*2 - 1)
+			c.Observe(pred, act)
+		}
+		for _, v := range []float64{c.Precision(), c.Recall(), c.Accuracy(), c.F1()} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return c.Total() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQoSScalar(t *testing.T) {
+	q := QoS{ThroughputBps: 10e6, DelayMs: 50}
+	if got := q.Scalar(); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("Scalar = %v, want 0.2", got)
+	}
+	// Delay floor prevents blow-up.
+	q = QoS{ThroughputBps: 1e6, DelayMs: 0}
+	if got := q.Scalar(); got != 1 {
+		t.Fatalf("Scalar with zero delay = %v, want 1", got)
+	}
+}
+
+func TestMonitorLifecycle(t *testing.T) {
+	m := NewMonitor(0.5)
+	if m.Ready() {
+		t.Fatal("fresh monitor must not be ready")
+	}
+	m.AddBytes(125_000) // 1 Mbit
+	m.Tick(1.0)
+	m.ObserveDelay(40)
+	m.ObserveLoss(0.01)
+	if !m.Ready() {
+		t.Fatal("monitor should be ready after throughput+delay samples")
+	}
+	qos := m.Snapshot()
+	if math.Abs(qos.ThroughputBps-1e6) > 1 {
+		t.Fatalf("throughput = %v, want 1e6", qos.ThroughputBps)
+	}
+	if qos.DelayMs != 40 {
+		t.Fatalf("delay = %v", qos.DelayMs)
+	}
+	if qos.LossRate != 0.01 {
+		t.Fatalf("loss = %v", qos.LossRate)
+	}
+	// Second window halves the rate; EWMA(0.5) should land between.
+	m.AddBytes(62_500)
+	m.Tick(2.0)
+	got := m.Snapshot().ThroughputBps
+	if got <= 0.5e6 || got >= 1e6 {
+		t.Fatalf("smoothed throughput = %v, want in (0.5e6, 1e6)", got)
+	}
+}
+
+func TestMonitorIgnoresNonAdvancingTick(t *testing.T) {
+	m := NewMonitor(0.5)
+	m.AddBytes(1000)
+	m.Tick(0) // dt == 0: must be ignored, not divide by zero
+	if m.Ready() {
+		t.Fatal("tick with no elapsed time should not initialize throughput")
+	}
+}
+
+func TestMonitorLossClamped(t *testing.T) {
+	m := NewMonitor(1.0)
+	m.ObserveLoss(7)
+	if got := m.Snapshot().LossRate; got != 1 {
+		t.Fatalf("loss = %v, want clamped to 1", got)
+	}
+	m.ObserveLoss(-3)
+	if got := m.Snapshot().LossRate; got != 0 {
+		t.Fatalf("loss = %v, want clamped to 0", got)
+	}
+}

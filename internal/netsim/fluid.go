@@ -1,0 +1,359 @@
+package netsim
+
+import (
+	"math"
+	"sort"
+
+	"exbox/internal/excr"
+	"exbox/internal/mathx"
+	"exbox/internal/metrics"
+)
+
+// WiFiConfig parameterizes a single 802.11 cell.
+type WiFiConfig struct {
+	// PHYRateBps maps each SNR level to the station's PHY bit rate.
+	PHYRateBps map[excr.SNRLevel]float64
+	// MACEfficiency is the fraction of PHY rate available as goodput
+	// after DIFS/backoff/ACK/header overhead (~0.6–0.7 for 802.11n).
+	MACEfficiency float64
+	// BaseDelayMs is the unloaded round-trip time through the cell.
+	BaseDelayMs float64
+	// MaxDelayMs caps the modeled delay (queues are finite).
+	MaxDelayMs float64
+	// Profiles gives per-class traffic characteristics.
+	Profiles map[excr.AppClass]ClassProfile
+}
+
+// TestbedWiFi mirrors the paper's laptop-hosted hotspot: ~20 Mbps UDP
+// capacity, 30–40 ms RTT, 10 clients.
+func TestbedWiFi() WiFiConfig {
+	return WiFiConfig{
+		PHYRateBps: map[excr.SNRLevel]float64{
+			excr.SNRLow:  14e6, // −80 dBm placement, a couple of MCS steps down
+			excr.SNRHigh: 30e6,
+		},
+		MACEfficiency: 0.67, // 30 Mbps PHY → ~20 Mbps goodput
+		BaseDelayMs:   35,
+		MaxDelayMs:    1000,
+		Profiles:      DefaultProfiles(),
+	}
+}
+
+// SimWiFi mirrors the ns-3 802.11n 5 GHz WLAN of Section 6: a
+// well-provisioned cell able to carry ≈25 streaming or ≈40
+// conferencing flows.
+func SimWiFi() WiFiConfig {
+	return WiFiConfig{
+		PHYRateBps: map[excr.SNRLevel]float64{
+			excr.SNRLow:  20e6,  // ≈23 dB SNR
+			excr.SNRHigh: 150e6, // ≈53 dB SNR
+		},
+		MACEfficiency: 0.65,
+		BaseDelayMs:   5,
+		MaxDelayMs:    2000,
+		Profiles:      DefaultProfiles(),
+	}
+}
+
+// FluidWiFi is the closed-form WiFi backend. DCF gives each contending
+// station an equal long-run frame share, which equalizes goodput while
+// letting low-PHY-rate stations consume disproportionate airtime: the
+// 802.11 performance anomaly. The model water-fills goodput under the
+// airtime constraint Σ xᵢ/rᵢ ≤ MACEfficiency.
+type FluidWiFi struct {
+	Config WiFiConfig
+}
+
+// Name implements Network.
+func (w FluidWiFi) Name() string { return "fluid-wifi" }
+
+// Evaluate implements Network.
+func (w FluidWiFi) Evaluate(flows []FlowSpec) []metrics.QoS {
+	if err := validateFlows(flows); err != nil {
+		panic(err)
+	}
+	n := len(flows)
+	out := make([]metrics.QoS, n)
+	if n == 0 {
+		return out
+	}
+	cfg := w.Config
+
+	// Airtime cost per delivered bit for each flow.
+	cost := make([]float64, n)
+	dem := make([]float64, n)
+	for i, f := range flows {
+		rate := cfg.PHYRateBps[f.Level]
+		if rate <= 0 {
+			rate = 1e6
+		}
+		cost[i] = 1 / (rate * cfg.MACEfficiency)
+		dem[i] = demand(f, cfg.Profiles)
+	}
+
+	x := waterfillEqualThroughput(dem, cost)
+
+	// Airtime utilization drives queueing delay for everyone: the
+	// medium is shared, so one station's backlog delays all.
+	var util float64
+	for i := range x {
+		util += x[i] * cost[i]
+	}
+	util = mathx.Clamp(util, 0, 0.999)
+
+	// DCF contention degrades everyone's goodput smoothly once the
+	// channel-busy fraction passes ~3/4.
+	eff := contentionEfficiency(util, 0.75, 1.0)
+	for i := range flows {
+		loss := 0.0
+		if dem[i] > 0 {
+			loss = mathx.Clamp((dem[i]-x[i])/dem[i], 0, 1)
+		}
+		delay := cfg.BaseDelayMs + queueDelayMs(util, cfg.MaxDelayMs)
+		if loss > 0 {
+			// Saturated flows sit behind a standing queue whose depth
+			// grows with how far demand overshoots capacity.
+			sev := mathx.Clamp(loss*4, 0, 1)
+			delay += sev * (cfg.MaxDelayMs - delay)
+		}
+		out[i] = metrics.QoS{
+			ThroughputBps: x[i] * eff,
+			DelayMs:       math.Min(delay, cfg.MaxDelayMs),
+			LossRate:      loss,
+			Utilization:   util,
+		}
+	}
+	return out
+}
+
+// waterfillEqualThroughput solves max-min throughput allocation under
+// Σ xᵢ·costᵢ ≤ 1 with per-flow demand caps: each flow receives
+// min(demand, T) where the common level T exhausts the airtime budget.
+func waterfillEqualThroughput(dem, cost []float64) []float64 {
+	n := len(dem)
+	x := make([]float64, n)
+	// If every demand fits, grant everything.
+	var need float64
+	for i := range dem {
+		need += dem[i] * cost[i]
+	}
+	if need <= 1 {
+		copy(x, dem)
+		return x
+	}
+	// Sort demands ascending; peel off flows whose demand sits below
+	// the rising water level.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return dem[idx[a]] < dem[idx[b]] })
+
+	budget := 1.0
+	var costRemaining float64
+	for _, i := range idx {
+		costRemaining += cost[i]
+	}
+	for pos, i := range idx {
+		// Water level if all remaining flows were uncapped.
+		level := budget / costRemaining
+		if dem[i] <= level {
+			x[i] = dem[i]
+			budget -= dem[i] * cost[i]
+			costRemaining -= cost[i]
+			continue
+		}
+		// Everyone from here on is capped at the common level.
+		for _, j := range idx[pos:] {
+			x[j] = level
+		}
+		break
+	}
+	return x
+}
+
+// contentionEfficiency models the smooth per-flow goodput decline TCP
+// flows experience as the medium fills up before hard saturation:
+// collisions and backoff on WiFi, HARQ retransmissions and scheduling
+// jitter on LTE. It multiplies the delivered throughput; shortfall is
+// visible to the gateway as reduced goodput (not loss).
+func contentionEfficiency(util, knee, slope float64) float64 {
+	if util <= knee {
+		return 1
+	}
+	return math.Max(1-slope*(util-knee), 0.4)
+}
+
+// queueDelayMs models queueing delay growth with utilization using an
+// M/M/1-like 1/(1-ρ) curve. It caps at 300 ms (or maxMs if smaller):
+// AQM and finite buffers bound steady-state bloat; the standing-queue
+// penalty of outright saturation is applied separately from loss.
+func queueDelayMs(util, maxMs float64) float64 {
+	base := 10.0 // ms of queueing at light load
+	d := base * util / (1 - util)
+	return math.Min(d, math.Min(maxMs, 300))
+}
+
+// LTEConfig parameterizes a single LTE cell.
+type LTEConfig struct {
+	// CellRateBps maps each SNR (CQI) level to the rate a UE would get
+	// with the whole cell to itself.
+	CellRateBps map[excr.SNRLevel]float64
+	// PerUEOverhead is the fraction of cell capacity lost per attached
+	// active UE to control signalling (PDCCH, CQI reports, RB
+	// granularity). 0 defaults to 2.5%.
+	PerUEOverhead float64
+	// BaseDelayMs is the unloaded round-trip time through the cell.
+	BaseDelayMs float64
+	// MaxDelayMs caps the modeled delay.
+	MaxDelayMs float64
+	// Profiles gives per-class traffic characteristics.
+	Profiles map[excr.AppClass]ClassProfile
+}
+
+// TestbedLTE mirrors the paper's ip.access E-40 small cell: >30 Mbps
+// capacity, 30–40 ms RTT, at most 8 UEs.
+func TestbedLTE() LTEConfig {
+	return LTEConfig{
+		CellRateBps: map[excr.SNRLevel]float64{
+			excr.SNRLow:  10e6,
+			excr.SNRHigh: 32e6,
+		},
+		// Lab-grade EPC: heavy per-UE control overhead (the paper's
+		// E-40 cannot even attach more than 8 UEs).
+		PerUEOverhead: 0.05,
+		BaseDelayMs:   35,
+		MaxDelayMs:    1000,
+		Profiles:      DefaultProfiles(),
+	}
+}
+
+// SimLTE mirrors the ns-3 indoor LTE cell of Section 6 (23 dBm eNodeB).
+func SimLTE() LTEConfig {
+	return LTEConfig{
+		CellRateBps: map[excr.SNRLevel]float64{
+			excr.SNRLow:  18e6,
+			excr.SNRHigh: 75e6,
+		},
+		BaseDelayMs: 15,
+		MaxDelayMs:  2000,
+		Profiles:    DefaultProfiles(),
+	}
+}
+
+// FluidLTE is the closed-form LTE backend. The eNodeB scheduler hands
+// out resource blocks, so fairness is in resource share: a UE's rate is
+// its share of the cell times its own CQI-determined spectral
+// efficiency. Low-CQI UEs therefore hurt mostly themselves — the
+// structural difference from WiFi the paper leans on.
+type FluidLTE struct {
+	Config LTEConfig
+}
+
+// Name implements Network.
+func (l FluidLTE) Name() string { return "fluid-lte" }
+
+// Evaluate implements Network.
+func (l FluidLTE) Evaluate(flows []FlowSpec) []metrics.QoS {
+	if err := validateFlows(flows); err != nil {
+		panic(err)
+	}
+	n := len(flows)
+	out := make([]metrics.QoS, n)
+	if n == 0 {
+		return out
+	}
+	cfg := l.Config
+
+	// Resource share needed per bit for flow i is 1/rate_i; fairness
+	// is max-min in the resource fraction fᵢ with Σ fᵢ ≤ 1 and
+	// xᵢ = fᵢ·rateᵢ capped by demand. Equivalently water-fill the
+	// resource fractions.
+	overhead := cfg.PerUEOverhead
+	if overhead <= 0 {
+		overhead = 0.025
+	}
+	capacityFactor := math.Max(1-overhead*float64(n), 0.5)
+	rate := make([]float64, n)
+	dem := make([]float64, n)
+	fracDemand := make([]float64, n) // resource fraction to satisfy demand
+	for i, f := range flows {
+		r := cfg.CellRateBps[f.Level] * capacityFactor
+		if r <= 0 {
+			r = 1e6
+		}
+		rate[i] = r
+		dem[i] = demand(f, cfg.Profiles)
+		fracDemand[i] = dem[i] / r
+	}
+	frac := waterfillEqualShare(fracDemand)
+
+	var util float64
+	for i := range frac {
+		util += frac[i]
+	}
+	util = mathx.Clamp(util, 0, 0.999)
+
+	// The scheduler isolates UEs better than DCF, so the contention
+	// knee sits later and the slope is shallower.
+	eff := contentionEfficiency(util, 0.8, 1.2)
+	for i := range flows {
+		x := frac[i] * rate[i]
+		loss := 0.0
+		if dem[i] > 0 {
+			loss = mathx.Clamp((dem[i]-x)/dem[i], 0, 1)
+		}
+		// LTE queues are per-UE: a saturated UE sees a standing queue
+		// that deepens with its own overshoot; others see mild
+		// scheduler delay only.
+		delay := cfg.BaseDelayMs + 0.5*queueDelayMs(util, cfg.MaxDelayMs)
+		if loss > 1e-9 {
+			sev := mathx.Clamp(loss*4, 0, 1)
+			delay += sev * (cfg.MaxDelayMs - delay)
+		}
+		out[i] = metrics.QoS{
+			ThroughputBps: x * eff,
+			DelayMs:       math.Min(delay, cfg.MaxDelayMs),
+			LossRate:      loss,
+			Utilization:   util,
+		}
+	}
+	return out
+}
+
+// waterfillEqualShare max-min allocates a unit resource across flows
+// with per-flow caps: every flow gets min(cap, F) where the common
+// share F exhausts the budget.
+func waterfillEqualShare(caps []float64) []float64 {
+	n := len(caps)
+	out := make([]float64, n)
+	var need float64
+	for _, c := range caps {
+		need += c
+	}
+	if need <= 1 {
+		copy(out, caps)
+		return out
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return caps[idx[a]] < caps[idx[b]] })
+	budget := 1.0
+	remaining := n
+	for pos, i := range idx {
+		level := budget / float64(remaining)
+		if caps[i] <= level {
+			out[i] = caps[i]
+			budget -= caps[i]
+			remaining--
+			continue
+		}
+		for _, j := range idx[pos:] {
+			out[j] = level
+		}
+		break
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+// Package netsim is the wireless-network substrate standing in for the
+// paper's ns-3 simulations and lab testbeds. It models a single WiFi
+// access point or LTE eNodeB serving downlink flows and reports
+// per-flow QoS (goodput, delay, loss).
+//
+// Two interchangeable backends implement the Network interface:
+//
+//   - Fluid: a closed-form capacity-sharing model. WiFi's DCF gives
+//     stations equal per-frame (hence throughput) shares, so a low-SNR
+//     station's airtime cost is socialized — the 802.11 "performance
+//     anomaly" that Figure 3 of the paper demonstrates. LTE's
+//     per-TTI resource scheduler gives equal resource-block shares, so
+//     a low-CQI UE mostly hurts itself. Fluid evaluation is O(n·log n)
+//     per traffic matrix and powers the large parameter sweeps.
+//
+//   - PacketSim: a discrete-event, packet-level simulation of the same
+//     cell with per-station queues, on/off traffic per application
+//     class, tail-drop losses and measured queueing delay. It is used
+//     to validate the fluid model and for figure-scale runs.
+//
+// Both accept the same FlowSpec descriptions and are deterministic for
+// a given seed.
+package netsim
+
+import (
+	"fmt"
+
+	"exbox/internal/excr"
+	"exbox/internal/metrics"
+)
+
+// FlowSpec describes one downlink flow offered to a cell.
+type FlowSpec struct {
+	ID    int
+	Class excr.AppClass
+	Level excr.SNRLevel
+	// DemandBps overrides the class's default offered load when > 0.
+	DemandBps float64
+	// PacketBytes overrides the class's default packet size when > 0.
+	PacketBytes int
+}
+
+// Network evaluates the steady-state QoS each flow would experience if
+// the given set of flows ran concurrently on the cell.
+type Network interface {
+	// Evaluate returns one QoS per flow, in input order.
+	Evaluate(flows []FlowSpec) []metrics.QoS
+	// Name identifies the backend and cell type for logs.
+	Name() string
+}
+
+// ClassProfile captures the traffic characteristics of one application
+// class: its offered load and packetization. Values are modeled on the
+// traces the paper replays (BBC page loads, 720p YouTube, Skype video).
+type ClassProfile struct {
+	DemandBps   float64 // mean offered load, bits per second
+	PacketBytes int     // typical downlink packet size
+	Burstiness  float64 // peak-to-mean ratio of the on/off arrival process
+}
+
+// DefaultProfiles returns the per-class traffic profiles used across
+// the experiments.
+func DefaultProfiles() map[excr.AppClass]ClassProfile {
+	return map[excr.AppClass]ClassProfile{
+		// Web: short on/off bursts while a page loads; low average but
+		// very bursty (think 1.5 MB page fetched in a couple seconds,
+		// then idle while reading).
+		excr.Web: {DemandBps: 1.0e6, PacketBytes: 1200, Burstiness: 4},
+		// Streaming: 720p YouTube-like; chunked CBR around 4 Mbps.
+		excr.Streaming: {DemandBps: 4.0e6, PacketBytes: 1400, Burstiness: 1.5},
+		// Conferencing: Skype-like realtime video, ~2 Mbps, steady.
+		excr.Conferencing: {DemandBps: 2.0e6, PacketBytes: 1000, Burstiness: 1.2},
+	}
+}
+
+// demand resolves the offered load of a flow against the profiles.
+func demand(f FlowSpec, profiles map[excr.AppClass]ClassProfile) float64 {
+	if f.DemandBps > 0 {
+		return f.DemandBps
+	}
+	if p, ok := profiles[f.Class]; ok {
+		return p.DemandBps
+	}
+	return 1e6
+}
+
+// packetBytes resolves the packet size of a flow against the profiles.
+func packetBytes(f FlowSpec, profiles map[excr.AppClass]ClassProfile) int {
+	if f.PacketBytes > 0 {
+		return f.PacketBytes
+	}
+	if p, ok := profiles[f.Class]; ok {
+		return p.PacketBytes
+	}
+	return 1200
+}
+
+// FlowsForMatrix expands a traffic matrix into one FlowSpec per active
+// flow, with IDs assigned in deterministic cell order.
+//
+// Convention: in a single-SNR-level space the one level stands for
+// "high SNR" — the paper's testbed experiments place every client near
+// the AP and split by SNR only in the mixed-SNR simulations.
+func FlowsForMatrix(m excr.Matrix) []FlowSpec {
+	var out []FlowSpec
+	id := 0
+	s := m.Space()
+	for c := 0; c < s.Classes; c++ {
+		for l := 0; l < s.Levels; l++ {
+			level := excr.SNRLevel(l)
+			if s.Levels == 1 {
+				level = excr.SNRHigh
+			}
+			n := m.Get(excr.AppClass(c), excr.SNRLevel(l))
+			for i := 0; i < n; i++ {
+				out = append(out, FlowSpec{ID: id, Class: excr.AppClass(c), Level: level})
+				id++
+			}
+		}
+	}
+	return out
+}
+
+// validateFlows rejects malformed specs early with a clear message.
+func validateFlows(flows []FlowSpec) error {
+	for i, f := range flows {
+		if f.DemandBps < 0 {
+			return fmt.Errorf("netsim: flow %d has negative demand", i)
+		}
+		if f.PacketBytes < 0 {
+			return fmt.Errorf("netsim: flow %d has negative packet size", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,470 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"exbox/internal/excr"
+	"exbox/internal/mathx"
+	"exbox/internal/metrics"
+)
+
+func highFlows(class excr.AppClass, n int) []FlowSpec {
+	out := make([]FlowSpec, n)
+	for i := range out {
+		out[i] = FlowSpec{ID: i, Class: class, Level: excr.SNRHigh}
+	}
+	return out
+}
+
+func TestWaterfillEqualThroughputUnderLoad(t *testing.T) {
+	// Two flows, same cost; budget only fits half the total demand.
+	dem := []float64{10, 10}
+	cost := []float64{0.1, 0.1} // full satisfaction needs 2.0 > 1
+	x := waterfillEqualThroughput(dem, cost)
+	if math.Abs(x[0]-5) > 1e-9 || math.Abs(x[1]-5) > 1e-9 {
+		t.Fatalf("waterfill = %v, want [5 5]", x)
+	}
+}
+
+func TestWaterfillRespectsSmallDemands(t *testing.T) {
+	dem := []float64{1, 100}
+	cost := []float64{0.1, 0.005}
+	x := waterfillEqualThroughput(dem, cost)
+	if x[0] != 1 {
+		t.Fatalf("small demand should be fully granted, got %v", x[0])
+	}
+	// Remaining budget: 1 - 0.1 = 0.9 → x1 = 0.9/0.005 = 180 > demand? no, capped.
+	want := math.Min(100, 0.9/0.005)
+	if math.Abs(x[1]-want) > 1e-9 {
+		t.Fatalf("x1 = %v, want %v", x[1], want)
+	}
+}
+
+func TestWaterfillAllFit(t *testing.T) {
+	x := waterfillEqualThroughput([]float64{1, 2}, []float64{0.1, 0.1})
+	if x[0] != 1 || x[1] != 2 {
+		t.Fatalf("unsaturated waterfill = %v", x)
+	}
+}
+
+func TestWaterfillEqualShare(t *testing.T) {
+	f := waterfillEqualShare([]float64{0.9, 0.9, 0.05})
+	if f[2] != 0.05 {
+		t.Fatalf("small cap should be granted, got %v", f[2])
+	}
+	if math.Abs(f[0]-f[1]) > 1e-9 {
+		t.Fatalf("equal caps should get equal shares: %v", f)
+	}
+	if s := f[0] + f[1] + f[2]; math.Abs(s-1) > 1e-9 {
+		t.Fatalf("shares should exhaust budget, sum=%v", s)
+	}
+}
+
+// Property: waterfill never exceeds demand, never exceeds budget, and
+// is max-min fair (all capped flows share one level).
+func TestQuickWaterfillInvariants(t *testing.T) {
+	rng := mathx.NewRand(21)
+	f := func() bool {
+		n := 1 + rng.Intn(20)
+		dem := make([]float64, n)
+		cost := make([]float64, n)
+		for i := range dem {
+			dem[i] = rng.Float64() * 20
+			cost[i] = 0.001 + rng.Float64()*0.2
+		}
+		x := waterfillEqualThroughput(dem, cost)
+		var spent float64
+		level := -1.0
+		for i := range x {
+			if x[i] < -1e-12 || x[i] > dem[i]+1e-9 {
+				return false
+			}
+			spent += x[i] * cost[i]
+			if x[i] < dem[i]-1e-9 { // capped flow
+				if level < 0 {
+					level = x[i]
+				} else if math.Abs(level-x[i]) > 1e-6*(1+level) {
+					return false
+				}
+			}
+		}
+		return spent <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFluidWiFiLightLoad(t *testing.T) {
+	w := FluidWiFi{Config: SimWiFi()}
+	qos := w.Evaluate(highFlows(excr.Streaming, 3))
+	for _, q := range qos {
+		if math.Abs(q.ThroughputBps-4e6) > 1 {
+			t.Fatalf("light load should satisfy demand, got %v", q.ThroughputBps)
+		}
+		if q.LossRate != 0 {
+			t.Fatalf("no loss expected at light load, got %v", q.LossRate)
+		}
+		if q.DelayMs < SimWiFi().BaseDelayMs || q.DelayMs > SimWiFi().BaseDelayMs+10 {
+			t.Fatalf("delay %v out of expected light-load band", q.DelayMs)
+		}
+	}
+}
+
+func TestFluidWiFiSaturation(t *testing.T) {
+	w := FluidWiFi{Config: SimWiFi()}
+	// 97.5 Mbps effective / 4 Mbps ≈ 24 streaming flows; 40 must saturate.
+	qos := w.Evaluate(highFlows(excr.Streaming, 40))
+	sat := 0
+	for _, q := range qos {
+		if q.LossRate > 0.01 {
+			sat++
+		}
+		if q.ThroughputBps > 4e6+1 {
+			t.Fatalf("throughput above demand: %v", q.ThroughputBps)
+		}
+	}
+	if sat != len(qos) {
+		t.Fatalf("expected all 40 streaming flows degraded, got %d", sat)
+	}
+}
+
+func TestFluidWiFiCapacityCrossover(t *testing.T) {
+	// The streaming capacity should sit near the paper's ≈25 flows for
+	// the ns-3-like cell.
+	w := FluidWiFi{Config: SimWiFi()}
+	atCap := func(n int) bool {
+		for _, q := range w.Evaluate(highFlows(excr.Streaming, n)) {
+			if q.LossRate > 0.01 {
+				return true
+			}
+		}
+		return false
+	}
+	if atCap(20) {
+		t.Fatal("20 streaming flows should fit")
+	}
+	if !atCap(32) {
+		t.Fatal("32 streaming flows should not fit")
+	}
+	// Conferencing capacity should be distinctly higher (≈40).
+	c := func(n int) bool {
+		for _, q := range w.Evaluate(highFlows(excr.Conferencing, n)) {
+			if q.LossRate > 0.01 {
+				return true
+			}
+		}
+		return false
+	}
+	if c(35) {
+		t.Fatal("35 conferencing flows should fit")
+	}
+	if !c(50) {
+		t.Fatal("50 conferencing flows should not fit")
+	}
+}
+
+func TestWiFiPerformanceAnomaly(t *testing.T) {
+	// Figure 3's shape: adding low-SNR stations hurts high-SNR
+	// stations too, because DCF is throughput-fair.
+	w := FluidWiFi{Config: TestbedWiFi()}
+	allHigh := w.Evaluate([]FlowSpec{
+		{Class: excr.Streaming, Level: excr.SNRHigh},
+		{Class: excr.Streaming, Level: excr.SNRHigh},
+		{Class: excr.Streaming, Level: excr.SNRHigh},
+		{Class: excr.Streaming, Level: excr.SNRHigh},
+	})
+	mixed := w.Evaluate([]FlowSpec{
+		{Class: excr.Streaming, Level: excr.SNRHigh},
+		{Class: excr.Streaming, Level: excr.SNRHigh},
+		{Class: excr.Streaming, Level: excr.SNRLow},
+		{Class: excr.Streaming, Level: excr.SNRLow},
+	})
+	if mixed[0].ThroughputBps >= allHigh[0].ThroughputBps {
+		t.Fatalf("high-SNR station should lose throughput when low-SNR stations join: %v vs %v",
+			mixed[0].ThroughputBps, allHigh[0].ThroughputBps)
+	}
+}
+
+func TestLTEIsolatesLowCQI(t *testing.T) {
+	// In LTE the resource-fair scheduler largely isolates good UEs
+	// from a bad one: the high-CQI UE keeps its demand satisfied.
+	l := FluidLTE{Config: SimLTE()}
+	mixed := l.Evaluate([]FlowSpec{
+		{Class: excr.Streaming, Level: excr.SNRHigh},
+		{Class: excr.Streaming, Level: excr.SNRLow},
+		{Class: excr.Streaming, Level: excr.SNRLow},
+	})
+	if mixed[0].LossRate > 0 || math.Abs(mixed[0].ThroughputBps-4e6) > 1e5 {
+		t.Fatalf("high-CQI UE should be unaffected at light load: %+v", mixed[0])
+	}
+}
+
+func TestLTESaturation(t *testing.T) {
+	l := FluidLTE{Config: TestbedLTE()}
+	// 32 Mbps cell: 20 streaming flows (50 Mbps demand) must degrade.
+	qos := l.Evaluate(highFlows(excr.Streaming, 20))
+	for _, q := range qos {
+		if q.LossRate <= 0 {
+			t.Fatalf("expected saturation loss, got %+v", q)
+		}
+	}
+}
+
+func TestFlowsForMatrix(t *testing.T) {
+	m := excr.NewMatrix(excr.MixedSNRSpace).
+		Set(excr.Web, excr.SNRHigh, 2).
+		Set(excr.Conferencing, excr.SNRLow, 1)
+	flows := FlowsForMatrix(m)
+	if len(flows) != 3 {
+		t.Fatalf("len = %d, want 3", len(flows))
+	}
+	// Deterministic IDs and cell order.
+	if flows[0].Class != excr.Web || flows[0].Level != excr.SNRHigh || flows[0].ID != 0 {
+		t.Fatalf("first flow wrong: %+v", flows[0])
+	}
+	if flows[2].Class != excr.Conferencing || flows[2].Level != excr.SNRLow {
+		t.Fatalf("last flow wrong: %+v", flows[2])
+	}
+	if got := FlowsForMatrix(excr.NewMatrix(excr.DefaultSpace)); len(got) != 0 {
+		t.Fatal("empty matrix should yield no flows")
+	}
+}
+
+func TestEvaluateEmptyAndInvalid(t *testing.T) {
+	for _, net := range []Network{FluidWiFi{Config: SimWiFi()}, FluidLTE{Config: SimLTE()}, NewPacketSim(WiFiCell, 1)} {
+		if got := net.Evaluate(nil); len(got) != 0 {
+			t.Fatalf("%s: Evaluate(nil) returned %d entries", net.Name(), len(got))
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative demand")
+		}
+	}()
+	FluidWiFi{Config: SimWiFi()}.Evaluate([]FlowSpec{{DemandBps: -1}})
+}
+
+func TestPacketSimWiFiLightLoad(t *testing.T) {
+	ps := NewPacketSim(WiFiCell, 7)
+	qos := ps.Evaluate(highFlows(excr.Streaming, 3))
+	for i, q := range qos {
+		if q.ThroughputBps < 3.0e6 || q.ThroughputBps > 5.2e6 {
+			t.Fatalf("flow %d goodput = %v, want ≈4 Mbps", i, q.ThroughputBps)
+		}
+		if q.LossRate > 0.001 {
+			t.Fatalf("flow %d loss = %v at light load", i, q.LossRate)
+		}
+	}
+}
+
+func TestPacketSimWiFiOverload(t *testing.T) {
+	ps := NewPacketSim(WiFiCell, 8)
+	qos := ps.Evaluate(highFlows(excr.Streaming, 40))
+	var totalTput, lossy float64
+	for _, q := range qos {
+		totalTput += q.ThroughputBps
+		if q.LossRate > 0.02 {
+			lossy++
+		}
+	}
+	// Aggregate goodput should sit near the cell's effective capacity.
+	if totalTput < 70e6 || totalTput > 115e6 {
+		t.Fatalf("aggregate goodput = %v, want ~97 Mbps", totalTput)
+	}
+	if lossy < 30 {
+		t.Fatalf("only %v flows saw loss under 40-flow overload", lossy)
+	}
+}
+
+func TestPacketSimLTE(t *testing.T) {
+	ps := NewPacketSim(LTECell, 9)
+	qos := ps.Evaluate(highFlows(excr.Conferencing, 4))
+	for i, q := range qos {
+		if q.ThroughputBps < 1.5e6 || q.ThroughputBps > 2.6e6 {
+			t.Fatalf("flow %d goodput = %v, want ≈2 Mbps", i, q.ThroughputBps)
+		}
+	}
+	// Overload: 40 streaming UEs; per-UE overhead halves the 75 Mbps
+	// cell, so aggregate goodput should land near 37.5 Mbps.
+	qos = ps.Evaluate(highFlows(excr.Streaming, 40))
+	var total float64
+	for _, q := range qos {
+		total += q.ThroughputBps
+	}
+	if total < 28e6 || total > 50e6 {
+		t.Fatalf("aggregate LTE goodput = %v, want near 37.5 Mbps", total)
+	}
+}
+
+func TestPacketSimDeterministic(t *testing.T) {
+	a := NewPacketSim(WiFiCell, 42).Evaluate(highFlows(excr.Streaming, 5))
+	b := NewPacketSim(WiFiCell, 42).Evaluate(highFlows(excr.Streaming, 5))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at flow %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := NewPacketSim(WiFiCell, 43).Evaluate(highFlows(excr.Streaming, 5))
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical results (suspicious)")
+	}
+}
+
+func TestPacketSimAnomalyMatchesFluid(t *testing.T) {
+	// Cross-validate the two backends: both must show the WiFi anomaly
+	// and agree on per-flow throughput within a loose band.
+	flows := []FlowSpec{
+		{Class: excr.Streaming, Level: excr.SNRHigh},
+		{Class: excr.Streaming, Level: excr.SNRHigh},
+		{Class: excr.Streaming, Level: excr.SNRLow},
+		{Class: excr.Streaming, Level: excr.SNRLow},
+		{Class: excr.Streaming, Level: excr.SNRLow},
+		{Class: excr.Streaming, Level: excr.SNRLow},
+		{Class: excr.Streaming, Level: excr.SNRLow},
+		{Class: excr.Streaming, Level: excr.SNRLow},
+	}
+	cfg := TestbedWiFi()
+	fluid := FluidWiFi{Config: cfg}.Evaluate(flows)
+	ps := NewPacketSim(WiFiCell, 11)
+	ps.WiFi = cfg
+	pkt := ps.Evaluate(flows)
+	for i := range flows {
+		f, p := fluid[i].ThroughputBps, pkt[i].ThroughputBps
+		if f <= 0 || p <= 0 {
+			t.Fatalf("flow %d zero throughput: fluid=%v pkt=%v", i, f, p)
+		}
+		// The fluid model folds DCF collision losses into a contention
+		// efficiency the packet simulator does not model, so at deep
+		// saturation the two diverge; a factor-3 band still catches
+		// structural disagreement.
+		ratio := p / f
+		if ratio < 0.33 || ratio > 3.1 {
+			t.Fatalf("flow %d fluid/packet disagree: fluid=%.0f pkt=%.0f", i, f, p)
+		}
+	}
+	// Both should starve the high-SNR flow well below its 4 Mbps
+	// demand: the performance anomaly.
+	if fluid[0].ThroughputBps > 3.0e6 || pkt[0].ThroughputBps > 3.0e6 {
+		t.Fatalf("anomaly missing: fluid=%v pkt=%v", fluid[0].ThroughputBps, pkt[0].ThroughputBps)
+	}
+}
+
+func TestCellKindString(t *testing.T) {
+	if WiFiCell.String() != "wifi" || LTECell.String() != "lte" {
+		t.Fatal("CellKind strings wrong")
+	}
+	if NewPacketSim(WiFiCell, 1).Name() != "packet-wifi" {
+		t.Fatal("Name wrong")
+	}
+}
+
+// Property: adding a flow to a WiFi cell never improves anyone's QoS —
+// throughput weakly decreases and delay weakly increases for the flows
+// already present. This is the monotonicity the ExCR concept rests on.
+func TestQuickFluidMonotoneInLoad(t *testing.T) {
+	w := FluidWiFi{Config: SimWiFi()}
+	rng := mathx.NewRand(51)
+	f := func() bool {
+		m := excr.NewMatrix(excr.DefaultSpace)
+		for c := 0; c < 3; c++ {
+			m = m.Set(excr.AppClass(c), 0, rng.Intn(15))
+		}
+		if m.Total() == 0 {
+			return true
+		}
+		before := w.Evaluate(FlowsForMatrix(m))
+		grown := m.Inc(excr.AppClass(rng.Intn(3)), 0)
+		after := w.Evaluate(FlowsForMatrix(grown))
+		// Compare flows by position; FlowsForMatrix emits cells in the
+		// same order, with the new flow inserted within its class run,
+		// so compare per-class aggregates instead of positions.
+		for c := 0; c < 3; c++ {
+			cls := excr.AppClass(c)
+			bTput, bDelay := classStats(m, before, cls)
+			aTput, aDelay := classStats(grown, after, cls)
+			if m.Get(cls, 0) == 0 {
+				continue
+			}
+			if aTput > bTput+1e-6 {
+				return false
+			}
+			if aDelay < bDelay-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// classStats returns the mean per-flow throughput and delay of a class.
+func classStats(m excr.Matrix, qos []metrics.QoS, cls excr.AppClass) (tput, delay float64) {
+	flows := FlowsForMatrix(m)
+	n := 0
+	for i, f := range flows {
+		if f.Class == cls {
+			tput += qos[i].ThroughputBps
+			delay += qos[i].DelayMs
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return tput / float64(n), delay / float64(n)
+}
+
+// Property: fluid and packet backends agree on which flows are starved
+// (goodput below half demand) for random high-SNR matrices, within a
+// one-flow tolerance.
+func TestQuickFluidPacketStarvationAgreement(t *testing.T) {
+	rng := mathx.NewRand(52)
+	for trial := 0; trial < 8; trial++ {
+		m := excr.NewMatrix(excr.DefaultSpace).
+			Set(excr.Web, 0, rng.Intn(8)).
+			Set(excr.Streaming, 0, rng.Intn(8)).
+			Set(excr.Conferencing, 0, rng.Intn(8))
+		if m.Total() == 0 {
+			continue
+		}
+		// At deep saturation the backends diverge by design: DCF is
+		// frame-fair (bigger frames win) while the fluid waterfill is
+		// byte-fair. Compare them only up to moderate overload.
+		demand := float64(m.Get(excr.Web, 0))*1e6 +
+			float64(m.Get(excr.Streaming, 0))*4e6 +
+			float64(m.Get(excr.Conferencing, 0))*2e6
+		if demand > 1.25*20.1e6 {
+			continue
+		}
+		flows := FlowsForMatrix(m)
+		cfg := TestbedWiFi()
+		fluid := FluidWiFi{Config: cfg}.Evaluate(flows)
+		ps := NewPacketSim(WiFiCell, int64(trial))
+		ps.WiFi = cfg
+		pkt := ps.Evaluate(flows)
+		profiles := cfg.Profiles
+		disagree := 0
+		for i, f := range flows {
+			dem := profiles[f.Class].DemandBps
+			fs := fluid[i].ThroughputBps < dem/2
+			pk := pkt[i].ThroughputBps < dem/2
+			if fs != pk {
+				disagree++
+			}
+		}
+		if disagree > 1+len(flows)/4 {
+			t.Fatalf("trial %d (%v): %d/%d starvation disagreements", trial, m, disagree, len(flows))
+		}
+	}
+}

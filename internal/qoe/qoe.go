@@ -1,0 +1,160 @@
+// Package qoe implements ExBox's QoE Estimator (Section 3.2): the
+// network-side component that estimates each application's quality of
+// experience from passive QoS measurements using per-class IQX models,
+// and thresholds the estimates into the ±1 labels the Admittance
+// Classifier trains on.
+//
+// The estimator is trained once per application class from a single
+// instrumented training device (the testbed's TrainingSweep); after
+// that, no client cooperation is needed — exactly the deployment story
+// the paper argues for in BYOD enterprise networks.
+package qoe
+
+import (
+	"fmt"
+
+	"exbox/internal/apps"
+	"exbox/internal/excr"
+	"exbox/internal/iqx"
+	"exbox/internal/metrics"
+	"exbox/internal/netsim"
+	"exbox/internal/testbed"
+)
+
+// Threshold is a per-class acceptability rule on the QoE metric.
+type Threshold struct {
+	// Value is the boundary in class units (seconds or dB).
+	Value float64
+	// LowerIsBetter is true for delay-like metrics (page load time,
+	// startup delay) and false for PSNR-like metrics.
+	LowerIsBetter bool
+}
+
+// Acceptable applies the rule.
+func (t Threshold) Acceptable(v float64) bool {
+	if t.LowerIsBetter {
+		return v <= t.Value
+	}
+	return v >= t.Value
+}
+
+// DefaultThresholds returns the class thresholds used across the
+// paper's evaluation (3 s PLT, 5 s startup, 30 dB PSNR).
+func DefaultThresholds() map[excr.AppClass]Threshold {
+	return map[excr.AppClass]Threshold{
+		excr.Web:          {Value: apps.WebPLTThresholdSec, LowerIsBetter: true},
+		excr.Streaming:    {Value: apps.StartupThresholdSec, LowerIsBetter: true},
+		excr.Conferencing: {Value: apps.PSNRThresholdDB, LowerIsBetter: false},
+	}
+}
+
+// ClassModel bundles one class's fitted IQX model with its fit quality
+// and threshold.
+type ClassModel struct {
+	Model     iqx.Model
+	RMSE      float64
+	Threshold Threshold
+}
+
+// Estimator maps passive QoS measurements to per-class QoE estimates
+// and admissibility labels.
+type Estimator struct {
+	models map[excr.AppClass]ClassModel
+}
+
+// NewEstimator returns an estimator with the given per-class models.
+func NewEstimator(models map[excr.AppClass]ClassModel) *Estimator {
+	return &Estimator{models: models}
+}
+
+// Train builds an estimator by running the Figure 12 methodology on a
+// testbed: for each class, a single training client sweeps the shaped
+// rate/latency grid, and IQX is fit to the collected (QoS, QoE) pairs.
+func Train(tb *testbed.Testbed, classes []excr.AppClass, runs int) (*Estimator, error) {
+	models := make(map[excr.AppClass]ClassModel, len(classes))
+	thresholds := DefaultThresholds()
+	for _, class := range classes {
+		pts := tb.TrainingSweep(class, testbed.DefaultSweepRates(), testbed.DefaultSweepDelays(), runs)
+		qos := make([]float64, len(pts))
+		qoeVals := make([]float64, len(pts))
+		for i, p := range pts {
+			qos[i] = p.QoS
+			qoeVals[i] = p.QoE
+		}
+		res, err := iqx.Fit(qos, qoeVals)
+		if err != nil {
+			return nil, fmt.Errorf("qoe: fitting %v: %w", class, err)
+		}
+		th, ok := thresholds[class]
+		if !ok {
+			return nil, fmt.Errorf("qoe: no threshold for class %v", class)
+		}
+		models[class] = ClassModel{Model: res.Model, RMSE: res.RMSE, Threshold: th}
+	}
+	return &Estimator{models: models}, nil
+}
+
+// Classes returns the classes the estimator has models for.
+func (e *Estimator) Classes() []excr.AppClass {
+	out := make([]excr.AppClass, 0, len(e.models))
+	for c := excr.AppClass(0); int(c) < excr.NumAppClasses+8; c++ {
+		if _, ok := e.models[c]; ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Model returns the class model, and whether it exists.
+func (e *Estimator) Model(c excr.AppClass) (ClassModel, bool) {
+	m, ok := e.models[c]
+	return m, ok
+}
+
+// Estimate returns the estimated QoE (class units) for a flow of the
+// class experiencing the given QoS.
+func (e *Estimator) Estimate(c excr.AppClass, q metrics.QoS) (float64, error) {
+	m, ok := e.models[c]
+	if !ok {
+		return 0, fmt.Errorf("qoe: no model for class %v", c)
+	}
+	return m.Model.Eval(q.Scalar()), nil
+}
+
+// LabelFlow thresholds the estimate into ±1.
+func (e *Estimator) LabelFlow(c excr.AppClass, q metrics.QoS) (float64, error) {
+	m, ok := e.models[c]
+	if !ok {
+		return 0, fmt.Errorf("qoe: no model for class %v", c)
+	}
+	if m.Threshold.Acceptable(m.Model.Eval(q.Scalar())) {
+		return 1, nil
+	}
+	return -1, nil
+}
+
+// LabelMatrix runs a traffic matrix on the network and labels it from
+// the network side: +1 when the estimated QoE of every active flow is
+// acceptable. This is how the scale-up simulations compute Y_m —
+// "as the simulation progresses, we collect QoS information and
+// compute QoE using IQX".
+func (e *Estimator) LabelMatrix(net netsim.Network, m excr.Matrix) (float64, error) {
+	flows := netsim.FlowsForMatrix(m)
+	qos := net.Evaluate(flows)
+	for i, f := range flows {
+		y, err := e.LabelFlow(f.Class, qos[i])
+		if err != nil {
+			return 0, err
+		}
+		if y < 0 {
+			return -1, nil
+		}
+	}
+	return 1, nil
+}
+
+// LabelArrival labels an arrival from the network side: the label of
+// the post-admission matrix.
+func (e *Estimator) LabelArrival(net netsim.Network, a excr.Arrival) (float64, error) {
+	return e.LabelMatrix(net, a.After())
+}

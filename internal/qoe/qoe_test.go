@@ -1,0 +1,184 @@
+package qoe
+
+import (
+	"testing"
+
+	"exbox/internal/apps"
+	"exbox/internal/excr"
+	"exbox/internal/iqx"
+	"exbox/internal/metrics"
+	"exbox/internal/netsim"
+	"exbox/internal/testbed"
+)
+
+func allClasses() []excr.AppClass {
+	return []excr.AppClass{excr.Web, excr.Streaming, excr.Conferencing}
+}
+
+func trainedEstimator(t *testing.T) *Estimator {
+	t.Helper()
+	tb := testbed.New(testbed.WiFi, 42)
+	e, err := Train(tb, allClasses(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestThreshold(t *testing.T) {
+	lower := Threshold{Value: 3, LowerIsBetter: true}
+	if !lower.Acceptable(2.5) || lower.Acceptable(3.5) {
+		t.Fatal("lower-is-better threshold wrong")
+	}
+	higher := Threshold{Value: 30}
+	if !higher.Acceptable(35) || higher.Acceptable(25) {
+		t.Fatal("higher-is-better threshold wrong")
+	}
+}
+
+func TestDefaultThresholdsCoverClasses(t *testing.T) {
+	th := DefaultThresholds()
+	for _, c := range allClasses() {
+		if _, ok := th[c]; !ok {
+			t.Fatalf("missing threshold for %v", c)
+		}
+	}
+}
+
+func TestTrainProducesSaneModels(t *testing.T) {
+	e := trainedEstimator(t)
+	if got := len(e.Classes()); got != 3 {
+		t.Fatalf("Classes = %d, want 3", got)
+	}
+	for _, c := range allClasses() {
+		m, ok := e.Model(c)
+		if !ok {
+			t.Fatalf("no model for %v", c)
+		}
+		if m.RMSE <= 0 {
+			t.Fatalf("%v RMSE = %v", c, m.RMSE)
+		}
+		// Direction must match the app metric.
+		if c == excr.Conferencing && m.Model.Decreasing() {
+			t.Fatal("conferencing model should increase with QoS")
+		}
+		if c != excr.Conferencing && !m.Model.Decreasing() {
+			t.Fatalf("%v model should decrease with QoS", c)
+		}
+	}
+}
+
+func TestEstimateTracksGroundTruth(t *testing.T) {
+	e := trainedEstimator(t)
+	// Good and bad QoS: estimated labels must match the ground truth
+	// thresholds' verdicts.
+	good := metrics.QoS{ThroughputBps: 10e6, DelayMs: 20}
+	bad := metrics.QoS{ThroughputBps: 0.15e6, DelayMs: 280, LossRate: 0.02}
+	for _, c := range allClasses() {
+		yGood, err := e.LabelFlow(c, good)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if yGood != 1 {
+			est, _ := e.Estimate(c, good)
+			t.Fatalf("%v: good QoS labeled %v (estimate %v)", c, yGood, est)
+		}
+		yBad, err := e.LabelFlow(c, bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if yBad != -1 {
+			est, _ := e.Estimate(c, bad)
+			t.Fatalf("%v: bad QoS labeled %v (estimate %v)", c, yBad, est)
+		}
+	}
+}
+
+func TestLabelAgreementWithOracle(t *testing.T) {
+	// The network-side estimator should agree with device-side ground
+	// truth on a large majority of random matrices — this is the crux
+	// of the IQX substitution.
+	e := trainedEstimator(t)
+	net := netsim.FluidWiFi{Config: netsim.SimWiFi()}
+	oracle := apps.Oracle{Net: net}
+	agree, total := 0, 0
+	for web := 0; web <= 24; web += 6 {
+		for stream := 0; stream <= 24; stream += 6 {
+			for conf := 0; conf <= 24; conf += 6 {
+				m := excr.NewMatrix(excr.DefaultSpace).
+					Set(excr.Web, 0, web).Set(excr.Streaming, 0, stream).Set(excr.Conferencing, 0, conf)
+				if m.Total() == 0 {
+					continue
+				}
+				est, err := e.LabelMatrix(net, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				truth := 1.0
+				if !oracle.Achievable(m) {
+					truth = -1
+				}
+				if est == truth {
+					agree++
+				}
+				total++
+			}
+		}
+	}
+	frac := float64(agree) / float64(total)
+	if frac < 0.85 {
+		t.Fatalf("estimator agrees with ground truth on %.2f of matrices, want >= 0.85", frac)
+	}
+}
+
+func TestUnknownClassErrors(t *testing.T) {
+	e := NewEstimator(map[excr.AppClass]ClassModel{})
+	if _, err := e.Estimate(excr.Web, metrics.QoS{}); err == nil {
+		t.Fatal("expected error for missing model")
+	}
+	if _, err := e.LabelFlow(excr.Web, metrics.QoS{}); err == nil {
+		t.Fatal("expected error for missing model")
+	}
+	net := netsim.FluidWiFi{Config: netsim.SimWiFi()}
+	m := excr.NewMatrix(excr.DefaultSpace).Set(excr.Web, 0, 1)
+	if _, err := e.LabelMatrix(net, m); err == nil {
+		t.Fatal("expected error for missing model in LabelMatrix")
+	}
+}
+
+func TestLabelArrival(t *testing.T) {
+	e := trainedEstimator(t)
+	net := netsim.FluidWiFi{Config: netsim.SimWiFi()}
+	light := excr.Arrival{Matrix: excr.NewMatrix(excr.DefaultSpace), Class: excr.Web}
+	y, err := e.LabelArrival(net, light)
+	if err != nil || y != 1 {
+		t.Fatalf("light arrival: y=%v err=%v", y, err)
+	}
+	heavy := excr.Arrival{
+		Matrix: excr.NewMatrix(excr.DefaultSpace).Set(excr.Streaming, 0, 40),
+		Class:  excr.Streaming,
+	}
+	y, err = e.LabelArrival(net, heavy)
+	if err != nil || y != -1 {
+		t.Fatalf("heavy arrival: y=%v err=%v", y, err)
+	}
+}
+
+func TestNewEstimatorRoundTrip(t *testing.T) {
+	m := map[excr.AppClass]ClassModel{
+		excr.Web: {
+			Model:     iqx.Model{Alpha: 1, Beta: 10, Gamma: 2},
+			Threshold: Threshold{Value: 3, LowerIsBetter: true},
+		},
+	}
+	e := NewEstimator(m)
+	got, ok := e.Model(excr.Web)
+	if !ok || got.Model.Alpha != 1 {
+		t.Fatal("Model round trip failed")
+	}
+	// High QoS → estimate near alpha (1s) → acceptable.
+	y, err := e.LabelFlow(excr.Web, metrics.QoS{ThroughputBps: 50e6, DelayMs: 10})
+	if err != nil || y != 1 {
+		t.Fatalf("y=%v err=%v", y, err)
+	}
+}

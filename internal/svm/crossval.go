@@ -1,0 +1,72 @@
+package svm
+
+import (
+	"errors"
+	"math/rand"
+)
+
+// CrossValidate estimates generalization accuracy by n-fold cross
+// validation: the data is split into folds random subsets, the model is
+// trained on folds-1 of them and tested on the held-out one, and the
+// mean accuracy over all folds is returned.
+//
+// This is exactly the procedure ExBox's bootstrap phase runs to decide
+// when the Admittance Classifier is trustworthy enough to go online.
+// Folds whose training split degenerates to a single class are scored
+// by majority-class prediction, mirroring how a trivial classifier
+// would behave there.
+func CrossValidate(cfg Config, x [][]float64, y []float64, folds int, rng *rand.Rand) (float64, error) {
+	if folds < 2 {
+		return 0, errors.New("svm: cross validation needs at least 2 folds")
+	}
+	if len(x) != len(y) {
+		return 0, errors.New("svm: rows/labels mismatch")
+	}
+	if len(x) < folds {
+		return 0, errors.New("svm: fewer samples than folds")
+	}
+	idx := rng.Perm(len(x))
+
+	var correct, total int
+	for f := 0; f < folds; f++ {
+		var trainX, testX [][]float64
+		var trainY, testY []float64
+		for pos, i := range idx {
+			if pos%folds == f {
+				testX = append(testX, x[i])
+				testY = append(testY, y[i])
+			} else {
+				trainX = append(trainX, x[i])
+				trainY = append(trainY, y[i])
+			}
+		}
+		m, err := Train(cfg, trainX, trainY)
+		if errors.Is(err, ErrOneClass) {
+			// Majority (only) class predictor.
+			var cls float64 = 1
+			if len(trainY) > 0 {
+				cls = trainY[0]
+			}
+			for _, yt := range testY {
+				if yt == cls {
+					correct++
+				}
+				total++
+			}
+			continue
+		}
+		if err != nil {
+			return 0, err
+		}
+		for i, row := range testX {
+			if m.Predict(row) == testY[i] {
+				correct++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return 0, errors.New("svm: empty folds")
+	}
+	return float64(correct) / float64(total), nil
+}

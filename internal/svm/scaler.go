@@ -1,0 +1,53 @@
+package svm
+
+import "exbox/internal/mathx"
+
+// Scaler standardizes features to zero mean and unit variance, the
+// usual preconditioning for SMO convergence. Columns with zero
+// variance are passed through unshifted in scale (divisor 1) so that
+// constant features cannot produce NaNs.
+type Scaler struct {
+	Mean []float64
+	Std  []float64
+}
+
+// FitScaler learns per-column mean and standard deviation from x.
+// It returns nil when x is empty.
+func FitScaler(x [][]float64) *Scaler {
+	if len(x) == 0 {
+		return nil
+	}
+	dim := len(x[0])
+	s := &Scaler{Mean: make([]float64, dim), Std: make([]float64, dim)}
+	col := make([]float64, len(x))
+	for j := 0; j < dim; j++ {
+		for i, row := range x {
+			col[i] = row[j]
+		}
+		s.Mean[j] = mathx.Mean(col)
+		sd := mathx.StdDev(col)
+		if sd < 1e-12 {
+			sd = 1
+		}
+		s.Std[j] = sd
+	}
+	return s
+}
+
+// Transform returns a standardized copy of row.
+func (s *Scaler) Transform(row []float64) []float64 {
+	out := make([]float64, len(row))
+	for j, v := range row {
+		out[j] = (v - s.Mean[j]) / s.Std[j]
+	}
+	return out
+}
+
+// TransformAll standardizes every row, returning fresh slices.
+func (s *Scaler) TransformAll(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		out[i] = s.Transform(row)
+	}
+	return out
+}

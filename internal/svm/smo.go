@@ -1,0 +1,451 @@
+package svm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config holds the SVM hyperparameters. The zero value is not usable;
+// start from DefaultConfig.
+type Config struct {
+	// Kernel selects Linear or RBF.
+	Kernel KernelKind
+	// C is the soft-margin penalty. Larger C fits the training data
+	// harder.
+	C float64
+	// Gamma is the RBF kernel width (ignored for Linear). When 0 it
+	// defaults to 1/dim at training time, the usual libsvm default.
+	Gamma float64
+	// Tol is the KKT violation tolerance used by SMO.
+	Tol float64
+	// Eps is the minimum alpha step considered progress.
+	Eps float64
+	// MaxPasses bounds full sweeps over the training set without
+	// progress before SMO gives up and returns the current model.
+	MaxPasses int
+	// MaxIter is a hard ceiling on examine steps, a safety valve
+	// against pathological data. 0 means a generous default.
+	MaxIter int
+}
+
+// DefaultConfig returns the configuration used by the ExBox
+// Admittance Classifier: an RBF kernel with a moderate penalty, chosen
+// because the ExCR boundary is curved in traffic-matrix space.
+func DefaultConfig() Config {
+	return Config{
+		Kernel:    RBF,
+		C:         10,
+		Gamma:     0, // 1/dim at train time
+		Tol:       1e-3,
+		Eps:       1e-5,
+		MaxPasses: 5,
+	}
+}
+
+// ErrOneClass is returned by Train when the labels contain only one
+// class; no separating boundary exists to learn. The Admittance
+// Classifier treats this as "keep bootstrapping".
+var ErrOneClass = errors.New("svm: training data contains a single class")
+
+// Model is a trained SVM. Models are immutable after training and safe
+// for concurrent use.
+type Model struct {
+	cfg    Config
+	gamma  float64
+	scaler *Scaler
+
+	// Support vectors in standardized feature space.
+	svX     [][]float64
+	svCoef  []float64 // alpha_i * y_i
+	b       float64
+	wLinear []float64 // collapsed weights, linear kernel only
+}
+
+// Train fits a soft-margin SVM on rows x with labels y in {-1,+1}.
+// Features are standardized internally; the returned model applies the
+// same standardization at prediction time.
+func Train(cfg Config, x [][]float64, y []float64) (*Model, error) {
+	if len(x) == 0 {
+		return nil, errors.New("svm: no training data")
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("svm: %d rows but %d labels", len(x), len(y))
+	}
+	if cfg.C <= 0 {
+		return nil, errors.New("svm: C must be positive")
+	}
+	dim := len(x[0])
+	var pos, neg int
+	for i, yi := range y {
+		if len(x[i]) != dim {
+			return nil, fmt.Errorf("svm: row %d has dim %d, want %d", i, len(x[i]), dim)
+		}
+		switch yi {
+		case 1:
+			pos++
+		case -1:
+			neg++
+		default:
+			return nil, fmt.Errorf("svm: label %v at row %d, want +1 or -1", yi, i)
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return nil, ErrOneClass
+	}
+
+	gamma := cfg.Gamma
+	if gamma <= 0 {
+		gamma = 1 / float64(dim)
+	}
+	scaler := FitScaler(x)
+	xs := scaler.TransformAll(x)
+
+	tr := newTrainer(cfg, gamma, xs, y)
+	tr.solve()
+
+	// The trainer follows Platt's convention u(x) = Σ αᵢyᵢK(xᵢ,x) − b;
+	// the model stores the negated threshold so Decision can add it.
+	m := &Model{cfg: cfg, gamma: gamma, scaler: scaler, b: -tr.b}
+	for i, a := range tr.alpha {
+		if a > 1e-12 {
+			m.svX = append(m.svX, xs[i])
+			m.svCoef = append(m.svCoef, a*y[i])
+		}
+	}
+	if cfg.Kernel == Linear {
+		w := make([]float64, dim)
+		for i, sv := range m.svX {
+			for j, v := range sv {
+				w[j] += m.svCoef[i] * v
+			}
+		}
+		m.wLinear = w
+	}
+	return m, nil
+}
+
+// NumSV returns the number of support vectors retained by the model.
+func (m *Model) NumSV() int { return len(m.svX) }
+
+// Decision returns the signed distance-like score f(x) of the sample:
+// positive inside the admissible half-space, negative outside. ExBox's
+// network selection uses the magnitude as "how far inside the capacity
+// region" a candidate placement sits.
+func (m *Model) Decision(row []float64) float64 {
+	z := m.scaler.Transform(row)
+	if m.wLinear != nil {
+		var s float64
+		for j, v := range z {
+			s += m.wLinear[j] * v
+		}
+		return s + m.b
+	}
+	k := kernelFunc(m.cfg.Kernel, m.gamma)
+	var s float64
+	for i, sv := range m.svX {
+		s += m.svCoef[i] * k(sv, z)
+	}
+	return s + m.b
+}
+
+// Predict returns +1 or -1 for the sample.
+func (m *Model) Predict(row []float64) float64 {
+	if m.Decision(row) >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// trainer holds the SMO working state.
+type trainer struct {
+	cfg   Config
+	gamma float64
+	x     [][]float64
+	y     []float64
+	n     int
+
+	alpha []float64
+	b     float64
+	errs  []float64 // E_i = f(x_i) - y_i, maintained incrementally
+
+	kern  func(a, b []float64) float64
+	kdiag []float64
+	// Full kernel matrix when n is small enough; otherwise rows are
+	// computed on demand through kRow with a tiny cache.
+	kfull    [][]float64
+	rowCache map[int][]float64
+	rowOrder []int
+}
+
+// kernelCacheLimit bounds the n for which a full n×n kernel matrix is
+// precomputed (n=3000 → ~72 MB of float64, acceptable).
+const kernelCacheLimit = 3000
+
+func newTrainer(cfg Config, gamma float64, x [][]float64, y []float64) *trainer {
+	n := len(x)
+	tr := &trainer{
+		cfg:   cfg,
+		gamma: gamma,
+		x:     x,
+		y:     y,
+		n:     n,
+		alpha: make([]float64, n),
+		errs:  make([]float64, n),
+		kern:  kernelFunc(cfg.Kernel, gamma),
+		kdiag: make([]float64, n),
+	}
+	for i := range tr.errs {
+		tr.errs[i] = -y[i] // f = 0 initially
+	}
+	if n <= kernelCacheLimit {
+		tr.kfull = make([][]float64, n)
+	} else {
+		tr.rowCache = make(map[int][]float64)
+	}
+	for i := 0; i < n; i++ {
+		tr.kdiag[i] = tr.kern(x[i], x[i])
+	}
+	return tr
+}
+
+// kRow returns row i of the kernel matrix, computing and caching it as
+// needed.
+func (tr *trainer) kRow(i int) []float64 {
+	if tr.kfull != nil {
+		if tr.kfull[i] == nil {
+			row := make([]float64, tr.n)
+			for j := 0; j < tr.n; j++ {
+				row[j] = tr.kern(tr.x[i], tr.x[j])
+			}
+			tr.kfull[i] = row
+		}
+		return tr.kfull[i]
+	}
+	if row, ok := tr.rowCache[i]; ok {
+		return row
+	}
+	row := make([]float64, tr.n)
+	for j := 0; j < tr.n; j++ {
+		row[j] = tr.kern(tr.x[i], tr.x[j])
+	}
+	// Bounded cache with FIFO eviction: SMO revisits a small working
+	// set, so even a crude policy hits well.
+	const maxRows = 512
+	if len(tr.rowOrder) >= maxRows {
+		evict := tr.rowOrder[0]
+		tr.rowOrder = tr.rowOrder[1:]
+		delete(tr.rowCache, evict)
+	}
+	tr.rowCache[i] = row
+	tr.rowOrder = append(tr.rowOrder, i)
+	return row
+}
+
+// solve runs Platt's SMO main loop: alternate full passes with passes
+// over the non-bound subset until a full pass makes no progress.
+func (tr *trainer) solve() {
+	maxIter := tr.cfg.MaxIter
+	if maxIter <= 0 {
+		maxIter = 200 * tr.n
+		if maxIter < 20000 {
+			maxIter = 20000
+		}
+	}
+	// Deterministic tie-breaking RNG for the second-choice heuristic
+	// fallback; seeded from the problem size so training is
+	// reproducible for a given dataset.
+	rng := rand.New(rand.NewSource(int64(tr.n)*2654435761 + 1))
+
+	iter := 0
+	examineAll := true
+	passesWithoutProgress := 0
+	for passesWithoutProgress < tr.cfg.maxPasses() && iter < maxIter {
+		changed := 0
+		if examineAll {
+			for i := 0; i < tr.n && iter < maxIter; i++ {
+				changed += tr.examine(i, rng)
+				iter++
+			}
+		} else {
+			for i := 0; i < tr.n && iter < maxIter; i++ {
+				if tr.alpha[i] > 0 && tr.alpha[i] < tr.cfg.C {
+					changed += tr.examine(i, rng)
+					iter++
+				}
+			}
+		}
+		if examineAll {
+			examineAll = false
+		} else if changed == 0 {
+			examineAll = true
+		}
+		if changed == 0 {
+			passesWithoutProgress++
+		} else {
+			passesWithoutProgress = 0
+		}
+	}
+}
+
+func (c Config) maxPasses() int {
+	if c.MaxPasses <= 0 {
+		return 2
+	}
+	return c.MaxPasses
+}
+
+// examine applies the KKT check to example i2 and, if violated, picks a
+// partner i1 by the second-choice heuristic and attempts a step.
+func (tr *trainer) examine(i2 int, rng *rand.Rand) int {
+	y2 := tr.y[i2]
+	a2 := tr.alpha[i2]
+	e2 := tr.errs[i2]
+	r2 := e2 * y2
+	tol, c := tr.cfg.Tol, tr.cfg.C
+
+	if (r2 < -tol && a2 < c) || (r2 > tol && a2 > 0) {
+		// Heuristic 1: maximize |E1 - E2| over non-bound alphas.
+		best, bestGap := -1, -1.0
+		for i := 0; i < tr.n; i++ {
+			if tr.alpha[i] > 0 && tr.alpha[i] < c {
+				gap := math.Abs(tr.errs[i] - e2)
+				if gap > bestGap {
+					bestGap, best = gap, i
+				}
+			}
+		}
+		if best >= 0 && tr.takeStep(best, i2) {
+			return 1
+		}
+		// Heuristic 2: loop over non-bound from a random start.
+		start := rng.Intn(tr.n)
+		for k := 0; k < tr.n; k++ {
+			i1 := (start + k) % tr.n
+			if tr.alpha[i1] > 0 && tr.alpha[i1] < c {
+				if tr.takeStep(i1, i2) {
+					return 1
+				}
+			}
+		}
+		// Heuristic 3: loop over everything.
+		start = rng.Intn(tr.n)
+		for k := 0; k < tr.n; k++ {
+			i1 := (start + k) % tr.n
+			if tr.takeStep(i1, i2) {
+				return 1
+			}
+		}
+	}
+	return 0
+}
+
+// takeStep jointly optimizes alpha[i1], alpha[i2]. Returns true when a
+// meaningful update happened.
+func (tr *trainer) takeStep(i1, i2 int) bool {
+	if i1 == i2 {
+		return false
+	}
+	a1, a2 := tr.alpha[i1], tr.alpha[i2]
+	y1, y2 := tr.y[i1], tr.y[i2]
+	e1, e2 := tr.errs[i1], tr.errs[i2]
+	s := y1 * y2
+	c := tr.cfg.C
+
+	var lo, hi float64
+	if s < 0 {
+		lo = math.Max(0, a2-a1)
+		hi = math.Min(c, c+a2-a1)
+	} else {
+		lo = math.Max(0, a1+a2-c)
+		hi = math.Min(c, a1+a2)
+	}
+	if lo >= hi {
+		return false
+	}
+
+	row1 := tr.kRow(i1)
+	k11 := tr.kdiag[i1]
+	k22 := tr.kdiag[i2]
+	k12 := row1[i2]
+	eta := k11 + k22 - 2*k12
+
+	var a2new float64
+	if eta > 0 {
+		a2new = a2 + y2*(e1-e2)/eta
+		if a2new < lo {
+			a2new = lo
+		} else if a2new > hi {
+			a2new = hi
+		}
+	} else {
+		// Degenerate curvature: evaluate the objective at both clip
+		// ends and move to the better one.
+		f1 := y1*e1 - a1*k11 - s*a2*k12
+		f2 := y2*e2 - a2*k22 - s*a1*k12
+		l1 := a1 + s*(a2-lo)
+		h1 := a1 + s*(a2-hi)
+		objLo := l1*f1 + lo*f2 + 0.5*l1*l1*k11 + 0.5*lo*lo*k22 + s*lo*l1*k12
+		objHi := h1*f1 + hi*f2 + 0.5*h1*h1*k11 + 0.5*hi*hi*k22 + s*hi*h1*k12
+		switch {
+		case objLo < objHi-tr.cfg.Eps:
+			a2new = lo
+		case objLo > objHi+tr.cfg.Eps:
+			a2new = hi
+		default:
+			a2new = a2
+		}
+	}
+	if math.Abs(a2new-a2) < tr.cfg.Eps*(a2new+a2+tr.cfg.Eps) {
+		return false
+	}
+	a1new := a1 + s*(a2-a2new)
+	if a1new < 0 {
+		a2new += s * a1new
+		a1new = 0
+	} else if a1new > c {
+		a2new += s * (a1new - c)
+		a1new = c
+	}
+
+	// Threshold update (Platt eq. 20-22).
+	row2 := tr.kRow(i2)
+	b1 := e1 + y1*(a1new-a1)*k11 + y2*(a2new-a2)*k12 + tr.b
+	b2 := e2 + y1*(a1new-a1)*k12 + y2*(a2new-a2)*k22 + tr.b
+	var bnew float64
+	switch {
+	case a1new > 0 && a1new < c:
+		bnew = b1
+	case a2new > 0 && a2new < c:
+		bnew = b2
+	default:
+		bnew = (b1 + b2) / 2
+	}
+	deltaB := bnew - tr.b
+	tr.b = bnew
+
+	d1 := y1 * (a1new - a1)
+	d2 := y2 * (a2new - a2)
+	tr.alpha[i1] = a1new
+	tr.alpha[i2] = a2new
+	for i := 0; i < tr.n; i++ {
+		tr.errs[i] += d1*row1[i] + d2*row2[i] - deltaB
+	}
+	// Pin the two updated examples to exact values to stop cache drift.
+	tr.errs[i1] = tr.f(i1, row1) - y1
+	tr.errs[i2] = tr.f(i2, row2) - y2
+	return true
+}
+
+// f recomputes the decision value for training index i exactly; row is
+// the kernel row for i (reused to avoid recomputation).
+func (tr *trainer) f(i int, row []float64) float64 {
+	var s float64
+	for j := 0; j < tr.n; j++ {
+		if tr.alpha[j] > 0 {
+			s += tr.alpha[j] * tr.y[j] * row[j]
+		}
+	}
+	return s - tr.b
+}

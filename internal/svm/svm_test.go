@@ -1,0 +1,355 @@
+package svm
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"exbox/internal/mathx"
+)
+
+// linearlySeparable builds a 2-D dataset split by the line x0 + x1 = 0
+// with the given margin.
+func linearlySeparable(n int, margin float64, seed int64) (x [][]float64, y []float64) {
+	rng := mathx.NewRand(seed)
+	for len(x) < n {
+		p := []float64{rng.NormFloat64() * 3, rng.NormFloat64() * 3}
+		s := p[0] + p[1]
+		if math.Abs(s) < margin {
+			continue
+		}
+		x = append(x, p)
+		if s > 0 {
+			y = append(y, 1)
+		} else {
+			y = append(y, -1)
+		}
+	}
+	return x, y
+}
+
+// ringData builds a dataset only an RBF kernel can separate: +1 inside
+// a radius-1 disk, -1 on a radius-3 ring.
+func ringData(n int, seed int64) (x [][]float64, y []float64) {
+	rng := mathx.NewRand(seed)
+	for i := 0; i < n; i++ {
+		theta := rng.Float64() * 2 * math.Pi
+		var r float64
+		var label float64
+		if i%2 == 0 {
+			r, label = rng.Float64()*0.8, 1
+		} else {
+			r, label = 2.5+rng.Float64(), -1
+		}
+		x = append(x, []float64{r * math.Cos(theta), r * math.Sin(theta)})
+		y = append(y, label)
+	}
+	return x, y
+}
+
+func trainAccuracy(m *Model, x [][]float64, y []float64) float64 {
+	correct := 0
+	for i, row := range x {
+		if m.Predict(row) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(x))
+}
+
+func TestLinearSeparable(t *testing.T) {
+	x, y := linearlySeparable(200, 0.5, 1)
+	cfg := Config{Kernel: Linear, C: 10, Tol: 1e-3, Eps: 1e-5, MaxPasses: 5}
+	m, err := Train(cfg, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := trainAccuracy(m, x, y); acc < 0.99 {
+		t.Fatalf("linear training accuracy = %v, want >= 0.99", acc)
+	}
+	if m.NumSV() == 0 || m.NumSV() == len(x) {
+		t.Fatalf("suspicious support vector count %d of %d", m.NumSV(), len(x))
+	}
+}
+
+func TestRBFRing(t *testing.T) {
+	x, y := ringData(200, 2)
+	cfg := DefaultConfig()
+	m, err := Train(cfg, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := trainAccuracy(m, x, y); acc < 0.97 {
+		t.Fatalf("rbf ring training accuracy = %v, want >= 0.97", acc)
+	}
+	// A linear kernel must do clearly worse on the ring.
+	lin, err := Train(Config{Kernel: Linear, C: 10, Tol: 1e-3, Eps: 1e-5, MaxPasses: 5}, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accLin := trainAccuracy(lin, x, y); accLin > 0.8 {
+		t.Fatalf("linear kernel should fail on ring data, got accuracy %v", accLin)
+	}
+}
+
+func TestDecisionSignMatchesPredict(t *testing.T) {
+	x, y := ringData(120, 3)
+	m, err := Train(DefaultConfig(), x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range x {
+		d := m.Decision(row)
+		p := m.Predict(row)
+		if (d >= 0) != (p == 1) {
+			t.Fatalf("Decision %v disagrees with Predict %v", d, p)
+		}
+	}
+}
+
+func TestDecisionMagnitudeGrowsWithDepth(t *testing.T) {
+	// For a clean linear boundary, points farther inside the positive
+	// half-space should score higher: the property ExBox's network
+	// selection relies on.
+	x, y := linearlySeparable(300, 0.8, 4)
+	m, err := Train(Config{Kernel: Linear, C: 10, Tol: 1e-4, Eps: 1e-6, MaxPasses: 8}, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near := m.Decision([]float64{0.5, 0.5})
+	far := m.Decision([]float64{4, 4})
+	if !(far > near && near > 0) {
+		t.Fatalf("margin ordering wrong: near=%v far=%v", near, far)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := Train(cfg, nil, nil); err == nil {
+		t.Fatal("expected error for empty data")
+	}
+	if _, err := Train(cfg, [][]float64{{1}}, []float64{1, 1}); err == nil {
+		t.Fatal("expected error for length mismatch")
+	}
+	if _, err := Train(cfg, [][]float64{{1}, {2}}, []float64{1, 0.5}); err == nil {
+		t.Fatal("expected error for non ±1 label")
+	}
+	if _, err := Train(cfg, [][]float64{{1}, {2, 3}}, []float64{1, -1}); err == nil {
+		t.Fatal("expected error for ragged rows")
+	}
+	bad := cfg
+	bad.C = 0
+	if _, err := Train(bad, [][]float64{{1}, {2}}, []float64{1, -1}); err == nil {
+		t.Fatal("expected error for C=0")
+	}
+	_, err := Train(cfg, [][]float64{{1}, {2}}, []float64{1, 1})
+	if !errors.Is(err, ErrOneClass) {
+		t.Fatalf("err = %v, want ErrOneClass", err)
+	}
+}
+
+func TestTinyDataset(t *testing.T) {
+	// Two points, one per class: SMO must converge instantly.
+	m, err := Train(DefaultConfig(), [][]float64{{0, 0}, {1, 1}}, []float64{-1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Predict([]float64{0, 0}) != -1 || m.Predict([]float64{1, 1}) != 1 {
+		t.Fatal("two-point dataset misclassified")
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	// Identical points with identical labels must not break SMO
+	// (eta == 0 path).
+	x := [][]float64{{1, 1}, {1, 1}, {1, 1}, {-1, -1}, {-1, -1}, {-1, -1}}
+	y := []float64{1, 1, 1, -1, -1, -1}
+	m, err := Train(DefaultConfig(), x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := trainAccuracy(m, x, y); acc != 1 {
+		t.Fatalf("accuracy on duplicated points = %v", acc)
+	}
+}
+
+func TestNoisyLabelsStillTrain(t *testing.T) {
+	x, y := linearlySeparable(300, 0.2, 5)
+	rng := mathx.NewRand(6)
+	for i := range y {
+		if rng.Float64() < 0.05 {
+			y[i] = -y[i]
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.C = 1
+	m, err := Train(cfg, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := trainAccuracy(m, x, y); acc < 0.85 {
+		t.Fatalf("accuracy with 5%% label noise = %v, want >= 0.85", acc)
+	}
+}
+
+func TestConstantFeatureDoesNotNaN(t *testing.T) {
+	// Third column is constant; the scaler must not divide by zero.
+	x := [][]float64{{0, 0, 7}, {1, 1, 7}, {2, 2, 7}, {3, 3, 7}}
+	y := []float64{-1, -1, 1, 1}
+	m, err := Train(DefaultConfig(), x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := m.Decision([]float64{1.5, 1.5, 7}); math.IsNaN(d) {
+		t.Fatal("Decision is NaN with constant feature")
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	x, y := linearlySeparable(150, 0.5, 7)
+	rng := mathx.NewRand(8)
+	acc, err := CrossValidate(Config{Kernel: Linear, C: 10, Tol: 1e-3, Eps: 1e-5, MaxPasses: 5}, x, y, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Fatalf("cv accuracy = %v, want >= 0.95", acc)
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	rng := mathx.NewRand(9)
+	x, y := linearlySeparable(10, 0.5, 10)
+	if _, err := CrossValidate(DefaultConfig(), x, y, 1, rng); err == nil {
+		t.Fatal("expected error for folds < 2")
+	}
+	if _, err := CrossValidate(DefaultConfig(), x[:3], y[:3], 5, rng); err == nil {
+		t.Fatal("expected error for fewer samples than folds")
+	}
+	if _, err := CrossValidate(DefaultConfig(), x, y[:5], 2, rng); err == nil {
+		t.Fatal("expected error for mismatched labels")
+	}
+}
+
+func TestCrossValidateOneClassFoldHandled(t *testing.T) {
+	// 5 positives, 1 negative: some training splits may lose the
+	// negative entirely; CV must still return a value.
+	x := [][]float64{{0}, {1}, {2}, {3}, {4}, {10}}
+	y := []float64{1, 1, 1, 1, 1, -1}
+	rng := mathx.NewRand(11)
+	acc, err := CrossValidate(DefaultConfig(), x, y, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0 || acc > 1 {
+		t.Fatalf("cv accuracy out of range: %v", acc)
+	}
+}
+
+func TestScaler(t *testing.T) {
+	x := [][]float64{{0, 10}, {2, 10}, {4, 10}}
+	s := FitScaler(x)
+	if s.Mean[0] != 2 || s.Mean[1] != 10 {
+		t.Fatalf("means = %v", s.Mean)
+	}
+	if s.Std[1] != 1 {
+		t.Fatalf("constant column std should fall back to 1, got %v", s.Std[1])
+	}
+	z := s.Transform([]float64{2, 10})
+	if z[0] != 0 || z[1] != 0 {
+		t.Fatalf("Transform of mean = %v, want zeros", z)
+	}
+	if FitScaler(nil) != nil {
+		t.Fatal("FitScaler(empty) should be nil")
+	}
+}
+
+func TestKernelKindString(t *testing.T) {
+	if Linear.String() != "linear" || RBF.String() != "rbf" {
+		t.Fatal("KernelKind.String wrong")
+	}
+	if KernelKind(99).String() == "" {
+		t.Fatal("unknown kind should still stringify")
+	}
+}
+
+func TestTrainingDeterministic(t *testing.T) {
+	x, y := ringData(100, 12)
+	m1, err := Train(DefaultConfig(), x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(DefaultConfig(), x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{0.3, -0.2}
+	if m1.Decision(probe) != m2.Decision(probe) {
+		t.Fatal("training is not deterministic for identical data")
+	}
+}
+
+// Property: predictions are invariant under feature translation and
+// positive scaling, because the model standardizes internally.
+func TestQuickScaleInvariance(t *testing.T) {
+	x, y := linearlySeparable(80, 0.5, 13)
+	cfg := Config{Kernel: Linear, C: 10, Tol: 1e-3, Eps: 1e-5, MaxPasses: 5}
+	base, err := Train(cfg, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mathx.NewRand(14)
+	f := func() bool {
+		scale := 0.5 + rng.Float64()*10
+		shift := rng.NormFloat64() * 100
+		xs := make([][]float64, len(x))
+		for i, row := range x {
+			xs[i] = []float64{row[0]*scale + shift, row[1]*scale + shift}
+		}
+		m, err := Train(cfg, xs, y)
+		if err != nil {
+			return false
+		}
+		for i, row := range x {
+			// Skip points hugging the boundary: standardization is
+			// only affine-invariant up to floating-point rounding.
+			if math.Abs(base.Decision(x[i])) < 0.05 {
+				continue
+			}
+			p := []float64{row[0]*scale + shift, row[1]*scale + shift}
+			if m.Predict(p) != base.Predict(x[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the trained decision function respects label symmetry —
+// flipping every label flips the sign of the decision function.
+func TestQuickLabelSymmetry(t *testing.T) {
+	x, y := linearlySeparable(60, 0.5, 15)
+	cfg := Config{Kernel: Linear, C: 10, Tol: 1e-3, Eps: 1e-5, MaxPasses: 5}
+	m, err := Train(cfg, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yneg := make([]float64, len(y))
+	for i := range y {
+		yneg[i] = -y[i]
+	}
+	mneg, err := Train(cfg, x, yneg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range x {
+		a, b := m.Decision(row), mneg.Decision(row)
+		if math.Abs(a+b) > 1e-6*(1+math.Abs(a)) {
+			t.Fatalf("label symmetry violated: %v vs %v", a, b)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+// Package testbed emulates the paper's laboratory setups: a WiFi
+// hotspot hosted on a laptop serving 10 Samsung Galaxy S6 phones, and
+// an ip.access E-40 LTE small cell serving 8 UEs, both with tc/netem
+// style traffic shaping in the forwarding path.
+//
+// A Testbed wraps a netsim backend with a Shaper (rate throttling,
+// added latency, injected loss), enforces the client-count limits the
+// paper's hardware imposed, and exposes the two workflows the paper's
+// controller script ran:
+//
+//   - Run: execute one traffic matrix and record every flow's
+//     ground-truth QoE (the instrumented-app measurements).
+//   - TrainingSweep: the Figure 12 methodology — drive a single
+//     training device through a grid of shaped rate/latency profiles
+//     and record (QoS, QoE) pairs for IQX fitting.
+package testbed
+
+import (
+	"fmt"
+	"math/rand"
+
+	"exbox/internal/apps"
+	"exbox/internal/excr"
+	"exbox/internal/mathx"
+	"exbox/internal/metrics"
+	"exbox/internal/netsim"
+)
+
+// Shaper applies tc/netem-like impairments on top of a network
+// backend: an aggregate rate cap (token-bucket style), additional
+// fixed latency, and independent random loss.
+type Shaper struct {
+	Net netsim.Network
+	// RateBps caps aggregate downlink goodput; 0 means unlimited.
+	RateBps float64
+	// ExtraDelayMs is added to every flow's delay (netem delay).
+	ExtraDelayMs float64
+	// LossRate is injected independently of congestion loss.
+	LossRate float64
+}
+
+// Name implements netsim.Network.
+func (s Shaper) Name() string { return s.Net.Name() + "+shaped" }
+
+// Evaluate implements netsim.Network: it evaluates the inner network,
+// then applies the cap, latency and loss impairments.
+func (s Shaper) Evaluate(flows []netsim.FlowSpec) []metrics.QoS {
+	qos := s.Net.Evaluate(flows)
+	var total float64
+	for _, q := range qos {
+		total += q.ThroughputBps
+	}
+	scale := 1.0
+	if s.RateBps > 0 && total > s.RateBps {
+		scale = s.RateBps / total
+	}
+	// Utilization of the shaped bottleneck: how full the token bucket
+	// runs. Without a cap the inner network's utilization stands.
+	var capUtil float64
+	if s.RateBps > 0 {
+		capUtil = mathx.Clamp(total/s.RateBps, 0, 1)
+	}
+	for i := range qos {
+		granted := qos[i].ThroughputBps * scale
+		// Throttling shows up as a little steady-state loss and a
+		// standing queue: TCP adapts its rate at the bottleneck, so
+		// the loss a shaped flow actually sees stays small even when
+		// the rate cut is deep.
+		capLoss := 0.05 * (1 - scale)
+		qos[i].ThroughputBps = granted
+		qos[i].DelayMs += s.ExtraDelayMs
+		if scale < 1 {
+			qos[i].DelayMs += 200 * (1 - scale) // bufferbloat at the bottleneck
+		}
+		qos[i].LossRate = 1 - (1-qos[i].LossRate)*(1-s.LossRate)*(1-capLoss)
+		qos[i].LossRate = mathx.Clamp(qos[i].LossRate, 0, 1)
+		if capUtil > qos[i].Utilization {
+			qos[i].Utilization = capUtil
+		}
+	}
+	return qos
+}
+
+// Kind selects which lab testbed to emulate.
+type Kind int
+
+const (
+	// WiFi is the laptop-hosted hotspot: ≈20 Mbps UDP capacity,
+	// 30–40 ms RTT, at most 10 clients.
+	WiFi Kind = iota
+	// LTE is the ip.access E-40 small cell: >30 Mbps, 30–40 ms RTT,
+	// at most 8 UEs.
+	LTE
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == WiFi {
+		return "wifi-testbed"
+	}
+	return "lte-testbed"
+}
+
+// Testbed is one emulated lab setup.
+type Testbed struct {
+	Kind       Kind
+	MaxClients int
+	shaper     Shaper
+	oracle     apps.Oracle
+	rng        *rand.Rand
+}
+
+// New returns a testbed of the given kind with the paper's hardware
+// limits, seeded for reproducible app-measurement noise.
+func New(kind Kind, seed int64) *Testbed {
+	rng := mathx.NewRand(seed)
+	var net netsim.Network
+	maxClients := 10
+	switch kind {
+	case WiFi:
+		net = netsim.FluidWiFi{Config: netsim.TestbedWiFi()}
+	case LTE:
+		net = netsim.FluidLTE{Config: netsim.TestbedLTE()}
+		maxClients = 8
+	default:
+		panic(fmt.Sprintf("testbed: unknown kind %d", kind))
+	}
+	tb := &Testbed{
+		Kind:       kind,
+		MaxClients: maxClients,
+		shaper:     Shaper{Net: net},
+		rng:        rng,
+	}
+	tb.oracle = apps.Oracle{Net: tb.shaper, Rng: rng}
+	return tb
+}
+
+// Throttle reconfigures the shaper, emulating the paper's tc/netem
+// runs (e.g. the 200 ms added-latency network of Figure 11).
+func (tb *Testbed) Throttle(rateBps, extraDelayMs, lossRate float64) {
+	tb.shaper.RateBps = rateBps
+	tb.shaper.ExtraDelayMs = extraDelayMs
+	tb.shaper.LossRate = lossRate
+	tb.oracle = apps.Oracle{Net: tb.shaper, Rng: tb.rng}
+}
+
+// Unthrottle removes all shaping.
+func (tb *Testbed) Unthrottle() { tb.Throttle(0, 0, 0) }
+
+// Network returns the (possibly shaped) network backend.
+func (tb *Testbed) Network() netsim.Network { return tb.shaper }
+
+// Oracle returns the ground-truth labeler backed by this testbed.
+func (tb *Testbed) Oracle() apps.Oracle { return tb.oracle }
+
+// Fits reports whether the matrix respects the testbed's client limit
+// (the paper only ran matrices with ≤10 WiFi / ≤8 LTE flows).
+func (tb *Testbed) Fits(m excr.Matrix) bool { return m.Total() <= tb.MaxClients }
+
+// Run executes one traffic matrix on the testbed and returns the
+// ground-truth QoE recorded by each client app. It returns an error if
+// the matrix exceeds the client limit.
+func (tb *Testbed) Run(m excr.Matrix) ([]apps.QoE, error) {
+	if !tb.Fits(m) {
+		return nil, fmt.Errorf("testbed: matrix %v needs %d clients, %s supports %d",
+			m, m.Total(), tb.Kind, tb.MaxClients)
+	}
+	return tb.oracle.MeasureMatrix(m), nil
+}
+
+// Label returns the ground-truth admissibility Y for an arrival, or an
+// error when the post-admission matrix exceeds the client limit.
+func (tb *Testbed) Label(a excr.Arrival) (float64, error) {
+	if !tb.Fits(a.After()) {
+		return 0, fmt.Errorf("testbed: arrival would need %d clients", a.After().Total())
+	}
+	return tb.oracle.Label(a), nil
+}
+
+// SweepPoint is one (QoS, QoE) observation from a training sweep.
+type SweepPoint struct {
+	RateBps float64 // shaped rate for this profile
+	DelayMs float64 // shaped latency for this profile
+	QoS     float64 // network-side scalar QoS (throughput/delay)
+	QoE     float64 // app-side ground truth (s or dB)
+}
+
+// TrainingSweep reproduces the Figure 12 data collection: a single
+// training client of the given class runs alone while the shaper walks
+// a grid of rate and latency profiles; each profile is repeated runs
+// times with app noise. The caller fits IQX on the (QoS, QoE) columns.
+//
+// The paper's grid is rate 100 kbps–20 Mbps and latency 10–250 ms with
+// 10 runs per profile.
+func (tb *Testbed) TrainingSweep(class excr.AppClass, rates, delays []float64, runs int) []SweepPoint {
+	if runs <= 0 {
+		runs = 1
+	}
+	saved := tb.shaper
+	defer func() {
+		tb.shaper = saved
+		tb.oracle = apps.Oracle{Net: tb.shaper, Rng: tb.rng}
+	}()
+
+	single := excr.NewMatrix(excr.DefaultSpace).Set(class, 0, 1)
+	var out []SweepPoint
+	for _, r := range rates {
+		for _, d := range delays {
+			tb.Throttle(r, d, 0)
+			flows := netsim.FlowsForMatrix(single)
+			for run := 0; run < runs; run++ {
+				qos := tb.shaper.Evaluate(flows)[0]
+				qoe := apps.Measure(class, qos, tb.rng)
+				out = append(out, SweepPoint{
+					RateBps: r,
+					DelayMs: d,
+					QoS:     qos.Scalar(),
+					QoE:     qoe.Value,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// DefaultSweepRates returns the paper's shaped-rate grid,
+// 100 kbps–20 Mbps.
+func DefaultSweepRates() []float64 {
+	return []float64{0.1e6, 0.25e6, 0.5e6, 1e6, 2e6, 4e6, 8e6, 12e6, 16e6, 20e6}
+}
+
+// DefaultSweepDelays returns the paper's added-latency grid,
+// 10–250 ms.
+func DefaultSweepDelays() []float64 {
+	return []float64{10, 25, 50, 100, 150, 200, 250}
+}

@@ -1,0 +1,205 @@
+package testbed
+
+import (
+	"strings"
+	"testing"
+
+	"exbox/internal/apps"
+	"exbox/internal/excr"
+	"exbox/internal/iqx"
+	"exbox/internal/netsim"
+)
+
+func TestNewLimits(t *testing.T) {
+	if New(WiFi, 1).MaxClients != 10 {
+		t.Fatal("WiFi testbed should allow 10 clients")
+	}
+	if New(LTE, 1).MaxClients != 8 {
+		t.Fatal("LTE testbed should allow 8 UEs")
+	}
+	if WiFi.String() != "wifi-testbed" || LTE.String() != "lte-testbed" {
+		t.Fatal("Kind strings wrong")
+	}
+}
+
+func TestRunRespectsClientLimit(t *testing.T) {
+	tb := New(LTE, 2)
+	m := excr.NewMatrix(excr.DefaultSpace).Set(excr.Web, 0, 9)
+	if _, err := tb.Run(m); err == nil {
+		t.Fatal("9 clients should exceed the LTE limit")
+	}
+	ok := excr.NewMatrix(excr.DefaultSpace).Set(excr.Web, 0, 8)
+	qoe, err := tb.Run(ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qoe) != 8 {
+		t.Fatalf("got %d measurements", len(qoe))
+	}
+}
+
+func TestLabel(t *testing.T) {
+	tb := New(WiFi, 3)
+	// Light load admits.
+	light := excr.Arrival{Matrix: excr.NewMatrix(excr.DefaultSpace), Class: excr.Web, Level: 0}
+	y, err := tb.Label(light)
+	if err != nil || y != 1 {
+		t.Fatalf("light arrival: y=%v err=%v", y, err)
+	}
+	// Arrival beyond client limit errors.
+	full := excr.Arrival{
+		Matrix: excr.NewMatrix(excr.DefaultSpace).Set(excr.Web, 0, 10),
+		Class:  excr.Web, Level: 0,
+	}
+	if _, err := tb.Label(full); err == nil {
+		t.Fatal("arrival beyond client limit should error")
+	}
+	// A heavy streaming matrix on the 20 Mbps hotspot is inadmissible.
+	heavy := excr.Arrival{
+		Matrix: excr.NewMatrix(excr.DefaultSpace).Set(excr.Streaming, 0, 9),
+		Class:  excr.Streaming, Level: 0,
+	}
+	y, err = tb.Label(heavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y != -1 {
+		t.Fatal("10th streaming flow on a 20 Mbps cell should be labeled -1")
+	}
+}
+
+func TestShaperRateCap(t *testing.T) {
+	base := netsim.FluidWiFi{Config: netsim.TestbedWiFi()}
+	flows := []netsim.FlowSpec{
+		{Class: excr.Streaming, Level: excr.SNRHigh},
+		{Class: excr.Streaming, Level: excr.SNRHigh},
+	}
+	open := Shaper{Net: base}.Evaluate(flows)
+	capped := Shaper{Net: base, RateBps: 2e6}.Evaluate(flows)
+	var openTotal, cappedTotal float64
+	for i := range flows {
+		openTotal += open[i].ThroughputBps
+		cappedTotal += capped[i].ThroughputBps
+	}
+	if openTotal < 4.9e6 {
+		t.Fatalf("unshaped total = %v", openTotal)
+	}
+	if cappedTotal > 2e6+1 {
+		t.Fatalf("capped total = %v, want <= 2e6", cappedTotal)
+	}
+	if capped[0].LossRate <= 0 {
+		t.Fatal("throttling should surface as loss")
+	}
+	if capped[0].DelayMs <= open[0].DelayMs {
+		t.Fatal("throttling should add queueing delay")
+	}
+}
+
+func TestShaperDelayAndLoss(t *testing.T) {
+	base := netsim.FluidWiFi{Config: netsim.TestbedWiFi()}
+	flows := []netsim.FlowSpec{{Class: excr.Web, Level: excr.SNRHigh}}
+	out := Shaper{Net: base, ExtraDelayMs: 200, LossRate: 0.1}.Evaluate(flows)
+	plain := Shaper{Net: base}.Evaluate(flows)
+	if out[0].DelayMs < plain[0].DelayMs+199 {
+		t.Fatalf("delay %v should include +200 ms", out[0].DelayMs)
+	}
+	if out[0].LossRate < 0.099 {
+		t.Fatalf("loss %v should include injected 10%%", out[0].LossRate)
+	}
+	if !strings.HasSuffix(Shaper{Net: base}.Name(), "+shaped") {
+		t.Fatal("Name should mark shaping")
+	}
+}
+
+func TestThrottleChangesLabels(t *testing.T) {
+	// Figure 11's premise: a matrix that was admissible in the clean
+	// network becomes inadmissible once the path is degraded.
+	tb := New(WiFi, 4)
+	a := excr.Arrival{
+		Matrix: excr.NewMatrix(excr.DefaultSpace).Set(excr.Web, 0, 2),
+		Class:  excr.Web, Level: 0,
+	}
+	y1, err := tb.Label(a)
+	if err != nil || y1 != 1 {
+		t.Fatalf("clean network should admit: y=%v err=%v", y1, err)
+	}
+	tb.Throttle(0, 800, 0) // savage added latency
+	y2, err := tb.Label(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y2 != -1 {
+		t.Fatal("800 ms added latency should make web flows unacceptable")
+	}
+	tb.Unthrottle()
+	y3, _ := tb.Label(a)
+	if y3 != 1 {
+		t.Fatal("unthrottling should restore admissibility")
+	}
+}
+
+func TestTrainingSweepFitsIQX(t *testing.T) {
+	// End-to-end Figure 12: sweep → IQX fit should track the app
+	// models with small residuals relative to each metric's scale.
+	tb := New(WiFi, 5)
+	for _, class := range []excr.AppClass{excr.Web, excr.Streaming, excr.Conferencing} {
+		pts := tb.TrainingSweep(class, DefaultSweepRates(), DefaultSweepDelays(), 3)
+		if len(pts) != 10*7*3 {
+			t.Fatalf("%v: %d points, want 210", class, len(pts))
+		}
+		qos := make([]float64, len(pts))
+		qoe := make([]float64, len(pts))
+		for i, p := range pts {
+			qos[i] = p.QoS
+			qoe[i] = p.QoE
+		}
+		res, err := iqx.Fit(qos, qoe)
+		if err != nil {
+			t.Fatalf("%v: %v", class, err)
+		}
+		var limit float64
+		switch class {
+		case excr.Conferencing:
+			limit = 6 // dB; paper reports RMSE 4.46 dB
+		case excr.Streaming:
+			limit = 5 // s; paper reports RMSE 3.64 s
+		default:
+			limit = 3.6 // s; paper reports RMSE 1.37 s on a narrower grid
+		}
+		if res.RMSE > limit {
+			t.Fatalf("%v: IQX RMSE %v exceeds %v (model %v)", class, res.RMSE, limit, res.Model)
+		}
+		// Direction: delay-like metrics decrease with QoS, PSNR rises.
+		if class == excr.Conferencing && res.Model.Decreasing() {
+			t.Fatal("conferencing IQX should increase with QoS")
+		}
+		if class != excr.Conferencing && !res.Model.Decreasing() {
+			t.Fatalf("%v IQX should decrease with QoS", class)
+		}
+	}
+}
+
+func TestTrainingSweepRestoresShaping(t *testing.T) {
+	tb := New(WiFi, 6)
+	tb.Throttle(5e6, 50, 0.01)
+	before := tb.Network().Evaluate([]netsim.FlowSpec{{Class: excr.Web, Level: excr.SNRHigh}})
+	tb.TrainingSweep(excr.Web, []float64{1e6}, []float64{10}, 1)
+	after := tb.Network().Evaluate([]netsim.FlowSpec{{Class: excr.Web, Level: excr.SNRHigh}})
+	if before[0] != after[0] {
+		t.Fatalf("sweep leaked shaper state: %+v vs %+v", before[0], after[0])
+	}
+}
+
+func TestOracleAccessors(t *testing.T) {
+	tb := New(WiFi, 7)
+	var _ apps.Oracle = tb.Oracle()
+	if tb.Network() == nil {
+		t.Fatal("Network is nil")
+	}
+	if !tb.Fits(excr.NewMatrix(excr.DefaultSpace).Set(excr.Web, 0, 10)) {
+		t.Fatal("10 clients should fit the WiFi testbed")
+	}
+	if tb.Fits(excr.NewMatrix(excr.DefaultSpace).Set(excr.Web, 0, 11)) {
+		t.Fatal("11 clients should not fit")
+	}
+}

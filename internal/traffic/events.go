@@ -1,0 +1,80 @@
+package traffic
+
+import (
+	"math/rand"
+
+	"exbox/internal/excr"
+)
+
+// Event is one flow arrival: a flow of class Class at SNR level Level
+// arrives while the network carries Before. It is exactly the X_m
+// tuple the Admittance Classifier consumes.
+type Event struct {
+	Arrival excr.Arrival
+}
+
+// Arrivals derives the chronological arrival events implied by a
+// matrix sequence: whenever a cell count rises between consecutive
+// matrices, one arrival event per added flow is emitted, carrying the
+// matrix as it stood just before that flow joined. Departures update
+// the running state silently (they generate no classifier decisions).
+//
+// assignLevel maps each new flow to an SNR level; it receives the
+// flow's class and must return a level valid for the space. For
+// single-level spaces pass nil.
+func Arrivals(seq []excr.Matrix, assignLevel func(excr.AppClass) excr.SNRLevel) []Event {
+	if len(seq) == 0 {
+		return nil
+	}
+	space := seq[0].Space()
+	cur := excr.NewMatrix(space)
+	var out []Event
+	for _, target := range seq {
+		// Departures first: flows leaving between samples free room.
+		// The sequence fixes per-class totals; which SNR level loses a
+		// flow is resolved deterministically (fullest level first).
+		for c := 0; c < space.Classes; c++ {
+			cls := excr.AppClass(c)
+			for cur.ClassTotal(cls) > target.ClassTotal(cls) {
+				cur = cur.Dec(cls, fullestLevel(cur, cls))
+			}
+		}
+		// Arrivals: one event per added flow, carrying the pre-arrival
+		// matrix.
+		for c := 0; c < space.Classes; c++ {
+			cls := excr.AppClass(c)
+			for cur.ClassTotal(cls) < target.ClassTotal(cls) {
+				lvl := excr.SNRLevel(0)
+				if assignLevel != nil {
+					lvl = assignLevel(cls)
+				}
+				out = append(out, Event{Arrival: excr.Arrival{Matrix: cur, Class: cls, Level: lvl}})
+				cur = cur.Inc(cls, lvl)
+			}
+		}
+	}
+	return out
+}
+
+// fullestLevel returns the SNR level holding the most flows of the
+// class (lowest index wins ties); used to pick which flow departs.
+func fullestLevel(m excr.Matrix, c excr.AppClass) excr.SNRLevel {
+	space := m.Space()
+	best, bestN := excr.SNRLevel(0), -1
+	for l := 0; l < space.Levels; l++ {
+		if n := m.Get(c, excr.SNRLevel(l)); n > bestN {
+			best, bestN = excr.SNRLevel(l), n
+		}
+	}
+	return best
+}
+
+// RandomLevels returns an assignLevel function that places each new
+// flow in a uniformly random SNR level, the paper's mixed-SNR
+// methodology ("for each new flow, we randomly position the client in
+// a high or low SNR location").
+func RandomLevels(rng *rand.Rand, space excr.Space) func(excr.AppClass) excr.SNRLevel {
+	return func(excr.AppClass) excr.SNRLevel {
+		return excr.SNRLevel(rng.Intn(space.Levels))
+	}
+}

@@ -1,0 +1,131 @@
+package traffic
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"exbox/internal/excr"
+)
+
+// This file implements a compact binary trace format ("pcap-lite") so
+// synthetic traces can be captured once and replayed across runs and
+// tools, the role tcpreplay-ready captures play in the paper's
+// simulation pipeline.
+//
+// Layout (little endian):
+//
+//	magic   uint32  0x45584254 ("EXBT")
+//	version uint16  1
+//	class   uint16  application class
+//	count   uint32  number of packets
+//	packets count × { timeUs uint64; bytes uint32; flags uint8 }
+//
+// flags bit 0 = uplink.
+
+const (
+	traceMagic   = 0x45584254
+	traceVersion = 1
+)
+
+// ErrBadTrace is returned when decoding malformed trace data.
+var ErrBadTrace = errors.New("traffic: malformed trace")
+
+// WriteTo serializes the trace in pcap-lite format.
+func (t Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v interface{}) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := write(uint32(traceMagic)); err != nil {
+		return n, err
+	}
+	if err := write(uint16(traceVersion)); err != nil {
+		return n, err
+	}
+	if err := write(uint16(t.Class)); err != nil {
+		return n, err
+	}
+	if err := write(uint32(len(t.Packets))); err != nil {
+		return n, err
+	}
+	for _, p := range t.Packets {
+		if p.TimeSec < 0 || p.Bytes < 0 {
+			return n, fmt.Errorf("%w: negative time or size", ErrBadTrace)
+		}
+		var flags uint8
+		if p.Up {
+			flags |= 1
+		}
+		if err := write(uint64(p.TimeSec * 1e6)); err != nil {
+			return n, err
+		}
+		if err := write(uint32(p.Bytes)); err != nil {
+			return n, err
+		}
+		if err := write(flags); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadTrace decodes one pcap-lite trace.
+func ReadTrace(r io.Reader) (Trace, error) {
+	br := bufio.NewReader(r)
+	var magic uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return Trace{}, err
+	}
+	if magic != traceMagic {
+		return Trace{}, fmt.Errorf("%w: bad magic %#x", ErrBadTrace, magic)
+	}
+	var version, class uint16
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return Trace{}, err
+	}
+	if version != traceVersion {
+		return Trace{}, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, version)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &class); err != nil {
+		return Trace{}, err
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return Trace{}, err
+	}
+	const maxPackets = 50_000_000 // sanity bound against corrupt headers
+	if count > maxPackets {
+		return Trace{}, fmt.Errorf("%w: packet count %d too large", ErrBadTrace, count)
+	}
+	tr := Trace{Class: excr.AppClass(class), Packets: make([]Packet, 0, count)}
+	prev := -1.0
+	for i := uint32(0); i < count; i++ {
+		var timeUs uint64
+		var size uint32
+		var flags uint8
+		if err := binary.Read(br, binary.LittleEndian, &timeUs); err != nil {
+			return Trace{}, fmt.Errorf("%w: truncated at packet %d", ErrBadTrace, i)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &size); err != nil {
+			return Trace{}, fmt.Errorf("%w: truncated at packet %d", ErrBadTrace, i)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &flags); err != nil {
+			return Trace{}, fmt.Errorf("%w: truncated at packet %d", ErrBadTrace, i)
+		}
+		ts := float64(timeUs) / 1e6
+		if ts < prev {
+			return Trace{}, fmt.Errorf("%w: timestamps not monotone at packet %d", ErrBadTrace, i)
+		}
+		prev = ts
+		tr.Packets = append(tr.Packets, Packet{TimeSec: ts, Bytes: int(size), Up: flags&1 != 0})
+	}
+	return tr, nil
+}

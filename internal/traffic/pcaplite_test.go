@@ -1,0 +1,83 @@
+package traffic
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"exbox/internal/excr"
+	"exbox/internal/mathx"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	for _, class := range []excr.AppClass{excr.Web, excr.Streaming, excr.Conferencing} {
+		orig := Synthesize(class, 10, mathx.NewRand(int64(class)+1))
+		var buf bytes.Buffer
+		if _, err := orig.WriteTo(&buf); err != nil {
+			t.Fatalf("%v: %v", class, err)
+		}
+		got, err := ReadTrace(&buf)
+		if err != nil {
+			t.Fatalf("%v: %v", class, err)
+		}
+		if got.Class != orig.Class {
+			t.Fatalf("class %v != %v", got.Class, orig.Class)
+		}
+		if len(got.Packets) != len(orig.Packets) {
+			t.Fatalf("packet count %d != %d", len(got.Packets), len(orig.Packets))
+		}
+		for i := range got.Packets {
+			g, o := got.Packets[i], orig.Packets[i]
+			// Timestamps are quantized to microseconds by the format.
+			if g.Bytes != o.Bytes || g.Up != o.Up {
+				t.Fatalf("packet %d mismatch: %+v vs %+v", i, g, o)
+			}
+			if d := g.TimeSec - o.TimeSec; d < -1e-6 || d > 1e-6 {
+				t.Fatalf("packet %d timestamp drift %v", i, d)
+			}
+		}
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8})); !errors.Is(err, ErrBadTrace) {
+		t.Fatal("bad magic should be ErrBadTrace")
+	}
+	// Valid header, truncated body.
+	orig := Synthesize(excr.Web, 3, mathx.NewRand(9))
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadTrace(bytes.NewReader(cut)); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("truncated body: err = %v, want ErrBadTrace", err)
+	}
+	// Empty input.
+	if _, err := ReadTrace(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input should error")
+	}
+}
+
+func TestWriteTraceRejectsNegative(t *testing.T) {
+	bad := Trace{Class: excr.Web, Packets: []Packet{{TimeSec: -1, Bytes: 10}}}
+	var buf bytes.Buffer
+	if _, err := bad.WriteTo(&buf); !errors.Is(err, ErrBadTrace) {
+		t.Fatal("negative time should be rejected")
+	}
+}
+
+func TestReadTraceEmptyTrace(t *testing.T) {
+	empty := Trace{Class: excr.Conferencing}
+	var buf bytes.Buffer
+	if _, err := empty.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Class != excr.Conferencing || len(got.Packets) != 0 {
+		t.Fatalf("empty round trip wrong: %+v", got)
+	}
+}

@@ -1,0 +1,123 @@
+package traffic
+
+import (
+	"math/rand"
+	"sort"
+
+	"exbox/internal/excr"
+	"exbox/internal/mathx"
+)
+
+// Packet is one packet of a synthetic application trace. Traces stand
+// in for the paper's real captures (a Skype video call, a YouTube HD
+// session, a BBC page load) and feed both the flow classifier's
+// training and the examples' replay plumbing.
+type Packet struct {
+	TimeSec float64 // offset from the start of the trace
+	Bytes   int     // wire size
+	Up      bool    // true for client→server (uplink) packets
+}
+
+// Trace is a time-ordered packet sequence of one application flow.
+type Trace struct {
+	Class   excr.AppClass
+	Packets []Packet
+}
+
+// Duration returns the timestamp of the last packet, or 0 for an empty
+// trace.
+func (t Trace) Duration() float64 {
+	if len(t.Packets) == 0 {
+		return 0
+	}
+	return t.Packets[len(t.Packets)-1].TimeSec
+}
+
+// Bytes returns the total wire bytes in the trace.
+func (t Trace) Bytes() int {
+	var n int
+	for _, p := range t.Packets {
+		n += p.Bytes
+	}
+	return n
+}
+
+// Synthesize returns a class-typical trace of roughly the given
+// duration. The signatures are deliberately distinct, mirroring what
+// first-packet classifiers exploit in real traffic:
+//
+//   - Web: a few small uplink requests, each answered by a short burst
+//     of full-size downlink packets, then silence.
+//   - Streaming: periodic multi-packet chunk downloads of full-size
+//     packets with tiny uplink ACK-like traffic.
+//   - Conferencing: steady ~30 packets/s in both directions, mid-size
+//     downlink frames and smaller uplink frames.
+func Synthesize(class excr.AppClass, durationSec float64, rng *rand.Rand) Trace {
+	var pkts []Packet
+	switch class {
+	case excr.Web:
+		t := 0.0
+		for t < durationSec {
+			// Request.
+			pkts = append(pkts, Packet{TimeSec: t, Bytes: 300 + rng.Intn(200), Up: true})
+			// Response burst: a heavy-tailed object size.
+			objBytes := int(mathx.Pareto(rng, 1.3, 20e3, 600e3))
+			burstT := t + 0.03 + rng.Float64()*0.05
+			for sent := 0; sent < objBytes; sent += 1400 {
+				pkts = append(pkts, Packet{TimeSec: burstT, Bytes: 1400, Up: false})
+				burstT += 0.001 + rng.Float64()*0.002
+			}
+			// Think time before the next object/page.
+			t = burstT + 0.5 + mathx.Exponential(rng, 2.0)
+		}
+	case excr.Streaming:
+		t := 0.2
+		for t < durationSec {
+			// One media chunk every ~2 s.
+			chunkBytes := 500e3 + rng.Float64()*200e3
+			burstT := t
+			for sent := 0.0; sent < chunkBytes; sent += 1400 {
+				pkts = append(pkts, Packet{TimeSec: burstT, Bytes: 1400, Up: false})
+				burstT += 0.0005 + rng.Float64()*0.0005
+			}
+			// Sparse uplink acknowledgements.
+			pkts = append(pkts, Packet{TimeSec: burstT, Bytes: 80, Up: true})
+			t += 1.8 + rng.Float64()*0.4
+		}
+	case excr.Conferencing:
+		const fps = 30.0
+		for t := 0.0; t < durationSec; t += 1 / fps {
+			jitter := rng.Float64() * 0.004
+			pkts = append(pkts, Packet{TimeSec: t + jitter, Bytes: 700 + rng.Intn(500), Up: false})
+			pkts = append(pkts, Packet{TimeSec: t + jitter + 0.002, Bytes: 200 + rng.Intn(200), Up: true})
+		}
+	default:
+		// Unknown classes synthesize a generic low-rate stream.
+		for t := 0.0; t < durationSec; t += 0.1 {
+			pkts = append(pkts, Packet{TimeSec: t, Bytes: 500, Up: false})
+		}
+	}
+	sort.SliceStable(pkts, func(i, j int) bool { return pkts[i].TimeSec < pkts[j].TimeSec })
+	return Trace{Class: class, Packets: pkts}
+}
+
+// Merge interleaves several traces into one time-ordered packet
+// sequence tagged by source index — the tcpreplay-style injector that
+// feeds merged per-class traces into the simulator.
+func Merge(traces []Trace) []TaggedPacket {
+	var out []TaggedPacket
+	for i, tr := range traces {
+		for _, p := range tr.Packets {
+			out = append(out, TaggedPacket{Flow: i, Packet: p})
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].TimeSec < out[b].TimeSec })
+	return out
+}
+
+// TaggedPacket is a packet attributed to the flow (trace index) it
+// belongs to after merging.
+type TaggedPacket struct {
+	Flow int
+	Packet
+}

@@ -1,0 +1,263 @@
+package traffic
+
+import (
+	"testing"
+
+	"exbox/internal/excr"
+	"exbox/internal/mathx"
+)
+
+func TestRandomScheme(t *testing.T) {
+	rng := mathx.NewRand(1)
+	ms := Random(rng, 100, 5, 10, excr.DefaultSpace)
+	if len(ms) != 100 {
+		t.Fatalf("len = %d", len(ms))
+	}
+	for _, m := range ms {
+		if m.Total() > 10 {
+			t.Fatalf("matrix %v exceeds maxTotal", m)
+		}
+		for c := 0; c < 3; c++ {
+			if m.ClassTotal(excr.AppClass(c)) > 5 {
+				t.Fatalf("matrix %v exceeds perClassMax", m)
+			}
+		}
+	}
+	// The scheme must actually vary.
+	distinct := map[string]bool{}
+	for _, m := range ms {
+		distinct[m.Key()] = true
+	}
+	if len(distinct) < 30 {
+		t.Fatalf("only %d distinct matrices in 100 draws", len(distinct))
+	}
+}
+
+func TestRandomMixedSNRSpace(t *testing.T) {
+	rng := mathx.NewRand(2)
+	ms := Random(rng, 50, 6, 0, excr.MixedSNRSpace)
+	sawLow, sawHigh := false, false
+	for _, m := range ms {
+		if m.LevelTotal(excr.SNRLow) > 0 {
+			sawLow = true
+		}
+		if m.LevelTotal(excr.SNRHigh) > 0 {
+			sawHigh = true
+		}
+	}
+	if !sawLow || !sawHigh {
+		t.Fatal("mixed-SNR random scheme should populate both levels")
+	}
+}
+
+func TestLiveLabShape(t *testing.T) {
+	rng := mathx.NewRand(3)
+	ms := LiveLab(rng, DefaultLiveLab())
+	if len(ms) < 800 || len(ms) > 8000 {
+		t.Fatalf("LiveLab produced %d matrices, want on the order of the paper's ≈1700", len(ms))
+	}
+	// Web must dominate, conferencing must be rarest, as in the dataset.
+	var web, stream, conf int
+	for _, m := range ms {
+		web += m.ClassTotal(excr.Web)
+		stream += m.ClassTotal(excr.Streaming)
+		conf += m.ClassTotal(excr.Conferencing)
+	}
+	if !(web > stream) {
+		t.Fatalf("web (%d) should dominate streaming (%d)", web, stream)
+	}
+	if conf == 0 {
+		t.Fatal("conferencing sessions should occur")
+	}
+}
+
+func TestLiveLabMaxTotalFilter(t *testing.T) {
+	rng := mathx.NewRand(4)
+	cfg := DefaultLiveLab()
+	cfg.MaxTotal = 8
+	for _, m := range LiveLab(rng, cfg) {
+		if m.Total() > 8 {
+			t.Fatalf("matrix %v exceeds MaxTotal", m)
+		}
+	}
+}
+
+func TestLiveLabDegenerate(t *testing.T) {
+	rng := mathx.NewRand(5)
+	if LiveLab(rng, LiveLabConfig{}) != nil {
+		t.Fatal("zero config should yield nil")
+	}
+}
+
+func TestArrivalsDeriveEvents(t *testing.T) {
+	s := excr.DefaultSpace
+	seq := []excr.Matrix{
+		excr.NewMatrix(s).Set(excr.Web, 0, 2),
+		excr.NewMatrix(s).Set(excr.Web, 0, 1).Set(excr.Streaming, 0, 1),
+		excr.NewMatrix(s).Set(excr.Web, 0, 3).Set(excr.Streaming, 0, 1),
+	}
+	evs := Arrivals(seq, nil)
+	// 2 web arrivals, then 1 streaming, then 2 more web.
+	if len(evs) != 5 {
+		t.Fatalf("got %d events, want 5", len(evs))
+	}
+	if evs[0].Arrival.Matrix.Total() != 0 {
+		t.Fatal("first arrival should see an empty network")
+	}
+	if evs[1].Arrival.Matrix.Get(excr.Web, 0) != 1 {
+		t.Fatal("second web arrival should see one web flow")
+	}
+	if evs[2].Arrival.Class != excr.Streaming {
+		t.Fatalf("third event class = %v", evs[2].Arrival.Class)
+	}
+	// After the second matrix, one web flow departed: the streaming
+	// arrival sees 1 web flow.
+	if evs[2].Arrival.Matrix.Get(excr.Web, 0) != 1 {
+		t.Fatalf("streaming arrival sees %v", evs[2].Arrival.Matrix)
+	}
+	if got := Arrivals(nil, nil); got != nil {
+		t.Fatal("empty sequence should give nil")
+	}
+}
+
+func TestArrivalsConsistentState(t *testing.T) {
+	// Property: replaying arrivals and the implied departures always
+	// matches the per-class totals of the sequence.
+	rng := mathx.NewRand(6)
+	seq := Random(rng, 50, 6, 0, excr.DefaultSpace)
+	evs := Arrivals(seq, nil)
+	// Rebuild final state.
+	cur := excr.NewMatrix(excr.DefaultSpace)
+	i := 0
+	for _, target := range seq {
+		for c := 0; c < 3; c++ {
+			cls := excr.AppClass(c)
+			for cur.ClassTotal(cls) > target.ClassTotal(cls) {
+				cur = cur.Dec(cls, 0)
+			}
+		}
+		for c := 0; c < 3; c++ {
+			cls := excr.AppClass(c)
+			for cur.ClassTotal(cls) < target.ClassTotal(cls) {
+				if i >= len(evs) {
+					t.Fatal("ran out of events")
+				}
+				if evs[i].Arrival.Class != cls {
+					t.Fatalf("event %d class %v, want %v", i, evs[i].Arrival.Class, cls)
+				}
+				if !evs[i].Arrival.Matrix.Equal(cur) {
+					t.Fatalf("event %d pre-matrix %v, want %v", i, evs[i].Arrival.Matrix, cur)
+				}
+				cur = cur.Inc(cls, 0)
+				i++
+			}
+		}
+	}
+	if i != len(evs) {
+		t.Fatalf("consumed %d of %d events", i, len(evs))
+	}
+}
+
+func TestArrivalsRandomLevels(t *testing.T) {
+	rng := mathx.NewRand(7)
+	seq := Random(rng, 40, 8, 0, excr.MixedSNRSpace)
+	// Project sequence to class totals only (levels assigned at
+	// arrival): use a single-level projection of the same sequence.
+	levels := RandomLevels(mathx.NewRand(8), excr.MixedSNRSpace)
+	evs := Arrivals(seq, levels)
+	sawLow, sawHigh := false, false
+	for _, e := range evs {
+		switch e.Arrival.Level {
+		case excr.SNRLow:
+			sawLow = true
+		case excr.SNRHigh:
+			sawHigh = true
+		}
+	}
+	if !sawLow || !sawHigh {
+		t.Fatal("RandomLevels should assign both SNR levels")
+	}
+}
+
+func TestSynthesizeSignatures(t *testing.T) {
+	rng := mathx.NewRand(9)
+	web := Synthesize(excr.Web, 30, rng)
+	stream := Synthesize(excr.Streaming, 30, rng)
+	conf := Synthesize(excr.Conferencing, 30, rng)
+
+	for _, tr := range []Trace{web, stream, conf} {
+		if len(tr.Packets) == 0 {
+			t.Fatalf("%v trace empty", tr.Class)
+		}
+		// Time-ordered.
+		for i := 1; i < len(tr.Packets); i++ {
+			if tr.Packets[i].TimeSec < tr.Packets[i-1].TimeSec {
+				t.Fatalf("%v trace out of order", tr.Class)
+			}
+		}
+		if tr.Duration() <= 0 || tr.Bytes() <= 0 {
+			t.Fatalf("%v trace has no duration/bytes", tr.Class)
+		}
+	}
+	// Streaming moves far more bytes than web; conferencing has the
+	// most uplink packets.
+	if stream.Bytes() < 2*web.Bytes() {
+		t.Fatalf("streaming bytes %d should dwarf web bytes %d", stream.Bytes(), web.Bytes())
+	}
+	up := func(tr Trace) int {
+		n := 0
+		for _, p := range tr.Packets {
+			if p.Up {
+				n++
+			}
+		}
+		return n
+	}
+	if up(conf) <= up(web) || up(conf) <= up(stream) {
+		t.Fatal("conferencing should have the most uplink packets")
+	}
+	// Unknown class still synthesizes something.
+	if len(Synthesize(excr.AppClass(9), 5, rng).Packets) == 0 {
+		t.Fatal("unknown class should produce a generic trace")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	rng := mathx.NewRand(10)
+	a := Synthesize(excr.Web, 5, rng)
+	b := Synthesize(excr.Conferencing, 5, rng)
+	merged := Merge([]Trace{a, b})
+	if len(merged) != len(a.Packets)+len(b.Packets) {
+		t.Fatal("merge lost packets")
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i].TimeSec < merged[i-1].TimeSec {
+			t.Fatal("merged stream out of order")
+		}
+	}
+	saw0, saw1 := false, false
+	for _, p := range merged {
+		if p.Flow == 0 {
+			saw0 = true
+		}
+		if p.Flow == 1 {
+			saw1 = true
+		}
+	}
+	if !saw0 || !saw1 {
+		t.Fatal("merge should tag both flows")
+	}
+}
+
+func TestTraceDeterminism(t *testing.T) {
+	a := Synthesize(excr.Streaming, 10, mathx.NewRand(11))
+	b := Synthesize(excr.Streaming, 10, mathx.NewRand(11))
+	if len(a.Packets) != len(b.Packets) {
+		t.Fatal("same seed should give same trace")
+	}
+	for i := range a.Packets {
+		if a.Packets[i] != b.Packets[i] {
+			t.Fatal("same seed should give identical packets")
+		}
+	}
+}
