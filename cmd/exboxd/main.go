@@ -1,28 +1,44 @@
 // Command exboxd runs ExBox as a live UDP middlebox on localhost: a
-// gateway socket accepts client datagrams, tracks flows in a flow
-// table, classifies each flow from its first packets, and applies
+// gateway socket accepts client datagrams, tracks flows in a sharded
+// flow table, classifies each flow from its first packets, and applies
 // admission control with an Admittance Classifier pre-trained against
 // a simulated cell. Admitted traffic is forwarded to an upstream sink;
 // rejected flows are dropped at the gateway, exactly as Section 4.2
 // describes.
 //
+// The datapath is concurrent end to end: N packet workers share the
+// ingress socket, flow state is partitioned across independently
+// locked shards keyed on the 5-tuple hash, the traffic matrix that
+// conditions each admission decision is read lock-free from atomic
+// counters, and SVM retraining runs on a background worker per cell.
+// A periodic sweep goroutine expires idle flows, late-classifies
+// short flows whose head never filled (the silence case), and
+// re-evaluates admitted flows against the current matrix (Section 4.3
+// dynamics).
+//
 // Usage:
 //
 //	exboxd [-listen 127.0.0.1:0] [-duration 10s] [-demo]
+//	       [-workers N] [-shards N] [-mixedsnr]
 //
 // With -demo (the default), built-in traffic generators emulate a mix
 // of web, streaming and conferencing clients so the daemon is fully
 // self-contained; without it, point any UDP sources at the printed
-// gateway address.
+// gateway address. With -mixedsnr the daemon runs on the paper's
+// 3-class x 2-SNR-level space, binning each client's (simulated)
+// link quality into the matrix.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"log"
 	"net"
 	"os"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"exbox/internal/classifier"
@@ -41,19 +57,39 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "gateway UDP listen address")
 	duration := flag.Duration("duration", 10*time.Second, "how long to run")
 	demo := flag.Bool("demo", true, "spawn built-in demo traffic generators")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "packet-handling workers")
+	shards := flag.Int("shards", 32, "flow-table shards")
+	mixed := flag.Bool("mixedsnr", false, "use the 3-class x 2-SNR-level space")
 	flag.Parse()
 
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
 
-	gw, err := newGateway(*listen)
+	space := excr.DefaultSpace
+	if *mixed {
+		space = excr.MixedSNRSpace
+	}
+	gw, err := newGateway(*listen, space, *shards)
 	if err != nil {
 		log.Fatalf("exboxd: %v", err)
 	}
 	defer gw.close()
-	log.Printf("gateway listening on %s, sink on %s", gw.conn.LocalAddr(), gw.sink.LocalAddr())
+	log.Printf("gateway listening on %s, sink on %s (%d workers, %d shards, space %dx%d)",
+		gw.conn.LocalAddr(), gw.sink.LocalAddr(), *workers, *shards, space.Classes, space.Levels)
 
 	done := make(chan struct{})
-	go gw.run(done)
+	var loops sync.WaitGroup
+	for i := 0; i < *workers; i++ {
+		loops.Add(1)
+		go func() {
+			defer loops.Done()
+			gw.run(done)
+		}()
+	}
+	loops.Add(1)
+	go func() {
+		defer loops.Done()
+		gw.sweeper(done)
+	}()
 
 	if *demo {
 		var wg sync.WaitGroup
@@ -75,29 +111,44 @@ func main() {
 		time.Sleep(*duration)
 	}
 	close(done)
+	loops.Wait()
 	gw.report()
 }
 
-// gateway is the UDP middlebox: one ingress socket, one upstream sink,
-// a flow table, a traffic classifier and the ExBox middlebox core.
+// gateway is the UDP middlebox: one ingress socket shared by the
+// packet workers, one upstream sink, a sharded flow table, a traffic
+// classifier and the ExBox middlebox core. Counters are atomic so the
+// workers never serialize on statistics.
 type gateway struct {
-	conn *net.UDPConn
-	sink *net.UDPConn
+	conn  *net.UDPConn
+	sink  *net.UDPConn
+	space excr.Space
 
-	mu        sync.Mutex
-	table     *flows.Table
-	fc        *flowclass.Classifier
-	mb        *exboxcore.Middlebox
-	start     time.Time
-	forwarded int
-	dropped   int
-	admitted  int
-	rejected  int
+	table *flows.ShardedTable
+	fc    *flowclass.Classifier
+	mb    *exboxcore.Middlebox
+	// oracle stands in for the QoE estimator's ground-truth feedback
+	// in this self-contained demo: expired flows are labeled against
+	// the simulated cell and fed back for online learning.
+	oracle apps.Oracle
+	start  time.Time
+
+	forwarded atomic.Int64
+	dropped   atomic.Int64
+	admitted  atomic.Int64
+	rejected  atomic.Int64
+	evicted   atomic.Int64
+	lateClass atomic.Int64
+	expired   atomic.Int64
 }
 
 const cellID = exboxcore.CellID("ap0")
 
-func newGateway(listen string) (*gateway, error) {
+// classifySilence is how long a flow with an unfilled head must stay
+// quiet before the sweep classifies it anyway (the silence case).
+const classifySilence = 2.0 // seconds
+
+func newGateway(listen string, space excr.Space, shards int) (*gateway, error) {
 	addr, err := net.ResolveUDPAddr("udp", listen)
 	if err != nil {
 		return nil, err
@@ -123,15 +174,32 @@ func newGateway(listen string) (*gateway, error) {
 		sink.Close()
 		return nil, fmt.Errorf("training flow classifier: %w", err)
 	}
-	mb := exboxcore.New(excr.DefaultSpace, exboxcore.Discontinue)
-	if _, err := mb.AddCell(cellID, classifier.DefaultConfig()); err != nil {
+	mb := exboxcore.New(space, exboxcore.Discontinue)
+	cfg := classifier.DefaultConfig()
+	// Live gateway: batch SVM fits happen on the cell's background
+	// worker, never on a packet worker.
+	cfg.DeferRetrain = true
+	if _, err := mb.AddCell(cellID, cfg); err != nil {
 		conn.Close()
 		sink.Close()
 		return nil, err
 	}
 	oracle := apps.Oracle{Net: netsim.FluidWiFi{Config: netsim.TestbedWiFi()}}
-	for _, e := range traffic.Arrivals(traffic.Random(rng, 30, 10, 10, excr.DefaultSpace), nil) {
+	var assign func(excr.AppClass) excr.SNRLevel
+	if space.Levels > 1 {
+		assign = traffic.RandomLevels(rng, space)
+	}
+	for _, e := range traffic.Arrivals(traffic.Random(rng, 30, 10, 10, space), assign) {
 		if err := mb.Observe(cellID, excr.Sample{Arrival: e.Arrival, Label: oracle.Label(e.Arrival)}); err != nil {
+			conn.Close()
+			sink.Close()
+			return nil, err
+		}
+	}
+	if mb.Cell(cellID).Classifier.Bootstrapping() {
+		// Deferred retraining leaves graduation to the worker; the demo
+		// wants admission control active from the first packet.
+		if err := mb.Cell(cellID).Classifier.ForceOnline(); err != nil {
 			conn.Close()
 			sink.Close()
 			return nil, err
@@ -139,23 +207,27 @@ func newGateway(listen string) (*gateway, error) {
 	}
 
 	return &gateway{
-		conn:  conn,
-		sink:  sink,
-		table: flows.NewTable(10, 30),
-		fc:    fc,
-		mb:    mb,
-		start: time.Now(),
+		conn:   conn,
+		sink:   sink,
+		space:  space,
+		table:  flows.NewShardedTable(shards, 10, 30, space),
+		fc:     fc,
+		mb:     mb,
+		oracle: oracle,
+		start:  time.Now(),
 	}, nil
 }
 
 func (g *gateway) close() {
 	g.conn.Close()
 	g.sink.Close()
+	g.mb.Close()
 }
 
-// run is the forwarding loop: account each datagram to its flow,
-// classify once enough head packets arrived, decide admission, forward
-// or drop.
+// run is one packet worker's forwarding loop: account each datagram to
+// its flow under the owning shard's lock, classify once enough head
+// packets arrived, decide admission against the lock-free matrix,
+// forward or drop. UDP reads are safe to share across workers.
 func (g *gateway) run(done chan struct{}) {
 	buf := make([]byte, 64*1024)
 	sinkAddr := g.sink.LocalAddr().(*net.UDPAddr)
@@ -187,51 +259,166 @@ func (g *gateway) run(done chan struct{}) {
 // generators set ('U' uplink, 'D' downlink), standing in for the
 // ingress interface a real gateway would key on.
 func (g *gateway) handle(src *net.UDPAddr, bytes int, up bool) bool {
-	g.mu.Lock()
-	defer g.mu.Unlock()
 	key := flows.Key{
 		Src: src.IP.String(), Dst: "sink",
 		SrcPort: uint16(src.Port), DstPort: 9, Proto: flows.UDP,
 	}
 	now := time.Since(g.start).Seconds()
-	f := g.table.Observe(key, flows.PacketMeta{Time: now, Bytes: bytes, Up: up})
-	f.SNR = excr.SNRHigh
+	forward := true
+	g.table.Do(key, func(t *flows.Table) {
+		f := t.Observe(key, flows.PacketMeta{Time: now, Bytes: bytes, Up: up})
+		if f.Packets == 1 {
+			// The AP/eNodeB reports each client's link quality; the
+			// demo derives a stable per-client SNR from its address.
+			f.SNR = snrFor(src)
+		}
+		if f.ReadyToClassify(t.HeadCap) {
+			g.classifyAndDecide(f)
+		}
+		// Pre-decision packets pass (classification needs them); after
+		// the decision, rejected flows are dropped at the gateway.
+		forward = !(f.Decided && !f.Admitted)
+	})
+	if forward {
+		g.forwarded.Add(1)
+	} else {
+		g.dropped.Add(1)
+	}
+	return forward
+}
 
-	if !f.Classified && f.ReadyToClassify(g.table.HeadCap) {
-		class, conf, err := g.fc.ClassifyFlow(f)
-		if err == nil {
-			f.Class, f.Classified = class, true
-			current := g.table.Matrix(excr.DefaultSpace)
-			out, err := g.mb.Admit(cellID, excr.Arrival{Matrix: current, Class: class})
-			if err == nil {
-				f.Decided = true
-				f.Admitted = out.Verdict == exboxcore.Admit
-				if f.Admitted {
-					g.admitted++
-				} else {
-					g.rejected++
-				}
-				log.Printf("flow %s classified %v (p=%.2f) with matrix %v -> %v (margin %.2f)",
-					f.Key, class, conf, current, out.Verdict, out.Decision.Margin)
-			}
+// classifyAndDecide runs traffic classification and admission control
+// for one flow. Caller holds the flow's shard lock.
+func (g *gateway) classifyAndDecide(f *flows.Flow) {
+	class, conf, err := g.fc.ClassifyFlow(f)
+	if err != nil {
+		return
+	}
+	f.Class, f.Classified = class, true
+	current := g.table.Matrix()
+	out, err := g.mb.Admit(cellID, excr.Arrival{Matrix: current, Class: class, Level: g.level(f.SNR)})
+	if err != nil {
+		return
+	}
+	f.Decided = true
+	f.Admitted = out.Verdict == exboxcore.Admit
+	if f.Admitted {
+		g.admitted.Add(1)
+		g.table.TrackAdmitted(f)
+	} else {
+		g.rejected.Add(1)
+	}
+	log.Printf("flow %s classified %v (p=%.2f) snr=%v with matrix %v -> %v (margin %.2f)",
+		f.Key, class, conf, f.SNR, current, out.Verdict, out.Decision.Margin)
+}
+
+// level collapses a flow's SNR into the space the middlebox runs on,
+// the same rule Reevaluate applies.
+func (g *gateway) level(snr excr.SNRLevel) excr.SNRLevel {
+	if g.space.Levels == 1 {
+		return 0
+	}
+	return snr
+}
+
+// snrFor bins a client into an SNR level deterministically from its
+// address, standing in for the link quality a real AP would report.
+func snrFor(src *net.UDPAddr) excr.SNRLevel {
+	h := fnv.New32a()
+	h.Write([]byte(src.IP.String()))
+	h.Write([]byte{byte(src.Port >> 8), byte(src.Port)})
+	if h.Sum32()%4 == 0 {
+		return excr.SNRLow
+	}
+	return excr.SNRHigh
+}
+
+// sweeper is the periodic maintenance goroutine: late-classify silent
+// short flows, expire idle flows (feeding their labels back for online
+// learning), and re-evaluate admitted flows against the current
+// matrix, discontinuing the ones whose classification turned negative.
+func (g *gateway) sweeper(done chan struct{}) {
+	tick := time.NewTicker(500 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-tick.C:
+			g.sweep(time.Since(g.start).Seconds())
 		}
 	}
-	// Pre-decision packets pass (classification needs them); after the
-	// decision, rejected flows are dropped at the gateway.
-	if f.Decided && !f.Admitted {
-		g.dropped++
-		return false
+}
+
+func (g *gateway) sweep(now float64) {
+	// Silence case: classify short flows whose head never filled.
+	g.table.Sweep(func(t *flows.Table) {
+		for _, f := range t.Active() {
+			if f.ReadyBySilence(now, classifySilence) {
+				g.classifyAndDecide(f)
+				if f.Classified {
+					g.lateClass.Add(1)
+				}
+			}
+		}
+	})
+
+	// Expire idle flows; their observed tuples (labeled by the demo
+	// oracle, standing in for the QoE estimator) drive online learning
+	// on the cell's background retrainer.
+	current := g.table.Matrix()
+	for _, f := range g.table.Expire(now) {
+		g.expired.Add(1)
+		if !f.Classified {
+			continue
+		}
+		arr := excr.Arrival{Matrix: current, Class: f.Class, Level: g.level(f.SNR)}
+		_ = g.mb.Observe(cellID, excr.Sample{Arrival: arr, Label: g.oracle.Label(arr)})
 	}
-	g.forwarded++
-	return true
+
+	// Dynamics (Section 4.3): rebuild the admitted-flow list and its
+	// matrix in one sweep so Reevaluate sees a self-consistent pair,
+	// then discontinue flows whose re-classification turned negative.
+	var active []exboxcore.ActiveFlow
+	var keys []flows.Key
+	matrix := excr.NewMatrix(g.space)
+	g.table.Sweep(func(t *flows.Table) {
+		for _, f := range t.Active() {
+			if f.Classified && f.Decided && f.Admitted && int(f.Class) < g.space.Classes {
+				lvl := g.level(f.SNR)
+				active = append(active, exboxcore.ActiveFlow{ID: len(active), Class: f.Class, Level: lvl})
+				keys = append(keys, f.Key)
+				matrix = matrix.Inc(f.Class, lvl)
+			}
+		}
+	})
+	if len(active) == 0 {
+		return
+	}
+	evict, err := g.mb.Reevaluate(cellID, matrix, active)
+	if err != nil {
+		log.Printf("reevaluate: %v", err)
+		return
+	}
+	for _, ev := range evict {
+		k := keys[ev.ID]
+		g.table.Do(k, func(t *flows.Table) {
+			if f := t.Get(k); f != nil && f.Decided && f.Admitted {
+				g.table.UntrackAdmitted(f)
+				f.Admitted = false
+				g.evicted.Add(1)
+				log.Printf("flow %s discontinued by re-evaluation", f.Key)
+			}
+		})
+	}
 }
 
 func (g *gateway) report() {
-	g.mu.Lock()
-	defer g.mu.Unlock()
 	fmt.Printf("\n=== exboxd summary ===\n")
-	fmt.Printf("flows admitted: %d, rejected: %d\n", g.admitted, g.rejected)
-	fmt.Printf("packets forwarded: %d, dropped: %d\n", g.forwarded, g.dropped)
+	fmt.Printf("flows admitted: %d, rejected: %d, discontinued: %d\n",
+		g.admitted.Load(), g.rejected.Load(), g.evicted.Load())
+	fmt.Printf("packets forwarded: %d, dropped: %d\n", g.forwarded.Load(), g.dropped.Load())
+	fmt.Printf("flows expired: %d, late-classified: %d\n", g.expired.Load(), g.lateClass.Load())
 	for _, f := range g.table.Active() {
 		verdict := "undecided"
 		if f.Decided {
@@ -240,8 +427,8 @@ func (g *gateway) report() {
 				verdict = "admitted"
 			}
 		}
-		fmt.Printf("  %-32s class=%-12v pkts=%-6d bytes=%-8d %s\n",
-			f.Key, f.Class, f.Packets, f.Bytes, verdict)
+		fmt.Printf("  %-32s class=%-12v snr=%-4v pkts=%-6d bytes=%-8d %s\n",
+			f.Key, f.Class, f.SNR, f.Packets, f.Bytes, verdict)
 	}
 }
 

@@ -63,10 +63,12 @@ func main() {
 	start := time.Now()
 	decisions := make(chan string, 64)
 
-	// Forwarding loop.
+	// Forwarding loop, with a periodic expiry sweep so idle flows leave
+	// the traffic matrix instead of inflating every later decision.
 	done := make(chan struct{})
 	go func() {
 		buf := make([]byte, 64*1024)
+		lastSweep := 0.0
 		for {
 			select {
 			case <-done:
@@ -75,17 +77,31 @@ func main() {
 			}
 			gw.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
 			n, src, err := gw.ReadFromUDP(buf)
+			now := time.Since(start).Seconds()
+			if now-lastSweep >= 1 {
+				lastSweep = now
+				mu.Lock()
+				table.Expire(now)
+				mu.Unlock()
+			}
 			if err != nil {
 				continue
 			}
 			up := n > 0 && buf[0] == 'U'
 			mu.Lock()
 			key := flows.Key{Src: src.IP.String(), SrcPort: uint16(src.Port), Dst: "sink", DstPort: 9, Proto: flows.UDP}
-			f := table.Observe(key, flows.PacketMeta{Time: time.Since(start).Seconds(), Bytes: n, Up: up})
-			if !f.Classified && f.ReadyToClassify(table.HeadCap) {
+			f := table.Observe(key, flows.PacketMeta{Time: now, Bytes: n, Up: up})
+			f.SNR = excr.SNRHigh
+			if f.ReadyToClassify(table.HeadCap) {
 				if class, _, err := fc.ClassifyFlow(f); err == nil {
 					f.Class, f.Classified = class, true
-					out, err := mb.Admit(cell, excr.Arrival{Matrix: table.Matrix(excr.DefaultSpace), Class: class})
+					// Propagate the flow's SNR with the same collapse
+					// rule Reevaluate uses for single-level spaces.
+					lvl := f.SNR
+					if excr.DefaultSpace.Levels == 1 {
+						lvl = 0
+					}
+					out, err := mb.Admit(cell, excr.Arrival{Matrix: table.Matrix(excr.DefaultSpace), Class: class, Level: lvl})
 					if err == nil {
 						f.Decided = true
 						f.Admitted = out.Verdict == exboxcore.Admit

@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"exbox/internal/excr"
 	"exbox/internal/learner"
@@ -88,12 +90,19 @@ type Config struct {
 	// replaces its old label (the paper's behavior, and the default)
 	// or is appended as a fresh sample (ablation).
 	ReplaceRepeated bool
-	// MaxTrainingSet caps the training-set size; oldest samples are
-	// evicted first. 0 means unlimited.
+	// MaxTrainingSet caps the training-set size; least-recently
+	// observed samples are evicted first. 0 means unlimited.
 	MaxTrainingSet int
 	// Seed drives fold shuffling and is part of the deterministic
 	// behavior of the classifier.
 	Seed int64
+	// DeferRetrain moves the SVM fits off the Observe path: batch
+	// boundaries (and bootstrap cross-validation checks) mark a
+	// retrain pending instead of fitting inline, and a background
+	// worker — exboxcore's per-cell retrainer — performs the fit via
+	// Maintain. Off by default, which keeps Observe→Decide
+	// synchronous and deterministic for experiments.
+	DeferRetrain bool
 }
 
 // DefaultConfig returns the configuration used for the WiFi testbed
@@ -112,25 +121,46 @@ func DefaultConfig() Config {
 	}
 }
 
-// AdmittanceClassifier learns the ExCR boundary online. It is not safe
-// for concurrent use; the middlebox serializes access per cell.
-type AdmittanceClassifier struct {
-	cfg   Config
-	space excr.Space
-	rng   *rand.Rand
-
-	samples []excr.Sample
-	keys    []string
-	index   map[string]int
-
-	learner     learner.Learner
+// modelSnapshot is the immutable published state Decide reads: the
+// trained model, its depth normalizer, and the phase flag. A new
+// snapshot is atomically swapped in after every fit, so the admission
+// path never takes a lock (trained svm/dtree models are themselves
+// immutable and safe for concurrent use).
+type modelSnapshot struct {
 	model       learner.Predictor
 	calibration float64 // max |decision| over the training set
 	bootstrap   bool
-	sinceTrain  int
-	sinceCV     int
-	observed    int
-	lastCVScore float64
+}
+
+// AdmittanceClassifier learns the ExCR boundary online. It is safe for
+// concurrent use: Decide is a lock-free read of the atomically
+// published model snapshot, while Observe and the retraining entry
+// points serialize on an internal training lock. With
+// Config.DeferRetrain the expensive SVM fits additionally move to a
+// background caller of Maintain, leaving Observe cheap.
+type AdmittanceClassifier struct {
+	cfg   Config
+	space excr.Space
+
+	// mu guards the training set and phase counters below. The rng is
+	// only consumed under mu (bootstrap cross-validation).
+	mu             sync.Mutex
+	rng            *rand.Rand
+	samples        []excr.Sample
+	keys           []string
+	index          map[string]int
+	sinceTrain     int
+	sinceCV        int
+	observed       int
+	lastCVScore    float64
+	retrainPending bool
+
+	// fitMu serializes model fits so concurrent Retrain/Maintain calls
+	// publish snapshots in a well-defined order.
+	fitMu sync.Mutex
+	state atomic.Pointer[modelSnapshot]
+
+	learner learner.Learner
 }
 
 // New returns a fresh classifier in the bootstrap phase for the given
@@ -155,14 +185,15 @@ func New(space excr.Space, cfg Config) *AdmittanceClassifier {
 	if l == nil {
 		l = learner.SVM{Config: cfg.SVM}
 	}
-	return &AdmittanceClassifier{
-		cfg:       cfg,
-		space:     space,
-		rng:       mathx.NewRand(cfg.Seed),
-		index:     make(map[string]int),
-		learner:   l,
-		bootstrap: true,
+	ac := &AdmittanceClassifier{
+		cfg:     cfg,
+		space:   space,
+		rng:     mathx.NewRand(cfg.Seed),
+		index:   make(map[string]int),
+		learner: l,
 	}
+	ac.state.Store(&modelSnapshot{bootstrap: true})
+	return ac
 }
 
 // Name implements Controller.
@@ -170,19 +201,39 @@ func (ac *AdmittanceClassifier) Name() string { return "ExBox" }
 
 // Bootstrapping reports whether the classifier is still in its
 // bootstrap (observe-everything) phase.
-func (ac *AdmittanceClassifier) Bootstrapping() bool { return ac.bootstrap }
+func (ac *AdmittanceClassifier) Bootstrapping() bool { return ac.state.Load().bootstrap }
 
 // TrainingSetSize returns the current number of (deduplicated)
 // training tuples.
-func (ac *AdmittanceClassifier) TrainingSetSize() int { return len(ac.samples) }
+func (ac *AdmittanceClassifier) TrainingSetSize() int {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	return len(ac.samples)
+}
 
 // Observed returns the total number of observations fed to the
 // classifier, before deduplication.
-func (ac *AdmittanceClassifier) Observed() int { return ac.observed }
+func (ac *AdmittanceClassifier) Observed() int {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	return ac.observed
+}
 
 // LastCVScore returns the most recent bootstrap cross-validation
 // accuracy (0 before the first check).
-func (ac *AdmittanceClassifier) LastCVScore() float64 { return ac.lastCVScore }
+func (ac *AdmittanceClassifier) LastCVScore() float64 {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	return ac.lastCVScore
+}
+
+// RetrainPending reports whether deferred training work is queued for
+// Maintain (always false without Config.DeferRetrain).
+func (ac *AdmittanceClassifier) RetrainPending() bool {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	return ac.retrainPending
+}
 
 // sampleKey identifies a tuple for the replace-repeated-matrix policy:
 // the paper replaces the observed QoE when the same traffic matrix
@@ -193,46 +244,93 @@ func sampleKey(a excr.Arrival) string {
 
 // Observe implements Controller: it folds one ground-truth labeled
 // tuple into the training set and advances the phase machinery —
-// cross-validation during bootstrap, batch retraining online.
+// cross-validation during bootstrap, batch retraining online (or, with
+// DeferRetrain, marking the work pending for Maintain).
 func (ac *AdmittanceClassifier) Observe(s excr.Sample) {
 	if s.Label != 1 && s.Label != -1 {
 		panic(fmt.Sprintf("classifier: label %v, want ±1", s.Label))
 	}
+	ac.mu.Lock()
 	ac.observed++
 	key := sampleKey(s.Arrival)
 	if i, ok := ac.index[key]; ok && ac.cfg.ReplaceRepeated {
 		ac.samples[i] = s
+		ac.touchLocked(i)
 	} else {
 		ac.samples = append(ac.samples, s)
 		ac.keys = append(ac.keys, key)
 		ac.index[key] = len(ac.samples) - 1
-		ac.evictIfNeeded()
+		ac.evictIfNeededLocked()
 	}
-
-	if ac.bootstrap {
-		ac.sinceCV++
-		if len(ac.samples) >= ac.cfg.MinBootstrap && ac.sinceCV >= ac.cfg.CVEvery {
-			ac.sinceCV = 0
-			ac.tryGraduate()
-		}
-		return
-	}
-	ac.sinceTrain++
-	if ac.sinceTrain >= ac.cfg.BatchSize {
-		ac.sinceTrain = 0
-		_ = ac.Retrain()
+	req := ac.advancePhaseLocked()
+	ac.mu.Unlock()
+	if req != nil {
+		_ = ac.fit(req)
 	}
 }
 
-// evictIfNeeded drops the oldest samples beyond MaxTrainingSet.
-func (ac *AdmittanceClassifier) evictIfNeeded() {
+// advancePhaseLocked runs the per-observation phase accounting and
+// returns the fit to perform outside the training lock, if any. With
+// DeferRetrain it marks the work pending instead. Caller holds mu.
+func (ac *AdmittanceClassifier) advancePhaseLocked() *fitRequest {
+	if ac.state.Load().bootstrap {
+		ac.sinceCV++
+		if len(ac.samples) < ac.cfg.MinBootstrap || ac.sinceCV < ac.cfg.CVEvery {
+			return nil
+		}
+		ac.sinceCV = 0
+		if ac.cfg.DeferRetrain {
+			ac.retrainPending = true
+			return nil
+		}
+		return ac.crossValidateLocked()
+	}
+	ac.sinceTrain++
+	if ac.sinceTrain < ac.cfg.BatchSize {
+		return nil
+	}
+	ac.sinceTrain = 0
+	if ac.cfg.DeferRetrain {
+		ac.retrainPending = true
+		return nil
+	}
+	x, y := ac.datasetLocked()
+	return &fitRequest{x: x, y: y}
+}
+
+// touchLocked moves the just-replaced sample at slot i to the tail so
+// eviction order is least-recently-observed: a matrix the network keeps
+// revisiting (and re-confirming) must outlive matrices not seen since.
+// Caller holds mu.
+func (ac *AdmittanceClassifier) touchLocked(i int) {
+	last := len(ac.samples) - 1
+	if i == last {
+		return
+	}
+	s, k := ac.samples[i], ac.keys[i]
+	copy(ac.samples[i:], ac.samples[i+1:])
+	copy(ac.keys[i:], ac.keys[i+1:])
+	ac.samples[last], ac.keys[last] = s, k
+	for j := i; j <= last; j++ {
+		ac.index[ac.keys[j]] = j
+	}
+}
+
+// evictIfNeededLocked drops the least-recently-observed samples beyond
+// MaxTrainingSet. Caller holds mu.
+func (ac *AdmittanceClassifier) evictIfNeededLocked() {
 	max := ac.cfg.MaxTrainingSet
 	if max <= 0 || len(ac.samples) <= max {
 		return
 	}
 	drop := len(ac.samples) - max
-	for _, k := range ac.keys[:drop] {
-		delete(ac.index, k)
+	for pos, k := range ac.keys[:drop] {
+		// With ReplaceRepeated off the same key can appear several
+		// times and the index tracks the newest copy; only delete
+		// entries that still point into the dropped prefix.
+		if ac.index[k] == pos {
+			delete(ac.index, k)
+		}
 	}
 	ac.samples = append([]excr.Sample(nil), ac.samples[drop:]...)
 	ac.keys = append([]string(nil), ac.keys[drop:]...)
@@ -241,25 +339,26 @@ func (ac *AdmittanceClassifier) evictIfNeeded() {
 	}
 }
 
-// tryGraduate runs n-fold cross-validation and, if accuracy clears the
-// threshold, trains the operational model and leaves bootstrap.
-func (ac *AdmittanceClassifier) tryGraduate() {
-	x, y := ac.dataset()
+// crossValidateLocked runs the bootstrap n-fold cross-validation and,
+// when accuracy clears the threshold, returns the graduation fit.
+// Caller holds mu (the CV consumes ac.rng and reads the dataset).
+func (ac *AdmittanceClassifier) crossValidateLocked() *fitRequest {
+	x, y := ac.datasetLocked()
 	acc, err := learner.CrossValidate(ac.learner, x, y, ac.cfg.CVFolds, ac.rng)
 	if err != nil {
-		return // e.g. single-class folds dominate; keep bootstrapping
+		return nil // e.g. single-class folds dominate; keep bootstrapping
 	}
 	ac.lastCVScore = acc
 	if acc < ac.cfg.CVThreshold {
-		return
+		return nil
 	}
-	if err := ac.Retrain(); err == nil {
-		ac.bootstrap = false
-	}
+	return &fitRequest{x: x, y: y, graduate: true}
 }
 
-// dataset materializes the training matrices for the SVM.
-func (ac *AdmittanceClassifier) dataset() ([][]float64, []float64) {
+// datasetLocked materializes the training matrices for the SVM.
+// Caller holds mu; the returned slices are private copies safe to use
+// after the lock is released.
+func (ac *AdmittanceClassifier) datasetLocked() ([][]float64, []float64) {
 	x := make([][]float64, len(ac.samples))
 	y := make([]float64, len(ac.samples))
 	for i, s := range ac.samples {
@@ -273,48 +372,95 @@ func (ac *AdmittanceClassifier) dataset() ([][]float64, []float64) {
 // (no samples, or a single class observed).
 var ErrNotReady = errors.New("classifier: not enough label diversity to train")
 
-// Retrain fits the SVM on the full training set now, regardless of
-// batch accounting. The middlebox calls this when it detects drastic
-// network changes (Section 4.3).
-func (ac *AdmittanceClassifier) Retrain() error {
-	x, y := ac.dataset()
-	if len(x) == 0 {
+// fitRequest is a snapshot of the dataset to train on, taken under mu
+// so the expensive fit itself runs without blocking Observe.
+type fitRequest struct {
+	x        [][]float64
+	y        []float64
+	graduate bool // leave bootstrap on success
+}
+
+// fit trains on the snapshot and atomically publishes the new model.
+func (ac *AdmittanceClassifier) fit(req *fitRequest) error {
+	ac.fitMu.Lock()
+	defer ac.fitMu.Unlock()
+	if len(req.x) == 0 {
 		return ErrNotReady
 	}
-	m, err := ac.learner.Train(x, y)
+	m, err := ac.learner.Train(req.x, req.y)
 	if errors.Is(err, learner.ErrOneClass) {
 		return ErrNotReady
 	}
 	if err != nil {
 		return err
 	}
-	ac.model = m
 	// Calibrate the depth normalizer: the largest absolute decision
 	// value over the training set. Margins divided by it are roughly
 	// comparable across independently trained cells.
 	calib := 0.0
-	for _, s := range ac.samples {
-		if d := math.Abs(m.Decision(s.Arrival.Features())); d > calib {
+	for _, row := range req.x {
+		if d := math.Abs(m.Decision(row)); d > calib {
 			calib = d
 		}
 	}
 	if calib < 1e-9 {
 		calib = 1
 	}
-	ac.calibration = calib
+	boot := ac.state.Load().bootstrap && !req.graduate
+	ac.state.Store(&modelSnapshot{model: m, calibration: calib, bootstrap: boot})
 	return nil
+}
+
+// Retrain fits the SVM on the full training set now, regardless of
+// batch accounting. The middlebox calls this when it detects drastic
+// network changes (Section 4.3).
+func (ac *AdmittanceClassifier) Retrain() error {
+	ac.mu.Lock()
+	x, y := ac.datasetLocked()
+	ac.mu.Unlock()
+	return ac.fit(&fitRequest{x: x, y: y})
+}
+
+// Maintain performs the deferred training work marked pending by
+// Observe under Config.DeferRetrain: the bootstrap cross-validation
+// and graduation, or an online batch refit, whichever the phase calls
+// for. It is the entry point for the per-cell background retrainer and
+// a no-op when nothing is pending. Bursts of observations coalesce
+// into one fit: however many batch boundaries passed since the last
+// call, Maintain trains once on everything seen so far.
+func (ac *AdmittanceClassifier) Maintain() error {
+	ac.mu.Lock()
+	if !ac.retrainPending {
+		ac.mu.Unlock()
+		return nil
+	}
+	ac.retrainPending = false
+	var req *fitRequest
+	if ac.state.Load().bootstrap {
+		req = ac.crossValidateLocked()
+	} else {
+		x, y := ac.datasetLocked()
+		req = &fitRequest{x: x, y: y}
+	}
+	ac.mu.Unlock()
+	if req == nil {
+		return nil
+	}
+	return ac.fit(req)
 }
 
 // Decide implements Controller. During bootstrap every flow is
 // admitted (the paper's ExBox performs no admission control until the
 // classifier graduates); online, the SVM's sign decides and the margin
-// reports depth inside the region.
+// reports depth inside the region. Decide is lock-free: it reads the
+// last published model snapshot, so admission never waits on training.
 func (ac *AdmittanceClassifier) Decide(a excr.Arrival) Decision {
-	if ac.bootstrap || ac.model == nil {
+	st := ac.state.Load()
+	if st.bootstrap || st.model == nil {
 		return Decision{Admit: true, Bootstrap: true}
 	}
-	margin := ac.model.Decision(a.Features())
-	return Decision{Admit: margin >= 0, Margin: margin, Depth: margin / ac.calibration}
+	margin := st.model.Decision(a.Features())
+	return Decision{Admit: margin >= 0, Margin: margin, Depth: margin / st.calibration}
 }
 
 // ForceOnline ends the bootstrap phase immediately if a model can be
@@ -322,9 +468,8 @@ func (ac *AdmittanceClassifier) Decide(a excr.Arrival) Decision {
 // they pre-train from an initial dataset (e.g. the 10% bootstrap sets
 // of Figures 11, 13, 14).
 func (ac *AdmittanceClassifier) ForceOnline() error {
-	if err := ac.Retrain(); err != nil {
-		return err
-	}
-	ac.bootstrap = false
-	return nil
+	ac.mu.Lock()
+	x, y := ac.datasetLocked()
+	ac.mu.Unlock()
+	return ac.fit(&fitRequest{x: x, y: y, graduate: true})
 }

@@ -1,6 +1,7 @@
 package classifier
 
 import (
+	"sync"
 	"testing"
 
 	"exbox/internal/apps"
@@ -150,6 +151,171 @@ func TestEviction(t *testing.T) {
 		if ac.index[k] != i {
 			t.Fatal("index points at wrong slot after eviction")
 		}
+	}
+}
+
+// webArrival returns a distinct arrival keyed on n for eviction tests.
+func webArrival(n int) excr.Arrival {
+	return excr.Arrival{
+		Matrix: excr.NewMatrix(excr.DefaultSpace).Set(excr.Web, 0, n),
+		Class:  excr.Web,
+	}
+}
+
+func TestEvictionKeepsRecentlyObserved(t *testing.T) {
+	// A matrix the network keeps revisiting must survive eviction even
+	// though it was first seen earliest: replacement moves it to the
+	// tail, so eviction is least-recently-observed, not first-seen.
+	cfg := DefaultConfig()
+	cfg.MaxTrainingSet = 5
+	ac := New(excr.DefaultSpace, cfg)
+	for i := 0; i < 5; i++ {
+		ac.Observe(excr.Sample{Arrival: webArrival(i), Label: 1})
+	}
+	// Re-observe the oldest matrix: it is now the freshest.
+	ac.Observe(excr.Sample{Arrival: webArrival(0), Label: -1})
+	if ac.TrainingSetSize() != 5 {
+		t.Fatalf("replacement must not grow the set, got %d", ac.TrainingSetSize())
+	}
+	// One more distinct matrix pushes the set past the cap; the victim
+	// must be matrix 1 (least recently observed), not matrix 0.
+	ac.Observe(excr.Sample{Arrival: webArrival(5), Label: 1})
+	if ac.TrainingSetSize() != 5 {
+		t.Fatalf("set should stay at cap, got %d", ac.TrainingSetSize())
+	}
+	k0, k1 := sampleKey(webArrival(0)), sampleKey(webArrival(1))
+	if _, ok := ac.index[k0]; !ok {
+		t.Fatal("re-observed matrix was evicted despite being freshest")
+	}
+	if _, ok := ac.index[k1]; ok {
+		t.Fatal("least-recently-observed matrix should have been evicted")
+	}
+	// The surviving copy must carry the replacement's label.
+	if got := ac.samples[ac.index[k0]].Label; got != -1 {
+		t.Fatalf("survivor label = %v, want the re-observed -1", got)
+	}
+	for i, k := range ac.keys {
+		if ac.index[k] != i {
+			t.Fatal("index out of sync after touch+evict")
+		}
+	}
+}
+
+func TestEvictionAppendOnlyDuplicateIndex(t *testing.T) {
+	// Append-only mode can hold several copies of one key; eviction of
+	// an old copy must not clobber the index entry of a surviving newer
+	// copy.
+	cfg := DefaultConfig()
+	cfg.ReplaceRepeated = false
+	cfg.MaxTrainingSet = 3
+	ac := New(excr.DefaultSpace, cfg)
+	dup := webArrival(0)
+	ac.Observe(excr.Sample{Arrival: dup, Label: 1})
+	ac.Observe(excr.Sample{Arrival: webArrival(1), Label: 1})
+	ac.Observe(excr.Sample{Arrival: webArrival(2), Label: -1})
+	ac.Observe(excr.Sample{Arrival: dup, Label: -1}) // evicts the first copy of dup
+	if ac.TrainingSetSize() != 3 {
+		t.Fatalf("set = %d, want 3", ac.TrainingSetSize())
+	}
+	i, ok := ac.index[sampleKey(dup)]
+	if !ok {
+		t.Fatal("surviving duplicate lost its index entry")
+	}
+	if ac.samples[i].Label != -1 {
+		t.Fatalf("index points at the wrong copy: label %v", ac.samples[i].Label)
+	}
+	for j, k := range ac.keys {
+		if k == ac.keys[i] && j > i {
+			t.Fatal("index does not point at the newest copy")
+		}
+	}
+}
+
+func TestDeferRetrainMaintain(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DeferRetrain = true
+	ac := New(excr.DefaultSpace, cfg)
+	o := wifiOracle()
+	feedRandom(ac, o, 25, 2)
+	// Deferred mode: bootstrap CV never runs on the Observe path, so
+	// the classifier is still bootstrapping and work is pending.
+	if !ac.Bootstrapping() {
+		t.Fatal("deferred classifier must not graduate inline")
+	}
+	if !ac.RetrainPending() {
+		t.Fatal("crossing CV boundaries should mark work pending")
+	}
+	if err := ac.Maintain(); err != nil {
+		t.Fatal(err)
+	}
+	if ac.Bootstrapping() {
+		t.Fatalf("Maintain should graduate (cv=%v, set=%d)", ac.LastCVScore(), ac.TrainingSetSize())
+	}
+	if ac.RetrainPending() {
+		t.Fatal("Maintain must clear the pending latch")
+	}
+
+	// Online: a burst crossing several batch boundaries coalesces into
+	// one pending fit.
+	feedRandom(ac, o, 60, 3)
+	if !ac.RetrainPending() {
+		t.Fatal("online batches should mark a retrain pending")
+	}
+	if err := ac.Maintain(); err != nil {
+		t.Fatal(err)
+	}
+	if ac.RetrainPending() {
+		t.Fatal("pending latch should clear after the coalesced fit")
+	}
+	// Idempotent when nothing is pending.
+	if err := ac.Maintain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentDecideObserveRetrain(t *testing.T) {
+	// Decide is a lock-free snapshot read; hammer it while Observe and
+	// Retrain mutate training state. Run under -race.
+	ac := New(excr.DefaultSpace, DefaultConfig())
+	o := wifiOracle()
+	feedRandom(ac, o, 25, 4)
+	if ac.Bootstrapping() {
+		t.Fatal("should be online before the stress phase")
+	}
+	evs := traffic.Arrivals(traffic.Random(mathx.NewRand(5), 40, 20, 0, excr.DefaultSpace), nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ac.Decide(evs[i%len(evs)].Arrival)
+			}
+		}()
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := mathx.NewRand(seed)
+			for _, e := range traffic.Arrivals(traffic.Random(rng, 30, 20, 0, excr.DefaultSpace), nil) {
+				ac.Observe(excr.Sample{Arrival: e.Arrival, Label: o.Label(e.Arrival)})
+			}
+		}(int64(10 + g))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			_ = ac.Retrain()
+		}
+	}()
+	wg.Wait()
+	if ac.Bootstrapping() {
+		t.Fatal("classifier regressed to bootstrap")
+	}
+	if d := ac.Decide(webArrival(0)); d.Bootstrap {
+		t.Fatal("post-stress decision should use the trained model")
 	}
 }
 

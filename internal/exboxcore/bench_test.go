@@ -1,0 +1,123 @@
+package exboxcore
+
+import (
+	"sync"
+	"testing"
+
+	"exbox/internal/apps"
+	"exbox/internal/classifier"
+	"exbox/internal/excr"
+	"exbox/internal/mathx"
+	"exbox/internal/netsim"
+	"exbox/internal/traffic"
+)
+
+// Benchmarks for the concurrent admission path. Run with several
+// GOMAXPROCS values to see the scaling, e.g.
+//
+//	go test -bench Admit -cpu 1,2,4,8 ./internal/exboxcore
+//
+// BenchmarkAdmitParallel exercises the real architecture: Admit is a
+// lock-free read of the cell's published model snapshot, so throughput
+// scales with cores. BenchmarkAdmitGlobalLock reproduces the pre-
+// refactor architecture — one mutex across the whole per-decision path
+// — as the baseline the parallel numbers are compared against.
+
+func benchMiddlebox(b *testing.B) *Middlebox {
+	b.Helper()
+	mb := New(excr.DefaultSpace, Discontinue)
+	if _, err := mb.AddCell("ap", classifier.DefaultConfig()); err != nil {
+		b.Fatal(err)
+	}
+	o := apps.Oracle{Net: netsim.FluidWiFi{Config: netsim.SimWiFi()}}
+	rng := mathx.NewRand(1)
+	for _, e := range traffic.Arrivals(traffic.Random(rng, 25, 20, 0, excr.DefaultSpace), nil) {
+		if err := mb.Observe("ap", excr.Sample{Arrival: e.Arrival, Label: o.Label(e.Arrival)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if mb.Cell("ap").Classifier.Bootstrapping() {
+		b.Fatal("cell did not graduate")
+	}
+	return mb
+}
+
+func benchProbe() excr.Arrival {
+	return excr.Arrival{
+		Matrix: excr.NewMatrix(excr.DefaultSpace).Set(excr.Streaming, 0, 12),
+		Class:  excr.Web,
+	}
+}
+
+func BenchmarkAdmitParallel(b *testing.B) {
+	mb := benchMiddlebox(b)
+	probe := benchProbe()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := mb.Admit("ap", probe); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkAdmitGlobalLock(b *testing.B) {
+	mb := benchMiddlebox(b)
+	probe := benchProbe()
+	var mu sync.Mutex // the old single-pipeline gateway lock
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			mu.Lock()
+			_, err := mb.Admit("ap", probe)
+			mu.Unlock()
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAdmitObserveMixed interleaves admissions with ground-truth
+// observations (deferred retraining), the live gateway's steady state:
+// the admission path must not stall behind training-set updates or
+// background fits.
+func BenchmarkAdmitObserveMixed(b *testing.B) {
+	mb := New(excr.DefaultSpace, Discontinue)
+	cfg := classifier.DefaultConfig()
+	cfg.DeferRetrain = true
+	if _, err := mb.AddCell("ap", cfg); err != nil {
+		b.Fatal(err)
+	}
+	defer mb.Close()
+	o := apps.Oracle{Net: netsim.FluidWiFi{Config: netsim.SimWiFi()}}
+	rng := mathx.NewRand(1)
+	for _, e := range traffic.Arrivals(traffic.Random(rng, 25, 20, 0, excr.DefaultSpace), nil) {
+		if err := mb.Observe("ap", excr.Sample{Arrival: e.Arrival, Label: o.Label(e.Arrival)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := mb.Cell("ap").Classifier.ForceOnline(); err != nil {
+		b.Fatal(err)
+	}
+	samples := traffic.Arrivals(traffic.Random(mathx.NewRand(2), 50, 20, 0, excr.DefaultSpace), nil)
+	probe := benchProbe()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if i%16 == 15 {
+				e := samples[i%len(samples)]
+				if err := mb.Observe("ap", excr.Sample{Arrival: e.Arrival, Label: o.Label(e.Arrival)}); err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				if _, err := mb.Admit("ap", probe); err != nil {
+					b.Fatal(err)
+				}
+			}
+			i++
+		}
+	})
+}

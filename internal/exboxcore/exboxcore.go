@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"exbox/internal/classifier"
 	"exbox/internal/excr"
@@ -52,10 +53,48 @@ func (p Policy) String() string {
 type CellID string
 
 // Cell is the middlebox's per-access-device state: a dedicated
-// Admittance Classifier learning that cell's ExCR.
+// Admittance Classifier learning that cell's ExCR. Per-cell
+// serialization lives inside the classifier (its training lock);
+// cells never contend with each other.
 type Cell struct {
 	ID         CellID
 	Classifier *classifier.AdmittanceClassifier
+
+	// retrain is the coalescing latch for the background retrainer:
+	// capacity 1, non-blocking sends. A burst of observations crossing
+	// several batch boundaries collapses into one pending signal, so
+	// the worker runs one fit over everything seen, not one per batch.
+	// Nil unless the cell's classifier was configured with
+	// DeferRetrain.
+	retrain  chan struct{}
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// kickRetrain signals the background retrainer if deferred work is
+// pending; the capacity-1 latch coalesces repeated kicks.
+func (c *Cell) kickRetrain() {
+	if c.retrain == nil || !c.Classifier.RetrainPending() {
+		return
+	}
+	select {
+	case c.retrain <- struct{}{}:
+	default:
+	}
+}
+
+// retrainLoop is the cell's background worker: it waits on the latch
+// and performs the deferred SVM fits off the admission path.
+func (c *Cell) retrainLoop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-c.retrain:
+			_ = c.Classifier.Maintain()
+		}
+	}
 }
 
 // Verdict is the middlebox's disposition for one flow.
@@ -89,16 +128,23 @@ type Outcome struct {
 	Decision classifier.Decision
 }
 
-// Middlebox is the ExBox gateway component. It is not safe for
-// concurrent use; callers serialize (the gateway's packet path is a
-// single pipeline in this reproduction).
+// Middlebox is the ExBox gateway component. It is safe for concurrent
+// use: Admit (and the workflows built on it) is a lock-free read of
+// each cell's atomically published model snapshot, Observe serializes
+// only on the owning cell's training lock, and the cell registry is
+// guarded by a read-write lock so lookups never contend with each
+// other. Register cells with classifier.Config.DeferRetrain to move
+// the batch SVM fits onto a per-cell background worker; such a
+// middlebox should be Closed when done.
 type Middlebox struct {
 	Space     excr.Space
 	Policy    Policy
 	Estimator *qoe.Estimator // optional: network-side QoE estimation
 
+	mu    sync.RWMutex // guards cells and order
 	cells map[CellID]*Cell
 	order []CellID
+	wg    sync.WaitGroup // per-cell retrain workers
 }
 
 // New returns an empty middlebox for the given traffic-matrix space.
@@ -110,22 +156,51 @@ func New(space excr.Space, policy Policy) *Middlebox {
 }
 
 // AddCell registers an access device and creates its Admittance
-// Classifier with the given configuration.
+// Classifier with the given configuration. With cfg.DeferRetrain the
+// cell gets a background retrain worker, stopped by Close.
 func (mb *Middlebox) AddCell(id CellID, cfg classifier.Config) (*Cell, error) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
 	if _, dup := mb.cells[id]; dup {
 		return nil, fmt.Errorf("exboxcore: cell %q already registered", id)
 	}
 	c := &Cell{ID: id, Classifier: classifier.New(mb.Space, cfg)}
+	if cfg.DeferRetrain {
+		c.retrain = make(chan struct{}, 1)
+		c.stop = make(chan struct{})
+		mb.wg.Add(1)
+		go c.retrainLoop(&mb.wg)
+	}
 	mb.cells[id] = c
 	mb.order = append(mb.order, id)
 	return c, nil
 }
 
+// Close stops the per-cell background retrain workers. It is only
+// needed when cells were registered with DeferRetrain; on a fully
+// synchronous middlebox it is a no-op. Safe to call more than once.
+func (mb *Middlebox) Close() {
+	mb.mu.RLock()
+	for _, c := range mb.cells {
+		if c.stop != nil {
+			c.stopOnce.Do(func() { close(c.stop) })
+		}
+	}
+	mb.mu.RUnlock()
+	mb.wg.Wait()
+}
+
 // Cell returns the registered cell, or nil.
-func (mb *Middlebox) Cell(id CellID) *Cell { return mb.cells[id] }
+func (mb *Middlebox) Cell(id CellID) *Cell {
+	mb.mu.RLock()
+	defer mb.mu.RUnlock()
+	return mb.cells[id]
+}
 
 // Cells returns the registered cells in registration order.
 func (mb *Middlebox) Cells() []*Cell {
+	mb.mu.RLock()
+	defer mb.mu.RUnlock()
 	out := make([]*Cell, 0, len(mb.order))
 	for _, id := range mb.order {
 		out = append(out, mb.cells[id])
@@ -133,13 +208,23 @@ func (mb *Middlebox) Cells() []*Cell {
 	return out
 }
 
+// cell is the read-locked registry lookup behind every workflow.
+func (mb *Middlebox) cell(id CellID) (*Cell, bool) {
+	mb.mu.RLock()
+	c, ok := mb.cells[id]
+	mb.mu.RUnlock()
+	return c, ok
+}
+
 // ErrUnknownCell is returned for operations on unregistered cells.
 var ErrUnknownCell = errors.New("exboxcore: unknown cell")
 
 // Admit runs admission control for an arrival on one cell and applies
-// the policy to the classifier's answer.
+// the policy to the classifier's answer. The decision is a lock-free
+// read of the cell's published model, so concurrent admissions scale
+// with GOMAXPROCS.
 func (mb *Middlebox) Admit(id CellID, a excr.Arrival) (Outcome, error) {
-	cell, ok := mb.cells[id]
+	cell, ok := mb.cell(id)
 	if !ok {
 		return Outcome{}, fmt.Errorf("%w: %q", ErrUnknownCell, id)
 	}
@@ -156,12 +241,15 @@ func (mb *Middlebox) Admit(id CellID, a excr.Arrival) (Outcome, error) {
 }
 
 // Observe feeds a ground-truth labeled tuple to one cell's classifier.
+// When the cell defers retraining, crossing a batch boundary kicks the
+// cell's background worker instead of fitting inline.
 func (mb *Middlebox) Observe(id CellID, s excr.Sample) error {
-	cell, ok := mb.cells[id]
+	cell, ok := mb.cell(id)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownCell, id)
 	}
 	cell.Classifier.Observe(s)
+	cell.kickRetrain()
 	return nil
 }
 
@@ -224,7 +312,7 @@ type ActiveFlow struct {
 // current must be the cell's present traffic matrix including all the
 // given flows.
 func (mb *Middlebox) Reevaluate(id CellID, current excr.Matrix, active []ActiveFlow) ([]ActiveFlow, error) {
-	cell, ok := mb.cells[id]
+	cell, ok := mb.cell(id)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownCell, id)
 	}

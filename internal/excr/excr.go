@@ -225,6 +225,23 @@ func (m Matrix) Counts() []int {
 	return out
 }
 
+// MatrixFromCounts builds a matrix over s from flat class-major cell
+// counts, the inverse of Counts. The slice is copied. It panics on a
+// length mismatch or a negative count, mirroring Set.
+func MatrixFromCounts(s Space, counts []int) Matrix {
+	if len(counts) != s.Dim() {
+		panic(fmt.Sprintf("excr: %d counts for space %dx%d", len(counts), s.Classes, s.Levels))
+	}
+	m := NewMatrix(s)
+	for i, v := range counts {
+		if v < 0 {
+			panic("excr: negative flow count")
+		}
+		m.counts[i] = v
+	}
+	return m
+}
+
 // String renders the matrix as <a11,…,akr>.
 func (m Matrix) String() string { return "<" + m.Key() + ">" }
 

@@ -85,10 +85,20 @@ type Flow struct {
 }
 
 // ReadyToClassify reports whether enough of the flow's head has been
-// seen for the classifier to run (headCap packets, or any packets plus
-// silence — the table resolves the silence case during Expire).
+// seen for the classifier to run (headCap packets; short flows that
+// never fill the head are caught by ReadyBySilence instead).
 func (f *Flow) ReadyToClassify(headCap int) bool {
 	return !f.Classified && len(f.Head) >= headCap
+}
+
+// ReadyBySilence resolves the silence case: a short flow whose head
+// never reached the cap can still be classified once it has at least
+// one packet and has been quiet for silence seconds, since no further
+// head packets are coming. The gateway's periodic sweep uses this so
+// sparse flows get an admission decision instead of passing forever
+// undecided.
+func (f *Flow) ReadyBySilence(now, silence float64) bool {
+	return !f.Classified && len(f.Head) > 0 && now-f.LastSeen >= silence
 }
 
 // Table tracks active flows at the gateway.

@@ -170,6 +170,61 @@ func TestReadyToClassify(t *testing.T) {
 	}
 }
 
+func TestReadyBySilence(t *testing.T) {
+	tab := NewTable(10, 30)
+	f := tab.Observe(key(), PacketMeta{Time: 1, Bytes: 10})
+	tab.Observe(key(), PacketMeta{Time: 2, Bytes: 10})
+	// Head (2 packets) never reaches the cap of 10; the flow becomes
+	// classifiable only after enough silence.
+	if f.ReadyToClassify(tab.HeadCap) {
+		t.Fatal("short head must not be ready by count")
+	}
+	if f.ReadyBySilence(3, 2) {
+		t.Fatal("1s of silence is not enough")
+	}
+	if !f.ReadyBySilence(4, 2) {
+		t.Fatal("2s of silence should resolve the silence case")
+	}
+	f.Classified = true
+	if f.ReadyBySilence(10, 2) {
+		t.Fatal("classified flow must not re-classify")
+	}
+	// A flow with no packets recorded can never be classified.
+	empty := &Flow{}
+	if empty.ReadyBySilence(100, 2) {
+		t.Fatal("empty head must not be ready")
+	}
+}
+
+func TestExpiryWithLateClassification(t *testing.T) {
+	// The gateway pattern: a short flow goes silent, the sweep
+	// classifies it by silence and decides admission, and the later
+	// expiry returns it with its classification intact.
+	tab := NewTable(10, 5)
+	f := tab.Observe(key(), PacketMeta{Time: 0, Bytes: 120})
+	tab.Observe(key(), PacketMeta{Time: 0.5, Bytes: 80})
+
+	if !f.ReadyBySilence(3, 2) {
+		t.Fatal("flow should be silence-classifiable at t=3")
+	}
+	f.Class, f.Classified = excr.Web, true
+	f.Decided, f.Admitted = true, true
+	if got := tab.Matrix(excr.DefaultSpace).Get(excr.Web, 0); got != 1 {
+		t.Fatalf("late-classified flow missing from matrix: %d", got)
+	}
+
+	gone := tab.Expire(6)
+	if len(gone) != 1 || !gone[0].Classified || gone[0].Class != excr.Web {
+		t.Fatalf("expiry lost the late classification: %+v", gone)
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("table should be empty, len=%d", tab.Len())
+	}
+	if got := tab.Matrix(excr.DefaultSpace).Total(); got != 0 {
+		t.Fatalf("expired flow still in matrix: %d", got)
+	}
+}
+
 func TestNewTableDefaults(t *testing.T) {
 	tab := NewTable(0, 0)
 	if tab.HeadCap != 10 || tab.IdleTimeout != 60 {

@@ -1,0 +1,198 @@
+package flows
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"exbox/internal/excr"
+)
+
+// ShardedTable is the concurrency-safe flow table behind the gateway's
+// parallel packet workers. Flows are partitioned across independently
+// locked shards by a direction-independent hash of the 5-tuple (a flow
+// and its reverse land on the same shard, so fold-on-reverse keeps
+// working), and the admitted traffic matrix — the X every admission
+// decision conditions on — is maintained as a flat array of atomic
+// counters, so reading it never takes any lock.
+type ShardedTable struct {
+	space  excr.Space
+	shards []tableShard
+	counts []atomic.Int64 // admitted flows per (class, level), class-major
+}
+
+type tableShard struct {
+	mu sync.Mutex
+	t  *Table
+	_  [40]byte // pad to a cache line so shard locks don't false-share
+}
+
+// NewShardedTable returns a table with nShards independently locked
+// partitions, each keeping headCap packets per flow and expiring flows
+// idle longer than idleTimeout seconds. The space fixes the shape of
+// the tracked traffic matrix. nShards <= 0 defaults to 32.
+func NewShardedTable(nShards, headCap int, idleTimeout float64, space excr.Space) *ShardedTable {
+	if nShards <= 0 {
+		nShards = 32
+	}
+	st := &ShardedTable{
+		space:  space,
+		shards: make([]tableShard, nShards),
+		counts: make([]atomic.Int64, space.Dim()),
+	}
+	for i := range st.shards {
+		st.shards[i].t = NewTable(headCap, idleTimeout)
+	}
+	return st
+}
+
+// canonical orients the key direction-independently so k and
+// k.Reverse() hash identically.
+func canonical(k Key) Key {
+	r := k.Reverse()
+	if k.Src < r.Src {
+		return k
+	}
+	if k.Src > r.Src {
+		return r
+	}
+	if k.SrcPort <= r.SrcPort {
+		return k
+	}
+	return r
+}
+
+func (st *ShardedTable) shardFor(k Key) *tableShard {
+	c := canonical(k)
+	h := fnv.New32a()
+	h.Write([]byte(c.Src))
+	h.Write([]byte{0, byte(c.SrcPort >> 8), byte(c.SrcPort)})
+	h.Write([]byte(c.Dst))
+	h.Write([]byte{0, byte(c.DstPort >> 8), byte(c.DstPort), byte(c.Proto)})
+	return &st.shards[int(h.Sum32())%len(st.shards)]
+}
+
+// Do runs fn on the shard owning k while holding that shard's lock.
+// All reads and writes of flows on that shard — Observe, classification
+// and decision fields — must happen inside fn; flow pointers must not
+// escape it.
+func (st *ShardedTable) Do(k Key, fn func(t *Table)) {
+	s := st.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn(s.t)
+}
+
+// Sweep visits every shard in turn, calling fn under the shard's lock.
+// The expiry/re-evaluation sweep uses it to walk the whole table
+// without ever holding more than one shard lock at a time.
+func (st *ShardedTable) Sweep(fn func(t *Table)) {
+	for i := range st.shards {
+		s := &st.shards[i]
+		s.mu.Lock()
+		fn(s.t)
+		s.mu.Unlock()
+	}
+}
+
+// HeadCap returns the per-flow head capacity (uniform across shards).
+func (st *ShardedTable) HeadCap() int { return st.shards[0].t.HeadCap }
+
+// Len returns the number of tracked flows across all shards.
+func (st *ShardedTable) Len() int {
+	n := 0
+	for i := range st.shards {
+		s := &st.shards[i]
+		s.mu.Lock()
+		n += s.t.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// cell flattens a flow's (class, SNR) to its class-major matrix slot,
+// collapsing the level in single-level spaces like Table.Matrix does.
+func (st *ShardedTable) cell(class excr.AppClass, lvl excr.SNRLevel) int {
+	if st.space.Levels == 1 {
+		lvl = 0
+	}
+	return int(class)*st.space.Levels + int(lvl)
+}
+
+// Tracked reports whether the flow contributes to the running matrix:
+// classified, decided, admitted, and inside the space.
+func (st *ShardedTable) tracked(f *Flow) bool {
+	if !f.Classified || !f.Decided || !f.Admitted {
+		return false
+	}
+	lvl := f.SNR
+	if st.space.Levels == 1 {
+		lvl = 0
+	}
+	return int(f.Class) < st.space.Classes && int(lvl) < st.space.Levels
+}
+
+// TrackAdmitted folds a newly admitted, classified flow into the
+// running traffic matrix. Call it (under the owning shard's Do) right
+// after setting the flow's Classified/Decided/Admitted fields.
+func (st *ShardedTable) TrackAdmitted(f *Flow) {
+	if st.tracked(f) {
+		st.counts[st.cell(f.Class, f.SNR)].Add(1)
+	}
+}
+
+// UntrackAdmitted removes a previously tracked flow from the running
+// matrix — used when re-evaluation discontinues an admitted flow.
+// Call it under the owning shard's Do before clearing Admitted.
+func (st *ShardedTable) UntrackAdmitted(f *Flow) {
+	if st.tracked(f) {
+		st.counts[st.cell(f.Class, f.SNR)].Add(-1)
+	}
+}
+
+// Matrix returns a snapshot of the admitted traffic matrix from the
+// atomic counters. It is lock-free, so the per-packet admission path
+// can read it without touching any shard.
+func (st *ShardedTable) Matrix() excr.Matrix {
+	flat := make([]int, len(st.counts))
+	for i := range st.counts {
+		if v := st.counts[i].Load(); v > 0 {
+			flat[i] = int(v)
+		}
+	}
+	return excr.MatrixFromCounts(st.space, flat)
+}
+
+// Expire removes flows idle past the timeout from every shard and
+// returns them sorted by first-seen time. Admitted flows leaving the
+// table are deducted from the running matrix.
+func (st *ShardedTable) Expire(now float64) []*Flow {
+	var out []*Flow
+	for i := range st.shards {
+		s := &st.shards[i]
+		s.mu.Lock()
+		gone := s.t.Expire(now)
+		s.mu.Unlock()
+		for _, f := range gone {
+			st.UntrackAdmitted(f)
+		}
+		out = append(out, gone...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FirstSeen < out[j].FirstSeen })
+	return out
+}
+
+// Active returns copies of the live flows across all shards sorted by
+// first-seen time. Copies, not live records: the caller holds no shard
+// lock, so it must not see pointers the packet workers are mutating.
+func (st *ShardedTable) Active() []Flow {
+	var out []Flow
+	st.Sweep(func(t *Table) {
+		for _, f := range t.Active() {
+			out = append(out, *f)
+		}
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].FirstSeen < out[j].FirstSeen })
+	return out
+}

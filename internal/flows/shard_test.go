@@ -1,0 +1,171 @@
+package flows
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"exbox/internal/excr"
+)
+
+func shardKey(i int) Key {
+	return Key{
+		Src: fmt.Sprintf("10.0.%d.%d", i/250, i%250), Dst: "sink",
+		SrcPort: uint16(40000 + i), DstPort: 9, Proto: UDP,
+	}
+}
+
+func TestShardedFoldsReverseKey(t *testing.T) {
+	st := NewShardedTable(8, 5, 30, excr.DefaultSpace)
+	k := shardKey(1)
+	var f1, f2 *Flow
+	st.Do(k, func(tab *Table) { f1 = tab.Observe(k, PacketMeta{Time: 1, Bytes: 100, Up: true}) })
+	st.Do(k.Reverse(), func(tab *Table) { f2 = tab.Observe(k.Reverse(), PacketMeta{Time: 1.1, Bytes: 200, Up: true}) })
+	if f1 != f2 {
+		t.Fatal("a flow and its reverse must land on the same shard and fold")
+	}
+	if st.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", st.Len())
+	}
+	if f1.Head[1].Up {
+		t.Fatal("reverse packet direction should be flipped")
+	}
+}
+
+func TestShardedMatrixTracking(t *testing.T) {
+	st := NewShardedTable(4, 5, 30, excr.MixedSNRSpace)
+	k := shardKey(2)
+	st.Do(k, func(tab *Table) {
+		f := tab.Observe(k, PacketMeta{Time: 1, Bytes: 100})
+		f.SNR = excr.SNRHigh
+		f.Class, f.Classified, f.Decided, f.Admitted = excr.Streaming, true, true, true
+		st.TrackAdmitted(f)
+	})
+	m := st.Matrix()
+	if m.Get(excr.Streaming, excr.SNRHigh) != 1 || m.Total() != 1 {
+		t.Fatalf("matrix = %v, want one streaming/high flow", m)
+	}
+
+	// A rejected flow never enters the matrix.
+	k2 := shardKey(3)
+	st.Do(k2, func(tab *Table) {
+		f := tab.Observe(k2, PacketMeta{Time: 1, Bytes: 100})
+		f.Class, f.Classified, f.Decided, f.Admitted = excr.Web, true, true, false
+		st.TrackAdmitted(f)
+	})
+	if st.Matrix().Total() != 1 {
+		t.Fatalf("rejected flow leaked into the matrix: %v", st.Matrix())
+	}
+
+	// Re-evaluation discontinues the admitted flow.
+	st.Do(k, func(tab *Table) {
+		f := tab.Get(k)
+		st.UntrackAdmitted(f)
+		f.Admitted = false
+	})
+	if st.Matrix().Total() != 0 {
+		t.Fatalf("discontinued flow still counted: %v", st.Matrix())
+	}
+}
+
+func TestShardedExpireAdjustsMatrix(t *testing.T) {
+	st := NewShardedTable(4, 5, 10, excr.DefaultSpace)
+	for i := 0; i < 3; i++ {
+		k := shardKey(10 + i)
+		st.Do(k, func(tab *Table) {
+			f := tab.Observe(k, PacketMeta{Time: float64(i), Bytes: 100})
+			f.Class, f.Classified, f.Decided, f.Admitted = excr.Web, true, true, true
+			st.TrackAdmitted(f)
+		})
+	}
+	if st.Matrix().Get(excr.Web, 0) != 3 {
+		t.Fatalf("matrix = %v", st.Matrix())
+	}
+	gone := st.Expire(11.5) // flows first seen at t=0 and t=1 are idle >= 10s
+	if len(gone) != 2 {
+		t.Fatalf("expired %d flows, want 2", len(gone))
+	}
+	if gone[0].FirstSeen > gone[1].FirstSeen {
+		t.Fatal("Expire output not sorted")
+	}
+	if st.Len() != 1 || st.Matrix().Get(excr.Web, 0) != 1 {
+		t.Fatalf("post-expiry state wrong: len=%d matrix=%v", st.Len(), st.Matrix())
+	}
+}
+
+func TestShardedSilenceSweep(t *testing.T) {
+	st := NewShardedTable(4, 10, 30, excr.DefaultSpace)
+	k := shardKey(20)
+	// A short flow: only 2 of 10 head packets ever arrive.
+	st.Do(k, func(tab *Table) {
+		tab.Observe(k, PacketMeta{Time: 1, Bytes: 100})
+		tab.Observe(k, PacketMeta{Time: 1.5, Bytes: 100})
+	})
+	found := 0
+	st.Sweep(func(tab *Table) {
+		for _, f := range tab.Active() {
+			if f.ReadyBySilence(5, 2) {
+				found++
+			}
+		}
+	})
+	if found != 1 {
+		t.Fatalf("silence sweep found %d flows, want 1", found)
+	}
+}
+
+// TestShardedConcurrent drives packet workers, a matrix reader and an
+// expiry sweeper concurrently; run under -race.
+func TestShardedConcurrent(t *testing.T) {
+	st := NewShardedTable(8, 5, 1000, excr.DefaultSpace)
+	const workers, flowsPer, packets = 4, 32, 20
+
+	var writers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < flowsPer; i++ {
+				k := shardKey(w*flowsPer + i)
+				for p := 0; p < packets; p++ {
+					st.Do(k, func(tab *Table) {
+						f := tab.Observe(k, PacketMeta{Time: float64(p), Bytes: 100})
+						if f.Packets == 5 && !f.Decided {
+							f.Class, f.Classified, f.Decided, f.Admitted = excr.Web, true, true, true
+							st.TrackAdmitted(f)
+						}
+					})
+				}
+			}
+		}(w)
+	}
+
+	stop := make(chan struct{})
+	var sweeper sync.WaitGroup
+	sweeper.Add(1)
+	go func() {
+		defer sweeper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = st.Matrix()
+				_ = st.Expire(0) // timeout is huge; nothing expires
+				_ = st.Active()
+			}
+		}
+	}()
+
+	writers.Wait()
+	close(stop)
+	sweeper.Wait()
+
+	want := workers * flowsPer
+	if st.Len() != want {
+		t.Fatalf("Len = %d, want %d", st.Len(), want)
+	}
+	if got := st.Matrix().Get(excr.Web, 0); got != want {
+		t.Fatalf("matrix count = %d, want %d", got, want)
+	}
+}
