@@ -19,7 +19,7 @@
 // Usage:
 //
 //	exboxd [-listen 127.0.0.1:0] [-duration 10s] [-demo]
-//	       [-workers N] [-shards N] [-mixedsnr]
+//	       [-workers N] [-shards N] [-mixedsnr] [-http addr]
 //
 // With -demo (the default), built-in traffic generators emulate a mix
 // of web, streaming and conferencing clients so the daemon is fully
@@ -27,6 +27,13 @@
 // gateway address. With -mixedsnr the daemon runs on the paper's
 // 3-class x 2-SNR-level space, binning each client's (simulated)
 // link quality into the matrix.
+//
+// With -http (e.g. -http :9090) the daemon serves its telemetry over
+// HTTP: a plaintext /metrics page, the decision audit trail as
+// /debug/admissions, expvar under /debug/vars, and net/http/pprof
+// under /debug/pprof/. All counters, gauges and histograms come from
+// one obs.Registry shared by the gateway, the middlebox core, the
+// classifier and the flow table.
 package main
 
 import (
@@ -35,10 +42,10 @@ import (
 	"hash/fnv"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"exbox/internal/classifier"
@@ -48,6 +55,7 @@ import (
 	"exbox/internal/flows"
 	"exbox/internal/mathx"
 	"exbox/internal/netsim"
+	"exbox/internal/obs"
 	"exbox/internal/traffic"
 
 	"exbox/internal/apps"
@@ -60,6 +68,7 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "packet-handling workers")
 	shards := flag.Int("shards", 32, "flow-table shards")
 	mixed := flag.Bool("mixedsnr", false, "use the 3-class x 2-SNR-level space")
+	httpAddr := flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	flag.Parse()
 
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
@@ -68,13 +77,25 @@ func main() {
 	if *mixed {
 		space = excr.MixedSNRSpace
 	}
-	gw, err := newGateway(*listen, space, *shards)
+	reg := obs.NewRegistry()
+	gw, err := newGateway(*listen, space, *shards, reg)
 	if err != nil {
 		log.Fatalf("exboxd: %v", err)
 	}
 	defer gw.close()
 	log.Printf("gateway listening on %s, sink on %s (%d workers, %d shards, space %dx%d)",
 		gw.conn.LocalAddr(), gw.sink.LocalAddr(), *workers, *shards, space.Classes, space.Levels)
+
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatalf("exboxd: telemetry listener: %v", err)
+		}
+		defer ln.Close()
+		reg.PublishExpvar("exbox")
+		go http.Serve(ln, reg.ServeMux())
+		log.Printf("telemetry on http://%s/metrics (also /debug/admissions, /debug/vars, /debug/pprof/)", ln.Addr())
+	}
 
 	done := make(chan struct{})
 	var loops sync.WaitGroup
@@ -117,8 +138,10 @@ func main() {
 
 // gateway is the UDP middlebox: one ingress socket shared by the
 // packet workers, one upstream sink, a sharded flow table, a traffic
-// classifier and the ExBox middlebox core. Counters are atomic so the
-// workers never serialize on statistics.
+// classifier and the ExBox middlebox core. Statistics live in the
+// shared obs registry — each is one atomic counter, so the workers
+// never serialize on them, and the same numbers feed /metrics, the
+// periodic stats line and the exit report.
 type gateway struct {
 	conn  *net.UDPConn
 	sink  *net.UDPConn
@@ -133,13 +156,16 @@ type gateway struct {
 	oracle apps.Oracle
 	start  time.Time
 
-	forwarded atomic.Int64
-	dropped   atomic.Int64
-	admitted  atomic.Int64
-	rejected  atomic.Int64
-	evicted   atomic.Int64
-	lateClass atomic.Int64
-	expired   atomic.Int64
+	reg       *obs.Registry
+	forwarded *obs.Counter // packets passed upstream
+	dropped   *obs.Counter // packets of rejected flows dropped at the gate
+	admitted  *obs.Counter // flows admitted
+	rejected  *obs.Counter // flows rejected
+	evicted   *obs.Counter // admitted flows discontinued by re-evaluation
+	lateClass *obs.Counter // flows classified by the silence sweep
+	expired   *obs.Counter // idle flows expired from the table
+	feedback  *obs.Counter // labeled samples fed back for online learning
+	admitLat  *obs.Histogram
 }
 
 const cellID = exboxcore.CellID("ap0")
@@ -148,7 +174,7 @@ const cellID = exboxcore.CellID("ap0")
 // quiet before the sweep classifies it anyway (the silence case).
 const classifySilence = 2.0 // seconds
 
-func newGateway(listen string, space excr.Space, shards int) (*gateway, error) {
+func newGateway(listen string, space excr.Space, shards int, reg *obs.Registry) (*gateway, error) {
 	addr, err := net.ResolveUDPAddr("udp", listen)
 	if err != nil {
 		return nil, err
@@ -184,6 +210,9 @@ func newGateway(listen string, space excr.Space, shards int) (*gateway, error) {
 		sink.Close()
 		return nil, err
 	}
+	// Instrument before the bootstrap training below so the fit
+	// metrics and training-size gauge cover it too.
+	mb.Instrument(reg, 256)
 	oracle := apps.Oracle{Net: netsim.FluidWiFi{Config: netsim.TestbedWiFi()}}
 	var assign func(excr.AppClass) excr.SNRLevel
 	if space.Levels > 1 {
@@ -206,15 +235,32 @@ func newGateway(listen string, space excr.Space, shards int) (*gateway, error) {
 		}
 	}
 
+	// One registry wires every layer: the middlebox core (audit ring,
+	// admission latency, per-cell classifier metrics), the flow table
+	// (occupancy, expiries) and the gateway's own packet/flow counters.
+	table := flows.NewShardedTable(shards, 10, 30, space)
+	table.Instrument(reg, "exbox_flows")
 	return &gateway{
-		conn:   conn,
-		sink:   sink,
-		space:  space,
-		table:  flows.NewShardedTable(shards, 10, 30, space),
-		fc:     fc,
-		mb:     mb,
-		oracle: oracle,
-		start:  time.Now(),
+		conn:      conn,
+		sink:      sink,
+		space:     space,
+		table:     table,
+		fc:        fc,
+		mb:        mb,
+		oracle:    oracle,
+		start:     time.Now(),
+		reg:       reg,
+		forwarded: reg.Counter("exbox_gw_forwarded_packets_total"),
+		dropped:   reg.Counter("exbox_gw_dropped_packets_total"),
+		admitted:  reg.Counter("exbox_gw_admitted_flows_total"),
+		rejected:  reg.Counter("exbox_gw_rejected_flows_total"),
+		evicted:   reg.Counter("exbox_gw_discontinued_flows_total"),
+		lateClass: reg.Counter("exbox_gw_late_classified_total"),
+		// The flow table already counts expiries; the gateway reads the
+		// same counter instead of keeping a shadow copy.
+		expired:  reg.Counter("exbox_flows_expired_total"),
+		feedback: reg.Counter("exbox_gw_feedback_samples_total"),
+		admitLat: reg.Histogram("exbox_admit_seconds", nil),
 	}, nil
 }
 
@@ -280,9 +326,9 @@ func (g *gateway) handle(src *net.UDPAddr, bytes int, up bool) bool {
 		forward = !(f.Decided && !f.Admitted)
 	})
 	if forward {
-		g.forwarded.Add(1)
+		g.forwarded.Inc()
 	} else {
-		g.dropped.Add(1)
+		g.dropped.Inc()
 	}
 	return forward
 }
@@ -303,10 +349,10 @@ func (g *gateway) classifyAndDecide(f *flows.Flow) {
 	f.Decided = true
 	f.Admitted = out.Verdict == exboxcore.Admit
 	if f.Admitted {
-		g.admitted.Add(1)
+		g.admitted.Inc()
 		g.table.TrackAdmitted(f)
 	} else {
-		g.rejected.Add(1)
+		g.rejected.Inc()
 	}
 	log.Printf("flow %s classified %v (p=%.2f) snr=%v with matrix %v -> %v (margin %.2f)",
 		f.Key, class, conf, f.SNR, current, out.Verdict, out.Decision.Margin)
@@ -322,11 +368,13 @@ func (g *gateway) level(snr excr.SNRLevel) excr.SNRLevel {
 }
 
 // snrFor bins a client into an SNR level deterministically from its
-// address, standing in for the link quality a real AP would report.
+// IP address alone, standing in for the link quality a real AP would
+// report. Link quality belongs to the radio, i.e. the host — hashing
+// the source port too would hand every flow from one client its own
+// SNR, which is not how a station's channel behaves.
 func snrFor(src *net.UDPAddr) excr.SNRLevel {
 	h := fnv.New32a()
 	h.Write([]byte(src.IP.String()))
-	h.Write([]byte{byte(src.Port >> 8), byte(src.Port)})
 	if h.Sum32()%4 == 0 {
 		return excr.SNRLow
 	}
@@ -340,14 +388,28 @@ func snrFor(src *net.UDPAddr) excr.SNRLevel {
 func (g *gateway) sweeper(done chan struct{}) {
 	tick := time.NewTicker(500 * time.Millisecond)
 	defer tick.Stop()
+	n := 0
 	for {
 		select {
 		case <-done:
 			return
 		case <-tick.C:
 			g.sweep(time.Since(g.start).Seconds())
+			if n++; n%10 == 0 {
+				g.logStats()
+			}
 		}
 	}
+}
+
+// logStats emits the periodic one-line gateway summary from the same
+// registry the /metrics page serves.
+func (g *gateway) logStats() {
+	log.Printf("stats: fwd=%d drop=%d admit=%d reject=%d discont=%d expired=%d late=%d feedback=%d tracked=%d admit_p50=%.3gs p99=%.3gs",
+		g.forwarded.Value(), g.dropped.Value(), g.admitted.Value(),
+		g.rejected.Value(), g.evicted.Value(), g.expired.Value(),
+		g.lateClass.Value(), g.feedback.Value(), g.table.Len(),
+		g.admitLat.Quantile(0.5), g.admitLat.Quantile(0.99))
 }
 
 func (g *gateway) sweep(now float64) {
@@ -357,23 +419,26 @@ func (g *gateway) sweep(now float64) {
 			if f.ReadyBySilence(now, classifySilence) {
 				g.classifyAndDecide(f)
 				if f.Classified {
-					g.lateClass.Add(1)
+					g.lateClass.Inc()
 				}
 			}
 		}
 	})
 
-	// Expire idle flows; their observed tuples (labeled by the demo
-	// oracle, standing in for the QoE estimator) drive online learning
-	// on the cell's background retrainer.
+	// Expire idle flows (the table counts the expiries); their observed
+	// tuples (labeled by the demo oracle, standing in for the QoE
+	// estimator) drive online learning on the cell's background
+	// retrainer. Rejected flows expire too — the gateway stops
+	// refreshing their activity once the drop decision is made — so
+	// negative outcomes feed the training set just like positives.
 	current := g.table.Matrix()
 	for _, f := range g.table.Expire(now) {
-		g.expired.Add(1)
 		if !f.Classified {
 			continue
 		}
 		arr := excr.Arrival{Matrix: current, Class: f.Class, Level: g.level(f.SNR)}
 		_ = g.mb.Observe(cellID, excr.Sample{Arrival: arr, Label: g.oracle.Label(arr)})
+		g.feedback.Inc()
 	}
 
 	// Dynamics (Section 4.3): rebuild the admitted-flow list and its
@@ -406,7 +471,7 @@ func (g *gateway) sweep(now float64) {
 			if f := t.Get(k); f != nil && f.Decided && f.Admitted {
 				g.table.UntrackAdmitted(f)
 				f.Admitted = false
-				g.evicted.Add(1)
+				g.evicted.Inc()
 				log.Printf("flow %s discontinued by re-evaluation", f.Key)
 			}
 		})
@@ -416,9 +481,9 @@ func (g *gateway) sweep(now float64) {
 func (g *gateway) report() {
 	fmt.Printf("\n=== exboxd summary ===\n")
 	fmt.Printf("flows admitted: %d, rejected: %d, discontinued: %d\n",
-		g.admitted.Load(), g.rejected.Load(), g.evicted.Load())
-	fmt.Printf("packets forwarded: %d, dropped: %d\n", g.forwarded.Load(), g.dropped.Load())
-	fmt.Printf("flows expired: %d, late-classified: %d\n", g.expired.Load(), g.lateClass.Load())
+		g.admitted.Value(), g.rejected.Value(), g.evicted.Value())
+	fmt.Printf("packets forwarded: %d, dropped: %d\n", g.forwarded.Value(), g.dropped.Value())
+	fmt.Printf("flows expired: %d, late-classified: %d\n", g.expired.Value(), g.lateClass.Value())
 	for _, f := range g.table.Active() {
 		verdict := "undecided"
 		if f.Decided {

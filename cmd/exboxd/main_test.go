@@ -1,0 +1,162 @@
+package main
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"exbox/internal/excr"
+	"exbox/internal/obs"
+)
+
+func scrape(t *testing.T, base, path string) string {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	return string(body)
+}
+
+// metricValue pulls one scalar from a /metrics page.
+func metricValue(page, name string) float64 {
+	for _, line := range strings.Split(page, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			if v, err := strconv.ParseFloat(fields[1], 64); err == nil {
+				return v
+			}
+		}
+	}
+	return 0
+}
+
+// TestGatewayTelemetryEndToEnd boots the real gateway datapath with
+// its telemetry endpoints on ephemeral ports, drives UDP flows long
+// enough for admission decisions, and checks that the decisions are
+// visible on /metrics, in the audit ring, and on the debug endpoints
+// — the same wiring `exboxd -http :9090` serves.
+func TestGatewayTelemetryEndToEnd(t *testing.T) {
+	reg := obs.NewRegistry()
+	gw, err := newGateway("127.0.0.1:0", excr.DefaultSpace, 8, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.close()
+
+	done := make(chan struct{})
+	var loops sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		loops.Add(1)
+		go func() {
+			defer loops.Done()
+			gw.run(done)
+		}()
+	}
+	defer func() {
+		close(done)
+		loops.Wait()
+	}()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: reg.ServeMux()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	reg.PublishExpvar("exbox")
+	base := "http://" + ln.Addr().String()
+
+	// Four clients, each sending enough packets to fill the head
+	// (HeadCap is 10) and force an admission decision.
+	const clients, packets = 4, 14
+	payload := make([]byte, 400)
+	payload[0] = 'U'
+	for c := 0; c < clients; c++ {
+		conn, err := net.DialUDP("udp", nil, gw.conn.LocalAddr().(*net.UDPAddr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := 0; p < packets; p++ {
+			if _, err := conn.Write(payload); err != nil {
+				t.Fatal(err)
+			}
+			time.Sleep(2 * time.Millisecond) // don't overrun the socket buffer
+		}
+		conn.Close()
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for gw.admitted.Value()+gw.rejected.Value() < clients {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out: %d/%d flows decided", gw.admitted.Value()+gw.rejected.Value(), clients)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	page := scrape(t, base, "/metrics")
+	if got := metricValue(page, "exbox_gw_admitted_flows_total") + metricValue(page, "exbox_gw_rejected_flows_total"); got < clients {
+		t.Fatalf("gateway decisions on /metrics = %v, want >= %d", got, clients)
+	}
+	if metricValue(page, "exbox_gw_forwarded_packets_total") <= 0 {
+		t.Fatal("no forwarded packets on /metrics")
+	}
+	if got := metricValue(page, "exbox_cell_ap0_admit_total") + metricValue(page, "exbox_cell_ap0_reject_total"); got < clients {
+		t.Fatalf("cell verdicts on /metrics = %v, want >= %d", got, clients)
+	}
+	if metricValue(page, "exbox_cell_ap0_clf_training_size") <= 0 {
+		t.Fatal("classifier training-size gauge missing from /metrics")
+	}
+	if !strings.Contains(page, "exbox_admit_seconds_bucket{le=") {
+		t.Fatal("admission-latency histogram missing from /metrics")
+	}
+	if metricValue(page, "exbox_flows_tracked_flows") <= 0 {
+		t.Fatal("flow-table occupancy gauge missing from /metrics")
+	}
+
+	ring := gw.mb.AuditRing()
+	if ring == nil || ring.Len() < clients {
+		t.Fatalf("audit ring should hold the decisions, len=%d", ring.Len())
+	}
+	for _, rec := range ring.Snapshot() {
+		if rec.Cell != string(cellID) || rec.Verdict == "" {
+			t.Fatalf("malformed audit record: %+v", rec)
+		}
+	}
+	if body := scrape(t, base, "/debug/admissions"); !strings.Contains(body, `"cell":"ap0"`) {
+		t.Fatalf("/debug/admissions missing decisions: %.200s", body)
+	}
+	if body := scrape(t, base, "/debug/vars"); !strings.Contains(body, `"exbox"`) {
+		t.Fatal("/debug/vars missing the published registry")
+	}
+	if body := scrape(t, base, "/debug/pprof/cmdline"); body == "" {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+}
+
+// TestSNRStablePerClient pins the per-client SNR contract: every flow
+// from one client address must land in the same SNR bin regardless of
+// source port (link quality belongs to the host, not the socket).
+func TestSNRStablePerClient(t *testing.T) {
+	ip := net.ParseIP("10.1.2.3")
+	want := snrFor(&net.UDPAddr{IP: ip, Port: 1000})
+	for port := 1001; port < 1064; port++ {
+		if got := snrFor(&net.UDPAddr{IP: ip, Port: port}); got != want {
+			t.Fatalf("client SNR changed with source port %d: %v != %v", port, got, want)
+		}
+	}
+}

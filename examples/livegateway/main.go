@@ -22,6 +22,7 @@ import (
 	"exbox/internal/flowclass"
 	"exbox/internal/flows"
 	"exbox/internal/mathx"
+	"exbox/internal/obs"
 	"exbox/internal/traffic"
 )
 
@@ -51,6 +52,11 @@ func main() {
 	smallCell := exbox.TestbedWiFiConfig()
 	oracle := exbox.Oracle{Net: exbox.FluidWiFi{Config: smallCell}}
 	mb := exboxcore.New(excr.DefaultSpace, exboxcore.Discontinue)
+	// The same telemetry registry exboxd serves over -http; here it
+	// feeds the closing summary (and keeps an audit trail of the
+	// demo's decisions).
+	reg := obs.NewRegistry()
+	mb.Instrument(reg, 64)
 	if _, err := mb.AddCell(cell, classifier.DefaultConfig()); err != nil {
 		log.Fatal(err)
 	}
@@ -161,30 +167,29 @@ func main() {
 	}
 
 	go func() { wg.Wait(); close(done) }()
-	admitted, rejected := 0, 0
 	for {
 		select {
 		case d := <-decisions:
 			fmt.Println(d)
-			if len(d) > 0 {
-				if containsReject(d) {
-					rejected++
-				} else {
-					admitted++
+		case <-done:
+			// The verdict tallies come from the instrumented registry —
+			// the same counters a scrape of exboxd's /metrics would show
+			// — instead of re-parsing the decision log.
+			admitted := reg.Counter("exbox_cell_ap0_admit_total").Value()
+			rejected := reg.Counter("exbox_cell_ap0_reject_total").Value()
+			fmt.Printf("\n%d flows admitted, %d rejected by the live gateway\n", admitted, rejected)
+			if ring := mb.AuditRing(); ring != nil {
+				recs := ring.Snapshot()
+				fmt.Printf("audit trail holds %d decisions; last:\n", len(recs))
+				for i := len(recs) - 3; i < len(recs); i++ {
+					if i >= 0 {
+						r := recs[i]
+						fmt.Printf("  #%d cell=%s class=%d matrix=<%s> margin=%+.2f %s\n",
+							r.Seq, r.Cell, r.Class, r.Matrix, r.Margin, r.Verdict)
+					}
 				}
 			}
-		case <-done:
-			fmt.Printf("\n%d flows admitted, %d rejected by the live gateway\n", admitted, rejected)
 			return
 		}
 	}
-}
-
-func containsReject(s string) bool {
-	for i := 0; i+6 <= len(s); i++ {
-		if s[i:i+6] == "reject" {
-			return true
-		}
-	}
-	return false
 }

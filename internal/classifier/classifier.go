@@ -24,12 +24,43 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"exbox/internal/excr"
 	"exbox/internal/learner"
 	"exbox/internal/mathx"
+	"exbox/internal/obs"
 	"exbox/internal/svm"
 )
+
+// Metrics is the classifier's telemetry hookup. Every field is
+// optional (nil fields no-op), and every update on the Decide path is
+// a single atomic operation — instrumentation never adds a lock or an
+// allocation to admission. Wire it with SetMetrics before the
+// classifier sees concurrent traffic; exboxcore.Middlebox.Instrument
+// does this per cell.
+type Metrics struct {
+	// Decide path (lock-free, atomic-only). Total decisions are not a
+	// separate counter — every decision lands in exactly one of Admits
+	// or Rejects, so the total is derived at scrape time and the hot
+	// path saves an atomic op.
+	BootstrapDecisions *obs.Counter   // decided by the admit-everything bootstrap
+	Admits             *obs.Counter   // classifier said admissible (incl. bootstrap)
+	Rejects            *obs.Counter   // classifier said inadmissible
+	Margin             *obs.Histogram // signed SVM decision values
+
+	// Training path (under the training lock / fit lock).
+	Observations *obs.Counter    // labeled tuples fed in
+	Replacements *obs.Counter    // repeated matrices that replaced their label
+	Evictions    *obs.Counter    // LRU-evicted training samples
+	TrainingSize *obs.Gauge      // current deduplicated training-set size
+	Fits         *obs.Counter    // model fits published
+	FitErrors    *obs.Counter    // fits that failed (incl. not-ready)
+	FitSeconds   *obs.Histogram  // wall time per fit, train + calibration
+	CVChecks     *obs.Counter    // bootstrap cross-validation runs
+	CVScore      *obs.GaugeFloat // most recent cross-validation accuracy
+	Graduations  *obs.Counter    // bootstrap -> online phase transitions
+}
 
 // Controller is the common admission-control interface shared by the
 // Admittance Classifier and the RateBased/MaxClient baselines.
@@ -161,6 +192,11 @@ type AdmittanceClassifier struct {
 	state atomic.Pointer[modelSnapshot]
 
 	learner learner.Learner
+
+	// metrics is the telemetry hookup (zero value: all no-ops). Set
+	// once via SetMetrics before concurrent use; the fields are atomic
+	// primitives, so updates themselves are always race-free.
+	metrics Metrics
 }
 
 // New returns a fresh classifier in the bootstrap phase for the given
@@ -198,6 +234,11 @@ func New(space excr.Space, cfg Config) *AdmittanceClassifier {
 
 // Name implements Controller.
 func (ac *AdmittanceClassifier) Name() string { return "ExBox" }
+
+// SetMetrics wires the classifier's telemetry. Call it once, before
+// the classifier sees concurrent traffic (typically right after New);
+// the middlebox does this when a registry is attached.
+func (ac *AdmittanceClassifier) SetMetrics(m Metrics) { ac.metrics = m }
 
 // Bootstrapping reports whether the classifier is still in its
 // bootstrap (observe-everything) phase.
@@ -252,16 +293,19 @@ func (ac *AdmittanceClassifier) Observe(s excr.Sample) {
 	}
 	ac.mu.Lock()
 	ac.observed++
+	ac.metrics.Observations.Inc()
 	key := sampleKey(s.Arrival)
 	if i, ok := ac.index[key]; ok && ac.cfg.ReplaceRepeated {
 		ac.samples[i] = s
 		ac.touchLocked(i)
+		ac.metrics.Replacements.Inc()
 	} else {
 		ac.samples = append(ac.samples, s)
 		ac.keys = append(ac.keys, key)
 		ac.index[key] = len(ac.samples) - 1
 		ac.evictIfNeededLocked()
 	}
+	ac.metrics.TrainingSize.Set(int64(len(ac.samples)))
 	req := ac.advancePhaseLocked()
 	ac.mu.Unlock()
 	if req != nil {
@@ -324,6 +368,7 @@ func (ac *AdmittanceClassifier) evictIfNeededLocked() {
 		return
 	}
 	drop := len(ac.samples) - max
+	ac.metrics.Evictions.Add(int64(drop))
 	for pos, k := range ac.keys[:drop] {
 		// With ReplaceRepeated off the same key can appear several
 		// times and the index tracks the newest copy; only delete
@@ -344,11 +389,13 @@ func (ac *AdmittanceClassifier) evictIfNeededLocked() {
 // Caller holds mu (the CV consumes ac.rng and reads the dataset).
 func (ac *AdmittanceClassifier) crossValidateLocked() *fitRequest {
 	x, y := ac.datasetLocked()
+	ac.metrics.CVChecks.Inc()
 	acc, err := learner.CrossValidate(ac.learner, x, y, ac.cfg.CVFolds, ac.rng)
 	if err != nil {
 		return nil // e.g. single-class folds dominate; keep bootstrapping
 	}
 	ac.lastCVScore = acc
+	ac.metrics.CVScore.Set(acc)
 	if acc < ac.cfg.CVThreshold {
 		return nil
 	}
@@ -385,13 +432,17 @@ func (ac *AdmittanceClassifier) fit(req *fitRequest) error {
 	ac.fitMu.Lock()
 	defer ac.fitMu.Unlock()
 	if len(req.x) == 0 {
+		ac.metrics.FitErrors.Inc()
 		return ErrNotReady
 	}
+	start := time.Now()
 	m, err := ac.learner.Train(req.x, req.y)
 	if errors.Is(err, learner.ErrOneClass) {
+		ac.metrics.FitErrors.Inc()
 		return ErrNotReady
 	}
 	if err != nil {
+		ac.metrics.FitErrors.Inc()
 		return err
 	}
 	// Calibrate the depth normalizer: the largest absolute decision
@@ -406,8 +457,14 @@ func (ac *AdmittanceClassifier) fit(req *fitRequest) error {
 	if calib < 1e-9 {
 		calib = 1
 	}
-	boot := ac.state.Load().bootstrap && !req.graduate
+	wasBoot := ac.state.Load().bootstrap
+	boot := wasBoot && !req.graduate
 	ac.state.Store(&modelSnapshot{model: m, calibration: calib, bootstrap: boot})
+	ac.metrics.Fits.Inc()
+	ac.metrics.FitSeconds.Observe(time.Since(start).Seconds())
+	if wasBoot && !boot {
+		ac.metrics.Graduations.Inc()
+	}
 	return nil
 }
 
@@ -457,9 +514,17 @@ func (ac *AdmittanceClassifier) Maintain() error {
 func (ac *AdmittanceClassifier) Decide(a excr.Arrival) Decision {
 	st := ac.state.Load()
 	if st.bootstrap || st.model == nil {
+		ac.metrics.BootstrapDecisions.Inc()
+		ac.metrics.Admits.Inc()
 		return Decision{Admit: true, Bootstrap: true}
 	}
 	margin := st.model.Decision(a.Features())
+	ac.metrics.Margin.Observe(margin)
+	if margin >= 0 {
+		ac.metrics.Admits.Inc()
+	} else {
+		ac.metrics.Rejects.Inc()
+	}
 	return Decision{Admit: margin >= 0, Margin: margin, Depth: margin / st.calibration}
 }
 

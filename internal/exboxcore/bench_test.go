@@ -9,6 +9,7 @@ import (
 	"exbox/internal/excr"
 	"exbox/internal/mathx"
 	"exbox/internal/netsim"
+	"exbox/internal/obs"
 	"exbox/internal/traffic"
 )
 
@@ -51,6 +52,38 @@ func benchProbe() excr.Arrival {
 
 func BenchmarkAdmitParallel(b *testing.B) {
 	mb := benchMiddlebox(b)
+	probe := benchProbe()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := mb.Admit("ap", probe); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAdmitInstrumented is BenchmarkAdmitParallel with the full
+// obs hookup attached (counters, margin + latency histograms, audit
+// ring). Comparing the two shows the cost of always-on telemetry; the
+// instrumentation is atomic-only, so it must stay within noise of the
+// uninstrumented path.
+func BenchmarkAdmitInstrumented(b *testing.B) {
+	mb := New(excr.DefaultSpace, Discontinue)
+	mb.Instrument(obs.NewRegistry(), 256)
+	if _, err := mb.AddCell("ap", classifier.DefaultConfig()); err != nil {
+		b.Fatal(err)
+	}
+	o := apps.Oracle{Net: netsim.FluidWiFi{Config: netsim.SimWiFi()}}
+	rng := mathx.NewRand(1)
+	for _, e := range traffic.Arrivals(traffic.Random(rng, 25, 20, 0, excr.DefaultSpace), nil) {
+		if err := mb.Observe("ap", excr.Sample{Arrival: e.Arrival, Label: o.Label(e.Arrival)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if mb.Cell("ap").Classifier.Bootstrapping() {
+		b.Fatal("cell did not graduate")
+	}
 	probe := benchProbe()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {

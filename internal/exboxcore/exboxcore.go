@@ -20,11 +20,14 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"exbox/internal/classifier"
 	"exbox/internal/excr"
 	"exbox/internal/metrics"
+	"exbox/internal/obs"
 	"exbox/internal/qoe"
 )
 
@@ -69,6 +72,9 @@ type Cell struct {
 	retrain  chan struct{}
 	stop     chan struct{}
 	stopOnce sync.Once
+
+	// Per-cell verdict counters, nil on an uninstrumented middlebox.
+	admitN, rejectN, lowpriN *obs.Counter
 }
 
 // kickRetrain signals the background retrainer if deferred work is
@@ -145,6 +151,31 @@ type Middlebox struct {
 	cells map[CellID]*Cell
 	order []CellID
 	wg    sync.WaitGroup // per-cell retrain workers
+
+	// obs is the telemetry hookup, nil when not instrumented. Set once
+	// by Instrument before traffic; the hot path reads it without
+	// synchronization.
+	obs *mbObs
+}
+
+// mbObs bundles the middlebox-level metrics: the decision audit ring,
+// the admission-latency histogram, and the workflow counters.
+type mbObs struct {
+	reg          *obs.Registry
+	ring         *obs.AuditRing
+	admitSeconds *obs.Histogram
+
+	// epoch/epochNanos turn one cheap monotonic read (time.Since) into
+	// a wall-clock stamp for audit records: on this path a full
+	// time.Now() costs roughly twice a monotonic read.
+	epoch      time.Time
+	epochNanos int64
+
+	selections      *obs.Counter
+	selectionAdmits *obs.Counter
+	reevalCalls     *obs.Counter
+	reevalFlows     *obs.Counter
+	reevalEvicted   *obs.Counter
 }
 
 // New returns an empty middlebox for the given traffic-matrix space.
@@ -155,9 +186,102 @@ func New(space excr.Space, policy Policy) *Middlebox {
 	return &Middlebox{Space: space, Policy: policy, cells: make(map[CellID]*Cell)}
 }
 
+// Instrument attaches the middlebox to a metric registry: it creates
+// the decision audit ring (the last auditSize admissions; <= 0
+// defaults to 256), the admission-latency histogram and the workflow
+// counters, and wires per-cell verdict counters plus the full
+// classifier.Metrics set for every cell — cells already registered and
+// cells added later alike. Call it before the middlebox sees traffic;
+// the admission path reads the hookup without synchronization, and
+// every update it makes is a lone atomic operation (plus the audit
+// ring's one record allocation), so instrumentation adds no locks.
+func (mb *Middlebox) Instrument(reg *obs.Registry, auditSize int) {
+	ring := obs.NewAuditRing(auditSize)
+	reg.SetRing(ring)
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	epoch := time.Now()
+	mb.obs = &mbObs{
+		reg:        reg,
+		ring:       ring,
+		epoch:      epoch,
+		epochNanos: epoch.UnixNano(),
+		// 100ns .. ~1.7s: admission is a lock-free model read, so the
+		// low end of the range is where the mass should sit.
+		admitSeconds:    reg.Histogram("exbox_admit_seconds", obs.ExpBuckets(1e-7, 4, 12)),
+		selections:      reg.Counter("exbox_select_total"),
+		selectionAdmits: reg.Counter("exbox_select_admitted_total"),
+		reevalCalls:     reg.Counter("exbox_reevaluate_total"),
+		reevalFlows:     reg.Counter("exbox_reevaluate_flows_total"),
+		reevalEvicted:   reg.Counter("exbox_reevaluate_evicted_total"),
+	}
+	for _, id := range mb.order {
+		mb.instrumentCellLocked(mb.cells[id])
+	}
+}
+
+// metricName lowercases an ID and folds anything outside [a-z0-9_]
+// to '_' so cell IDs compose into valid metric names.
+func metricName(id string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return '_'
+		}
+	}, id)
+}
+
+// instrumentCellLocked wires one cell's verdict counters and its
+// classifier metrics into the attached registry. Caller holds mu and
+// has checked mb.obs != nil.
+func (mb *Middlebox) instrumentCellLocked(c *Cell) {
+	reg := mb.obs.reg
+	p := "exbox_cell_" + metricName(string(c.ID)) + "_"
+	c.admitN = reg.Counter(p + "admit_total")
+	c.rejectN = reg.Counter(p + "reject_total")
+	c.lowpriN = reg.Counter(p + "lowpriority_total")
+	admits := reg.Counter(p + "clf_admit_total")
+	rejects := reg.Counter(p + "clf_reject_total")
+	// Total decisions are derived so Decide pays one verdict counter,
+	// not two.
+	reg.GaugeFunc(p+"clf_decisions_total", func() float64 {
+		return float64(admits.Value() + rejects.Value())
+	})
+	c.Classifier.SetMetrics(classifier.Metrics{
+		BootstrapDecisions: reg.Counter(p + "clf_bootstrap_decisions_total"),
+		Admits:             admits,
+		Rejects:            rejects,
+		Margin:             reg.HistogramNoSum(p+"clf_margin", obs.SignedExpBuckets(0.01, 4, 8)),
+		Observations:       reg.Counter(p + "clf_observations_total"),
+		Replacements:       reg.Counter(p + "clf_replacements_total"),
+		Evictions:          reg.Counter(p + "clf_evictions_total"),
+		TrainingSize:       reg.Gauge(p + "clf_training_size"),
+		Fits:               reg.Counter(p + "clf_fits_total"),
+		FitErrors:          reg.Counter(p + "clf_fit_errors_total"),
+		FitSeconds:         reg.Histogram(p+"clf_fit_seconds", obs.ExpBuckets(1e-5, 4, 12)),
+		CVChecks:           reg.Counter(p + "clf_cv_checks_total"),
+		CVScore:            reg.GaugeFloat(p + "clf_cv_score"),
+		Graduations:        reg.Counter(p + "clf_graduations_total"),
+	})
+}
+
+// AuditRing returns the decision audit ring, or nil when the
+// middlebox is not instrumented.
+func (mb *Middlebox) AuditRing() *obs.AuditRing {
+	if mb.obs == nil {
+		return nil
+	}
+	return mb.obs.ring
+}
+
 // AddCell registers an access device and creates its Admittance
 // Classifier with the given configuration. With cfg.DeferRetrain the
-// cell gets a background retrain worker, stopped by Close.
+// cell gets a background retrain worker, stopped by Close. On an
+// instrumented middlebox the cell's metrics are wired immediately.
 func (mb *Middlebox) AddCell(id CellID, cfg classifier.Config) (*Cell, error) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
@@ -165,6 +289,9 @@ func (mb *Middlebox) AddCell(id CellID, cfg classifier.Config) (*Cell, error) {
 		return nil, fmt.Errorf("exboxcore: cell %q already registered", id)
 	}
 	c := &Cell{ID: id, Classifier: classifier.New(mb.Space, cfg)}
+	if mb.obs != nil {
+		mb.instrumentCellLocked(c)
+	}
 	if cfg.DeferRetrain {
 		c.retrain = make(chan struct{}, 1)
 		c.stop = make(chan struct{})
@@ -228,6 +355,17 @@ func (mb *Middlebox) Admit(id CellID, a excr.Arrival) (Outcome, error) {
 	if !ok {
 		return Outcome{}, fmt.Errorf("%w: %q", ErrUnknownCell, id)
 	}
+	// Admission latency is sampled 1-in-16 (keyed off the audit ring's
+	// sequence, which advances once per admission) so the steady-state
+	// cost of telemetry is one clock read, a few atomics, and the ring
+	// record's single small allocation — never a lock.
+	var startOff time.Duration
+	sampled := false
+	if mb.obs != nil {
+		if sampled = mb.obs.ring.Seq()&15 == 0; sampled {
+			startOff = time.Since(mb.obs.epoch)
+		}
+	}
 	d := cell.Classifier.Decide(a)
 	out := Outcome{Cell: id, Decision: d, Verdict: Admit}
 	if !d.Admit {
@@ -236,6 +374,31 @@ func (mb *Middlebox) Admit(id CellID, a excr.Arrival) (Outcome, error) {
 		} else {
 			out.Verdict = Reject
 		}
+	}
+	if mb.obs != nil {
+		endOff := time.Since(mb.obs.epoch)
+		if sampled {
+			mb.obs.admitSeconds.Observe((endOff - startOff).Seconds())
+		}
+		switch out.Verdict {
+		case Admit:
+			cell.admitN.Inc()
+		case Reject:
+			cell.rejectN.Inc()
+		default:
+			cell.lowpriN.Inc()
+		}
+		mb.obs.ring.Record(obs.DecisionRecord{
+			UnixNanos: mb.obs.epochNanos + int64(endOff),
+			Cell:      string(id),
+			Class:     int(a.Class),
+			Level:     int(a.Level),
+			Matrix:    a.Matrix.Key(),
+			Margin:    d.Margin,
+			Depth:     d.Depth,
+			Verdict:   out.Verdict.String(),
+			Bootstrap: d.Bootstrap,
+		})
 	}
 	return out, nil
 }
@@ -275,6 +438,9 @@ func (mb *Middlebox) SelectNetwork(cands []Candidate) (Outcome, bool, error) {
 	if len(cands) == 0 {
 		return Outcome{}, false, errors.New("exboxcore: no candidates")
 	}
+	if mb.obs != nil {
+		mb.obs.selections.Inc()
+	}
 	// Deterministic evaluation order.
 	sorted := append([]Candidate(nil), cands...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Cell < sorted[j].Cell })
@@ -293,6 +459,9 @@ func (mb *Middlebox) SelectNetwork(cands []Candidate) (Outcome, bool, error) {
 		case !bestOK && (best.Cell == "" || out.Decision.Depth > best.Decision.Depth):
 			best = out
 		}
+	}
+	if bestOK && mb.obs != nil {
+		mb.obs.selectionAdmits.Inc()
 	}
 	return best, bestOK, nil
 }
@@ -330,6 +499,11 @@ func (mb *Middlebox) Reevaluate(id CellID, current excr.Matrix, active []ActiveF
 		if !d.Admit {
 			evict = append(evict, f)
 		}
+	}
+	if mb.obs != nil {
+		mb.obs.reevalCalls.Inc()
+		mb.obs.reevalFlows.Add(int64(len(active)))
+		mb.obs.reevalEvicted.Add(int64(len(evict)))
 	}
 	return evict, nil
 }

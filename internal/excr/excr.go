@@ -209,6 +209,7 @@ func (m Matrix) Equal(o Matrix) bool {
 // learning phase replaces the observed QoE of repeated matrices).
 func (m Matrix) Key() string {
 	var b strings.Builder
+	b.Grow(4 * len(m.counts)) // one allocation for typical 3-digit counts
 	for i, v := range m.counts {
 		if i > 0 {
 			b.WriteByte(',')

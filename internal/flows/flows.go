@@ -155,7 +155,13 @@ func (t *Table) Observe(k Key, p PacketMeta) *Flow {
 	}
 	f.Packets++
 	f.Bytes += p.Bytes
-	if p.Time > f.LastSeen {
+	// A decided-and-rejected flow is being dropped at the gateway: its
+	// client may keep transmitting into the drop, and refreshing
+	// LastSeen on those packets would keep the dead flow alive forever
+	// — never expiring, never feeding its labeled sample back, and
+	// padding the flow table. Keep counting its packets and bytes, but
+	// let its activity clock run out.
+	if p.Time > f.LastSeen && !(f.Decided && !f.Admitted) {
 		f.LastSeen = p.Time
 	}
 	if len(f.Head) < t.HeadCap {

@@ -101,6 +101,43 @@ func TestExpire(t *testing.T) {
 	}
 }
 
+// TestRejectedFlowExpiresDespiteTraffic is the regression test for
+// the immortal-rejected-flow bug: a client whose flow was rejected
+// keeps transmitting into the drop, and those packets must not
+// refresh the flow's activity clock — otherwise the dead flow never
+// expires, never leaves the table, and never feeds its labeled
+// sample back for online learning.
+func TestRejectedFlowExpiresDespiteTraffic(t *testing.T) {
+	tab := NewTable(10, 10)
+	f := tab.Observe(key(), PacketMeta{Time: 0, Bytes: 100})
+	f.Decided, f.Admitted = true, false // gateway rejected it at t=0
+	// The client keeps blasting packets long past the idle timeout.
+	for i := 1; i <= 30; i++ {
+		tab.Observe(key(), PacketMeta{Time: float64(i), Bytes: 100})
+	}
+	if f.Packets != 31 || f.Bytes != 3100 {
+		t.Fatalf("dropped packets must still be accounted: %+v", f)
+	}
+	if f.LastSeen != 0 {
+		t.Fatalf("rejected flow's LastSeen refreshed to %v, want 0", f.LastSeen)
+	}
+	gone := tab.Expire(11)
+	if len(gone) != 1 || gone[0] != f {
+		t.Fatalf("rejected flow should expire at its idle timeout, got %v", gone)
+	}
+
+	// Control: an admitted flow with the same traffic pattern stays.
+	tab2 := NewTable(10, 10)
+	g := tab2.Observe(key(), PacketMeta{Time: 0, Bytes: 100})
+	g.Decided, g.Admitted = true, true
+	for i := 1; i <= 30; i++ {
+		tab2.Observe(key(), PacketMeta{Time: float64(i), Bytes: 100})
+	}
+	if gone := tab2.Expire(31); len(gone) != 0 {
+		t.Fatalf("admitted active flow must not expire, got %v", gone)
+	}
+}
+
 func TestActiveSorted(t *testing.T) {
 	tab := NewTable(10, 30)
 	for i := 0; i < 4; i++ {

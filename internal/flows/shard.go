@@ -1,12 +1,14 @@
 package flows
 
 import (
+	"fmt"
 	"hash/fnv"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"exbox/internal/excr"
+	"exbox/internal/obs"
 )
 
 // ShardedTable is the concurrency-safe flow table behind the gateway's
@@ -20,6 +22,10 @@ type ShardedTable struct {
 	space  excr.Space
 	shards []tableShard
 	counts []atomic.Int64 // admitted flows per (class, level), class-major
+
+	// Telemetry (nil-safe no-ops until Instrument is called).
+	expiredN *obs.Counter
+	trackedN *obs.Gauge
 }
 
 type tableShard struct {
@@ -45,6 +51,36 @@ func NewShardedTable(nShards, headCap int, idleTimeout float64, space excr.Space
 		st.shards[i].t = NewTable(headCap, idleTimeout)
 	}
 	return st
+}
+
+// Instrument registers the table's telemetry under the given name
+// prefix: an expiry counter and a tracked-flow gauge updated on the
+// maintenance path, plus scrape-time gauges for total and per-shard
+// occupancy and for every cell of the admitted traffic matrix. The
+// occupancy gauges take the owning shard's lock when scraped — the
+// scrape is a cold path — while the matrix gauges read the atomic
+// counters, so nothing here touches the per-packet path. Call before
+// the table sees concurrent traffic.
+func (st *ShardedTable) Instrument(reg *obs.Registry, prefix string) {
+	st.expiredN = reg.Counter(prefix + "_expired_total")
+	st.trackedN = reg.Gauge(prefix + "_tracked_flows")
+	reg.GaugeFunc(prefix+"_active_flows", func() float64 { return float64(st.Len()) })
+	for i := range st.shards {
+		s := &st.shards[i]
+		reg.GaugeFunc(fmt.Sprintf("%s_shard_%d_flows", prefix, i), func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.t.Len())
+		})
+	}
+	for c := 0; c < st.space.Classes; c++ {
+		for l := 0; l < st.space.Levels; l++ {
+			idx := c*st.space.Levels + l
+			reg.GaugeFunc(fmt.Sprintf("%s_matrix_c%d_l%d", prefix, c, l), func() float64 {
+				return float64(st.counts[idx].Load())
+			})
+		}
+	}
 }
 
 // canonical orients the key direction-independently so k and
@@ -139,6 +175,7 @@ func (st *ShardedTable) tracked(f *Flow) bool {
 func (st *ShardedTable) TrackAdmitted(f *Flow) {
 	if st.tracked(f) {
 		st.counts[st.cell(f.Class, f.SNR)].Add(1)
+		st.trackedN.Add(1)
 	}
 }
 
@@ -148,6 +185,7 @@ func (st *ShardedTable) TrackAdmitted(f *Flow) {
 func (st *ShardedTable) UntrackAdmitted(f *Flow) {
 	if st.tracked(f) {
 		st.counts[st.cell(f.Class, f.SNR)].Add(-1)
+		st.trackedN.Add(-1)
 	}
 }
 
@@ -177,6 +215,7 @@ func (st *ShardedTable) Expire(now float64) []*Flow {
 		for _, f := range gone {
 			st.UntrackAdmitted(f)
 		}
+		st.expiredN.Add(int64(len(gone)))
 		out = append(out, gone...)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].FirstSeen < out[j].FirstSeen })

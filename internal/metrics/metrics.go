@@ -127,9 +127,12 @@ type Monitor struct {
 
 	bytes    float64
 	lastTick float64
+	opened   bool // a window is open: lastTick marks its start
 }
 
 // NewMonitor returns a monitor with smoothing factor alpha (0,1].
+// The first Tick opens the accounting window; use NewMonitorAt to
+// open it at a known start time instead.
 func NewMonitor(alpha float64) *Monitor {
 	return &Monitor{
 		tput:  mathx.NewEWMA(alpha),
@@ -138,12 +141,33 @@ func NewMonitor(alpha float64) *Monitor {
 	}
 }
 
+// NewMonitorAt returns a monitor whose first accounting window opens
+// at time start (seconds), so the first Tick already closes a window.
+func NewMonitorAt(alpha, start float64) *Monitor {
+	m := NewMonitor(alpha)
+	m.lastTick = start
+	m.opened = true
+	return m
+}
+
 // AddBytes accounts payload bytes forwarded for the flow.
 func (m *Monitor) AddBytes(n int) { m.bytes += float64(n) }
 
 // Tick closes the current accounting window at time now (seconds) and
-// folds the window's throughput into the estimate.
+// folds the window's throughput into the estimate. A monitor that has
+// never ticked has no window to close: its first Tick only opens one,
+// discarding bytes that accumulated before it. Closing instead would
+// divide those bytes by now-0 — a flow started late in a run would
+// book an arbitrarily diluted first throughput sample (the window it
+// never lived through), skewing the EWMA until enough real windows
+// wash it out.
 func (m *Monitor) Tick(now float64) {
+	if !m.opened {
+		m.opened = true
+		m.lastTick = now
+		m.bytes = 0
+		return
+	}
 	dt := now - m.lastTick
 	if dt <= 0 {
 		return

@@ -100,7 +100,7 @@ func TestQoSScalar(t *testing.T) {
 }
 
 func TestMonitorLifecycle(t *testing.T) {
-	m := NewMonitor(0.5)
+	m := NewMonitorAt(0.5, 0)
 	if m.Ready() {
 		t.Fatal("fresh monitor must not be ready")
 	}
@@ -131,11 +131,32 @@ func TestMonitorLifecycle(t *testing.T) {
 }
 
 func TestMonitorIgnoresNonAdvancingTick(t *testing.T) {
-	m := NewMonitor(0.5)
+	m := NewMonitorAt(0.5, 0)
 	m.AddBytes(1000)
 	m.Tick(0) // dt == 0: must be ignored, not divide by zero
 	if m.Ready() {
 		t.Fatal("tick with no elapsed time should not initialize throughput")
+	}
+}
+
+// TestMonitorFirstTickOpensWindow is the regression test for the
+// first-window dilution bug: a monitor created mid-run (at t=100 here)
+// must not divide its first window's bytes by the full 0..now span.
+// The first Tick only opens the window; the second closes a properly
+// bounded one and must yield the exact rate.
+func TestMonitorFirstTickOpensWindow(t *testing.T) {
+	m := NewMonitor(0.5)
+	m.AddBytes(999_999) // pre-window bytes: discarded when the window opens
+	m.Tick(100.0)
+	if m.Ready() {
+		t.Fatal("opening tick must not book a throughput sample")
+	}
+	m.AddBytes(125_000) // 1 Mbit over the 1s window below
+	m.Tick(101.0)
+	m.ObserveDelay(1)
+	got := m.Snapshot().ThroughputBps
+	if math.Abs(got-1e6) > 1 {
+		t.Fatalf("first closed window throughput = %v, want 1e6 (diluted by the pre-open span?)", got)
 	}
 }
 

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket histogram with atomic bucket counts.
+// Observe is allocation-free and lock-free: a binary search over the
+// immutable bounds plus three atomic updates. Bounds are upper bounds
+// in ascending order; values above the last bound land in an implicit
+// +Inf overflow bucket. Buckets are usually log-spaced (ExpBuckets)
+// so a handful of them cover nanoseconds-to-seconds latencies or the
+// dynamic range of SVM margins (SignedExpBuckets).
+type Histogram struct {
+	name   string
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1, last is overflow
+	sum    atomic.Uint64  // float64 bits, CAS-accumulated
+	noSum  bool           // skip the sum: distribution-only histograms
+}
+
+func newHistogram(name string, bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = ExpBuckets(1e-6, 4, 12) // 1µs .. ~4200s, a safe default
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("obs: histogram %q bounds not sorted", name))
+	}
+	b := append([]float64(nil), bounds...)
+	return &Histogram{name: name, bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// First index with bounds[i] >= v: bucket i counts values <= its
+	// upper bound, the overflow bucket everything past the last bound.
+	// The total count is derived from the buckets at scrape time, so
+	// one observation is one bucket increment plus (unless noSum) the
+	// running-sum update.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	if h.noSum {
+		return
+	}
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on a nil histogram),
+// summed over the buckets at read time.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the running sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Mean returns Sum/Count, 0 before the first observation.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Name returns the registered name.
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile
+// (0 <= q <= 1): the upper bound of the bucket holding the q-th
+// observation, or the last finite bound for the overflow bucket.
+// Bucketed quantiles are coarse by construction; they are meant for
+// the periodic stats log line, not for precision analysis.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.bounds[len(h.bounds)-1] // overflow: report last finite bound
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// writeText renders Prometheus-style cumulative buckets plus _sum and
+// _count lines.
+func (h *Histogram) writeText(w io.Writer) error {
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%v\"} %d\n", h.name, b, cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum); err != nil {
+		return err
+	}
+	if !h.noSum {
+		if _, err := fmt.Fprintf(w, "%s_sum %v\n", h.name, h.Sum()); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", h.name, cum)
+	return err
+}
+
+// ExpBuckets returns n log-spaced upper bounds start, start*factor,
+// start*factor², ... — the standard latency-histogram shape.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n <= 0 {
+		panic("obs: ExpBuckets wants start > 0, factor > 1, n > 0")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// SignedExpBuckets returns log-spaced bounds mirrored around zero:
+// -start*factorⁿ⁻¹ ... -start, 0, start ... start*factorⁿ⁻¹. It is
+// the bucket shape for signed quantities like SVM decision margins,
+// where resolution matters most near the boundary.
+func SignedExpBuckets(start, factor float64, n int) []float64 {
+	pos := ExpBuckets(start, factor, n)
+	out := make([]float64, 0, 2*n+1)
+	for i := n - 1; i >= 0; i-- {
+		out = append(out, -pos[i])
+	}
+	out = append(out, 0)
+	out = append(out, pos...)
+	return out
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// MetricsHandler serves the plaintext metrics page.
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		r.WriteText(w)
+	})
+}
+
+// AuditHandler serves the decision audit ring as a JSON array,
+// oldest-first (empty array when no ring is attached).
+func (r *Registry) AuditHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		recs := r.Ring().Snapshot()
+		if recs == nil {
+			recs = []DecisionRecord{}
+		}
+		json.NewEncoder(w).Encode(recs)
+	})
+}
+
+// ServeMux returns the observability endpoint bundle cmd/exboxd serves
+// behind -http:
+//
+//	/metrics           plaintext metrics page
+//	/debug/admissions  decision audit ring (JSON)
+//	/debug/vars        expvar (the process-global map)
+//	/debug/pprof/...   runtime profiling
+func (r *Registry) ServeMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.MetricsHandler())
+	mux.Handle("/debug/admissions", r.AuditHandler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Expvar returns an expvar.Func rendering a JSON snapshot of every
+// metric (histograms appear as {count, sum, mean, p50, p99}) plus the
+// audit ring's depth.
+func (r *Registry) Expvar() expvar.Func {
+	return func() interface{} {
+		out := make(map[string]interface{})
+		for _, m := range r.snapshot() {
+			switch v := m.(type) {
+			case *Counter:
+				out[v.name] = v.Value()
+			case *Gauge:
+				out[v.name] = v.Value()
+			case *GaugeFloat:
+				out[v.name] = v.Value()
+			case *funcGauge:
+				out[v.name] = v.fn()
+			case *Histogram:
+				out[v.name] = map[string]interface{}{
+					"count": v.Count(),
+					"sum":   v.Sum(),
+					"mean":  v.Mean(),
+					"p50":   v.Quantile(0.5),
+					"p99":   v.Quantile(0.99),
+				}
+			}
+		}
+		if ring := r.Ring(); ring != nil {
+			out["audit_ring_len"] = ring.Len()
+			out["audit_ring_seq"] = ring.Seq()
+		}
+		return out
+	}
+}
+
+// publishMu serializes PublishExpvar's check-then-publish against the
+// process-global expvar map.
+var publishMu sync.Mutex
+
+// PublishExpvar publishes the registry's snapshot into the
+// process-global expvar map under the given name, so /debug/vars
+// carries it. Idempotent per name: the first registry to claim a name
+// keeps it (expvar offers no unpublish, so tests should use distinct
+// names).
+func (r *Registry) PublishExpvar(name string) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get(name) == nil {
+		expvar.Publish(name, r.Expvar())
+	}
+}

@@ -1,0 +1,189 @@
+package obs_test
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"exbox/internal/apps"
+	"exbox/internal/classifier"
+	"exbox/internal/exboxcore"
+	"exbox/internal/excr"
+	"exbox/internal/mathx"
+	"exbox/internal/netsim"
+	"exbox/internal/obs"
+	"exbox/internal/traffic"
+)
+
+// scrape fetches a path from the test server and returns the body.
+func scrape(t *testing.T, base, path string) string {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	return string(body)
+}
+
+// parseMetrics reads the plaintext exposition into name -> value,
+// skipping histogram bucket lines (their names carry a {le=...}).
+func parseMetrics(page string) map[string]float64 {
+	out := make(map[string]float64)
+	for _, line := range strings.Split(page, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 || strings.Contains(fields[0], "{") {
+			continue
+		}
+		if v, err := strconv.ParseFloat(fields[1], 64); err == nil {
+			out[fields[0]] = v
+		}
+	}
+	return out
+}
+
+// TestMiddleboxScrapeConsistency drives an instrumented Middlebox from
+// many goroutines while a real HTTP listener serves the registry, then
+// checks that the scraped counters and histograms are mutually
+// consistent: every admission is accounted exactly once at every
+// layer. Run under -race this also proves the lock-free hot-path
+// instrumentation is data-race free against concurrent scrapes.
+func TestMiddleboxScrapeConsistency(t *testing.T) {
+	reg := obs.NewRegistry()
+	mb := exboxcore.New(excr.DefaultSpace, exboxcore.Discontinue)
+	mb.Instrument(reg, 128)
+	if _, err := mb.AddCell("ap0", classifier.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	oracle := apps.Oracle{Net: netsim.FluidWiFi{Config: netsim.SimWiFi()}}
+	rng := mathx.NewRand(1)
+	for _, e := range traffic.Arrivals(traffic.Random(rng, 25, 20, 0, excr.DefaultSpace), nil) {
+		if err := mb.Observe("ap0", excr.Sample{Arrival: e.Arrival, Label: oracle.Label(e.Arrival)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mb.Cell("ap0").Classifier.Bootstrapping() {
+		if err := mb.Cell("ap0").Classifier.ForceOnline(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: reg.ServeMux()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	// Record the post-bootstrap baseline so assertions below count
+	// only the traffic this test drives.
+	before := parseMetrics(scrape(t, base, "/metrics"))
+
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	stopScrape := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	scrapeWG.Add(1)
+	go func() { // concurrent scraper: races with the hot path
+		defer scrapeWG.Done()
+		for {
+			select {
+			case <-stopScrape:
+				return
+			default:
+				resp, err := http.Get(base + "/metrics")
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				m := excr.NewMatrix(excr.DefaultSpace).
+					Set(excr.Streaming, 0, (w+i)%20).
+					Set(excr.Web, 0, i%5)
+				a := excr.Arrival{Matrix: m, Class: excr.AppClass(i % 3)}
+				if _, err := mb.Admit("ap0", a); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stopScrape)
+	scrapeWG.Wait()
+
+	const total = workers * perWorker
+	after := parseMetrics(scrape(t, base, "/metrics"))
+	delta := func(name string) float64 { return after[name] - before[name] }
+
+	if got := delta("exbox_cell_ap0_clf_decisions_total"); got != total {
+		t.Fatalf("clf decisions = %v, want %v", got, total)
+	}
+	if got := delta("exbox_cell_ap0_clf_admit_total") + delta("exbox_cell_ap0_clf_reject_total"); got != total {
+		t.Fatalf("clf admits+rejects = %v, want %v", got, total)
+	}
+	if got := delta("exbox_cell_ap0_admit_total") + delta("exbox_cell_ap0_reject_total"); got != total {
+		t.Fatalf("cell verdicts = %v, want %v", got, total)
+	}
+	// The cell is online, so every decision contributes one margin
+	// sample; admission latency is sampled 1-in-16 (the sampling reads
+	// the ring sequence racily, so allow slack around total/16).
+	if got := delta("exbox_cell_ap0_clf_margin_count"); got != total {
+		t.Fatalf("margin histogram count = %v, want %v", got, total)
+	}
+	if got := delta("exbox_admit_seconds_count"); got < total/64 || got > total/4 {
+		t.Fatalf("admit latency count = %v, want about %v (1-in-16 sampling)", got, total/16)
+	}
+	if after["exbox_cell_ap0_clf_training_size"] <= 0 {
+		t.Fatal("training-size gauge not exported")
+	}
+
+	ring := reg.Ring()
+	if ring.Len() != 128 {
+		t.Fatalf("audit ring len = %d, want full at 128", ring.Len())
+	}
+	if got := ring.Seq() - uint64(before["exbox_cell_ap0_clf_decisions_total"]); got != total {
+		t.Fatalf("audit ring seq delta = %d, want %d", got, total)
+	}
+	snap := ring.Snapshot()
+	if len(snap) != 128 {
+		t.Fatalf("snapshot len = %d", len(snap))
+	}
+	for _, rec := range snap {
+		if rec.Cell != "ap0" || rec.Verdict == "" || rec.Matrix == "" {
+			t.Fatalf("malformed audit record: %+v", rec)
+		}
+	}
+
+	// The other endpoints answer on the same listener.
+	if page := scrape(t, base, "/debug/admissions"); !strings.Contains(page, `"cell":"ap0"`) {
+		t.Fatalf("/debug/admissions missing records: %.200s", page)
+	}
+	reg.PublishExpvar("exbox_integration_test")
+	if page := scrape(t, base, "/debug/vars"); !strings.Contains(page, "exbox_integration_test") {
+		t.Fatal("/debug/vars missing the published registry")
+	}
+	if page := scrape(t, base, "/debug/pprof/cmdline"); page == "" {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. All methods
+// are nil-safe no-ops so uninstrumented layers pay only a predictable
+// branch.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n must be non-negative for the counter to stay
+// monotone; obs does not enforce it).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Name returns the registered name.
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Gauge is an atomic integer gauge (a level, not a count): shard
+// occupancy, training-set size, queue depth.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Set stores the current level.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add moves the level by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current level (0 on a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Name returns the registered name.
+func (g *Gauge) Name() string {
+	if g == nil {
+		return ""
+	}
+	return g.name
+}
+
+// GaugeFloat is an atomic float64 gauge (stored as IEEE-754 bits):
+// cross-validation scores, EWMA levels.
+type GaugeFloat struct {
+	name string
+	bits atomic.Uint64
+}
+
+// Set stores the current value.
+func (g *GaugeFloat) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *GaugeFloat) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Name returns the registered name.
+func (g *GaugeFloat) Name() string {
+	if g == nil {
+		return ""
+	}
+	return g.name
+}
+
+// funcGauge is a scrape-time computed gauge; it only exists inside a
+// registry (see Registry.GaugeFunc).
+type funcGauge struct {
+	name string
+	fn   func() float64
+}

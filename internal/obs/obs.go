@@ -1,0 +1,186 @@
+// Package obs is the gateway's telemetry layer: allocation-free atomic
+// counters and gauges, log-bucketed histograms, and a bounded ring
+// buffer auditing the last N admission decisions. Everything a packet
+// worker touches is lock-free — a metric update is one or two atomic
+// operations — so instrumentation can stay enabled on the hot path
+// without perturbing the concurrency the datapath was built around.
+//
+// Metrics live in a Registry keyed by name. Registration (Counter,
+// Gauge, Histogram, ...) takes a lock and is get-or-create, so layers
+// can be wired independently; updates never lock. The registry renders
+// as a plaintext /metrics page (Prometheus-style exposition), as an
+// expvar.Func for /debug/vars, and ServeMux bundles both with
+// net/http/pprof — the trio cmd/exboxd serves behind its -http flag.
+//
+// Naming convention: lowercase snake_case, `exbox_` prefix,
+// `_total` suffix for counters, `_seconds` for duration histograms,
+// per-cell metrics as `exbox_cell_<id>_...` and per-shard gauges as
+// `<prefix>_shard_<i>_...`. All methods on metric types are nil-safe
+// no-ops, so instrumented code runs unchanged when a layer is not
+// wired to a registry.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry holds named metrics and renders them for export. The
+// zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]interface{}
+	ring    *AuditRing
+}
+
+// NewRegistry returns an empty metric registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]interface{})}
+}
+
+// register is the get-or-create core: an existing metric of the same
+// type is returned, a name collision across types panics (it is a
+// wiring bug, not a runtime condition).
+func (r *Registry) register(name string, create func() interface{}) interface{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		return m
+	}
+	m := create()
+	r.metrics[name] = m
+	return m
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	m := r.register(name, func() interface{} { return &Counter{name: name} })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: %q already registered as %T", name, m))
+	}
+	return c
+}
+
+// Gauge returns the named integer gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	m := r.register(name, func() interface{} { return &Gauge{name: name} })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: %q already registered as %T", name, m))
+	}
+	return g
+}
+
+// GaugeFloat returns the named float gauge, creating it on first use.
+func (r *Registry) GaugeFloat(name string) *GaugeFloat {
+	m := r.register(name, func() interface{} { return &GaugeFloat{name: name} })
+	g, ok := m.(*GaugeFloat)
+	if !ok {
+		panic(fmt.Sprintf("obs: %q already registered as %T", name, m))
+	}
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time.
+// Scrapes run off the hot path, so fn may take locks (e.g. counting
+// flows under a shard lock). Re-registering a name keeps the first fn.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	r.register(name, func() interface{} { return &funcGauge{name: name, fn: fn} })
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds on first use (see ExpBuckets / SignedExpBuckets).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	m := r.register(name, func() interface{} { return newHistogram(name, bounds) })
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: %q already registered as %T", name, m))
+	}
+	return h
+}
+
+// HistogramNoSum returns the named histogram without a running sum:
+// one atomic bucket increment per Observe, nothing else. It is the
+// shape for distribution-only quantities — an SVM margin's sum is
+// meaningless (positive and negative margins cancel), but its bucket
+// distribution is the whole point.
+func (r *Registry) HistogramNoSum(name string, bounds []float64) *Histogram {
+	m := r.register(name, func() interface{} {
+		h := newHistogram(name, bounds)
+		h.noSum = true
+		return h
+	})
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: %q already registered as %T", name, m))
+	}
+	return h
+}
+
+// SetRing attaches the decision audit ring exported by AuditHandler
+// and the expvar snapshot. The middlebox wires its ring here.
+func (r *Registry) SetRing(ring *AuditRing) {
+	r.mu.Lock()
+	r.ring = ring
+	r.mu.Unlock()
+}
+
+// Ring returns the attached decision audit ring, or nil.
+func (r *Registry) Ring() *AuditRing {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.ring
+}
+
+// snapshot returns the metrics sorted by name for deterministic
+// rendering.
+func (r *Registry) snapshot() []interface{} {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.metrics))
+	for n := range r.metrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]interface{}, len(names))
+	for i, n := range names {
+		out[i] = r.metrics[n]
+	}
+	r.mu.RUnlock()
+	return out
+}
+
+// WriteText renders every metric as plaintext, one `name value` line
+// per scalar and Prometheus-style cumulative `_bucket{le="..."}`,
+// `_sum` and `_count` lines per histogram.
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, m := range r.snapshot() {
+		var err error
+		switch v := m.(type) {
+		case *Counter:
+			_, err = fmt.Fprintf(w, "%s %d\n", v.name, v.Value())
+		case *Gauge:
+			_, err = fmt.Fprintf(w, "%s %d\n", v.name, v.Value())
+		case *GaugeFloat:
+			_, err = fmt.Fprintf(w, "%s %v\n", v.name, v.Value())
+		case *funcGauge:
+			_, err = fmt.Fprintf(w, "%s %v\n", v.name, v.fn())
+		case *Histogram:
+			err = v.writeText(w)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the registry as the /metrics page would.
+func (r *Registry) String() string {
+	var b strings.Builder
+	r.WriteText(&b)
+	return b.String()
+}

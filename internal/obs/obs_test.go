@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeNilSafety(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var gf *GaugeFloat
+	var h *Histogram
+	var ring *AuditRing
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	gf.Set(1.5)
+	h.Observe(0.1)
+	ring.Record(DecisionRecord{})
+	if c.Value() != 0 || g.Value() != 0 || gf.Value() != 0 || h.Count() != 0 || ring.Len() != 0 {
+		t.Fatal("nil metrics must read as zero")
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total")
+	c2 := r.Counter("x_total")
+	if c1 != c2 {
+		t.Fatal("same name must return the same counter")
+	}
+	c1.Inc()
+	if c2.Value() != 1 {
+		t.Fatal("aliased counters must share state")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-type name collision must panic")
+		}
+	}()
+	r.Gauge("x_total")
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	h := newHistogram("lat_seconds", ExpBuckets(0.001, 10, 4)) // 1ms, 10ms, 100ms, 1s
+	for _, v := range []float64{0.0005, 0.005, 0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if got, want := h.Sum(), 5.5605; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	// 0.0005 -> le 1ms; 0.005 x2 -> le 10ms; 0.05 -> le 100ms;
+	// 0.5 -> le 1s; 5 -> overflow.
+	wantCum := []int64{1, 3, 4, 5}
+	var cum int64
+	for i := range h.bounds {
+		cum += h.counts[i].Load()
+		if cum != wantCum[i] {
+			t.Fatalf("cumulative bucket %d = %d, want %d", i, cum, wantCum[i])
+		}
+	}
+	if h.counts[len(h.bounds)].Load() != 1 {
+		t.Fatal("overflow bucket must hold the out-of-range value")
+	}
+	if q := h.Quantile(0.5); q != 0.01 {
+		t.Fatalf("p50 = %v, want 0.01", q)
+	}
+	if q := h.Quantile(1); q != 1 {
+		t.Fatalf("p100 = %v, want last finite bound 1", q)
+	}
+}
+
+func TestSignedExpBuckets(t *testing.T) {
+	b := SignedExpBuckets(0.25, 2, 3) // -1 -0.5 -0.25 0 0.25 0.5 1
+	want := []float64{-1, -0.5, -0.25, 0, 0.25, 0.5, 1}
+	if len(b) != len(want) {
+		t.Fatalf("len = %d, want %d", len(b), len(want))
+	}
+	for i := range b {
+		if b[i] != want[i] {
+			t.Fatalf("bucket %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+	h := newHistogram("margin", b)
+	h.Observe(-0.3) // first bound >= -0.3 is -0.25
+	if h.counts[2].Load() != 1 {
+		t.Fatal("-0.3 must land in the le=-0.25 bucket")
+	}
+}
+
+func TestAuditRingWrapAndSnapshot(t *testing.T) {
+	r := NewAuditRing(4)
+	for i := 0; i < 10; i++ {
+		r.Record(DecisionRecord{Cell: "ap0", Margin: float64(i)})
+	}
+	if r.Len() != 4 || r.Seq() != 10 {
+		t.Fatalf("len=%d seq=%d, want 4 and 10", r.Len(), r.Seq())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot len = %d, want 4", len(snap))
+	}
+	for i, rec := range snap {
+		if rec.Seq != uint64(7+i) {
+			t.Fatalf("snapshot[%d].Seq = %d, want %d (last 4, oldest first)", i, rec.Seq, 7+i)
+		}
+		if rec.UnixNanos == 0 {
+			t.Fatal("records must be timestamped")
+		}
+	}
+}
+
+func TestConcurrentUpdatesAreConsistent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total")
+	h := r.Histogram("val", ExpBuckets(1, 2, 8))
+	ring := NewAuditRing(64)
+	r.SetRing(ring)
+
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(float64(i%7) + 1)
+				ring.Record(DecisionRecord{Cell: "ap0", Margin: float64(i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if c.Value() != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*perWorker)
+	}
+	if h.Count() != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*perWorker)
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+	}
+	if cum != h.Count() {
+		t.Fatalf("bucket sum %d != count %d", cum, h.Count())
+	}
+	if ring.Seq() != workers*perWorker || ring.Len() != 64 {
+		t.Fatalf("ring seq=%d len=%d", ring.Seq(), ring.Len())
+	}
+}
+
+func TestWriteTextAndHandlers(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("exbox_admit_total").Add(3)
+	r.Gauge("exbox_flows").Set(7)
+	r.GaugeFloat("exbox_cv_score").Set(0.85)
+	r.GaugeFunc("exbox_shard_0_flows", func() float64 { return 2 })
+	r.Histogram("exbox_fit_seconds", ExpBuckets(0.001, 10, 3)).Observe(0.002)
+	ring := NewAuditRing(8)
+	ring.Record(DecisionRecord{Cell: "ap0", Verdict: "admit", Matrix: "1,0,0"})
+	r.SetRing(ring)
+
+	page := r.String()
+	for _, want := range []string{
+		"exbox_admit_total 3",
+		"exbox_flows 7",
+		"exbox_cv_score 0.85",
+		"exbox_shard_0_flows 2",
+		`exbox_fit_seconds_bucket{le="0.01"} 1`,
+		"exbox_fit_seconds_count 1",
+	} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("metrics page missing %q:\n%s", want, page)
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	r.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "exbox_admit_total 3") {
+		t.Fatalf("metrics handler: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	r.AuditHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/admissions", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"verdict":"admit"`) {
+		t.Fatalf("audit handler: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+
+	ev := r.Expvar()()
+	m, ok := ev.(map[string]interface{})
+	if !ok {
+		t.Fatalf("expvar snapshot is %T", ev)
+	}
+	if m["exbox_admit_total"] != int64(3) || m["audit_ring_len"] != 1 {
+		t.Fatalf("expvar snapshot wrong: %v", m)
+	}
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DecisionRecord is one admission decision as the audit ring keeps it:
+// enough to reconstruct *why* the middlebox admitted or rejected a
+// flow after the fact — which cell, what the arrival looked like, what
+// traffic matrix conditioned the decision, how deep inside (or
+// outside) the capacity region the classifier placed it, and whether
+// the cell was still bootstrapping. Records are immutable once stored.
+type DecisionRecord struct {
+	Seq       uint64  `json:"seq"`
+	UnixNanos int64   `json:"unix_nanos"`
+	Cell      string  `json:"cell"`
+	Class     int     `json:"class"`
+	Level     int     `json:"level"`
+	Matrix    string  `json:"matrix"`
+	Margin    float64 `json:"margin"`
+	Depth     float64 `json:"depth"`
+	Verdict   string  `json:"verdict"`
+	Bootstrap bool    `json:"bootstrap"`
+}
+
+// AuditRing is a bounded, lock-free ring buffer over the last N
+// admission decisions. Writers claim a slot with one atomic increment
+// and publish an immutable record into it with one atomic pointer
+// store (the single small allocation on the instrumented admission
+// path); readers snapshot without blocking writers. Overwrites are by
+// design: the ring answers "what were the last N decisions", not
+// "every decision ever".
+type AuditRing struct {
+	slots []atomic.Pointer[DecisionRecord]
+	seq   atomic.Uint64
+}
+
+// NewAuditRing returns a ring keeping the last n decisions (n <= 0
+// defaults to 256). n is rounded up to a power of two so the hot-path
+// slot computation is a mask, not a division.
+func NewAuditRing(n int) *AuditRing {
+	if n <= 0 {
+		n = 256
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return &AuditRing{slots: make([]atomic.Pointer[DecisionRecord], size)}
+}
+
+// Record stores one decision, stamping its sequence number and time.
+// Nil-safe; safe for concurrent use.
+func (r *AuditRing) Record(rec DecisionRecord) {
+	if r == nil {
+		return
+	}
+	rec.Seq = r.seq.Add(1)
+	if rec.UnixNanos == 0 {
+		rec.UnixNanos = time.Now().UnixNano()
+	}
+	r.slots[(rec.Seq-1)&uint64(len(r.slots)-1)].Store(&rec)
+}
+
+// Cap returns the ring capacity.
+func (r *AuditRing) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.slots)
+}
+
+// Len returns how many records the ring currently holds (capped at
+// its capacity).
+func (r *AuditRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	n := r.seq.Load()
+	if n > uint64(len(r.slots)) {
+		return len(r.slots)
+	}
+	return int(n)
+}
+
+// Seq returns the total number of decisions ever recorded, including
+// the ones the ring has since overwritten.
+func (r *AuditRing) Seq() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.seq.Load()
+}
+
+// Snapshot returns the ring's records ordered oldest-first. Under
+// concurrent writes the snapshot is a best-effort cut — a slot claimed
+// but not yet published may still show its previous record — which is
+// exactly what a post-hoc audit trail needs and all a lock-free reader
+// can promise.
+func (r *AuditRing) Snapshot() []DecisionRecord {
+	if r == nil {
+		return nil
+	}
+	out := make([]DecisionRecord, 0, len(r.slots))
+	for i := range r.slots {
+		if p := r.slots[i].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
