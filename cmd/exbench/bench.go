@@ -1,0 +1,162 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+
+	"exbox/internal/apps"
+	"exbox/internal/classifier"
+	"exbox/internal/exboxcore"
+	"exbox/internal/excr"
+	"exbox/internal/mathx"
+	"exbox/internal/netsim"
+	"exbox/internal/svm"
+	"exbox/internal/tools/benchjson"
+	"exbox/internal/traffic"
+)
+
+// runBench executes the middlebox's key performance benchmarks in
+// process — the warm/cold SMO retrains the online classifier lives on,
+// and the lock-free admission path — and writes a machine-readable
+// snapshot (the benchjson format shared with the CI perf gate) to out,
+// or stdout when out is empty. Each benchmark runs `count` times and
+// the snapshot records the median, matching how benchcheck summarizes
+// `go test -bench -count N` output.
+func runBench(out string, count int) error {
+	if count < 1 {
+		count = 1
+	}
+	type bench struct {
+		name string
+		run  func(b *testing.B)
+	}
+	benches := []bench{
+		// ExBox's online cadence: a cell that has observed n tuples
+		// refits after a batch of B more. 500/10 is the paper's LTE
+		// batch size at a mature training set; 1000/20 the WiFi batch
+		// size at the simulation scale. Cold solves from zero; Warm
+		// seeds from the previous fit's solver state.
+		{"BenchmarkRetrainCold", benchRetrainSolve(500, 10, false)},
+		{"BenchmarkRetrainWarm", benchRetrainSolve(500, 10, true)},
+		{"BenchmarkRetrainCold1k", benchRetrainSolve(1000, 20, false)},
+		{"BenchmarkRetrainWarm1k", benchRetrainSolve(1000, 20, true)},
+		{"BenchmarkAdmitParallel", benchAdmit},
+	}
+
+	f := &benchjson.File{
+		Go:         runtime.Version(),
+		Source:     "exbench -bench",
+		Benchmarks: make(map[string]benchjson.Entry, len(benches)),
+	}
+	for _, b := range benches {
+		samples := make([]float64, 0, count)
+		for i := 0; i < count; i++ {
+			r := testing.Benchmark(b.run)
+			if r.N == 0 {
+				return fmt.Errorf("benchmark %s did not run (failed inside the harness?)", b.name)
+			}
+			samples = append(samples, float64(r.NsPerOp()))
+		}
+		med := benchjson.Median(samples)
+		f.Benchmarks[b.name] = benchjson.Entry{NsPerOp: med, Samples: len(samples)}
+		fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op (median of %d)\n", b.name, med, len(samples))
+	}
+
+	if out == "" {
+		f.Schema = benchjson.Schema
+		raw, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(append(raw, '\n'))
+		return err
+	}
+	return f.Write(out)
+}
+
+// benchShellData builds a dim-d dataset with a spherical class
+// boundary — curved like the ExCR boundary, so the RBF kernel does
+// real work (mirrors the dataset of internal/svm's retrain
+// benchmarks).
+func benchShellData(n, dim int, seed int64) (x [][]float64, y []float64) {
+	rng := mathx.NewRand(seed)
+	for i := 0; i < n; i++ {
+		row := make([]float64, dim)
+		var r float64
+		if i%2 == 0 {
+			r = 0.2 + rng.Float64()*0.8
+		} else {
+			r = 2.0 + rng.Float64()*1.5
+		}
+		var norm float64
+		for j := range row {
+			row[j] = rng.NormFloat64()
+			norm += row[j] * row[j]
+		}
+		norm = math.Sqrt(norm)
+		for j := range row {
+			row[j] = row[j] / norm * r
+		}
+		x = append(x, row)
+		if i%2 == 0 {
+			y = append(y, 1)
+		} else {
+			y = append(y, -1)
+		}
+	}
+	return x, y
+}
+
+func benchRetrainSolve(n, batch int, warmStart bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		x, y := benchShellData(n+batch, 5, 41)
+		cfg := svm.DefaultConfig()
+		_, warm, err := svm.Solve(cfg, x[:n], y[:n], nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var seed *svm.WarmState
+			if warmStart {
+				seed = warm
+			}
+			if _, _, err := svm.Solve(cfg, x, y, seed); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func benchAdmit(b *testing.B) {
+	mb := exboxcore.New(excr.DefaultSpace, exboxcore.Discontinue)
+	if _, err := mb.AddCell("ap", classifier.DefaultConfig()); err != nil {
+		b.Fatal(err)
+	}
+	o := apps.Oracle{Net: netsim.FluidWiFi{Config: netsim.SimWiFi()}}
+	rng := mathx.NewRand(1)
+	for _, e := range traffic.Arrivals(traffic.Random(rng, 25, 20, 0, excr.DefaultSpace), nil) {
+		if err := mb.Observe("ap", excr.Sample{Arrival: e.Arrival, Label: o.Label(e.Arrival)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if mb.Cell("ap").Classifier.Bootstrapping() {
+		b.Fatal("cell did not graduate")
+	}
+	probe := excr.Arrival{
+		Matrix: excr.NewMatrix(excr.DefaultSpace).Set(excr.Streaming, 0, 12),
+		Class:  excr.Web,
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := mb.Admit("ap", probe); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -6,10 +6,17 @@
 // Usage:
 //
 //	exbench [-scale quick|full] [-figure all|fig2|fig3|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14]
+//	exbench -bench [-benchout BENCH_pr3.json] [-benchcount 5]
 //
 // Quick scale shrinks sample counts for fast runs while preserving the
 // qualitative shapes; full scale matches the paper's sizes (Figure 13
 // at full scale labels 21000 samples and takes minutes).
+//
+// -bench skips the figures and instead runs the middlebox performance
+// benchmarks (warm/cold classifier retrains, parallel admission) in
+// process, emitting a machine-readable JSON snapshot in the same
+// format as the committed BENCH_baseline.json that the CI perf gate
+// (internal/tools/benchcheck) compares against.
 package main
 
 import (
@@ -24,7 +31,18 @@ import (
 func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	figure := flag.String("figure", "all", "which figure to regenerate (all, fig2, fig3, fig7..fig14)")
+	benchMode := flag.Bool("bench", false, "run performance benchmarks instead of figures, emit JSON")
+	benchOut := flag.String("benchout", "", "write the -bench JSON snapshot here instead of stdout")
+	benchCount := flag.Int("benchcount", 3, "repeat each -bench benchmark this many times, record the median")
 	flag.Parse()
+
+	if *benchMode {
+		if err := runBench(*benchOut, *benchCount); err != nil {
+			fmt.Fprintf(os.Stderr, "exbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var scale eval.Scale
 	switch *scaleFlag {

@@ -69,6 +69,7 @@ func main() {
 	shards := flag.Int("shards", 32, "flow-table shards")
 	mixed := flag.Bool("mixedsnr", false, "use the 3-class x 2-SNR-level space")
 	httpAddr := flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	warmstart := flag.Bool("warmstart", true, "seed each SVM refit from the previous fit's solver state")
 	flag.Parse()
 
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
@@ -78,7 +79,7 @@ func main() {
 		space = excr.MixedSNRSpace
 	}
 	reg := obs.NewRegistry()
-	gw, err := newGateway(*listen, space, *shards, reg)
+	gw, err := newGateway(*listen, space, *shards, *warmstart, reg)
 	if err != nil {
 		log.Fatalf("exboxd: %v", err)
 	}
@@ -174,7 +175,7 @@ const cellID = exboxcore.CellID("ap0")
 // quiet before the sweep classifies it anyway (the silence case).
 const classifySilence = 2.0 // seconds
 
-func newGateway(listen string, space excr.Space, shards int, reg *obs.Registry) (*gateway, error) {
+func newGateway(listen string, space excr.Space, shards int, warmStart bool, reg *obs.Registry) (*gateway, error) {
 	addr, err := net.ResolveUDPAddr("udp", listen)
 	if err != nil {
 		return nil, err
@@ -203,8 +204,11 @@ func newGateway(listen string, space excr.Space, shards int, reg *obs.Registry) 
 	mb := exboxcore.New(space, exboxcore.Discontinue)
 	cfg := classifier.DefaultConfig()
 	// Live gateway: batch SVM fits happen on the cell's background
-	// worker, never on a packet worker.
+	// worker, never on a packet worker, and (unless -warmstart=false)
+	// each refit is seeded from the previous boundary so the worker
+	// keeps up with the paper's retrain-every-batch cadence.
 	cfg.DeferRetrain = true
+	cfg.WarmStart = warmStart
 	if _, err := mb.AddCell(cellID, cfg); err != nil {
 		conn.Close()
 		sink.Close()

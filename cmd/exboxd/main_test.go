@@ -51,7 +51,7 @@ func metricValue(page, name string) float64 {
 // — the same wiring `exboxd -http :9090` serves.
 func TestGatewayTelemetryEndToEnd(t *testing.T) {
 	reg := obs.NewRegistry()
-	gw, err := newGateway("127.0.0.1:0", excr.DefaultSpace, 8, reg)
+	gw, err := newGateway("127.0.0.1:0", excr.DefaultSpace, 8, true, reg)
 	if err != nil {
 		t.Fatal(err)
 	}

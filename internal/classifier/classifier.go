@@ -55,6 +55,7 @@ type Metrics struct {
 	Evictions    *obs.Counter    // LRU-evicted training samples
 	TrainingSize *obs.Gauge      // current deduplicated training-set size
 	Fits         *obs.Counter    // model fits published
+	WarmFits     *obs.Counter    // fits seeded from the previous solver state
 	FitErrors    *obs.Counter    // fits that failed (incl. not-ready)
 	FitSeconds   *obs.Histogram  // wall time per fit, train + calibration
 	CVChecks     *obs.Counter    // bootstrap cross-validation runs
@@ -127,6 +128,17 @@ type Config struct {
 	// Seed drives fold shuffling and is part of the deterministic
 	// behavior of the classifier.
 	Seed int64
+	// WarmStart seeds each online refit from the previous fit's solver
+	// state (dual variables keyed by traffic matrix, frozen feature
+	// standardization): after a batch of B lands, SMO starts from the
+	// last boundary instead of from zero, making the paper's
+	// retrain-every-batch loop cheap. Seeds are re-aligned by sample
+	// key, so replacement, reordering and LRU eviction of training
+	// rows invalidate exactly the affected rows rather than the whole
+	// seed; the solver itself falls back to a cold fit when the set
+	// churned too much. Off by default so experiment output is
+	// bit-identical to the cold path; exboxd enables it.
+	WarmStart bool
 	// DeferRetrain moves the SVM fits off the Observe path: batch
 	// boundaries (and bootstrap cross-validation checks) mark a
 	// retrain pending instead of fitting inline, and a background
@@ -219,7 +231,11 @@ func New(space excr.Space, cfg Config) *AdmittanceClassifier {
 	}
 	l := cfg.Learner
 	if l == nil {
-		l = learner.SVM{Config: cfg.SVM}
+		if cfg.WarmStart {
+			l = learner.NewWarmSVM(cfg.SVM)
+		} else {
+			l = learner.SVM{Config: cfg.SVM}
+		}
 	}
 	ac := &AdmittanceClassifier{
 		cfg:     cfg,
@@ -338,8 +354,8 @@ func (ac *AdmittanceClassifier) advancePhaseLocked() *fitRequest {
 		ac.retrainPending = true
 		return nil
 	}
-	x, y := ac.datasetLocked()
-	return &fitRequest{x: x, y: y}
+	x, y, keys := ac.datasetLocked()
+	return &fitRequest{x: x, y: y, keys: keys}
 }
 
 // touchLocked moves the just-replaced sample at slot i to the tail so
@@ -388,7 +404,7 @@ func (ac *AdmittanceClassifier) evictIfNeededLocked() {
 // when accuracy clears the threshold, returns the graduation fit.
 // Caller holds mu (the CV consumes ac.rng and reads the dataset).
 func (ac *AdmittanceClassifier) crossValidateLocked() *fitRequest {
-	x, y := ac.datasetLocked()
+	x, y, keys := ac.datasetLocked()
 	ac.metrics.CVChecks.Inc()
 	acc, err := learner.CrossValidate(ac.learner, x, y, ac.cfg.CVFolds, ac.rng)
 	if err != nil {
@@ -399,20 +415,21 @@ func (ac *AdmittanceClassifier) crossValidateLocked() *fitRequest {
 	if acc < ac.cfg.CVThreshold {
 		return nil
 	}
-	return &fitRequest{x: x, y: y, graduate: true}
+	return &fitRequest{x: x, y: y, keys: keys, graduate: true}
 }
 
-// datasetLocked materializes the training matrices for the SVM.
+// datasetLocked materializes the training matrices for the SVM, plus
+// the per-row sample keys the warm-start path re-aligns seeds by.
 // Caller holds mu; the returned slices are private copies safe to use
 // after the lock is released.
-func (ac *AdmittanceClassifier) datasetLocked() ([][]float64, []float64) {
+func (ac *AdmittanceClassifier) datasetLocked() ([][]float64, []float64, []string) {
 	x := make([][]float64, len(ac.samples))
 	y := make([]float64, len(ac.samples))
 	for i, s := range ac.samples {
 		x[i] = s.Arrival.Features()
 		y[i] = s.Label
 	}
-	return x, y
+	return x, y, append([]string(nil), ac.keys...)
 }
 
 // ErrNotReady is returned by Retrain when no model can be fit yet
@@ -424,7 +441,8 @@ var ErrNotReady = errors.New("classifier: not enough label diversity to train")
 type fitRequest struct {
 	x        [][]float64
 	y        []float64
-	graduate bool // leave bootstrap on success
+	keys     []string // per-row sample keys, for warm-seed re-alignment
+	graduate bool     // leave bootstrap on success
 }
 
 // fit trains on the snapshot and atomically publishes the new model.
@@ -436,7 +454,17 @@ func (ac *AdmittanceClassifier) fit(req *fitRequest) error {
 		return ErrNotReady
 	}
 	start := time.Now()
-	m, err := ac.learner.Train(req.x, req.y)
+	var m learner.Predictor
+	var err error
+	if wl, ok := ac.learner.(learner.WarmLearner); ok && ac.cfg.WarmStart && len(req.keys) == len(req.x) {
+		var warmed bool
+		m, warmed, err = wl.TrainWarm(req.x, req.y, req.keys)
+		if warmed {
+			ac.metrics.WarmFits.Inc()
+		}
+	} else {
+		m, err = ac.learner.Train(req.x, req.y)
+	}
 	if errors.Is(err, learner.ErrOneClass) {
 		ac.metrics.FitErrors.Inc()
 		return ErrNotReady
@@ -473,9 +501,9 @@ func (ac *AdmittanceClassifier) fit(req *fitRequest) error {
 // network changes (Section 4.3).
 func (ac *AdmittanceClassifier) Retrain() error {
 	ac.mu.Lock()
-	x, y := ac.datasetLocked()
+	x, y, keys := ac.datasetLocked()
 	ac.mu.Unlock()
-	return ac.fit(&fitRequest{x: x, y: y})
+	return ac.fit(&fitRequest{x: x, y: y, keys: keys})
 }
 
 // Maintain performs the deferred training work marked pending by
@@ -496,8 +524,8 @@ func (ac *AdmittanceClassifier) Maintain() error {
 	if ac.state.Load().bootstrap {
 		req = ac.crossValidateLocked()
 	} else {
-		x, y := ac.datasetLocked()
-		req = &fitRequest{x: x, y: y}
+		x, y, keys := ac.datasetLocked()
+		req = &fitRequest{x: x, y: y, keys: keys}
 	}
 	ac.mu.Unlock()
 	if req == nil {
@@ -534,7 +562,7 @@ func (ac *AdmittanceClassifier) Decide(a excr.Arrival) Decision {
 // of Figures 11, 13, 14).
 func (ac *AdmittanceClassifier) ForceOnline() error {
 	ac.mu.Lock()
-	x, y := ac.datasetLocked()
+	x, y, keys := ac.datasetLocked()
 	ac.mu.Unlock()
-	return ac.fit(&fitRequest{x: x, y: y, graduate: true})
+	return ac.fit(&fitRequest{x: x, y: y, keys: keys, graduate: true})
 }

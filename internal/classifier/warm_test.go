@@ -1,0 +1,193 @@
+package classifier
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"exbox/internal/excr"
+	"exbox/internal/learner"
+	"exbox/internal/mathx"
+	"exbox/internal/obs"
+	"exbox/internal/traffic"
+)
+
+// TestWarmStartClassifierEquivalence runs two classifiers — one
+// refitting cold (the pre-PR behavior), one seeding every online refit
+// from the previous solver state — through an identical
+// bootstrap→online observation stream, and requires they make the same
+// admission decisions everywhere but a thin band around the learned
+// boundary. Warm starting is a solver accelerant, not a model change.
+func TestWarmStartClassifierEquivalence(t *testing.T) {
+	warmCfg := DefaultConfig()
+	warmCfg.WarmStart = true
+	warmCfg.BatchSize = 10
+	warm := New(excr.DefaultSpace, warmCfg)
+	var warmFits obs.Counter
+	warm.SetMetrics(Metrics{WarmFits: &warmFits})
+	// The cold twin only needs to be current when decisions are
+	// compared: an enormous batch size skips its intermediate refits
+	// (a pure test-speed measure) and one Retrain below lands it on
+	// exactly the final training set.
+	coldCfg := DefaultConfig()
+	coldCfg.BatchSize = 1 << 20
+	cold := New(excr.DefaultSpace, coldCfg)
+
+	o := wifiOracle()
+	rng := mathx.NewRand(61)
+	// Enough arrivals to graduate and then cross many online batch
+	// boundaries, so several warm-seeded refits happen.
+	evs := traffic.Arrivals(traffic.Random(rng, 130, 20, 0, excr.DefaultSpace), nil)
+	for _, e := range evs {
+		s := excr.Sample{Arrival: e.Arrival, Label: o.Label(e.Arrival)}
+		warm.Observe(s)
+		cold.Observe(s)
+	}
+	if warm.Bootstrapping() || cold.Bootstrapping() {
+		t.Fatal("both classifiers should be online")
+	}
+	if warmFits.Value() == 0 {
+		t.Fatal("online refits should have used the warm seed")
+	}
+	if err := cold.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+
+	probes := traffic.Arrivals(traffic.Random(mathx.NewRand(62), 120, 20, 0, excr.DefaultSpace), nil)
+	var compared, disagree int
+	for _, e := range probes {
+		dw, dc := warm.Decide(e.Arrival), cold.Decide(e.Arrival)
+		// The warm model keeps an earlier feature standardization, so
+		// its margins are not bitwise the cold ones; skip probes the
+		// cold model itself is unsure about.
+		if math.Abs(dc.Depth) < 0.05 {
+			continue
+		}
+		compared++
+		if dw.Admit != dc.Admit {
+			disagree++
+		}
+	}
+	if compared < 50 {
+		t.Fatalf("probe set too easy: only %d off-boundary probes", compared)
+	}
+	if disagree > compared/50 {
+		t.Fatalf("warm and cold classifiers disagree on %d/%d off-boundary probes",
+			disagree, compared)
+	}
+}
+
+// TestWarmFitsMetricCold pins the counter semantics: a cold-configured
+// classifier must never report warm fits.
+func TestWarmFitsMetricCold(t *testing.T) {
+	ac := New(excr.DefaultSpace, DefaultConfig())
+	var warmFits obs.Counter
+	ac.SetMetrics(Metrics{WarmFits: &warmFits})
+	feedRandom(ac, wifiOracle(), 80, 63)
+	if ac.Bootstrapping() {
+		t.Fatal("should be online")
+	}
+	if warmFits.Value() != 0 {
+		t.Fatalf("cold classifier reported %d warm fits", warmFits.Value())
+	}
+}
+
+// TestWarmLearnerSelection checks New picks the stateful warm SVM only
+// when asked, and that an explicit Learner override always wins.
+func TestWarmLearnerSelection(t *testing.T) {
+	if _, ok := New(excr.DefaultSpace, DefaultConfig()).learner.(*learner.WarmSVM); ok {
+		t.Fatal("default config must use the stateless SVM learner")
+	}
+	cfg := DefaultConfig()
+	cfg.WarmStart = true
+	if _, ok := New(excr.DefaultSpace, cfg).learner.(*learner.WarmSVM); !ok {
+		t.Fatal("WarmStart config should select the warm SVM learner")
+	}
+	cfg.Learner = learner.SVM{Config: cfg.SVM}
+	if _, ok := New(excr.DefaultSpace, cfg).learner.(learner.SVM); !ok {
+		t.Fatal("explicit Learner must override WarmStart selection")
+	}
+}
+
+// TestDeferRetrainWarmRace stresses the deferred-retrain path with
+// warm seeding under the race detector: concurrent Observe streams,
+// lock-free Decides, a Maintain loop standing in for the per-cell
+// background retrainer, and periodic forced Retrains all share the
+// warm learner's state.
+func TestDeferRetrainWarmRace(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WarmStart = true
+	cfg.DeferRetrain = true
+	cfg.BatchSize = 10
+	ac := New(excr.DefaultSpace, cfg)
+	var warmFits obs.Counter
+	ac.SetMetrics(Metrics{WarmFits: &warmFits})
+	o := wifiOracle()
+	feedRandom(ac, o, 30, 71)
+	if err := ac.Maintain(); err != nil {
+		t.Fatal(err)
+	}
+	if ac.Bootstrapping() {
+		t.Fatal("should graduate before the stress phase")
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// The background retrainer: drain pending work until told to stop.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if err := ac.Maintain(); err != nil && err != ErrNotReady {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	probe := traffic.Arrivals(traffic.Random(mathx.NewRand(72), 30, 20, 0, excr.DefaultSpace), nil)
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				ac.Decide(probe[i%len(probe)].Arrival)
+			}
+		}()
+	}
+	var feeders sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		feeders.Add(1)
+		go func(seed int64) {
+			defer feeders.Done()
+			rng := mathx.NewRand(seed)
+			for _, e := range traffic.Arrivals(traffic.Random(rng, 120, 20, 0, excr.DefaultSpace), nil) {
+				ac.Observe(excr.Sample{Arrival: e.Arrival, Label: o.Label(e.Arrival)})
+			}
+		}(int64(80 + g))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			_ = ac.Retrain()
+		}
+	}()
+	feeders.Wait()
+	close(stop)
+	wg.Wait()
+	// One final drain so the last marked batch is fitted.
+	if err := ac.Maintain(); err != nil {
+		t.Fatal(err)
+	}
+	if ac.Bootstrapping() {
+		t.Fatal("classifier regressed to bootstrap")
+	}
+	if warmFits.Value() == 0 {
+		t.Fatal("stress run should have produced warm-seeded fits")
+	}
+}

@@ -10,6 +10,7 @@ package learner
 import (
 	"errors"
 	"math/rand"
+	"sync"
 
 	"exbox/internal/dtree"
 	"exbox/internal/svm"
@@ -26,6 +27,19 @@ type Predictor interface {
 type Learner interface {
 	Train(x [][]float64, y []float64) (Predictor, error)
 	Name() string
+}
+
+// WarmLearner is a Learner whose fits can be seeded from the state of
+// the previous fit. TrainWarm carries one stable key per row so the
+// learner can re-align its internal solver state when rows were
+// reordered, replaced, or evicted between fits: rows whose key was
+// seen in the previous fit inherit their dual variables, everything
+// else starts cold. The returned bool reports whether a seed was
+// actually used (false on the first fit, after too much churn, or when
+// the implementation decided a cold fit was safer).
+type WarmLearner interface {
+	Learner
+	TrainWarm(x [][]float64, y []float64, keys []string) (Predictor, bool, error)
 }
 
 // ErrOneClass is returned by Train when the labels contain a single
@@ -50,6 +64,91 @@ func (s SVM) Train(x [][]float64, y []float64) (Predictor, error) {
 		return nil, err
 	}
 	return m, nil
+}
+
+// WarmSVM adapts internal/svm to the WarmLearner interface: each
+// TrainWarm keeps the fit's solver state (dual variables, threshold,
+// frozen feature standardization) keyed by the caller's per-row keys,
+// and the next TrainWarm seeds from it. A WarmSVM is stateful and must
+// be created per classifier (NewWarmSVM); it is safe for concurrent
+// use, though callers normally serialize fits anyway.
+type WarmSVM struct {
+	Config svm.Config
+
+	mu     sync.Mutex
+	state  *svm.WarmState
+	keys   []string  // key per position of state.Alpha
+	labels []float64 // label per position, to drop seeds whose label flipped
+}
+
+// NewWarmSVM returns a warm-starting SVM learner with no seed yet.
+func NewWarmSVM(cfg svm.Config) *WarmSVM { return &WarmSVM{Config: cfg} }
+
+// Name implements Learner. It matches SVM's name: the learning
+// technique is the same, only the solver's starting point differs.
+func (s *WarmSVM) Name() string { return "svm-" + s.Config.Kernel.String() }
+
+// Train implements Learner with a cold fit that does not touch the
+// warm state — this is what bootstrap cross-validation calls, and fold
+// fits must not pollute the seed.
+func (s *WarmSVM) Train(x [][]float64, y []float64) (Predictor, error) {
+	return SVM{Config: s.Config}.Train(x, y)
+}
+
+// TrainWarm implements WarmLearner.
+func (s *WarmSVM) TrainWarm(x [][]float64, y []float64, keys []string) (Predictor, bool, error) {
+	if len(keys) != len(x) || len(y) != len(x) {
+		return nil, false, errors.New("learner: rows/labels/keys length mismatch")
+	}
+	s.mu.Lock()
+	seed := s.remapLocked(keys, y)
+	s.mu.Unlock()
+
+	m, next, err := svm.Solve(s.Config, x, y, seed)
+	if errors.Is(err, svm.ErrOneClass) {
+		return nil, false, ErrOneClass
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	warmed := len(x) > 0 && seed.Usable(len(x), len(x[0]))
+	s.mu.Lock()
+	s.state = next
+	s.keys = append(s.keys[:0], keys...)
+	s.labels = append(s.labels[:0], y...)
+	s.mu.Unlock()
+	return m, warmed, nil
+}
+
+// remapLocked aligns the stored dual state to a new row order: rows
+// whose key survived (with the same label) keep their alpha, new and
+// relabeled rows start at zero. Returns nil when there is no state or
+// no overlap, which makes the solver fall back to a cold fit.
+func (s *WarmSVM) remapLocked(keys []string, y []float64) *svm.WarmState {
+	if s.state == nil || len(s.keys) == 0 {
+		return nil
+	}
+	type prev struct {
+		alpha, label float64
+	}
+	old := make(map[string]prev, len(s.keys))
+	for i, k := range s.keys {
+		if i < len(s.state.Alpha) && i < len(s.labels) {
+			old[k] = prev{alpha: s.state.Alpha[i], label: s.labels[i]}
+		}
+	}
+	alpha := make([]float64, len(keys))
+	hits := 0
+	for i, k := range keys {
+		if p, ok := old[k]; ok && p.label == y[i] {
+			alpha[i] = p.alpha
+			hits++
+		}
+	}
+	if hits == 0 {
+		return nil
+	}
+	return s.state.Remap(alpha)
 }
 
 // Tree adapts internal/dtree to the Learner interface.

@@ -1,0 +1,71 @@
+package svm
+
+import (
+	"math"
+	"testing"
+
+	"exbox/internal/mathx"
+)
+
+// Retraining benchmarks at ExBox's paper-realistic online batch sizes:
+// a cell has n observed tuples, a batch of B new flows lands, and the
+// Admittance Classifier refits on n+B rows. Cold is the pre-PR
+// behavior (SMO from zero); Warm seeds the solver with the previous
+// fit's dual variables. The CI perf gate (internal/tools/benchcheck)
+// tracks both against BENCH_baseline.json.
+
+// shellData builds a dim-d dataset with a spherical boundary —
+// curved like the ExCR boundary, so the RBF kernel is doing real work.
+func shellData(n, dim int, seed int64) (x [][]float64, y []float64) {
+	rng := mathx.NewRand(seed)
+	for i := 0; i < n; i++ {
+		row := make([]float64, dim)
+		var r float64
+		if i%2 == 0 {
+			r = 0.2 + rng.Float64()*0.8 // inside the shell
+		} else {
+			r = 2.0 + rng.Float64()*1.5 // outside
+		}
+		var norm float64
+		for j := range row {
+			row[j] = rng.NormFloat64()
+			norm += row[j] * row[j]
+		}
+		norm = math.Sqrt(norm)
+		for j := range row {
+			row[j] = row[j] / norm * r
+		}
+		x = append(x, row)
+		if i%2 == 0 {
+			y = append(y, 1)
+		} else {
+			y = append(y, -1)
+		}
+	}
+	return x, y
+}
+
+func benchRetrain(b *testing.B, n, batch int, warmStart bool) {
+	b.Helper()
+	x, y := shellData(n+batch, 5, 41)
+	cfg := DefaultConfig()
+	_, warm, err := Solve(cfg, x[:n], y[:n], nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var seed *WarmState
+		if warmStart {
+			seed = warm
+		}
+		if _, _, err := Solve(cfg, x, y, seed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRetrainCold(b *testing.B)   { benchRetrain(b, 500, 10, false) }
+func BenchmarkRetrainWarm(b *testing.B)   { benchRetrain(b, 500, 10, true) }
+func BenchmarkRetrainCold1k(b *testing.B) { benchRetrain(b, 1000, 20, false) }
+func BenchmarkRetrainWarm1k(b *testing.B) { benchRetrain(b, 1000, 20, true) }

@@ -1,0 +1,89 @@
+package svm
+
+import (
+	"testing"
+
+	"exbox/internal/mathx"
+)
+
+func TestRowLRUBasics(t *testing.T) {
+	c := newRowLRU(2)
+	r1, r2, r3 := []float64{1}, []float64{2}, []float64{3}
+	c.Put(1, r1)
+	c.Put(2, r2)
+	if row, ok := c.Get(1); !ok || &row[0] != &r1[0] {
+		t.Fatal("row 1 should be cached")
+	}
+	// 1 was just used, so inserting 3 must evict 2 (the LRU), not 1.
+	c.Put(3, r3)
+	if _, ok := c.Get(2); ok {
+		t.Fatal("row 2 should have been evicted as least recently used")
+	}
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("row 1 (recently used) must survive the eviction")
+	}
+	if _, ok := c.Get(3); !ok {
+		t.Fatal("row 3 was just inserted")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestRowLRURemove(t *testing.T) {
+	c := newRowLRU(4)
+	for i := 0; i < 4; i++ {
+		c.Put(i, []float64{float64(i)})
+	}
+	c.Remove(0) // head-adjacent
+	c.Remove(3) // most recent
+	c.Remove(9) // absent: no-op
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	// The list must still be intact: fill and evict through it.
+	c.Put(5, []float64{5})
+	c.Put(6, []float64{6})
+	c.Put(7, []float64{7}) // evicts 1, the oldest survivor
+	if _, ok := c.Get(1); ok {
+		t.Fatal("row 1 should have been evicted")
+	}
+	for _, i := range []int{2, 5, 6, 7} {
+		if _, ok := c.Get(i); !ok {
+			t.Fatalf("row %d should be cached", i)
+		}
+	}
+}
+
+// TestCachedRowsMatchUncached is the regression test that let the old
+// per-step error "pinning" in takeStep go: kernel rows served through
+// the LRU cache must agree bitwise with freshly computed ones, whether
+// they were cached, evicted and recomputed, or never cached at all.
+func TestCachedRowsMatchUncached(t *testing.T) {
+	x, y := ringData(64, 31)
+	cfg := DefaultConfig()
+	gamma := 1.0 / float64(len(x[0]))
+	scaler := FitScaler(x)
+	xs := scaler.TransformAll(x)
+
+	// One trainer on the full-matrix path, one forced onto a tiny LRU
+	// so rows are constantly evicted and recomputed.
+	full := newTrainer(cfg, gamma, xs, y)
+	lru := newTrainer(cfg, gamma, xs, y)
+	lru.kfull = nil
+	lru.lru = newRowLRU(3)
+
+	rng := mathx.NewRand(32)
+	for step := 0; step < 500; step++ {
+		i := rng.Intn(len(xs))
+		a, b := full.kRow(i), lru.kRow(i)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("row %d col %d: cached %v != uncached %v", i, j, b[j], a[j])
+			}
+		}
+	}
+	if lru.lru.Len() > 3 {
+		t.Fatalf("lru grew past its capacity: %d", lru.lru.Len())
+	}
+}

@@ -28,6 +28,10 @@ type Config struct {
 	// MaxIter is a hard ceiling on examine steps, a safety valve
 	// against pathological data. 0 means a generous default.
 	MaxIter int
+	// CacheRows bounds the kernel-row LRU cache used when the training
+	// set is too large for a full kernel matrix (see
+	// kernelCacheLimit). 0 means 512 rows.
+	CacheRows int
 }
 
 // DefaultConfig returns the configuration used by the ExBox
@@ -67,20 +71,87 @@ type Model struct {
 // Features are standardized internally; the returned model applies the
 // same standardization at prediction time.
 func Train(cfg Config, x [][]float64, y []float64) (*Model, error) {
+	m, _, err := Solve(cfg, x, y, nil)
+	return m, err
+}
+
+// WarmState carries the solver state of one fit so the next fit over a
+// grown dataset can start from it instead of from zero. States are
+// value snapshots: Solve never mutates a state it was given.
+type WarmState struct {
+	// Alpha holds the dual variables, aligned to the rows of the fit
+	// that produced the state. Callers that reorder or evict training
+	// rows between fits should re-align the values and install them
+	// with Remap; unmatched rows simply start at 0.
+	Alpha []float64
+
+	b      float64 // threshold at the seed's optimum (Platt convention)
+	scaler *Scaler // frozen feature standardization of the seed fit
+	n      int     // training rows when the scaler was fitted
+	age    int     // consecutive warm reuses of the frozen scaler
+}
+
+// Remap returns a copy of the state with the dual variables replaced
+// by alpha — the caller's re-alignment of the previous values to a new
+// row order — keeping the frozen scaler and threshold.
+func (w *WarmState) Remap(alpha []float64) *WarmState {
+	c := *w
+	c.Alpha = alpha
+	return &c
+}
+
+// maxWarmAge bounds how many consecutive fits may reuse one frozen
+// scaler before a cold refit re-standardizes: the warm path trades a
+// slightly stale standardization for an exactly-optimal seed, and the
+// periodic refresh stops the staleness from compounding as the
+// feature distribution drifts.
+const maxWarmAge = 64
+
+// Usable reports whether the state can seed a fit of n rows of the
+// given dimension: the scaler must match the features, the dataset
+// must not have changed size by more than ~25% since the scaler was
+// fitted, and the scaler must not have been reused too many times.
+func (w *WarmState) Usable(n, dim int) bool {
+	return w != nil && len(w.Alpha) > 0 && w.scaler != nil &&
+		len(w.scaler.Mean) == dim && w.age < maxWarmAge &&
+		4*n >= 3*w.n && 4*n <= 5*w.n
+}
+
+// Solve fits like Train and additionally accepts and returns solver
+// state, enabling warm-started incremental retraining: pass the state
+// returned by a previous Solve over a prefix of the current rows (new
+// rows implicitly start at α = 0) and SMO starts from that
+// near-optimal point instead of from zero, which is what makes ExBox's
+// after-every-batch refits cheap. A usable warm state also freezes the
+// seed fit's feature standardization, so the kernel geometry of the
+// shared rows is unchanged and the seed is exactly optimal for them;
+// the standardization is refreshed by a cold fit when the dataset has
+// grown past the state's horizon or the state has been reused
+// maxWarmAge times.
+//
+// The seed is advisory. Its alphas may be shorter than x (extra rows
+// start cold), they are clipped to [0, C], and the dual equality
+// constraint Σ αᵢyᵢ = 0 is repaired by scaling down the heavier side,
+// so a seed re-aligned from a slightly different dataset (rows
+// evicted, labels replaced) still yields a feasible start. The seed
+// must come from a fit with the same kernel, C and gamma to be a
+// useful starting point; the solver converges to the optimum either
+// way.
+func Solve(cfg Config, x [][]float64, y []float64, warm *WarmState) (*Model, *WarmState, error) {
 	if len(x) == 0 {
-		return nil, errors.New("svm: no training data")
+		return nil, nil, errors.New("svm: no training data")
 	}
 	if len(x) != len(y) {
-		return nil, fmt.Errorf("svm: %d rows but %d labels", len(x), len(y))
+		return nil, nil, fmt.Errorf("svm: %d rows but %d labels", len(x), len(y))
 	}
 	if cfg.C <= 0 {
-		return nil, errors.New("svm: C must be positive")
+		return nil, nil, errors.New("svm: C must be positive")
 	}
 	dim := len(x[0])
 	var pos, neg int
 	for i, yi := range y {
 		if len(x[i]) != dim {
-			return nil, fmt.Errorf("svm: row %d has dim %d, want %d", i, len(x[i]), dim)
+			return nil, nil, fmt.Errorf("svm: row %d has dim %d, want %d", i, len(x[i]), dim)
 		}
 		switch yi {
 		case 1:
@@ -88,21 +159,30 @@ func Train(cfg Config, x [][]float64, y []float64) (*Model, error) {
 		case -1:
 			neg++
 		default:
-			return nil, fmt.Errorf("svm: label %v at row %d, want +1 or -1", yi, i)
+			return nil, nil, fmt.Errorf("svm: label %v at row %d, want +1 or -1", yi, i)
 		}
 	}
 	if pos == 0 || neg == 0 {
-		return nil, ErrOneClass
+		return nil, nil, ErrOneClass
 	}
 
 	gamma := cfg.Gamma
 	if gamma <= 0 {
 		gamma = 1 / float64(dim)
 	}
-	scaler := FitScaler(x)
+	useWarm := warm.Usable(len(x), dim)
+	var scaler *Scaler
+	if useWarm {
+		scaler = warm.scaler
+	} else {
+		scaler = FitScaler(x)
+	}
 	xs := scaler.TransformAll(x)
 
 	tr := newTrainer(cfg, gamma, xs, y)
+	if useWarm {
+		tr.initWarm(warm)
+	}
 	tr.solve()
 
 	// The trainer follows Platt's convention u(x) = Σ αᵢyᵢK(xᵢ,x) − b;
@@ -123,7 +203,18 @@ func Train(cfg Config, x [][]float64, y []float64) (*Model, error) {
 		}
 		m.wLinear = w
 	}
-	return m, nil
+	next := &WarmState{
+		Alpha:  append([]float64(nil), tr.alpha...),
+		b:      tr.b,
+		scaler: scaler,
+		n:      len(x),
+		age:    0,
+	}
+	if useWarm {
+		next.n = warm.n // the scaler's horizon, not this fit's size
+		next.age = warm.age + 1
+	}
+	return m, next, nil
 }
 
 // NumSV returns the number of support vectors retained by the model.
@@ -170,44 +261,136 @@ type trainer struct {
 	b     float64
 	errs  []float64 // E_i = f(x_i) - y_i, maintained incrementally
 
+	// active marks the solver's working set. Bound examples whose KKT
+	// condition holds with margin are shrunk out of the sweeps (and the
+	// error-update loop) and re-checked once at the end.
+	active  []bool
+	nActive int
+
 	kern  func(a, b []float64) float64
 	kdiag []float64
 	// Full kernel matrix when n is small enough; otherwise rows are
-	// computed on demand through kRow with a tiny cache.
-	kfull    [][]float64
-	rowCache map[int][]float64
-	rowOrder []int
+	// computed on demand through kRow with a bounded LRU cache.
+	kfull [][]float64
+	lru   *rowLRU
 }
 
 // kernelCacheLimit bounds the n for which a full n×n kernel matrix is
 // precomputed (n=3000 → ~72 MB of float64, acceptable).
 const kernelCacheLimit = 3000
 
+// shrinkMargin is the multiple of Tol by which a bound example must
+// satisfy its KKT condition before shrinking drops it from the working
+// set; a conservative margin keeps the final unshrink pass cheap.
+const shrinkMargin = 10
+
 func newTrainer(cfg Config, gamma float64, x [][]float64, y []float64) *trainer {
 	n := len(x)
 	tr := &trainer{
-		cfg:   cfg,
-		gamma: gamma,
-		x:     x,
-		y:     y,
-		n:     n,
-		alpha: make([]float64, n),
-		errs:  make([]float64, n),
-		kern:  kernelFunc(cfg.Kernel, gamma),
-		kdiag: make([]float64, n),
+		cfg:     cfg,
+		gamma:   gamma,
+		x:       x,
+		y:       y,
+		n:       n,
+		alpha:   make([]float64, n),
+		errs:    make([]float64, n),
+		active:  make([]bool, n),
+		nActive: n,
+		kern:    kernelFunc(cfg.Kernel, gamma),
+		kdiag:   make([]float64, n),
 	}
 	for i := range tr.errs {
 		tr.errs[i] = -y[i] // f = 0 initially
+		tr.active[i] = true
 	}
 	if n <= kernelCacheLimit {
 		tr.kfull = make([][]float64, n)
 	} else {
-		tr.rowCache = make(map[int][]float64)
+		rows := cfg.CacheRows
+		if rows <= 0 {
+			rows = 512
+		}
+		tr.lru = newRowLRU(rows)
 	}
 	for i := 0; i < n; i++ {
 		tr.kdiag[i] = tr.kern(x[i], x[i])
 	}
 	return tr
+}
+
+// initWarm seeds the dual variables from a previous fit. The seed is
+// clipped to the box [0, C], rebalanced so Σ αᵢyᵢ = 0 holds exactly
+// (rows may have been evicted or relabeled since the seed was taken),
+// and the error cache is rebuilt from the seeded support vectors and
+// the seed's threshold so the first sweep sees a consistent state.
+func (tr *trainer) initWarm(warm *WarmState) {
+	c := tr.cfg.C
+	m := len(warm.Alpha)
+	if m > tr.n {
+		m = tr.n
+	}
+	for i := 0; i < m; i++ {
+		a := warm.Alpha[i]
+		if a < 0 {
+			a = 0
+		} else if a > c {
+			a = c
+		}
+		tr.alpha[i] = a
+	}
+	// Repair dual feasibility: scale down whichever class carries the
+	// excess so the equality constraint holds before SMO starts (SMO
+	// steps preserve it but never restore it).
+	var pos, neg float64
+	for i, a := range tr.alpha {
+		if a == 0 {
+			continue
+		}
+		if tr.y[i] > 0 {
+			pos += a
+		} else {
+			neg += a
+		}
+	}
+	switch s := pos - neg; {
+	case s > 0 && pos > 0:
+		f := (pos - s) / pos
+		for i := range tr.alpha {
+			if tr.y[i] > 0 {
+				tr.alpha[i] *= f
+			}
+		}
+	case s < 0 && neg > 0:
+		f := (neg + s) / neg
+		for i := range tr.alpha {
+			if tr.y[i] < 0 {
+				tr.alpha[i] *= f
+			}
+		}
+	}
+
+	var sv []int
+	for i, a := range tr.alpha {
+		if a > 1e-12 {
+			sv = append(sv, i)
+		}
+	}
+	if len(sv) == 0 {
+		return // fully cold after repair: errs are already -y, b = 0
+	}
+	// The seed's threshold transfers directly: the frozen scaler keeps
+	// the kernel geometry of the shared rows identical, so at the seed
+	// optimum the same b makes the non-bound errors vanish.
+	tr.b = warm.b
+	// E_i = Σ_j α_j y_j K(i, j) − b − y_i over the seeded support
+	// vectors; this O(n·|SV|) pass is the whole cost of warm-starting.
+	for i := 0; i < tr.n; i++ {
+		var g float64
+		for _, j := range sv {
+			g += tr.alpha[j] * tr.y[j] * tr.kern(tr.x[i], tr.x[j])
+		}
+		tr.errs[i] = g - tr.b - tr.y[i]
+	}
 }
 
 // kRow returns row i of the kernel matrix, computing and caching it as
@@ -223,28 +406,24 @@ func (tr *trainer) kRow(i int) []float64 {
 		}
 		return tr.kfull[i]
 	}
-	if row, ok := tr.rowCache[i]; ok {
+	if row, ok := tr.lru.Get(i); ok {
 		return row
 	}
 	row := make([]float64, tr.n)
 	for j := 0; j < tr.n; j++ {
 		row[j] = tr.kern(tr.x[i], tr.x[j])
 	}
-	// Bounded cache with FIFO eviction: SMO revisits a small working
-	// set, so even a crude policy hits well.
-	const maxRows = 512
-	if len(tr.rowOrder) >= maxRows {
-		evict := tr.rowOrder[0]
-		tr.rowOrder = tr.rowOrder[1:]
-		delete(tr.rowCache, evict)
-	}
-	tr.rowCache[i] = row
-	tr.rowOrder = append(tr.rowOrder, i)
+	tr.lru.Put(i, row)
 	return row
 }
 
-// solve runs Platt's SMO main loop: alternate full passes with passes
-// over the non-bound subset until a full pass makes no progress.
+// solve runs the SMO main loop with working-set shrinking: alternate
+// full passes over the active set with passes over its non-bound
+// subset until a full pass makes no progress, dropping converged bound
+// examples from the sweeps along the way; then restore the shrunk
+// examples, rebuild their error terms, and verify the KKT conditions
+// globally, resuming (without further shrinking) if the reduced
+// problem's solution does not survive the full check.
 func (tr *trainer) solve() {
 	maxIter := tr.cfg.MaxIter
 	if maxIter <= 0 {
@@ -259,22 +438,37 @@ func (tr *trainer) solve() {
 	rng := rand.New(rand.NewSource(int64(tr.n)*2654435761 + 1))
 
 	iter := 0
+	shrinking := true
+	for {
+		tr.sweeps(rng, &iter, maxIter, shrinking)
+		if iter >= maxIter || tr.nActive == tr.n {
+			return
+		}
+		tr.unshrink()
+		shrinking = false
+	}
+}
+
+// sweeps is one convergence run over the current active set: Platt's
+// alternation of full and non-bound-only passes until MaxPasses passes
+// in a row make no progress.
+func (tr *trainer) sweeps(rng *rand.Rand, iter *int, maxIter int, shrinking bool) {
 	examineAll := true
 	passesWithoutProgress := 0
-	for passesWithoutProgress < tr.cfg.maxPasses() && iter < maxIter {
+	for passesWithoutProgress < tr.cfg.maxPasses() && *iter < maxIter {
 		changed := 0
-		if examineAll {
-			for i := 0; i < tr.n && iter < maxIter; i++ {
-				changed += tr.examine(i, rng)
-				iter++
+		for i := 0; i < tr.n && *iter < maxIter; i++ {
+			if !tr.active[i] {
+				continue
 			}
-		} else {
-			for i := 0; i < tr.n && iter < maxIter; i++ {
-				if tr.alpha[i] > 0 && tr.alpha[i] < tr.cfg.C {
-					changed += tr.examine(i, rng)
-					iter++
-				}
+			if !examineAll && !(tr.alpha[i] > 0 && tr.alpha[i] < tr.cfg.C) {
+				continue
 			}
+			changed += tr.examine(i, rng)
+			*iter++
+		}
+		if examineAll && shrinking {
+			tr.shrink()
 		}
 		if examineAll {
 			examineAll = false
@@ -287,6 +481,57 @@ func (tr *trainer) solve() {
 			passesWithoutProgress = 0
 		}
 	}
+}
+
+// shrink drops bound examples whose KKT condition holds with a
+// comfortable margin from the active set: SMO will not pick them again
+// until the rest of the working set moves the boundary substantially,
+// and the final unshrink pass re-checks them anyway. Their cached
+// kernel rows are released so the LRU budget stays on live rows.
+func (tr *trainer) shrink() {
+	tol, c := tr.cfg.Tol, tr.cfg.C
+	for i := 0; i < tr.n; i++ {
+		if !tr.active[i] {
+			continue
+		}
+		a := tr.alpha[i]
+		if a > 0 && a < c {
+			continue // non-bound examples always stay active
+		}
+		r := tr.errs[i] * tr.y[i]
+		if (a <= 0 && r > shrinkMargin*tol) || (a >= c && r < -shrinkMargin*tol) {
+			tr.active[i] = false
+			tr.nActive--
+			if tr.lru != nil {
+				tr.lru.Remove(i)
+			}
+		}
+	}
+}
+
+// unshrink reactivates every shrunk example, rebuilding its error term
+// exactly from the support vectors (errors of inactive examples go
+// stale the moment they are shrunk: the incremental update loop skips
+// them on purpose).
+func (tr *trainer) unshrink() {
+	var sv []int
+	for i, a := range tr.alpha {
+		if a > 1e-12 {
+			sv = append(sv, i)
+		}
+	}
+	for i := 0; i < tr.n; i++ {
+		if tr.active[i] {
+			continue
+		}
+		var g float64
+		for _, j := range sv {
+			g += tr.alpha[j] * tr.y[j] * tr.kern(tr.x[i], tr.x[j])
+		}
+		tr.errs[i] = g - tr.b - tr.y[i]
+		tr.active[i] = true
+	}
+	tr.nActive = tr.n
 }
 
 func (c Config) maxPasses() int {
@@ -306,10 +551,10 @@ func (tr *trainer) examine(i2 int, rng *rand.Rand) int {
 	tol, c := tr.cfg.Tol, tr.cfg.C
 
 	if (r2 < -tol && a2 < c) || (r2 > tol && a2 > 0) {
-		// Heuristic 1: maximize |E1 - E2| over non-bound alphas.
+		// Heuristic 1: maximize |E1 - E2| over active non-bound alphas.
 		best, bestGap := -1, -1.0
 		for i := 0; i < tr.n; i++ {
-			if tr.alpha[i] > 0 && tr.alpha[i] < c {
+			if tr.active[i] && tr.alpha[i] > 0 && tr.alpha[i] < c {
 				gap := math.Abs(tr.errs[i] - e2)
 				if gap > bestGap {
 					bestGap, best = gap, i
@@ -319,21 +564,21 @@ func (tr *trainer) examine(i2 int, rng *rand.Rand) int {
 		if best >= 0 && tr.takeStep(best, i2) {
 			return 1
 		}
-		// Heuristic 2: loop over non-bound from a random start.
+		// Heuristic 2: loop over active non-bound from a random start.
 		start := rng.Intn(tr.n)
 		for k := 0; k < tr.n; k++ {
 			i1 := (start + k) % tr.n
-			if tr.alpha[i1] > 0 && tr.alpha[i1] < c {
+			if tr.active[i1] && tr.alpha[i1] > 0 && tr.alpha[i1] < c {
 				if tr.takeStep(i1, i2) {
 					return 1
 				}
 			}
 		}
-		// Heuristic 3: loop over everything.
+		// Heuristic 3: loop over the whole active set.
 		start = rng.Intn(tr.n)
 		for k := 0; k < tr.n; k++ {
 			i1 := (start + k) % tr.n
-			if tr.takeStep(i1, i2) {
+			if tr.active[i1] && tr.takeStep(i1, i2) {
 				return 1
 			}
 		}
@@ -365,10 +610,13 @@ func (tr *trainer) takeStep(i1, i2 int) bool {
 		return false
 	}
 
-	row1 := tr.kRow(i1)
+	// Only the scalar K(i1,i2) is needed to evaluate the step; full
+	// kernel rows are fetched after the step is accepted, so the many
+	// rejected takeStep attempts of the second-choice heuristics cost
+	// one kernel evaluation instead of a whole row.
 	k11 := tr.kdiag[i1]
 	k22 := tr.kdiag[i2]
-	k12 := row1[i2]
+	k12 := tr.kernAt(i1, i2)
 	eta := k11 + k22 - 2*k12
 
 	var a2new float64
@@ -410,7 +658,6 @@ func (tr *trainer) takeStep(i1, i2 int) bool {
 	}
 
 	// Threshold update (Platt eq. 20-22).
-	row2 := tr.kRow(i2)
 	b1 := e1 + y1*(a1new-a1)*k11 + y2*(a2new-a2)*k12 + tr.b
 	b2 := e2 + y1*(a1new-a1)*k12 + y2*(a2new-a2)*k22 + tr.b
 	var bnew float64
@@ -429,23 +676,38 @@ func (tr *trainer) takeStep(i1, i2 int) bool {
 	d2 := y2 * (a2new - a2)
 	tr.alpha[i1] = a1new
 	tr.alpha[i2] = a2new
+	// The incremental update is exact — row values are deterministic
+	// whether cached or recomputed — so no per-step re-derivation of
+	// E_{i1}, E_{i2} is needed. Shrunk examples are skipped; their
+	// errors are rebuilt from scratch on unshrink.
+	row1 := tr.kRow(i1)
+	row2 := tr.kRow(i2)
 	for i := 0; i < tr.n; i++ {
-		tr.errs[i] += d1*row1[i] + d2*row2[i] - deltaB
+		if tr.active[i] {
+			tr.errs[i] += d1*row1[i] + d2*row2[i] - deltaB
+		}
 	}
-	// Pin the two updated examples to exact values to stop cache drift.
-	tr.errs[i1] = tr.f(i1, row1) - y1
-	tr.errs[i2] = tr.f(i2, row2) - y2
 	return true
 }
 
-// f recomputes the decision value for training index i exactly; row is
-// the kernel row for i (reused to avoid recomputation).
-func (tr *trainer) f(i int, row []float64) float64 {
-	var s float64
-	for j := 0; j < tr.n; j++ {
-		if tr.alpha[j] > 0 {
-			s += tr.alpha[j] * tr.y[j] * row[j]
+// kernAt returns the single kernel value K(i, j), served from an
+// already-cached row when one exists but never materializing a new
+// row.
+func (tr *trainer) kernAt(i, j int) float64 {
+	if tr.kfull != nil {
+		if tr.kfull[i] != nil {
+			return tr.kfull[i][j]
+		}
+		if tr.kfull[j] != nil {
+			return tr.kfull[j][i]
+		}
+	} else if tr.lru != nil {
+		if row, ok := tr.lru.Get(i); ok {
+			return row[j]
+		}
+		if row, ok := tr.lru.Get(j); ok {
+			return row[i]
 		}
 	}
-	return s - tr.b
+	return tr.kern(tr.x[i], tr.x[j])
 }

@@ -1,0 +1,257 @@
+package svm
+
+import (
+	"math"
+	"testing"
+
+	"exbox/internal/mathx"
+)
+
+// tightConfig is DefaultConfig with the KKT tolerance cranked down so
+// independent solves land on (numerically) the same optimum; the
+// equivalence tests compare decision functions at 1e-6.
+func tightConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Tol = 1e-8
+	cfg.Eps = 1e-11
+	cfg.MaxPasses = 10
+	cfg.MaxIter = 4_000_000
+	return cfg
+}
+
+// TestWarmStartEquivalence is the headline property of the incremental
+// solver: a warm-started fit must reach the same decision function as
+// a cold fit of the same problem. The seed is deliberately perturbed —
+// alphas scaled down and a third of them zeroed — so the solver has
+// real re-optimization to do from the warm state, not just a no-op
+// verification sweep.
+func TestWarmStartEquivalence(t *testing.T) {
+	x, y := ringData(310, 21)
+	cfg := tightConfig()
+
+	cold, state, err := Solve(cfg, x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed := append([]float64(nil), state.Alpha...)
+	for i := range perturbed {
+		perturbed[i] *= 0.9
+		if i%3 == 0 {
+			perturbed[i] = 0
+		}
+	}
+	warmModel, _, err := Solve(cfg, x, y, state.Remap(perturbed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Held-out grid over the data's support.
+	for gx := -4.0; gx <= 4.0; gx += 0.5 {
+		for gy := -4.0; gy <= 4.0; gy += 0.5 {
+			p := []float64{gx, gy}
+			dw, dc := warmModel.Decision(p), cold.Decision(p)
+			if math.Abs(dw-dc) > 1e-6 {
+				t.Fatalf("decision mismatch at %v: warm=%v cold=%v (|Δ|=%g)",
+					p, dw, dc, math.Abs(dw-dc))
+			}
+		}
+	}
+}
+
+// TestWarmStartGrownBatch is the online scenario the solver exists
+// for: fit n rows, observe a batch of B more, refit warm. The warm fit
+// keeps the seed's feature standardization (that is what makes it
+// cheap), so its decision function is not bitwise that of a cold refit
+// — but it must classify like one everywhere except a thin band around
+// the boundary.
+func TestWarmStartGrownBatch(t *testing.T) {
+	const n, batch = 300, 10
+	x, y := ringData(n+batch, 22)
+	cfg := DefaultConfig()
+
+	_, seed, err := Solve(cfg, x[:n], y[:n], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmModel, next, err := Solve(cfg, x, y, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldModel, _, err := Solve(cfg, x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next == nil || len(next.Alpha) != n+batch {
+		t.Fatalf("warm fit returned unusable next state: %+v", next)
+	}
+	disagree := 0
+	for gx := -4.0; gx <= 4.0; gx += 0.25 {
+		for gy := -4.0; gy <= 4.0; gy += 0.25 {
+			p := []float64{gx, gy}
+			dw, dc := warmModel.Decision(p), coldModel.Decision(p)
+			if math.Abs(dc) < 0.05 {
+				continue // boundary band: sign there is solver noise
+			}
+			if (dw >= 0) != (dc >= 0) {
+				disagree++
+			}
+		}
+	}
+	if disagree > 0 {
+		t.Fatalf("warm and cold fits disagree on %d off-boundary grid points", disagree)
+	}
+	if acc := trainAccuracy(warmModel, x, y); acc < 0.97 {
+		t.Fatalf("warm-started accuracy = %v, want >= 0.97", acc)
+	}
+}
+
+// TestWarmStartRepairsInfeasibleSeed feeds the solver a deliberately
+// broken seed — out-of-box values and an unbalanced Σ αᵢyᵢ — and
+// requires the same decisions as a cold fit: warm state must never be
+// able to corrupt a result, only speed one up.
+func TestWarmStartRepairsInfeasibleSeed(t *testing.T) {
+	x, y := ringData(200, 23)
+	cfg := tightConfig()
+	_, state, err := Solve(cfg, x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := make([]float64, len(x))
+	rng := mathx.NewRand(24)
+	for i := range bad {
+		bad[i] = rng.Float64()*3*cfg.C - cfg.C // in [-C, 2C]
+	}
+	warmModel, _, err := Solve(cfg, x, y, state.Remap(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldModel, _, err := Solve(cfg, x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range x {
+		dw, dc := warmModel.Decision(row), coldModel.Decision(row)
+		if math.Abs(dw-dc) > 1e-5 {
+			t.Fatalf("broken seed changed the solution: warm=%v cold=%v", dw, dc)
+		}
+	}
+}
+
+// TestWarmStartShortAndLongSeeds exercises the alignment rules: seeds
+// shorter than the dataset leave the tail cold, seeds longer than the
+// dataset are truncated; both must still train correctly.
+func TestWarmStartShortAndLongSeeds(t *testing.T) {
+	x, y := ringData(150, 25)
+	cfg := DefaultConfig()
+	_, state, err := Solve(cfg, x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := append(append([]float64(nil), state.Alpha...), 1, 2, 3)
+	for _, seed := range []*WarmState{state.Remap(state.Alpha[:10]), state.Remap(long)} {
+		m, _, err := Solve(cfg, x, y, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc := trainAccuracy(m, x, y); acc < 0.97 {
+			t.Fatalf("seed len %d: accuracy = %v, want >= 0.97", len(seed.Alpha), acc)
+		}
+	}
+}
+
+// TestWarmStateRefreshRules checks the guards that force periodic cold
+// refits: a seed from a much smaller dataset is ignored, and a seed
+// reused maxWarmAge times expires so the frozen standardization cannot
+// go stale forever.
+func TestWarmStateRefreshRules(t *testing.T) {
+	x, y := ringData(200, 26)
+	cfg := DefaultConfig()
+	_, state, err := Solve(cfg, x[:100], y[:100], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state.Usable(len(x), len(x[0])) {
+		t.Fatal("seed from 100 rows must not be usable at 200 rows (>25% growth)")
+	}
+	if !state.Usable(110, 2) {
+		t.Fatal("seed from 100 rows should be usable at 110 rows")
+	}
+	aged := *state
+	aged.age = maxWarmAge
+	if aged.Usable(100, 2) {
+		t.Fatal("expired seed must not be usable")
+	}
+	// Reuse bumps age: after a warm fit the returned state is older.
+	_, next, err := Solve(cfg, x[:110], y[:110], state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.age != 1 {
+		t.Fatalf("warm reuse should age the state: age = %d, want 1", next.age)
+	}
+	if next.n != state.n {
+		t.Fatalf("warm reuse must keep the scaler horizon: n = %d, want %d", next.n, state.n)
+	}
+	// A cold fit resets the horizon and age.
+	_, fresh, err := Solve(cfg, x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.age != 0 || fresh.n != len(x) {
+		t.Fatalf("cold fit state: age=%d n=%d, want 0 and %d", fresh.age, fresh.n, len(x))
+	}
+}
+
+// TestSolveAlphasFeasible checks the returned dual variables are a
+// feasible SMO state: inside the box and balanced across classes —
+// exactly what the next warm start assumes.
+func TestSolveAlphasFeasible(t *testing.T) {
+	x, y := ringData(250, 26)
+	cfg := DefaultConfig()
+	_, state, err := Solve(cfg, x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(state.Alpha) != len(x) {
+		t.Fatalf("got %d alphas for %d rows", len(state.Alpha), len(x))
+	}
+	var s float64
+	for i, a := range state.Alpha {
+		if a < 0 || a > cfg.C {
+			t.Fatalf("alpha[%d] = %v outside [0, %v]", i, a, cfg.C)
+		}
+		s += a * y[i]
+	}
+	if math.Abs(s) > 1e-8 {
+		t.Fatalf("sum alpha*y = %v, want 0", s)
+	}
+}
+
+// TestKKTHoldsAfterShrinkingSolve verifies working-set shrinking never
+// terminates on a state that violates the KKT conditions globally: the
+// unshrink pass must catch examples that drifted while parked.
+func TestKKTHoldsAfterShrinkingSolve(t *testing.T) {
+	x, y := ringData(500, 27)
+	cfg := DefaultConfig()
+	m, state, err := Solve(cfg, x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slack := 2 * cfg.Tol
+	for i, row := range x {
+		r := y[i]*m.Decision(row) - 1
+		switch {
+		case state.Alpha[i] <= 1e-12:
+			if r < -slack {
+				t.Fatalf("KKT violated at zero alpha %d: y·f-1 = %v", i, r)
+			}
+		case state.Alpha[i] >= cfg.C-1e-12:
+			if r > slack {
+				t.Fatalf("KKT violated at bound alpha %d: y·f-1 = %v", i, r)
+			}
+		default:
+			if math.Abs(r) > slack {
+				t.Fatalf("KKT violated at free alpha %d: y·f-1 = %v", i, r)
+			}
+		}
+	}
+}

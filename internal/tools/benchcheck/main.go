@@ -1,0 +1,123 @@
+// Command benchcheck is the CI benchmark-regression gate: it parses
+// raw `go test -bench` output, takes the median ns/op of each
+// benchmark's repeated runs (-count), and compares them against the
+// committed baseline (BENCH_baseline.json). A benchmark whose median
+// regressed by more than -threshold (default 25%) fails the gate, as
+// does a baseline benchmark missing from the run — a silently deleted
+// benchmark must not pass the perf gate.
+//
+// Usage:
+//
+//	go test -bench 'Retrain|Admit' -benchtime 100x -count 5 ./... | tee bench.txt
+//	go run ./internal/tools/benchcheck -baseline BENCH_baseline.json bench.txt
+//
+// Refresh the baseline after an intentional performance change with
+// -update, and commit the result:
+//
+//	go run ./internal/tools/benchcheck -baseline BENCH_baseline.json -update bench.txt
+//
+// Medians compare a fresh run against numbers measured on possibly
+// different hardware, so the threshold is generous; the gate exists to
+// catch order-of-magnitude mistakes (an accidentally quadratic loop, a
+// lost cache), not single-digit drift. CI runs it on fixed runner
+// hardware where 25% is already conservative.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+
+	"exbox/internal/tools/benchjson"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline snapshot")
+	threshold := flag.Float64("threshold", 0.25, "maximum allowed fractional ns/op regression of the median")
+	update := flag.Bool("update", false, "rewrite the baseline from this run instead of comparing")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	switch flag.NArg() {
+	case 0:
+	case 1:
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	default:
+		fatal(fmt.Errorf("at most one input file, got %d", flag.NArg()))
+	}
+
+	samples, err := benchjson.ParseGoBench(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(samples) == 0 {
+		fatal(fmt.Errorf("no benchmark lines in input — did the bench run fail?"))
+	}
+	current := benchjson.Summarize(samples)
+
+	if *update {
+		f := &benchjson.File{
+			Go:         runtime.Version(),
+			Source:     "benchcheck -update",
+			Benchmarks: current,
+		}
+		if err := f.Write(*baselinePath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchcheck: wrote %d benchmarks to %s\n", len(current), *baselinePath)
+		return
+	}
+
+	baseline, err := benchjson.Read(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+
+	names := make([]string, 0, len(baseline.Benchmarks))
+	for name := range baseline.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		base := baseline.Benchmarks[name]
+		cur, ok := current[name]
+		if !ok {
+			fmt.Printf("FAIL %-28s missing from this run (baseline %.0f ns/op)\n", name, base.NsPerOp)
+			failed = true
+			continue
+		}
+		ratio := cur.NsPerOp / base.NsPerOp
+		verdict := "ok  "
+		if ratio > 1+*threshold {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %-28s %12.0f ns/op  baseline %12.0f  (%+.1f%%, %d samples)\n",
+			verdict, name, cur.NsPerOp, base.NsPerOp, (ratio-1)*100, cur.Samples)
+	}
+	for name := range current {
+		if _, ok := baseline.Benchmarks[name]; !ok {
+			fmt.Printf("note %-28s not in baseline; add it with -update\n", name)
+		}
+	}
+	if failed {
+		fmt.Printf("benchcheck: FAIL (threshold %.0f%%)\n", *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: ok, %d benchmarks within %.0f%% of baseline\n", len(names), *threshold*100)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+	os.Exit(2)
+}

@@ -1,0 +1,131 @@
+// Package benchjson is the shared vocabulary of ExBox's performance
+// tooling: the committed benchmark baselines (BENCH_*.json), the
+// `exbench -bench` snapshot output, and the CI regression gate
+// (internal/tools/benchcheck) all read and write this one format, and
+// the gate parses raw `go test -bench` output with it.
+package benchjson
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Schema identifies the JSON layout; bump on incompatible changes.
+const Schema = "exbox-bench/v1"
+
+// Entry is one benchmark's recorded result.
+type Entry struct {
+	// NsPerOp is the median wall time per operation in nanoseconds.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Samples is how many `go test` runs the median was taken over.
+	Samples int `json:"samples"`
+}
+
+// File is a benchmark snapshot: a map from benchmark name (without
+// the -GOMAXPROCS suffix) to its result, plus provenance.
+type File struct {
+	Schema     string           `json:"schema"`
+	Go         string           `json:"go,omitempty"`
+	Source     string           `json:"source,omitempty"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// Read loads a snapshot file and validates its schema.
+func Read(path string) (*File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	if f.Schema != Schema {
+		return nil, fmt.Errorf("benchjson: %s: schema %q, want %q", path, f.Schema, Schema)
+	}
+	return &f, nil
+}
+
+// Write saves a snapshot with stable formatting (sorted keys, indented)
+// so committed baselines diff cleanly.
+func (f *File) Write(path string) error {
+	f.Schema = Schema
+	raw, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// ParseGoBench extracts ns/op samples from raw `go test -bench` output
+// (one line per run, repeated runs with -count append more samples).
+// The -GOMAXPROCS suffix is stripped so names match across machines:
+// "BenchmarkRetrainWarm-8" and "BenchmarkRetrainWarm-48" are the same
+// benchmark.
+func ParseGoBench(r io.Reader) (map[string][]float64, error) {
+	samples := make(map[string][]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// Benchmark lines look like:
+		//   BenchmarkRetrainWarm-8   100   883932 ns/op [extra metrics...]
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		var ns float64
+		found := false
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("benchjson: bad ns/op %q in %q", fields[i], sc.Text())
+				}
+				ns, found = v, true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		samples[name] = append(samples[name], ns)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+// Median returns the median of xs (mean of the middle pair for even
+// lengths); it panics on an empty slice.
+func Median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Summarize collapses per-benchmark samples to median entries, the
+// form snapshots store.
+func Summarize(samples map[string][]float64) map[string]Entry {
+	out := make(map[string]Entry, len(samples))
+	for name, xs := range samples {
+		out[name] = Entry{NsPerOp: Median(xs), Samples: len(xs)}
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+// Command figcheck is the CI smoke gate over `exbench -scale quick`
+// output: it parses every rendered figure and heatmap and diffs the
+// output *shape* — which figures appeared, how many series and rows
+// each has, whether x values are strictly increasing, whether heatmap
+// grids are complete — against the expectations table below. It does
+// not pin numeric values (those drift with legitimate model changes);
+// it catches the structural breakage a refactor can smuggle past unit
+// tests: a figure that silently stopped rendering, a series that
+// vanished, rows that collapsed to one x value.
+//
+// Usage:
+//
+//	go run ./cmd/exbench -scale quick | go run ./internal/tools/figcheck
+//
+// When figures are intentionally added or reshaped, update the
+// expectations table here in the same change.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// expect describes one figure's required shape at quick scale.
+type expect struct {
+	id      string
+	heatmap bool
+	series  int // exact series count (figures only)
+	minRows int // minimum data-row count
+}
+
+// expectations covers every figure exbench renders at quick scale, in
+// render order.
+var expectations = []expect{
+	{id: "fig2a", heatmap: true, minRows: 11},
+	{id: "fig2b", heatmap: true, minRows: 11},
+	{id: "fig2c", heatmap: true, minRows: 11},
+	{id: "fig3", series: 2, minRows: 5},
+	{id: "fig7-random", series: 9, minRows: 6},
+	{id: "fig7-livelab", series: 9, minRows: 6},
+	{id: "fig8-random", series: 9, minRows: 6},
+	{id: "fig8-livelab", series: 9, minRows: 6},
+	{id: "fig9-wifi-testbed", series: 3, minRows: 3},
+	{id: "fig9-lte-testbed", series: 3, minRows: 3},
+	{id: "fig10-wifi-testbed", series: 5, minRows: 3},
+	{id: "fig10-lte-testbed", series: 5, minRows: 3},
+	{id: "fig11-wifi-testbed", series: 9, minRows: 3},
+	{id: "fig11-lte-testbed", series: 9, minRows: 3},
+	{id: "fig12", series: 3, minRows: 10},
+	{id: "fig13", series: 5, minRows: 8},
+	{id: "fig14-wifi", series: 9, minRows: 8},
+	{id: "fig14-lte", series: 9, minRows: 8},
+}
+
+// block is one parsed "== id: title ==" section.
+type block struct {
+	id     string
+	header []string   // column names (or column labels for heatmaps)
+	xs     []float64  // first column of each data row
+	rows   [][]string // remaining cells of each data row
+}
+
+func main() {
+	in := io.Reader(os.Stdin)
+	if len(os.Args) == 2 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	} else if len(os.Args) > 2 {
+		fatal(fmt.Errorf("at most one input file, got %d args", len(os.Args)-1))
+	}
+
+	blocks, err := parse(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	byID := make(map[string]*block, len(blocks))
+	for _, b := range blocks {
+		if byID[b.id] != nil {
+			fail("figure %s rendered more than once", b.id)
+		}
+		byID[b.id] = b
+	}
+	expected := make(map[string]bool, len(expectations))
+	for _, e := range expectations {
+		expected[e.id] = true
+		b := byID[e.id]
+		if b == nil {
+			fail("figure %s missing from output", e.id)
+			continue
+		}
+		checkShape(e, b)
+	}
+	for _, b := range blocks {
+		if !expected[b.id] {
+			fail("figure %s is not in figcheck's expectations — update internal/tools/figcheck", b.id)
+		}
+	}
+
+	if failed {
+		fmt.Printf("figcheck: FAIL (%d problems, %d figures seen)\n", problems, len(blocks))
+		os.Exit(1)
+	}
+	fmt.Printf("figcheck: ok, %d figures match expected shape\n", len(blocks))
+}
+
+func checkShape(e expect, b *block) {
+	if len(b.xs) < e.minRows {
+		fail("figure %s has %d rows, want >= %d", e.id, len(b.xs), e.minRows)
+	}
+	if e.heatmap {
+		// Complete grid: every row carries one value per column.
+		for i, row := range b.rows {
+			if len(row) != len(b.header) {
+				fail("heatmap %s row %d has %d cells, want %d", e.id, i, len(row), len(b.header))
+			}
+			for j, cell := range row {
+				if _, err := strconv.ParseFloat(cell, 64); err != nil {
+					fail("heatmap %s cell (%d,%d) = %q is not numeric", e.id, i, j, cell)
+				}
+			}
+		}
+	} else {
+		if got := len(b.header) - 1; got != e.series {
+			fail("figure %s has %d series, want %d", e.id, got, e.series)
+		}
+		for i, row := range b.rows {
+			if len(row) != len(b.header)-1 {
+				fail("figure %s row %d has %d cells, want %d", e.id, i, len(row), len(b.header)-1)
+			}
+			for j, cell := range row {
+				if cell == "-" {
+					continue // series without a sample at this x
+				}
+				if _, err := strconv.ParseFloat(cell, 64); err != nil {
+					fail("figure %s cell (%d,%d) = %q is not numeric", e.id, i, j, cell)
+				}
+			}
+		}
+	}
+	// x values (row labels for heatmaps) must be strictly increasing:
+	// duplicated or shuffled rows mean a broken sweep.
+	for i := 1; i < len(b.xs); i++ {
+		if b.xs[i] <= b.xs[i-1] {
+			fail("figure %s x values not strictly increasing at row %d: %v after %v",
+				e.id, i, b.xs[i], b.xs[i-1])
+		}
+	}
+}
+
+// parse splits exbench output into figure blocks. Note lines (#),
+// per-figure timing trailers ([figN @ ...]) and blank lines are
+// skipped; the first non-note line of a block is its column header.
+func parse(r io.Reader) ([]*block, error) {
+	var blocks []*block
+	var cur *block
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "== "):
+			rest := strings.TrimSuffix(strings.TrimPrefix(line, "== "), " ==")
+			id, _, ok := strings.Cut(rest, ": ")
+			if !ok {
+				return nil, fmt.Errorf("figcheck: malformed figure header %q", line)
+			}
+			cur = &block{id: id}
+			blocks = append(blocks, cur)
+		case cur == nil, line == "", strings.HasPrefix(line, "#"), strings.HasPrefix(line, "["):
+			// Prologue, notes, timing trailers.
+		default:
+			fields := strings.Fields(line)
+			if len(fields) == 0 {
+				continue
+			}
+			if cur.header == nil {
+				cur.header = fields
+				continue
+			}
+			x, err := strconv.ParseFloat(fields[0], 64)
+			if err != nil {
+				return nil, fmt.Errorf("figcheck: figure %s: row label %q is not numeric", cur.id, fields[0])
+			}
+			cur.xs = append(cur.xs, x)
+			cur.rows = append(cur.rows, fields[1:])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return blocks, nil
+}
+
+var (
+	failed   bool
+	problems int
+)
+
+func fail(format string, args ...any) {
+	failed = true
+	problems++
+	fmt.Printf("FAIL "+format+"\n", args...)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "figcheck: %v\n", err)
+	os.Exit(2)
+}
