@@ -45,6 +45,9 @@ func runBench(out string, count int) error {
 		{"BenchmarkRetrainCold1k", benchRetrainSolve(1000, 20, false)},
 		{"BenchmarkRetrainWarm1k", benchRetrainSolve(1000, 20, true)},
 		{"BenchmarkAdmitParallel", benchAdmit},
+		// The steady-state inference fast path: one RBF decision over a
+		// several-hundred-SV model with caller scratch (0 allocs/op).
+		{"BenchmarkDecisionRBF", benchDecisionRBF},
 	}
 
 	f := &benchjson.File{
@@ -54,16 +57,22 @@ func runBench(out string, count int) error {
 	}
 	for _, b := range benches {
 		samples := make([]float64, 0, count)
+		allocs := make([]float64, 0, count)
 		for i := 0; i < count; i++ {
 			r := testing.Benchmark(b.run)
 			if r.N == 0 {
 				return fmt.Errorf("benchmark %s did not run (failed inside the harness?)", b.name)
 			}
 			samples = append(samples, float64(r.NsPerOp()))
+			allocs = append(allocs, float64(r.AllocsPerOp()))
 		}
 		med := benchjson.Median(samples)
-		f.Benchmarks[b.name] = benchjson.Entry{NsPerOp: med, Samples: len(samples)}
-		fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op (median of %d)\n", b.name, med, len(samples))
+		f.Benchmarks[b.name] = benchjson.Entry{
+			NsPerOp: med, Samples: len(samples),
+			AllocsPerOp: benchjson.Median(allocs), AllocSamples: len(allocs),
+		}
+		fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op  %6.1f allocs/op (median of %d)\n",
+			b.name, med, benchjson.Median(allocs), len(samples))
 	}
 
 	if out == "" {
@@ -119,6 +128,7 @@ func benchRetrainSolve(n, batch int, warmStart bool) func(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			var seed *svm.WarmState
@@ -151,6 +161,7 @@ func benchAdmit(b *testing.B) {
 		Matrix: excr.NewMatrix(excr.DefaultSpace).Set(excr.Streaming, 0, 12),
 		Class:  excr.Web,
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
@@ -159,4 +170,45 @@ func benchAdmit(b *testing.B) {
 			}
 		}
 	})
+}
+
+// benchOverlapData builds two heavily overlapping Gaussian clouds so
+// the RBF fit retains several hundred support vectors — the slab-walk
+// regime the inference fast path is built for (mirrors the dataset of
+// internal/svm's decision benchmarks).
+func benchOverlapData(n, dim int, seed int64) (x [][]float64, y []float64) {
+	rng := mathx.NewRand(seed)
+	for i := 0; i < n; i++ {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		label := 1.0
+		if i%2 == 0 {
+			for j := range row {
+				row[j] += 0.8
+			}
+			label = -1
+		}
+		x = append(x, row)
+		y = append(y, label)
+	}
+	return x, y
+}
+
+func benchDecisionRBF(b *testing.B) {
+	x, y := benchOverlapData(600, 5, 41)
+	m, err := svm.Train(svm.DefaultConfig(), x, y)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scratch := make([]float64, m.Dim())
+	row := x[1]
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += m.DecisionInto(scratch, row)
+	}
+	_ = sink
 }

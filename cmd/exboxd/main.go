@@ -280,6 +280,9 @@ func (g *gateway) close() {
 // forward or drop. UDP reads are safe to share across workers.
 func (g *gateway) run(done chan struct{}) {
 	buf := make([]byte, 64*1024)
+	// Per-worker classifier workspace: admission on this worker's flows
+	// reuses it, so the steady-state decision path never allocates.
+	scratch := new(classifier.Scratch)
 	sinkAddr := g.sink.LocalAddr().(*net.UDPAddr)
 	for {
 		select {
@@ -296,7 +299,7 @@ func (g *gateway) run(done chan struct{}) {
 			return
 		}
 		up := n > 0 && buf[0] == 'U'
-		if g.handle(src, n, up) {
+		if g.handle(src, n, up, scratch) {
 			if _, err := g.conn.WriteToUDP(buf[:n], sinkAddr); err != nil {
 				log.Printf("forward: %v", err)
 			}
@@ -308,7 +311,7 @@ func (g *gateway) run(done chan struct{}) {
 // The first payload byte carries the direction marker the demo
 // generators set ('U' uplink, 'D' downlink), standing in for the
 // ingress interface a real gateway would key on.
-func (g *gateway) handle(src *net.UDPAddr, bytes int, up bool) bool {
+func (g *gateway) handle(src *net.UDPAddr, bytes int, up bool, scratch *classifier.Scratch) bool {
 	key := flows.Key{
 		Src: src.IP.String(), Dst: "sink",
 		SrcPort: uint16(src.Port), DstPort: 9, Proto: flows.UDP,
@@ -323,7 +326,7 @@ func (g *gateway) handle(src *net.UDPAddr, bytes int, up bool) bool {
 			f.SNR = snrFor(src)
 		}
 		if f.ReadyToClassify(t.HeadCap) {
-			g.classifyAndDecide(f)
+			g.classifyAndDecide(f, scratch)
 		}
 		// Pre-decision packets pass (classification needs them); after
 		// the decision, rejected flows are dropped at the gateway.
@@ -339,14 +342,14 @@ func (g *gateway) handle(src *net.UDPAddr, bytes int, up bool) bool {
 
 // classifyAndDecide runs traffic classification and admission control
 // for one flow. Caller holds the flow's shard lock.
-func (g *gateway) classifyAndDecide(f *flows.Flow) {
+func (g *gateway) classifyAndDecide(f *flows.Flow, scratch *classifier.Scratch) {
 	class, conf, err := g.fc.ClassifyFlow(f)
 	if err != nil {
 		return
 	}
 	f.Class, f.Classified = class, true
 	current := g.table.Matrix()
-	out, err := g.mb.Admit(cellID, excr.Arrival{Matrix: current, Class: class, Level: g.level(f.SNR)})
+	out, err := g.mb.AdmitWith(cellID, excr.Arrival{Matrix: current, Class: class, Level: g.level(f.SNR)}, scratch)
 	if err != nil {
 		return
 	}
@@ -392,13 +395,16 @@ func snrFor(src *net.UDPAddr) excr.SNRLevel {
 func (g *gateway) sweeper(done chan struct{}) {
 	tick := time.NewTicker(500 * time.Millisecond)
 	defer tick.Stop()
+	// The sweeper's own classifier workspace: late classification and
+	// the batched re-evaluation sweep reuse it tick after tick.
+	scratch := new(classifier.Scratch)
 	n := 0
 	for {
 		select {
 		case <-done:
 			return
 		case <-tick.C:
-			g.sweep(time.Since(g.start).Seconds())
+			g.sweep(time.Since(g.start).Seconds(), scratch)
 			if n++; n%10 == 0 {
 				g.logStats()
 			}
@@ -416,12 +422,12 @@ func (g *gateway) logStats() {
 		g.admitLat.Quantile(0.5), g.admitLat.Quantile(0.99))
 }
 
-func (g *gateway) sweep(now float64) {
+func (g *gateway) sweep(now float64, scratch *classifier.Scratch) {
 	// Silence case: classify short flows whose head never filled.
 	g.table.Sweep(func(t *flows.Table) {
 		for _, f := range t.Active() {
 			if f.ReadyBySilence(now, classifySilence) {
-				g.classifyAndDecide(f)
+				g.classifyAndDecide(f, scratch)
 				if f.Classified {
 					g.lateClass.Inc()
 				}
@@ -464,7 +470,7 @@ func (g *gateway) sweep(now float64) {
 	if len(active) == 0 {
 		return
 	}
-	evict, err := g.mb.Reevaluate(cellID, matrix, active)
+	evict, err := g.mb.ReevaluateWith(cellID, matrix, active, scratch)
 	if err != nil {
 		log.Printf("reevaluate: %v", err)
 		return

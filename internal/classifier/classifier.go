@@ -171,9 +171,30 @@ func DefaultConfig() Config {
 // immutable and safe for concurrent use).
 type modelSnapshot struct {
 	model       learner.Predictor
-	calibration float64 // max |decision| over the training set
+	fast        learner.FastPredictor // model's fast path, nil when not provided
+	calibration float64               // max |decision| over the training set
 	bootstrap   bool
 }
+
+// Scratch is per-caller workspace for the allocation-free decision
+// paths: feature rows, the standardized-sample buffer, and the batch
+// slabs all live here and are grown on demand. A Scratch must not be
+// used concurrently; hold one per worker (cmd/exboxd does) or let
+// Decide borrow one from the internal pool. The classifier never
+// retains a Scratch or any slice inside it beyond the call.
+type Scratch struct {
+	feat  []float64   // one feature row (DecideScratch)
+	z     []float64   // standardized-sample buffer for DecisionInto
+	slab  []float64   // flat feature storage for DecideBatch rows
+	rows  [][]float64 // row views into slab
+	score []float64   // raw decision values for a batch
+	batch []float64   // FastPredictor.DecisionBatch workspace
+}
+
+// scratchPool backs plain Decide so callers that don't hold their own
+// Scratch still hit the zero-allocation path (pooling a pointer type
+// keeps Get/Put allocation-free).
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
 
 // AdmittanceClassifier learns the ExCR boundary online. It is safe for
 // concurrent use: Decide is a lock-free read of the atomically
@@ -476,10 +497,19 @@ func (ac *AdmittanceClassifier) fit(req *fitRequest) error {
 	// Calibrate the depth normalizer: the largest absolute decision
 	// value over the training set. Margins divided by it are roughly
 	// comparable across independently trained cells.
+	fast, _ := m.(learner.FastPredictor)
 	calib := 0.0
-	for _, row := range req.x {
-		if d := math.Abs(m.Decision(row)); d > calib {
-			calib = d
+	if fast != nil {
+		for _, d := range fast.DecisionBatch(nil, req.x, nil) {
+			if d = math.Abs(d); d > calib {
+				calib = d
+			}
+		}
+	} else {
+		for _, row := range req.x {
+			if d := math.Abs(m.Decision(row)); d > calib {
+				calib = d
+			}
 		}
 	}
 	if calib < 1e-9 {
@@ -487,7 +517,7 @@ func (ac *AdmittanceClassifier) fit(req *fitRequest) error {
 	}
 	wasBoot := ac.state.Load().bootstrap
 	boot := wasBoot && !req.graduate
-	ac.state.Store(&modelSnapshot{model: m, calibration: calib, bootstrap: boot})
+	ac.state.Store(&modelSnapshot{model: m, fast: fast, calibration: calib, bootstrap: boot})
 	ac.metrics.Fits.Inc()
 	ac.metrics.FitSeconds.Observe(time.Since(start).Seconds())
 	if wasBoot && !boot {
@@ -540,20 +570,123 @@ func (ac *AdmittanceClassifier) Maintain() error {
 // reports depth inside the region. Decide is lock-free: it reads the
 // last published model snapshot, so admission never waits on training.
 func (ac *AdmittanceClassifier) Decide(a excr.Arrival) Decision {
+	s := scratchPool.Get().(*Scratch)
+	d := ac.DecideScratch(a, s)
+	scratchPool.Put(s)
+	return d
+}
+
+// DecideScratch is Decide with caller-owned workspace: per-worker
+// callers (exboxd's packet workers) hold a Scratch each so the online
+// decision performs no allocation. A nil Scratch falls back to the
+// internal pool.
+func (ac *AdmittanceClassifier) DecideScratch(a excr.Arrival, s *Scratch) Decision {
+	if s == nil {
+		return ac.Decide(a)
+	}
 	st := ac.state.Load()
 	if st.bootstrap || st.model == nil {
 		ac.metrics.BootstrapDecisions.Inc()
 		ac.metrics.Admits.Inc()
 		return Decision{Admit: true, Bootstrap: true}
 	}
-	margin := st.model.Decision(a.Features())
+	s.feat = a.FeaturesInto(s.feat)
+	var margin float64
+	if st.fast != nil {
+		if need := st.fast.Dim(); cap(s.z) < need {
+			s.z = make([]float64, need)
+		}
+		margin = st.fast.DecisionInto(s.z[:cap(s.z)], s.feat)
+	} else {
+		margin = st.model.Decision(s.feat)
+	}
 	ac.metrics.Margin.Observe(margin)
 	if margin >= 0 {
 		ac.metrics.Admits.Inc()
 	} else {
 		ac.metrics.Rejects.Inc()
 	}
-	return Decision{Admit: margin >= 0, Margin: margin, Depth: margin / st.calibration}
+	return Decision{Admit: margin >= 0, Margin: margin, Depth: depthOf(margin, st.calibration)}
+}
+
+// DecideBatch scores every arrival against one model snapshot — the
+// consistency the Reevaluate sweep and SelectNetwork fan-out need: a
+// concurrent refit cannot change the boundary mid-batch. Decisions are
+// written into dst (grown when too small) and returned. With a
+// caller-owned Scratch the whole batch is one pass over the SV slab
+// and allocation-free; metrics count every decision, batched into two
+// counter updates.
+func (ac *AdmittanceClassifier) DecideBatch(dst []Decision, arrivals []excr.Arrival, s *Scratch) []Decision {
+	n := len(arrivals)
+	if cap(dst) < n {
+		dst = make([]Decision, n)
+	}
+	dst = dst[:n]
+	if n == 0 {
+		return dst
+	}
+	st := ac.state.Load()
+	if st.bootstrap || st.model == nil {
+		ac.metrics.BootstrapDecisions.Add(int64(n))
+		ac.metrics.Admits.Add(int64(n))
+		for i := range dst {
+			dst[i] = Decision{Admit: true, Bootstrap: true}
+		}
+		return dst
+	}
+	if s == nil {
+		s = scratchPool.Get().(*Scratch)
+		defer scratchPool.Put(s)
+	}
+	fd := excr.FeatureDim(ac.space)
+	if cap(s.slab) < n*fd {
+		s.slab = make([]float64, n*fd)
+	}
+	if cap(s.rows) < n {
+		s.rows = make([][]float64, n)
+	}
+	rows := s.rows[:n]
+	for i, a := range arrivals {
+		rows[i] = a.FeaturesInto(s.slab[i*fd : i*fd : (i+1)*fd])
+	}
+	if cap(s.score) < n {
+		s.score = make([]float64, n)
+	}
+	scores := s.score[:n]
+	if st.fast != nil {
+		if need := st.fast.BatchScratch(n); cap(s.batch) < need {
+			s.batch = make([]float64, need)
+		}
+		scores = st.fast.DecisionBatch(scores, rows, s.batch[:cap(s.batch)])
+	} else {
+		for i, row := range rows {
+			scores[i] = st.model.Decision(row)
+		}
+	}
+	var admits, rejects int64
+	for i, margin := range scores {
+		ac.metrics.Margin.Observe(margin)
+		if margin >= 0 {
+			admits++
+		} else {
+			rejects++
+		}
+		dst[i] = Decision{Admit: margin >= 0, Margin: margin, Depth: depthOf(margin, st.calibration)}
+	}
+	ac.metrics.Admits.Add(admits)
+	ac.metrics.Rejects.Add(rejects)
+	return dst
+}
+
+// depthOf normalizes a margin by the snapshot's calibration. A zero
+// (or negative) calibration — the all-training-points-on-boundary
+// degenerate fit — yields Depth 0 instead of NaN/±Inf, which would
+// otherwise poison network-selection ordering.
+func depthOf(margin, calibration float64) float64 {
+	if calibration > 0 {
+		return margin / calibration
+	}
+	return 0
 }
 
 // ForceOnline ends the bootstrap phase immediately if a model can be

@@ -1,6 +1,7 @@
 package classifier
 
 import (
+	"math"
 	"sync"
 	"testing"
 
@@ -11,6 +12,7 @@ import (
 	"exbox/internal/mathx"
 	"exbox/internal/metrics"
 	"exbox/internal/netsim"
+	"exbox/internal/svm"
 	"exbox/internal/traffic"
 )
 
@@ -458,5 +460,118 @@ func TestDecisionTreeLearnerPluggable(t *testing.T) {
 	// but a pluggable learner must still be clearly better than chance.
 	if conf.Accuracy() < 0.7 {
 		t.Fatalf("tree-backed accuracy = %v (%v)", conf.Accuracy(), conf)
+	}
+}
+
+// onlineClassifier trains a classifier to the online phase with the
+// given kernel, for the fast-path tests.
+func onlineClassifier(t *testing.T, kernel svm.KernelKind) *AdmittanceClassifier {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.SVM.Kernel = kernel
+	ac := New(excr.DefaultSpace, cfg)
+	feedRandom(ac, wifiOracle(), 30, 11)
+	if ac.Bootstrapping() {
+		if err := ac.ForceOnline(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ac
+}
+
+// TestDecideAllocs locks in the zero-allocation contract of the online
+// decision path for both kernels: plain Decide (pool-backed) and
+// DecideScratch with a per-worker Scratch must not allocate.
+func TestDecideAllocs(t *testing.T) {
+	for _, kernel := range []svm.KernelKind{svm.Linear, svm.RBF} {
+		ac := onlineClassifier(t, kernel)
+		a := webArrival(3)
+		var s Scratch
+		var sink float64
+		ac.Decide(a)            // warm the pool
+		ac.DecideScratch(a, &s) // grow the scratch
+		if got := testing.AllocsPerRun(200, func() {
+			sink += ac.Decide(a).Margin
+		}); got != 0 {
+			t.Errorf("%v Decide: %v allocs/op, want 0", kernel, got)
+		}
+		if got := testing.AllocsPerRun(200, func() {
+			sink += ac.DecideScratch(a, &s).Margin
+		}); got != 0 {
+			t.Errorf("%v DecideScratch: %v allocs/op, want 0", kernel, got)
+		}
+		_ = sink
+	}
+}
+
+// TestDecideBatchMatchesDecide pins the batched scorer to the scalar
+// path on the same snapshot, and checks the warmed batch is
+// allocation-free.
+func TestDecideBatchMatchesDecide(t *testing.T) {
+	for _, kernel := range []svm.KernelKind{svm.Linear, svm.RBF} {
+		ac := onlineClassifier(t, kernel)
+		var arrivals []excr.Arrival
+		for n := 0; n < 12; n++ {
+			arrivals = append(arrivals, webArrival(n))
+		}
+		var s Scratch
+		out := ac.DecideBatch(nil, arrivals, &s)
+		if len(out) != len(arrivals) {
+			t.Fatalf("%v: %d decisions for %d arrivals", kernel, len(out), len(arrivals))
+		}
+		for i, a := range arrivals {
+			want := ac.Decide(a)
+			got := out[i]
+			if got.Admit != want.Admit || got.Bootstrap != want.Bootstrap ||
+				math.Abs(got.Margin-want.Margin) > 1e-12 || math.Abs(got.Depth-want.Depth) > 1e-12 {
+				t.Fatalf("%v arrival %d: batch %+v, scalar %+v", kernel, i, got, want)
+			}
+		}
+		dst := make([]Decision, len(arrivals))
+		var sink float64
+		if got := testing.AllocsPerRun(100, func() {
+			dst = ac.DecideBatch(dst, arrivals, &s)
+			sink += dst[0].Margin
+		}); got != 0 {
+			t.Errorf("%v DecideBatch: %v allocs/op, want 0", kernel, got)
+		}
+		_ = sink
+	}
+}
+
+// TestDecideBatchBootstrap: during bootstrap the batch admits
+// everything, like the scalar path.
+func TestDecideBatchBootstrap(t *testing.T) {
+	ac := New(excr.DefaultSpace, DefaultConfig())
+	out := ac.DecideBatch(nil, []excr.Arrival{webArrival(0), webArrival(1)}, nil)
+	for i, d := range out {
+		if !d.Admit || !d.Bootstrap {
+			t.Fatalf("bootstrap batch decision %d = %+v, want admit", i, d)
+		}
+	}
+	if got := ac.DecideBatch(nil, nil, nil); len(got) != 0 {
+		t.Fatalf("empty batch returned %d decisions", len(got))
+	}
+}
+
+// constPredictor is a degenerate model whose every training decision
+// is 0 — the case that produces a zero calibration.
+type constPredictor struct{ v float64 }
+
+func (p constPredictor) Decision([]float64) float64 { return p.v }
+
+// TestZeroCalibrationDepth is the regression test for the depth guard:
+// a snapshot with calibration 0 must yield Depth 0, not NaN/±Inf,
+// which would poison network-selection ordering.
+func TestZeroCalibrationDepth(t *testing.T) {
+	ac := New(excr.DefaultSpace, DefaultConfig())
+	ac.state.Store(&modelSnapshot{model: constPredictor{v: 2.5}, calibration: 0})
+	a := webArrival(1)
+	d := ac.Decide(a)
+	if d.Margin != 2.5 || d.Depth != 0 {
+		t.Fatalf("zero-calibration Decide = %+v, want Margin 2.5 Depth 0", d)
+	}
+	if b := ac.DecideBatch(nil, []excr.Arrival{a}, nil); b[0].Depth != 0 {
+		t.Fatalf("zero-calibration DecideBatch depth = %v, want 0", b[0].Depth)
 	}
 }

@@ -154,3 +154,73 @@ func BenchmarkAdmitObserveMixed(b *testing.B) {
 		}
 	})
 }
+
+// Workflow benchmarks for the batched scoring paths: network selection
+// across two trained cells and the re-evaluation sweep of an active
+// flow population. Both use a per-caller scratch, the way exboxd's
+// sweeper does, so steady state is allocation-free up to the audit
+// records.
+
+func benchHybridMiddlebox(b *testing.B) *Middlebox {
+	b.Helper()
+	mb := New(excr.DefaultSpace, Discontinue)
+	for i, cell := range []struct {
+		id CellID
+		o  apps.Oracle
+	}{
+		{"wifi", apps.Oracle{Net: netsim.FluidWiFi{Config: netsim.SimWiFi()}}},
+		{"lte", apps.Oracle{Net: netsim.FluidLTE{Config: netsim.SimLTE()}}},
+	} {
+		if _, err := mb.AddCell(cell.id, classifier.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+		rng := mathx.NewRand(int64(i + 1))
+		for _, e := range traffic.Arrivals(traffic.Random(rng, 25, 20, 0, excr.DefaultSpace), nil) {
+			if err := mb.Observe(cell.id, excr.Sample{Arrival: e.Arrival, Label: cell.o.Label(e.Arrival)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if mb.Cell(cell.id).Classifier.Bootstrapping() {
+			b.Fatalf("cell %s did not graduate", cell.id)
+		}
+	}
+	return mb
+}
+
+func BenchmarkSelectNetwork(b *testing.B) {
+	mb := benchHybridMiddlebox(b)
+	wifiLoad := excr.NewMatrix(excr.DefaultSpace).Set(excr.Streaming, 0, 12)
+	lteLoad := excr.NewMatrix(excr.DefaultSpace).Set(excr.Web, 0, 5).Set(excr.Conferencing, 0, 2)
+	cands := []Candidate{
+		{Cell: "wifi", Arrival: excr.Arrival{Matrix: wifiLoad, Class: excr.Web}},
+		{Cell: "lte", Arrival: excr.Arrival{Matrix: lteLoad, Class: excr.Web}},
+	}
+	var s classifier.Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := mb.SelectNetworkWith(cands, &s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReevaluate sweeps 60 active flows (20 per class) in one
+// call; the grouped scorer reduces that to one decision per class.
+func BenchmarkReevaluate(b *testing.B) {
+	mb := benchMiddlebox(b)
+	m := excr.NewMatrix(excr.DefaultSpace).
+		Set(excr.Web, 0, 20).Set(excr.Streaming, 0, 20).Set(excr.Conferencing, 0, 20)
+	var active []ActiveFlow
+	for i := 0; i < 60; i++ {
+		active = append(active, ActiveFlow{ID: i, Class: excr.AppClass(i % 3)})
+	}
+	var s classifier.Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mb.ReevaluateWith("ap", m, active, &s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -352,6 +352,14 @@ var ErrUnknownCell = errors.New("exboxcore: unknown cell")
 // read of the cell's published model, so concurrent admissions scale
 // with GOMAXPROCS.
 func (mb *Middlebox) Admit(id CellID, a excr.Arrival) (Outcome, error) {
+	return mb.AdmitWith(id, a, nil)
+}
+
+// AdmitWith is Admit with caller-owned classifier workspace: packet
+// workers that hold a per-worker classifier.Scratch pass it here so
+// steady-state admission performs no allocation beyond the audit
+// ring's record. A nil scratch uses the classifier's internal pool.
+func (mb *Middlebox) AdmitWith(id CellID, a excr.Arrival, s *classifier.Scratch) (Outcome, error) {
 	cell, ok := mb.cell(id)
 	if !ok {
 		return Outcome{}, fmt.Errorf("%w: %q", ErrUnknownCell, id)
@@ -367,41 +375,52 @@ func (mb *Middlebox) Admit(id CellID, a excr.Arrival) (Outcome, error) {
 			startOff = time.Since(mb.obs.epoch)
 		}
 	}
-	d := cell.Classifier.Decide(a)
-	out := Outcome{Cell: id, Decision: d, Verdict: Admit}
-	if !d.Admit {
-		if mb.Policy == Deprioritize {
-			out.Verdict = LowPriority
-		} else {
-			out.Verdict = Reject
-		}
-	}
+	d := cell.Classifier.DecideScratch(a, s)
+	out := Outcome{Cell: id, Decision: d, Verdict: mb.verdict(d)}
 	if mb.obs != nil {
 		endOff := time.Since(mb.obs.epoch)
 		if sampled {
 			mb.obs.admitSeconds.Observe((endOff - startOff).Seconds())
 		}
-		switch out.Verdict {
-		case Admit:
-			cell.admitN.Inc()
-		case Reject:
-			cell.rejectN.Inc()
-		default:
-			cell.lowpriN.Inc()
-		}
-		mb.obs.ring.Record(obs.DecisionRecord{
-			UnixNanos: mb.obs.epochNanos + int64(endOff),
-			Cell:      string(id),
-			Class:     int(a.Class),
-			Level:     int(a.Level),
-			Matrix:    a.Matrix.Key(),
-			Margin:    d.Margin,
-			Depth:     d.Depth,
-			Verdict:   out.Verdict.String(),
-			Bootstrap: d.Bootstrap,
-		})
+		mb.recordOutcome(cell, a, out, endOff)
 	}
 	return out, nil
+}
+
+// verdict applies the middlebox policy to a classifier decision.
+func (mb *Middlebox) verdict(d classifier.Decision) Verdict {
+	if d.Admit {
+		return Admit
+	}
+	if mb.Policy == Deprioritize {
+		return LowPriority
+	}
+	return Reject
+}
+
+// recordOutcome performs the per-decision telemetry: the cell's
+// verdict counter and the audit-ring record. Caller has checked
+// mb.obs != nil and provides the monotonic offset for the timestamp.
+func (mb *Middlebox) recordOutcome(cell *Cell, a excr.Arrival, out Outcome, endOff time.Duration) {
+	switch out.Verdict {
+	case Admit:
+		cell.admitN.Inc()
+	case Reject:
+		cell.rejectN.Inc()
+	default:
+		cell.lowpriN.Inc()
+	}
+	mb.obs.ring.Record(obs.DecisionRecord{
+		UnixNanos: mb.obs.epochNanos + int64(endOff),
+		Cell:      string(out.Cell),
+		Class:     int(a.Class),
+		Level:     int(a.Level),
+		Matrix:    a.Matrix.Key(),
+		Margin:    out.Decision.Margin,
+		Depth:     out.Decision.Depth,
+		Verdict:   out.Verdict.String(),
+		Bootstrap: out.Decision.Bootstrap,
+	})
 }
 
 // Observe feeds a ground-truth labeled tuple to one cell's classifier.
@@ -436,30 +455,64 @@ type Candidate struct {
 // The boolean result is false when no candidate admits the flow; the
 // returned Outcome is then the least-bad candidate under the policy.
 func (mb *Middlebox) SelectNetwork(cands []Candidate) (Outcome, bool, error) {
+	return mb.SelectNetworkWith(cands, nil)
+}
+
+// SelectNetworkWith is SelectNetwork with caller-owned classifier
+// workspace. Candidates are grouped by cell and each group is scored
+// with one DecideBatch call — a single pass over that cell's SV slab
+// and a single consistent model snapshot per cell — instead of one
+// scalar decision per candidate. Per-candidate telemetry (verdict
+// counters, audit-ring records) is preserved; the 1-in-16 admission
+// latency sample is not taken here, as selection has its own counters.
+func (mb *Middlebox) SelectNetworkWith(cands []Candidate, s *classifier.Scratch) (Outcome, bool, error) {
 	if len(cands) == 0 {
 		return Outcome{}, false, errors.New("exboxcore: no candidates")
 	}
 	if mb.obs != nil {
 		mb.obs.selections.Inc()
 	}
-	// Deterministic evaluation order.
+	// Deterministic evaluation order; equal cells end up adjacent, so
+	// groups are contiguous runs.
 	sorted := append([]Candidate(nil), cands...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Cell < sorted[j].Cell })
 
 	var best Outcome
 	var bestOK bool
-	for _, cand := range sorted {
-		out, err := mb.Admit(cand.Cell, cand.Arrival)
-		if err != nil {
-			return Outcome{}, false, err
+	var arrivals []excr.Arrival
+	var decisions []classifier.Decision
+	for i := 0; i < len(sorted); {
+		j := i + 1
+		for j < len(sorted) && sorted[j].Cell == sorted[i].Cell {
+			j++
 		}
-		admits := out.Verdict == Admit
-		switch {
-		case admits && (!bestOK || out.Decision.Depth > best.Decision.Depth):
-			best, bestOK = out, true
-		case !bestOK && (best.Cell == "" || out.Decision.Depth > best.Decision.Depth):
-			best = out
+		cell, ok := mb.cell(sorted[i].Cell)
+		if !ok {
+			return Outcome{}, false, fmt.Errorf("%w: %q", ErrUnknownCell, sorted[i].Cell)
 		}
+		arrivals = arrivals[:0]
+		for _, cand := range sorted[i:j] {
+			arrivals = append(arrivals, cand.Arrival)
+		}
+		decisions = cell.Classifier.DecideBatch(decisions[:0], arrivals, s)
+		var endOff time.Duration
+		if mb.obs != nil {
+			endOff = time.Since(mb.obs.epoch)
+		}
+		for k, d := range decisions {
+			out := Outcome{Cell: sorted[i].Cell, Decision: d, Verdict: mb.verdict(d)}
+			if mb.obs != nil {
+				mb.recordOutcome(cell, arrivals[k], out, endOff)
+			}
+			admits := out.Verdict == Admit
+			switch {
+			case admits && (!bestOK || out.Decision.Depth > best.Decision.Depth):
+				best, bestOK = out, true
+			case !bestOK && (best.Cell == "" || out.Decision.Depth > best.Decision.Depth):
+				best = out
+			}
+		}
+		i = j
 	}
 	if bestOK && mb.obs != nil {
 		mb.obs.selectionAdmits.Inc()
@@ -482,11 +535,29 @@ type ActiveFlow struct {
 // current must be the cell's present traffic matrix including all the
 // given flows.
 func (mb *Middlebox) Reevaluate(id CellID, current excr.Matrix, active []ActiveFlow) ([]ActiveFlow, error) {
+	return mb.ReevaluateWith(id, current, active, nil)
+}
+
+// ReevaluateWith is Reevaluate with caller-owned classifier workspace.
+// Flows sharing a matrix cell present the exact same re-arrival tuple
+// (current minus one flow of that class and level), so the sweep
+// classifies each distinct (class, level) once — at most Space.Dim()
+// decisions however many flows are active — and the whole set is
+// scored with one DecideBatch call against a single model snapshot,
+// giving every flow in the sweep a consistent view of the boundary.
+func (mb *Middlebox) ReevaluateWith(id CellID, current excr.Matrix, active []ActiveFlow, s *classifier.Scratch) ([]ActiveFlow, error) {
 	cell, ok := mb.cell(id)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownCell, id)
 	}
-	var evict []ActiveFlow
+	// Validate and group up front: group[cellIndex] is the slot in
+	// arrivals covering that (class, level), -1 when no active flow
+	// maps there.
+	group := make([]int, mb.Space.Dim())
+	for i := range group {
+		group[i] = -1
+	}
+	var arrivals []excr.Arrival
 	for _, f := range active {
 		lvl := f.Level
 		if mb.Space.Levels == 1 {
@@ -495,9 +566,19 @@ func (mb *Middlebox) Reevaluate(id CellID, current excr.Matrix, active []ActiveF
 		if current.Get(f.Class, lvl) == 0 {
 			return nil, fmt.Errorf("exboxcore: flow %d (%v,%v) not present in matrix %v", f.ID, f.Class, lvl, current)
 		}
-		without := current.Dec(f.Class, lvl)
-		d := cell.Classifier.Decide(excr.Arrival{Matrix: without, Class: f.Class, Level: lvl})
-		if !d.Admit {
+		if idx := mb.Space.CellIndex(f.Class, lvl); group[idx] < 0 {
+			group[idx] = len(arrivals)
+			arrivals = append(arrivals, excr.Arrival{Matrix: current.Dec(f.Class, lvl), Class: f.Class, Level: lvl})
+		}
+	}
+	decisions := cell.Classifier.DecideBatch(nil, arrivals, s)
+	var evict []ActiveFlow
+	for _, f := range active {
+		lvl := f.Level
+		if mb.Space.Levels == 1 {
+			lvl = 0
+		}
+		if !decisions[group[mb.Space.CellIndex(f.Class, lvl)]].Admit {
 			evict = append(evict, f)
 		}
 	}
@@ -507,6 +588,42 @@ func (mb *Middlebox) Reevaluate(id CellID, current excr.Matrix, active []ActiveF
 		mb.obs.reevalEvicted.Add(int64(len(evict)))
 	}
 	return evict, nil
+}
+
+// CellLoad is one cell's present state for a middlebox-wide
+// re-evaluation sweep: its current traffic matrix (including all the
+// listed flows) and the admitted flows to re-check.
+type CellLoad struct {
+	Cell   CellID
+	Matrix excr.Matrix
+	Active []ActiveFlow
+}
+
+// ReevaluateAll runs the Section 4.3 sweep across many cells at once,
+// fanning one goroutine per cell — cells share nothing on the decision
+// path, so the sweeps proceed in parallel. It returns the evictions
+// per cell (cells whose sweep failed are absent) joined with any
+// per-cell errors.
+func (mb *Middlebox) ReevaluateAll(loads []CellLoad) (map[CellID][]ActiveFlow, error) {
+	evicts := make([][]ActiveFlow, len(loads))
+	errs := make([]error, len(loads))
+	var wg sync.WaitGroup
+	for i := range loads {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var s classifier.Scratch
+			evicts[i], errs[i] = mb.ReevaluateWith(loads[i].Cell, loads[i].Matrix, loads[i].Active, &s)
+		}(i)
+	}
+	wg.Wait()
+	out := make(map[CellID][]ActiveFlow, len(loads))
+	for i, l := range loads {
+		if errs[i] == nil {
+			out[l.Cell] = evicts[i]
+		}
+	}
+	return out, errors.Join(errs...)
 }
 
 // EstimateQoE exposes the network-side QoE estimate for a flow when an

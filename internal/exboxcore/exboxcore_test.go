@@ -215,3 +215,114 @@ func TestStringers(t *testing.T) {
 		t.Fatal("Verdict strings wrong")
 	}
 }
+
+// TestSelectNetworkDuplicateCellCandidates: several candidates on the
+// same cell form one batched group; the deepest admitting placement
+// still wins and unknown cells still error.
+func TestSelectNetworkDuplicateCellCandidates(t *testing.T) {
+	mb := New(excr.DefaultSpace, Discontinue)
+	mb.AddCell("wifi", classifier.DefaultConfig())
+	trainCell(t, mb, "wifi", wifiOracle(), 2)
+
+	light := excr.NewMatrix(excr.DefaultSpace).Set(excr.Web, 0, 2)
+	loaded := excr.NewMatrix(excr.DefaultSpace).
+		Set(excr.Web, 0, 10).Set(excr.Streaming, 0, 20).Set(excr.Conferencing, 0, 5)
+	arr := func(m excr.Matrix) excr.Arrival {
+		return excr.Arrival{Matrix: m, Class: excr.Conferencing, Level: 0}
+	}
+	wantLight := mb.Cell("wifi").Classifier.Decide(arr(light))
+	var s classifier.Scratch
+	out, ok, err := mb.SelectNetworkWith([]Candidate{
+		{Cell: "wifi", Arrival: arr(loaded)},
+		{Cell: "wifi", Arrival: arr(light)},
+	}, &s)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if out.Cell != "wifi" || out.Decision.Depth != wantLight.Depth {
+		t.Fatalf("selected %+v, want the light placement (depth %v)", out, wantLight.Depth)
+	}
+
+	if _, _, err := mb.SelectNetwork([]Candidate{{Cell: "nope", Arrival: arr(light)}}); !errors.Is(err, ErrUnknownCell) {
+		t.Fatalf("unknown cell error = %v", err)
+	}
+}
+
+// TestReevaluateDedupMatchesScalar pins the grouped sweep to per-flow
+// scalar decisions: flows sharing a (class, level) must get exactly
+// the verdict a fresh Decide on their re-arrival tuple yields.
+func TestReevaluateDedupMatchesScalar(t *testing.T) {
+	mb := New(excr.DefaultSpace, Discontinue)
+	mb.AddCell("ap", classifier.DefaultConfig())
+	trainCell(t, mb, "ap", wifiOracle(), 5)
+
+	over := excr.NewMatrix(excr.DefaultSpace).
+		Set(excr.Web, 0, 15).Set(excr.Streaming, 0, 19).Set(excr.Conferencing, 0, 14)
+	active := []ActiveFlow{
+		{ID: 1, Class: excr.Streaming}, {ID: 2, Class: excr.Web},
+		{ID: 3, Class: excr.Streaming}, {ID: 4, Class: excr.Conferencing},
+		{ID: 5, Class: excr.Web},
+	}
+	var s classifier.Scratch
+	evict, err := mb.ReevaluateWith("ap", over, active, &s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]bool{}
+	for _, f := range active {
+		d := mb.Cell("ap").Classifier.Decide(excr.Arrival{
+			Matrix: over.Dec(f.Class, 0), Class: f.Class, Level: 0,
+		})
+		want[f.ID] = !d.Admit
+	}
+	got := map[int]bool{}
+	for _, f := range evict {
+		got[f.ID] = true
+	}
+	for id, w := range want {
+		if got[id] != w {
+			t.Fatalf("flow %d evicted=%v, scalar path says %v (evict=%v)", id, got[id], w, evict)
+		}
+	}
+}
+
+// TestReevaluateAll fans the sweep across cells and joins per-cell
+// failures without dropping the healthy cells' results.
+func TestReevaluateAll(t *testing.T) {
+	mb := New(excr.DefaultSpace, Discontinue)
+	mb.AddCell("wifi", classifier.DefaultConfig())
+	mb.AddCell("lte", classifier.DefaultConfig())
+	trainCell(t, mb, "wifi", wifiOracle(), 2)
+	trainCell(t, mb, "lte", lteOracle(), 3)
+
+	comfy := excr.NewMatrix(excr.DefaultSpace).Set(excr.Web, 0, 3).Set(excr.Streaming, 0, 2)
+	over := excr.NewMatrix(excr.DefaultSpace).
+		Set(excr.Web, 0, 15).Set(excr.Streaming, 0, 19).Set(excr.Conferencing, 0, 14)
+	loads := []CellLoad{
+		{Cell: "wifi", Matrix: over, Active: []ActiveFlow{{ID: 1, Class: excr.Streaming}, {ID: 2, Class: excr.Web}}},
+		{Cell: "lte", Matrix: comfy, Active: []ActiveFlow{{ID: 3, Class: excr.Web}}},
+	}
+	evicts, err := mb.ReevaluateAll(loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evicts["wifi"]) == 0 {
+		t.Fatal("overloaded wifi should evict at least one flow")
+	}
+	if len(evicts["lte"]) != 0 {
+		t.Fatalf("comfortable lte should evict nothing, got %v", evicts["lte"])
+	}
+
+	// One failing cell: its error is joined, the rest still report.
+	loads = append(loads, CellLoad{Cell: "nope", Matrix: comfy})
+	evicts, err = mb.ReevaluateAll(loads)
+	if !errors.Is(err, ErrUnknownCell) {
+		t.Fatalf("joined error = %v, want ErrUnknownCell", err)
+	}
+	if _, ok := evicts["nope"]; ok {
+		t.Fatal("failed cell must be absent from the result map")
+	}
+	if len(evicts["wifi"]) == 0 {
+		t.Fatal("healthy cells must still report despite a failing one")
+	}
+}

@@ -97,6 +97,12 @@ func (s Space) Dim() int { return s.Classes * s.Levels }
 // Valid reports whether the space has at least one class and level.
 func (s Space) Valid() bool { return s.Classes > 0 && s.Levels > 0 }
 
+// CellIndex maps (class, level) to the flat class-major cell index —
+// the position the cell occupies in Counts and in the Features vector.
+// Batched scorers use it to dedup per-cell work. It panics when the
+// coordinates fall outside the space.
+func (s Space) CellIndex(c AppClass, l SNRLevel) int { return s.index(c, l) }
+
 // index maps (class, level) to the flat cell index.
 func (s Space) index(c AppClass, l SNRLevel) int {
 	if int(c) < 0 || int(c) >= s.Classes || int(l) < 0 || int(l) >= s.Levels {
@@ -279,14 +285,26 @@ func (a Arrival) After() Matrix { return a.Matrix.Inc(a.Class, a.Level) }
 // the k·r current cell counts followed by the numeric class and SNR
 // level of the new flow.
 func (a Arrival) Features() []float64 {
+	return a.FeaturesInto(nil)
+}
+
+// FeaturesInto encodes the arrival into dst, reusing it when its
+// capacity suffices and allocating otherwise. The returned slice has
+// length FeatureDim(space) and the same layout as Features. Hot paths
+// hold a scratch slice and pass it here so per-arrival feature
+// extraction is allocation-free.
+func (a Arrival) FeaturesInto(dst []float64) []float64 {
 	dim := a.Matrix.space.Dim()
-	out := make([]float64, dim+2)
-	for i, v := range a.Matrix.counts {
-		out[i] = float64(v)
+	if cap(dst) < dim+2 {
+		dst = make([]float64, dim+2)
 	}
-	out[dim] = float64(a.Class)
-	out[dim+1] = float64(a.Level)
-	return out
+	dst = dst[:dim+2]
+	for i, v := range a.Matrix.counts {
+		dst[i] = float64(v)
+	}
+	dst[dim] = float64(a.Class)
+	dst[dim+1] = float64(a.Level)
+	return dst
 }
 
 // FeatureDim returns the length of the Features vector for space s.

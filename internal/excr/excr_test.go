@@ -218,3 +218,88 @@ func TestQuickKeyInjective(t *testing.T) {
 		seen[m.Key()] = m
 	}
 }
+
+// FeaturesInto must match Features exactly and reuse adequate scratch
+// without allocating.
+func TestFeaturesInto(t *testing.T) {
+	m := NewMatrix(MixedSNRSpace).Set(Web, SNRLow, 3).Set(Conferencing, SNRHigh, 7)
+	a := Arrival{Matrix: m, Class: Streaming, Level: SNRHigh}
+	want := a.Features()
+	if len(want) != FeatureDim(MixedSNRSpace) {
+		t.Fatalf("Features len %d, want %d", len(want), FeatureDim(MixedSNRSpace))
+	}
+
+	// nil dst allocates a fresh slice.
+	got := a.FeaturesInto(nil)
+	if len(got) != len(want) {
+		t.Fatalf("FeaturesInto(nil) len %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FeaturesInto(nil)[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	// Adequate scratch is reused in place (stale content overwritten)...
+	scratch := make([]float64, FeatureDim(MixedSNRSpace)+4)
+	for i := range scratch {
+		scratch[i] = -99
+	}
+	got = a.FeaturesInto(scratch)
+	if &got[0] != &scratch[0] {
+		t.Fatal("adequate scratch should be reused")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("reused scratch len %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("reused scratch [%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	// ...and with zero allocations.
+	if allocs := testing.AllocsPerRun(100, func() {
+		scratch = a.FeaturesInto(scratch)
+	}); allocs != 0 {
+		t.Errorf("FeaturesInto with scratch: %v allocs/op, want 0", allocs)
+	}
+
+	// Undersized scratch grows instead of tripping bounds.
+	short := make([]float64, 1)
+	got = a.FeaturesInto(short)
+	if len(got) != len(want) {
+		t.Fatalf("grown scratch len %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("grown scratch [%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// CellIndex must agree with the layout of Counts and Features, and
+// panic outside the space like the internal index.
+func TestCellIndex(t *testing.T) {
+	s := MixedSNRSpace
+	seen := map[int]bool{}
+	for c := 0; c < s.Classes; c++ {
+		for l := 0; l < s.Levels; l++ {
+			idx := s.CellIndex(AppClass(c), SNRLevel(l))
+			if idx < 0 || idx >= s.Dim() || seen[idx] {
+				t.Fatalf("CellIndex(%d,%d) = %d: out of range or duplicate", c, l, idx)
+			}
+			seen[idx] = true
+			m := NewMatrix(s).Set(AppClass(c), SNRLevel(l), 5)
+			if m.Counts()[idx] != 5 {
+				t.Fatalf("CellIndex(%d,%d) = %d does not match Counts layout", c, l, idx)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CellIndex outside the space should panic")
+		}
+	}()
+	s.CellIndex(AppClass(s.Classes), SNRLow)
+}

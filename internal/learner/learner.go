@@ -23,6 +23,30 @@ type Predictor interface {
 	Decision(row []float64) float64
 }
 
+// FastPredictor is a Predictor that additionally exposes the
+// zero-allocation scoring entry points of the svm inference fast path.
+// Callers own dst and scratch; implementations must not retain either
+// beyond the call. The classifier's Decide/DecideBatch hot paths use
+// this interface when the trained model provides it and fall back to
+// plain Decision otherwise (e.g. the decision-tree ablation).
+type FastPredictor interface {
+	Predictor
+	// Dim is the feature dimension; scratch for DecisionInto must be at
+	// least this long.
+	Dim() int
+	// BatchScratch returns the scratch length DecisionBatch needs to
+	// score n rows without allocating.
+	BatchScratch(n int) int
+	// DecisionInto is Decision with caller-provided scratch.
+	DecisionInto(dst, row []float64) float64
+	// DecisionBatch scores every row into dst (grown when too small),
+	// using scratch as workspace, and returns the scores.
+	DecisionBatch(dst []float64, rows [][]float64, scratch []float64) []float64
+}
+
+// The svm model is the fast path the classifier relies on.
+var _ FastPredictor = (*svm.Model)(nil)
+
 // Learner trains Predictors from labeled rows (labels in {-1, +1}).
 type Learner interface {
 	Train(x [][]float64, y []float64) (Predictor, error)

@@ -69,3 +69,76 @@ func BenchmarkRetrainCold(b *testing.B)   { benchRetrain(b, 500, 10, false) }
 func BenchmarkRetrainWarm(b *testing.B)   { benchRetrain(b, 500, 10, true) }
 func BenchmarkRetrainCold1k(b *testing.B) { benchRetrain(b, 1000, 20, false) }
 func BenchmarkRetrainWarm1k(b *testing.B) { benchRetrain(b, 1000, 20, true) }
+
+// Inference benchmarks: the per-arrival cost every steady-state ExBox
+// workflow pays. The RBF model is trained on heavily overlapping
+// clouds so it retains well over 200 support vectors — the regime
+// where the contiguous slab beats pointer-chased rows. The *Ref
+// variant runs the pre-refactor scalar path on the same model, so the
+// committed BENCH_pr4.json records before/after on one machine.
+
+func benchDecisionModel(b *testing.B, kernel KernelKind) (*Model, []float64) {
+	b.Helper()
+	x, y := overlapData(600, 5, 41)
+	cfg := DefaultConfig()
+	cfg.Kernel = kernel
+	m, err := Train(cfg, x, y)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if kernel == RBF && m.NumSV() < 200 {
+		b.Fatalf("RBF bench model has %d SVs, want >= 200", m.NumSV())
+	}
+	return m, x[1]
+}
+
+func BenchmarkDecisionLinear(b *testing.B) {
+	m, row := benchDecisionModel(b, Linear)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += m.Decision(row)
+	}
+	_ = sink
+}
+
+func BenchmarkDecisionRBF(b *testing.B) {
+	m, row := benchDecisionModel(b, RBF)
+	scratch := make([]float64, m.Dim())
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += m.DecisionInto(scratch, row)
+	}
+	_ = sink
+}
+
+func BenchmarkDecisionRBFRef(b *testing.B) {
+	m, row := benchDecisionModel(b, RBF)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += m.decisionScalar(row)
+	}
+	_ = sink
+}
+
+// BenchmarkDecisionBatchRBF scores 16 rows per op in one slab pass —
+// the Reevaluate/SelectNetwork shape. ns/op is for the whole batch.
+func BenchmarkDecisionBatchRBF(b *testing.B) {
+	m, _ := benchDecisionModel(b, RBF)
+	rows := probeRows(16, 5, 3)
+	dst := make([]float64, len(rows))
+	scratch := make([]float64, m.BatchScratch(len(rows)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		out := m.DecisionBatch(dst, rows, scratch)
+		sink += out[0]
+	}
+	_ = sink
+}

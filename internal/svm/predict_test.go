@@ -1,0 +1,210 @@
+package svm
+
+import (
+	"math"
+	"testing"
+
+	"exbox/internal/mathx"
+)
+
+// overlapData builds a dim-d dataset of two heavily overlapping
+// Gaussian clouds. The overlap forces a large fraction of the training
+// set to become (mostly bound) support vectors, which is what the
+// ≥200-SV inference benchmarks and the slab tests want.
+func overlapData(n, dim int, seed int64) (x [][]float64, y []float64) {
+	rng := mathx.NewRand(seed)
+	for i := 0; i < n; i++ {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		label := 1.0
+		if i%2 == 0 {
+			for j := range row {
+				row[j] += 0.8
+			}
+			label = -1
+		}
+		x = append(x, row)
+		y = append(y, label)
+	}
+	return x, y
+}
+
+// probeRows draws fresh rows from the same distribution scale as the
+// training data, plus a few far-out and axis-aligned corner cases.
+func probeRows(n, dim int, seed int64) [][]float64 {
+	rng := mathx.NewRand(seed)
+	rows := make([][]float64, 0, n+3)
+	for i := 0; i < n; i++ {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = rng.NormFloat64() * 2
+		}
+		rows = append(rows, row)
+	}
+	zero := make([]float64, dim)
+	far := make([]float64, dim)
+	axis := make([]float64, dim)
+	for j := range far {
+		far[j] = 25
+	}
+	axis[0] = -7
+	return append(rows, zero, far, axis)
+}
+
+// pinTol is the equivalence-pinning tolerance: the folded/slab paths
+// must agree with the pre-refactor scalar path to 1e-12 (scaled by the
+// decision magnitude for values above 1).
+func pinEqual(a, ref float64) bool {
+	return math.Abs(a-ref) <= 1e-12*(1+math.Abs(ref))
+}
+
+// TestFastPathMatchesScalar pins the folded-scaler / slab fast path to
+// the pre-refactor scalar implementation across kernels, dimensions
+// and randomized models: Decision, DecisionInto and DecisionBatch must
+// all reproduce decisionScalar to 1e-12.
+func TestFastPathMatchesScalar(t *testing.T) {
+	for _, kernel := range []KernelKind{Linear, RBF} {
+		for _, dim := range []int{2, 5, 9} {
+			for seed := int64(1); seed <= 3; seed++ {
+				x, y := overlapData(120, dim, seed*100+int64(dim))
+				cfg := DefaultConfig()
+				cfg.Kernel = kernel
+				m, err := Train(cfg, x, y)
+				if err != nil {
+					t.Fatalf("%v dim=%d seed=%d: %v", kernel, dim, seed, err)
+				}
+				checkFastPath(t, m, probeRows(40, dim, seed))
+			}
+		}
+	}
+}
+
+// TestFastPathMatchesScalarWarm repeats the pinning on models
+// round-tripped through warm-start retraining: the warm path freezes
+// the seed fit's scaler, which is exactly the state the folding must
+// reproduce.
+func TestFastPathMatchesScalarWarm(t *testing.T) {
+	for _, kernel := range []KernelKind{Linear, RBF} {
+		x, y := overlapData(240, 5, 7)
+		cfg := DefaultConfig()
+		cfg.Kernel = kernel
+		_, warm, err := Solve(cfg, x[:200], y[:200], nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _, err := Solve(cfg, x, y, warm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !warm.Usable(len(x), 5) {
+			t.Fatal("warm state should be usable for the grown set")
+		}
+		checkFastPath(t, m, probeRows(40, 5, 8))
+	}
+}
+
+func checkFastPath(t *testing.T, m *Model, rows [][]float64) {
+	t.Helper()
+	scratch := make([]float64, m.Dim())
+	batch := m.DecisionBatch(nil, rows, nil)
+	if len(batch) != len(rows) {
+		t.Fatalf("DecisionBatch returned %d scores for %d rows", len(batch), len(rows))
+	}
+	for i, row := range rows {
+		ref := m.decisionScalar(row)
+		if d := m.Decision(row); !pinEqual(d, ref) {
+			t.Fatalf("row %d: Decision %v, scalar %v (diff %g)", i, d, ref, d-ref)
+		}
+		if d := m.DecisionInto(scratch, row); !pinEqual(d, ref) {
+			t.Fatalf("row %d: DecisionInto %v, scalar %v (diff %g)", i, d, ref, d-ref)
+		}
+		if !pinEqual(batch[i], ref) {
+			t.Fatalf("row %d: DecisionBatch %v, scalar %v (diff %g)", i, batch[i], ref, batch[i]-ref)
+		}
+	}
+}
+
+// TestDecisionAllocs locks in the zero-allocation contract of the fast
+// path: DecisionInto with caller scratch and DecisionBatch with
+// preallocated dst+scratch must not allocate for either kernel, and
+// the linear Decision is allocation-free even without scratch.
+func TestDecisionAllocs(t *testing.T) {
+	for _, kernel := range []KernelKind{Linear, RBF} {
+		x, y := overlapData(150, 5, 3)
+		cfg := DefaultConfig()
+		cfg.Kernel = kernel
+		m, err := Train(cfg, x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := probeRows(16, 5, 4)
+		scratch := make([]float64, m.Dim())
+		var sink float64
+		if got := testing.AllocsPerRun(200, func() {
+			sink += m.DecisionInto(scratch, rows[0])
+		}); got != 0 {
+			t.Errorf("%v DecisionInto: %v allocs/op, want 0", kernel, got)
+		}
+		dst := make([]float64, len(rows))
+		batchScratch := make([]float64, m.BatchScratch(len(rows)))
+		if got := testing.AllocsPerRun(200, func() {
+			out := m.DecisionBatch(dst, rows, batchScratch)
+			sink += out[0]
+		}); got != 0 {
+			t.Errorf("%v DecisionBatch: %v allocs/op, want 0", kernel, got)
+		}
+		if kernel == Linear {
+			if got := testing.AllocsPerRun(200, func() {
+				sink += m.Decision(rows[0])
+			}); got != 0 {
+				t.Errorf("linear Decision: %v allocs/op, want 0", got)
+			}
+		}
+		_ = sink
+	}
+}
+
+// TestDecisionBatchEdgeCases covers the growth and empty-input paths.
+func TestDecisionBatchEdgeCases(t *testing.T) {
+	x, y := overlapData(100, 4, 5)
+	m, err := Train(DefaultConfig(), x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := m.DecisionBatch(nil, nil, nil); len(out) != 0 {
+		t.Fatalf("empty batch returned %d scores", len(out))
+	}
+	rows := probeRows(8, 4, 6)
+	// Undersized dst and scratch must be grown, not trip bounds.
+	short := make([]float64, 1)
+	out := m.DecisionBatch(short, rows, make([]float64, 3))
+	for i, row := range rows {
+		if ref := m.decisionScalar(row); !pinEqual(out[i], ref) {
+			t.Fatalf("grown batch row %d: %v, want %v", i, out[i], ref)
+		}
+	}
+	// Oversized dst is reused and trimmed.
+	big := make([]float64, 32)
+	out = m.DecisionBatch(big, rows, nil)
+	if len(out) != len(rows) || &out[0] != &big[0] {
+		t.Fatal("oversized dst should be reused and trimmed")
+	}
+}
+
+// TestDecisionIntoShortScratchPanics pins the scratch contract: a too-
+// short scratch is a programming error, not a silent fallback.
+func TestDecisionIntoShortScratchPanics(t *testing.T) {
+	x, y := overlapData(80, 5, 9)
+	m, err := Train(DefaultConfig(), x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on short scratch")
+		}
+	}()
+	m.DecisionInto(make([]float64, 2), probeRows(1, 5, 10)[0])
+}

@@ -54,17 +54,31 @@ func DefaultConfig() Config {
 var ErrOneClass = errors.New("svm: training data contains a single class")
 
 // Model is a trained SVM. Models are immutable after training and safe
-// for concurrent use.
+// for concurrent use. The representation is the inference fast path
+// built by buildModel (see predict.go): everything that can be
+// precomputed — the kernel closure, the feature standardization, the
+// support-vector layout — is folded in at construction so scoring is
+// fused arithmetic over contiguous memory.
 type Model struct {
 	cfg    Config
 	gamma  float64
 	scaler *Scaler
+	dim    int
 
-	// Support vectors in standardized feature space.
-	svX     [][]float64
-	svCoef  []float64 // alpha_i * y_i
-	b       float64
-	wLinear []float64 // collapsed weights, linear kernel only
+	svCoef []float64 // alpha_i * y_i per retained support vector
+	b      float64
+
+	// Linear kernel: collapsed weights in standardized space (wLinear,
+	// kept for the reference path) and their scaler-folded counterpart
+	// over raw features (wFold, bFold) the fast path uses.
+	wLinear []float64
+	wFold   []float64
+	bFold   float64
+
+	// RBF kernel: standardized support vectors packed row-major with
+	// stride dim, plus their precomputed squared norms.
+	svSlab []float64
+	svNorm []float64
 }
 
 // Train fits a soft-margin SVM on rows x with labels y in {-1,+1}.
@@ -187,22 +201,7 @@ func Solve(cfg Config, x [][]float64, y []float64, warm *WarmState) (*Model, *Wa
 
 	// The trainer follows Platt's convention u(x) = Σ αᵢyᵢK(xᵢ,x) − b;
 	// the model stores the negated threshold so Decision can add it.
-	m := &Model{cfg: cfg, gamma: gamma, scaler: scaler, b: -tr.b}
-	for i, a := range tr.alpha {
-		if a > 1e-12 {
-			m.svX = append(m.svX, xs[i])
-			m.svCoef = append(m.svCoef, a*y[i])
-		}
-	}
-	if cfg.Kernel == Linear {
-		w := make([]float64, dim)
-		for i, sv := range m.svX {
-			for j, v := range sv {
-				w[j] += m.svCoef[i] * v
-			}
-		}
-		m.wLinear = w
-	}
+	m := buildModel(cfg, gamma, scaler, xs, y, tr.alpha, -tr.b)
 	next := &WarmState{
 		Alpha:  append([]float64(nil), tr.alpha...),
 		b:      tr.b,
@@ -215,38 +214,6 @@ func Solve(cfg Config, x [][]float64, y []float64, warm *WarmState) (*Model, *Wa
 		next.age = warm.age + 1
 	}
 	return m, next, nil
-}
-
-// NumSV returns the number of support vectors retained by the model.
-func (m *Model) NumSV() int { return len(m.svX) }
-
-// Decision returns the signed distance-like score f(x) of the sample:
-// positive inside the admissible half-space, negative outside. ExBox's
-// network selection uses the magnitude as "how far inside the capacity
-// region" a candidate placement sits.
-func (m *Model) Decision(row []float64) float64 {
-	z := m.scaler.Transform(row)
-	if m.wLinear != nil {
-		var s float64
-		for j, v := range z {
-			s += m.wLinear[j] * v
-		}
-		return s + m.b
-	}
-	k := kernelFunc(m.cfg.Kernel, m.gamma)
-	var s float64
-	for i, sv := range m.svX {
-		s += m.svCoef[i] * k(sv, z)
-	}
-	return s + m.b
-}
-
-// Predict returns +1 or -1 for the sample.
-func (m *Model) Predict(row []float64) float64 {
-	if m.Decision(row) >= 0 {
-		return 1
-	}
-	return -1
 }
 
 // trainer holds the SMO working state.

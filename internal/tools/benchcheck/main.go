@@ -6,9 +6,15 @@
 // does a baseline benchmark missing from the run — a silently deleted
 // benchmark must not pass the perf gate.
 //
+// Allocations are gated too, and strictly: when both the baseline and
+// the current run carry allocs/op (run with -benchmem), any increase
+// of the median fails. Wall time is noisy across runs; allocation
+// counts are deterministic, so the zero-allocation decision paths can
+// pin exactly 0 and a single regressed alloc trips the gate.
+//
 // Usage:
 //
-//	go test -bench 'Retrain|Admit' -benchtime 100x -count 5 ./... | tee bench.txt
+//	go test -bench 'Retrain|Admit' -benchmem -benchtime 100x -count 5 ./... | tee bench.txt
 //	go run ./internal/tools/benchcheck -baseline BENCH_baseline.json bench.txt
 //
 // Refresh the baseline after an intentional performance change with
@@ -104,6 +110,11 @@ func main() {
 		}
 		fmt.Printf("%s %-28s %12.0f ns/op  baseline %12.0f  (%+.1f%%, %d samples)\n",
 			verdict, name, cur.NsPerOp, base.NsPerOp, (ratio-1)*100, cur.Samples)
+		if base.AllocSamples > 0 && cur.AllocSamples > 0 && cur.AllocsPerOp > base.AllocsPerOp {
+			fmt.Printf("FAIL %-28s %12.1f allocs/op  baseline %12.1f  (any increase fails)\n",
+				name, cur.AllocsPerOp, base.AllocsPerOp)
+			failed = true
+		}
 	}
 	for name := range current {
 		if _, ok := baseline.Benchmarks[name]; !ok {

@@ -25,6 +25,22 @@ type Entry struct {
 	NsPerOp float64 `json:"ns_per_op"`
 	// Samples is how many `go test` runs the median was taken over.
 	Samples int `json:"samples"`
+	// AllocsPerOp is the median heap allocations per operation, from
+	// runs with -benchmem (or b.ReportAllocs). Zero is a meaningful
+	// measurement — the fast paths assert it — so AllocSamples, not
+	// this field, says whether allocations were measured.
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// AllocSamples is how many runs carried an allocs/op figure; 0
+	// means allocations were not measured for this benchmark.
+	AllocSamples int `json:"alloc_samples,omitempty"`
+}
+
+// Samples collects the repeated raw measurements of one benchmark:
+// every run contributes an ns/op figure, and runs under -benchmem
+// contribute an allocs/op figure too.
+type Samples struct {
+	Ns     []float64
+	Allocs []float64
 }
 
 // File is a benchmark snapshot: a map from benchmark name (without
@@ -63,35 +79,41 @@ func (f *File) Write(path string) error {
 	return os.WriteFile(path, append(raw, '\n'), 0o644)
 }
 
-// ParseGoBench extracts ns/op samples from raw `go test -bench` output
-// (one line per run, repeated runs with -count append more samples).
-// The -GOMAXPROCS suffix is stripped so names match across machines:
-// "BenchmarkRetrainWarm-8" and "BenchmarkRetrainWarm-48" are the same
-// benchmark.
-func ParseGoBench(r io.Reader) (map[string][]float64, error) {
-	samples := make(map[string][]float64)
+// ParseGoBench extracts ns/op — and, from -benchmem runs, allocs/op —
+// samples from raw `go test -bench` output (one line per run, repeated
+// runs with -count append more samples). The -GOMAXPROCS suffix is
+// stripped so names match across machines: "BenchmarkRetrainWarm-8"
+// and "BenchmarkRetrainWarm-48" are the same benchmark.
+func ParseGoBench(r io.Reader) (map[string]*Samples, error) {
+	samples := make(map[string]*Samples)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
 		// Benchmark lines look like:
-		//   BenchmarkRetrainWarm-8   100   883932 ns/op [extra metrics...]
+		//   BenchmarkRetrainWarm-8   100   883932 ns/op   64 B/op   2 allocs/op
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		var ns float64
-		found := false
+		var ns, allocs float64
+		nsFound, allocsFound := false, false
 		for i := 2; i+1 < len(fields); i++ {
-			if fields[i+1] == "ns/op" {
+			switch fields[i+1] {
+			case "ns/op":
 				v, err := strconv.ParseFloat(fields[i], 64)
 				if err != nil {
 					return nil, fmt.Errorf("benchjson: bad ns/op %q in %q", fields[i], sc.Text())
 				}
-				ns, found = v, true
-				break
+				ns, nsFound = v, true
+			case "allocs/op":
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("benchjson: bad allocs/op %q in %q", fields[i], sc.Text())
+				}
+				allocs, allocsFound = v, true
 			}
 		}
-		if !found {
+		if !nsFound {
 			continue
 		}
 		name := fields[0]
@@ -100,7 +122,15 @@ func ParseGoBench(r io.Reader) (map[string][]float64, error) {
 				name = name[:i]
 			}
 		}
-		samples[name] = append(samples[name], ns)
+		s := samples[name]
+		if s == nil {
+			s = &Samples{}
+			samples[name] = s
+		}
+		s.Ns = append(s.Ns, ns)
+		if allocsFound {
+			s.Allocs = append(s.Allocs, allocs)
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -121,11 +151,17 @@ func Median(xs []float64) float64 {
 }
 
 // Summarize collapses per-benchmark samples to median entries, the
-// form snapshots store.
-func Summarize(samples map[string][]float64) map[string]Entry {
+// form snapshots store. Allocation medians are recorded only for
+// benchmarks whose runs measured them.
+func Summarize(samples map[string]*Samples) map[string]Entry {
 	out := make(map[string]Entry, len(samples))
-	for name, xs := range samples {
-		out[name] = Entry{NsPerOp: Median(xs), Samples: len(xs)}
+	for name, s := range samples {
+		e := Entry{NsPerOp: Median(s.Ns), Samples: len(s.Ns)}
+		if len(s.Allocs) > 0 {
+			e.AllocsPerOp = Median(s.Allocs)
+			e.AllocSamples = len(s.Allocs)
+		}
+		out[name] = e
 	}
 	return out
 }

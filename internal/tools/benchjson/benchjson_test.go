@@ -17,6 +17,9 @@ BenchmarkRetrainCold-8   	      30	   5700000 ns/op
 BenchmarkRetrainWarm-8   	      30	    900000 ns/op
 BenchmarkRetrainWarm-8   	      30	    850000 ns/op
 BenchmarkAdmitParallel-8 	 9000000	       133.5 ns/op
+BenchmarkDecisionRBF-8   	  300000	      3669 ns/op	       0 B/op	       0 allocs/op
+BenchmarkDecisionRBF-8   	  300000	      3700 ns/op	       0 B/op	       0 allocs/op
+BenchmarkDecisionRBFRef-8	  250000	      4781 ns/op	      64 B/op	       2 allocs/op
 PASS
 ok  	exbox/internal/svm	1.386s
 `
@@ -26,18 +29,29 @@ func TestParseGoBench(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := len(samples["BenchmarkRetrainCold"]); got != 2 {
+	if got := len(samples["BenchmarkRetrainCold"].Ns); got != 2 {
 		t.Fatalf("cold samples = %d, want 2", got)
 	}
-	if got := len(samples["BenchmarkRetrainWarm"]); got != 3 {
+	if got := len(samples["BenchmarkRetrainWarm"].Ns); got != 3 {
 		t.Fatalf("warm samples = %d, want 3", got)
 	}
 	// The -8 GOMAXPROCS suffix must be stripped.
 	if _, ok := samples["BenchmarkRetrainWarm-8"]; ok {
 		t.Fatal("suffixed name leaked through")
 	}
-	if got := samples["BenchmarkAdmitParallel"][0]; got != 133.5 {
+	if got := samples["BenchmarkAdmitParallel"].Ns[0]; got != 133.5 {
 		t.Fatalf("fractional ns/op = %v, want 133.5", got)
+	}
+	// Runs without -benchmem carry no alloc samples...
+	if got := len(samples["BenchmarkRetrainWarm"].Allocs); got != 0 {
+		t.Fatalf("warm alloc samples = %d, want 0", got)
+	}
+	// ...and -benchmem lines record allocs/op, including measured zero.
+	if got := samples["BenchmarkDecisionRBF"].Allocs; len(got) != 2 || got[0] != 0 {
+		t.Fatalf("rbf alloc samples = %v, want two zeros", got)
+	}
+	if got := samples["BenchmarkDecisionRBFRef"].Allocs; len(got) != 1 || got[0] != 2 {
+		t.Fatalf("ref alloc samples = %v, want [2]", got)
 	}
 }
 
@@ -51,8 +65,15 @@ func TestMedian(t *testing.T) {
 }
 
 func TestSummarize(t *testing.T) {
-	e := Summarize(map[string][]float64{"BenchmarkX": {900000, 850000, 883932}})["BenchmarkX"]
-	if e.NsPerOp != 883932 || e.Samples != 3 {
+	sum := Summarize(map[string]*Samples{
+		"BenchmarkX": {Ns: []float64{900000, 850000, 883932}},
+		"BenchmarkY": {Ns: []float64{100, 120, 110}, Allocs: []float64{0, 0, 0}},
+	})
+	if e := sum["BenchmarkX"]; e.NsPerOp != 883932 || e.Samples != 3 || e.AllocSamples != 0 {
+		t.Fatalf("entry = %+v", e)
+	}
+	// A measured zero allocs/op must survive as AllocSamples > 0.
+	if e := sum["BenchmarkY"]; e.AllocsPerOp != 0 || e.AllocSamples != 3 {
 		t.Fatalf("entry = %+v", e)
 	}
 }
@@ -63,7 +84,7 @@ func TestRoundTrip(t *testing.T) {
 		Go:     "go1.22",
 		Source: "test",
 		Benchmarks: map[string]Entry{
-			"BenchmarkRetrainWarm": {NsPerOp: 883932, Samples: 5},
+			"BenchmarkRetrainWarm": {NsPerOp: 883932, Samples: 5, AllocsPerOp: 0, AllocSamples: 5},
 		},
 	}
 	if err := f.Write(path); err != nil {
