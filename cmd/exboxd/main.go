@@ -56,6 +56,7 @@ import (
 	"exbox/internal/mathx"
 	"exbox/internal/netsim"
 	"exbox/internal/obs"
+	"exbox/internal/obs/trace"
 	"exbox/internal/traffic"
 
 	"exbox/internal/apps"
@@ -70,6 +71,8 @@ func main() {
 	mixed := flag.Bool("mixedsnr", false, "use the 3-class x 2-SNR-level space")
 	httpAddr := flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	warmstart := flag.Bool("warmstart", true, "seed each SVM refit from the previous fit's solver state")
+	traceSample := flag.Int("tracesample", 16, "head-sample 1 in N flows for lifecycle tracing (1 = every flow, 0 = off)")
+	traceBuf := flag.Int("tracebuf", 256, "how many flow traces the /debug/traces ring keeps")
 	flag.Parse()
 
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
@@ -79,7 +82,11 @@ func main() {
 		space = excr.MixedSNRSpace
 	}
 	reg := obs.NewRegistry()
-	gw, err := newGateway(*listen, space, *shards, *warmstart, reg)
+	var tracer *trace.Tracer
+	if *traceSample > 0 {
+		tracer = trace.New(*traceBuf, *traceSample)
+	}
+	gw, err := newGateway(*listen, space, *shards, *warmstart, reg, tracer)
 	if err != nil {
 		log.Fatalf("exboxd: %v", err)
 	}
@@ -95,7 +102,7 @@ func main() {
 		defer ln.Close()
 		reg.PublishExpvar("exbox")
 		go http.Serve(ln, reg.ServeMux())
-		log.Printf("telemetry on http://%s/metrics (also /debug/admissions, /debug/vars, /debug/pprof/)", ln.Addr())
+		log.Printf("telemetry on http://%s/metrics (also /debug/admissions, /debug/traces, /debug/health, /debug/vars, /debug/pprof/)", ln.Addr())
 	}
 
 	done := make(chan struct{})
@@ -156,6 +163,17 @@ type gateway struct {
 	// the simulated cell and fed back for online learning.
 	oracle apps.Oracle
 	start  time.Time
+	// startNanos anchors the relative packet clock (seconds since start)
+	// to wall time, so backfilled arrival spans carry real timestamps.
+	startNanos int64
+
+	// tracer is the flow-lifecycle tracer behind /debug/traces, nil when
+	// tracing is off. lastHealth/healthSeen drive the transition log and
+	// the exbox_health_status gauge the sweeper maintains.
+	tracer     *trace.Tracer
+	healthG    *obs.Gauge
+	lastHealth exboxcore.HealthStatus
+	healthSeen bool
 
 	reg       *obs.Registry
 	forwarded *obs.Counter // packets passed upstream
@@ -175,7 +193,7 @@ const cellID = exboxcore.CellID("ap0")
 // quiet before the sweep classifies it anyway (the silence case).
 const classifySilence = 2.0 // seconds
 
-func newGateway(listen string, space excr.Space, shards int, warmStart bool, reg *obs.Registry) (*gateway, error) {
+func newGateway(listen string, space excr.Space, shards int, warmStart bool, reg *obs.Registry, tracer *trace.Tracer) (*gateway, error) {
 	addr, err := net.ResolveUDPAddr("udp", listen)
 	if err != nil {
 		return nil, err
@@ -215,8 +233,13 @@ func newGateway(listen string, space excr.Space, shards int, warmStart bool, reg
 		return nil, err
 	}
 	// Instrument before the bootstrap training below so the fit
-	// metrics and training-size gauge cover it too.
+	// metrics and training-size gauge cover it too. The tracer and the
+	// health verdict hang off the same registry: /debug/traces serves
+	// the tracer's ring, /debug/health the middlebox's report.
 	mb.Instrument(reg, 256)
+	mb.InstrumentTracing(tracer)
+	reg.SetTracer(tracer)
+	reg.SetHealth(func() interface{} { return mb.Health() })
 	oracle := apps.Oracle{Net: netsim.FluidWiFi{Config: netsim.TestbedWiFi()}}
 	var assign func(excr.AppClass) excr.SNRLevel
 	if space.Levels > 1 {
@@ -244,22 +267,26 @@ func newGateway(listen string, space excr.Space, shards int, warmStart bool, reg
 	// (occupancy, expiries) and the gateway's own packet/flow counters.
 	table := flows.NewShardedTable(shards, 10, 30, space)
 	table.Instrument(reg, "exbox_flows")
+	start := time.Now()
 	return &gateway{
-		conn:      conn,
-		sink:      sink,
-		space:     space,
-		table:     table,
-		fc:        fc,
-		mb:        mb,
-		oracle:    oracle,
-		start:     time.Now(),
-		reg:       reg,
-		forwarded: reg.Counter("exbox_gw_forwarded_packets_total"),
-		dropped:   reg.Counter("exbox_gw_dropped_packets_total"),
-		admitted:  reg.Counter("exbox_gw_admitted_flows_total"),
-		rejected:  reg.Counter("exbox_gw_rejected_flows_total"),
-		evicted:   reg.Counter("exbox_gw_discontinued_flows_total"),
-		lateClass: reg.Counter("exbox_gw_late_classified_total"),
+		conn:       conn,
+		sink:       sink,
+		space:      space,
+		table:      table,
+		fc:         fc,
+		mb:         mb,
+		oracle:     oracle,
+		start:      start,
+		startNanos: start.UnixNano(),
+		tracer:     tracer,
+		healthG:    reg.Gauge("exbox_health_status"),
+		reg:        reg,
+		forwarded:  reg.Counter("exbox_gw_forwarded_packets_total"),
+		dropped:    reg.Counter("exbox_gw_dropped_packets_total"),
+		admitted:   reg.Counter("exbox_gw_admitted_flows_total"),
+		rejected:   reg.Counter("exbox_gw_rejected_flows_total"),
+		evicted:    reg.Counter("exbox_gw_discontinued_flows_total"),
+		lateClass:  reg.Counter("exbox_gw_late_classified_total"),
 		// The flow table already counts expiries; the gateway reads the
 		// same counter instead of keeping a shadow copy.
 		expired:  reg.Counter("exbox_flows_expired_total"),
@@ -324,6 +351,13 @@ func (g *gateway) handle(src *net.UDPAddr, bytes int, up bool, scratch *classifi
 			// The AP/eNodeB reports each client's link quality; the
 			// demo derives a stable per-client SNR from its address.
 			f.SNR = snrFor(src)
+			// Head sampling: the tracing decision for the flow's whole
+			// lifecycle is made here, once, from the key hash. Unsampled
+			// flows leave f.Trace nil and never touch the tracer again.
+			if id := traceID(f.Key); g.tracer.Sampled(id) {
+				f.Trace = g.tracer.Start(id, string(cellID), -1, int(f.SNR), "sampled")
+				f.Trace.Add(trace.Span{Kind: trace.KindArrival, UnixNanos: g.startNanos + int64(now*1e9)})
+			}
 		}
 		if f.ReadyToClassify(t.HeadCap) {
 			g.classifyAndDecide(f, scratch)
@@ -348,8 +382,15 @@ func (g *gateway) classifyAndDecide(f *flows.Flow, scratch *classifier.Scratch) 
 		return
 	}
 	f.Class, f.Classified = class, true
+	if f.Trace != nil {
+		f.Trace.SetClass(int(class))
+		f.Trace.Add(trace.Span{
+			Kind: trace.KindClassify, UnixNanos: time.Now().UnixNano(),
+			Note: fmt.Sprintf("%v p=%.2f", class, conf),
+		})
+	}
 	current := g.table.Matrix()
-	out, err := g.mb.AdmitWith(cellID, excr.Arrival{Matrix: current, Class: class, Level: g.level(f.SNR)}, scratch)
+	out, err := g.mb.AdmitTraced(cellID, excr.Arrival{Matrix: current, Class: class, Level: g.level(f.SNR)}, scratch, f.Trace)
 	if err != nil {
 		return
 	}
@@ -360,6 +401,14 @@ func (g *gateway) classifyAndDecide(f *flows.Flow, scratch *classifier.Scratch) 
 		g.table.TrackAdmitted(f)
 	} else {
 		g.rejected.Inc()
+		// Rejections are always worth a trace: promote the flow past
+		// head sampling, backfilling the arrival and decision spans so
+		// the exported trace is still complete.
+		if f.Trace == nil && g.tracer != nil {
+			f.Trace = g.tracer.Promote(traceID(f.Key), string(cellID), int(class), int(g.level(f.SNR)),
+				"rejected", g.startNanos+int64(f.FirstSeen*1e9))
+			f.Trace.Add(exboxcore.DecisionSpan(time.Now().UnixNano(), 0, out))
+		}
 	}
 	log.Printf("flow %s classified %v (p=%.2f) snr=%v with matrix %v -> %v (margin %.2f)",
 		f.Key, class, conf, f.SNR, current, out.Verdict, out.Decision.Margin)
@@ -372,6 +421,32 @@ func (g *gateway) level(snr excr.SNRLevel) excr.SNRLevel {
 		return 0
 	}
 	return snr
+}
+
+// traceID hashes a flow key into a trace ID without allocating (the
+// fmt-based Key.String would): a manual FNV-64a over the key's fields,
+// run once per flow on its first packet.
+func traceID(k flows.Key) trace.ID {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime
+		}
+	}
+	mix(k.Src)
+	mix(k.Dst)
+	h ^= uint64(k.SrcPort)
+	h *= prime
+	h ^= uint64(k.DstPort)
+	h *= prime
+	h ^= uint64(k.Proto)
+	h *= prime
+	return trace.ID(h)
 }
 
 // snrFor bins a client into an SNR level deterministically from its
@@ -407,9 +482,40 @@ func (g *gateway) sweeper(done chan struct{}) {
 			g.sweep(time.Since(g.start).Seconds(), scratch)
 			if n++; n%10 == 0 {
 				g.logStats()
+				g.checkHealth()
 			}
 		}
 	}
+}
+
+// checkHealth recomputes the middlebox health verdict, mirrors it into
+// the exbox_health_status gauge (0 green, 1 yellow, 2 red) and logs
+// transitions — the operator sees the flip, not a heartbeat.
+func (g *gateway) checkHealth() {
+	rep := g.mb.Health()
+	g.healthG.Set(int64(rep.Status))
+	if g.healthSeen && rep.Status == g.lastHealth {
+		return
+	}
+	var checks []string
+	for _, c := range rep.Checks {
+		if c.Status != exboxcore.Green {
+			checks = append(checks, fmt.Sprintf("%s=%.3g", c.Name, c.Value))
+		}
+	}
+	for _, cell := range rep.Cells {
+		for _, c := range cell.Checks {
+			if c.Status != exboxcore.Green {
+				checks = append(checks, fmt.Sprintf("%s/%s=%.3g", cell.Cell, c.Name, c.Value))
+			}
+		}
+	}
+	if g.healthSeen {
+		log.Printf("health: %v -> %v %v", g.lastHealth, rep.Status, checks)
+	} else {
+		log.Printf("health: %v", rep.Status)
+	}
+	g.lastHealth, g.healthSeen = rep.Status, true
 }
 
 // logStats emits the periodic one-line gateway summary from the same
@@ -443,12 +549,18 @@ func (g *gateway) sweep(now float64, scratch *classifier.Scratch) {
 	// negative outcomes feed the training set just like positives.
 	current := g.table.Matrix()
 	for _, f := range g.table.Expire(now) {
-		if !f.Classified {
-			continue
+		if f.Classified {
+			arr := excr.Arrival{Matrix: current, Class: f.Class, Level: g.level(f.SNR)}
+			_ = g.mb.ObserveTraced(cellID, excr.Sample{Arrival: arr, Label: g.oracle.Label(arr)}, f.Trace)
+			g.feedback.Inc()
 		}
-		arr := excr.Arrival{Matrix: current, Class: f.Class, Level: g.level(f.SNR)}
-		_ = g.mb.Observe(cellID, excr.Sample{Arrival: arr, Label: g.oracle.Label(arr)})
-		g.feedback.Inc()
+		if f.Trace != nil {
+			f.Trace.Add(trace.Span{
+				Kind: trace.KindExpiry, UnixNanos: time.Now().UnixNano(),
+				Note: fmt.Sprintf("pkts=%d bytes=%d", f.Packets, f.Bytes),
+			})
+			f.Trace.Close()
+		}
 	}
 
 	// Dynamics (Section 4.3): rebuild the admitted-flow list and its
@@ -461,7 +573,7 @@ func (g *gateway) sweep(now float64, scratch *classifier.Scratch) {
 		for _, f := range t.Active() {
 			if f.Classified && f.Decided && f.Admitted && int(f.Class) < g.space.Classes {
 				lvl := g.level(f.SNR)
-				active = append(active, exboxcore.ActiveFlow{ID: len(active), Class: f.Class, Level: lvl})
+				active = append(active, exboxcore.ActiveFlow{ID: len(active), Class: f.Class, Level: lvl, Trace: f.Trace})
 				keys = append(keys, f.Key)
 				matrix = matrix.Inc(f.Class, lvl)
 			}
@@ -482,6 +594,13 @@ func (g *gateway) sweep(now float64, scratch *classifier.Scratch) {
 				g.table.UntrackAdmitted(f)
 				f.Admitted = false
 				g.evicted.Inc()
+				// A re-evaluation flip is always worth a trace: promote
+				// past head sampling so the eviction is on /debug/traces.
+				if f.Trace == nil && g.tracer != nil {
+					f.Trace = g.tracer.Promote(traceID(f.Key), string(cellID), int(f.Class), int(g.level(f.SNR)),
+						"reevaluate-flip", g.startNanos+int64(f.FirstSeen*1e9))
+					f.Trace.Add(trace.Span{Kind: trace.KindReevaluate, UnixNanos: time.Now().UnixNano(), Verdict: "evict"})
+				}
 				log.Printf("flow %s discontinued by re-evaluation", f.Key)
 			}
 		})

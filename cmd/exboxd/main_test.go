@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"net"
 	"net/http"
@@ -10,8 +11,11 @@ import (
 	"testing"
 	"time"
 
+	"exbox/internal/classifier"
 	"exbox/internal/excr"
+	"exbox/internal/flows"
 	"exbox/internal/obs"
+	"exbox/internal/obs/trace"
 )
 
 func scrape(t *testing.T, base, path string) string {
@@ -51,7 +55,7 @@ func metricValue(page, name string) float64 {
 // — the same wiring `exboxd -http :9090` serves.
 func TestGatewayTelemetryEndToEnd(t *testing.T) {
 	reg := obs.NewRegistry()
-	gw, err := newGateway("127.0.0.1:0", excr.DefaultSpace, 8, true, reg)
+	gw, err := newGateway("127.0.0.1:0", excr.DefaultSpace, 8, true, reg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,6 +149,179 @@ func TestGatewayTelemetryEndToEnd(t *testing.T) {
 	}
 	if body := scrape(t, base, "/debug/pprof/cmdline"); body == "" {
 		t.Fatal("/debug/pprof/cmdline empty")
+	}
+}
+
+// TestGatewayTracingAndHealthEndToEnd boots the gateway with tracing
+// on (sampling every flow), scrapes /metrics, /debug/traces and
+// /debug/health concurrently with a live packet workload — the race
+// detector covers the tracer's lock-free ring against the datapath —
+// then forces a rejection (by pre-inflating the admitted matrix) and
+// an expiry sweep, and checks /debug/traces serves at least one
+// complete rejected-flow lifecycle and /debug/health a verdict.
+func TestGatewayTracingAndHealthEndToEnd(t *testing.T) {
+	reg := obs.NewRegistry()
+	tracer := trace.New(64, 1)
+	gw, err := newGateway("127.0.0.1:0", excr.DefaultSpace, 8, true, reg, tracer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.close()
+
+	// Pre-inflate the admitted matrix with phantom flows in every class
+	// so the real arrivals classify against a saturated cell and get
+	// rejected whatever class the traffic classifier assigns them.
+	for i := 0; i < 120; i++ {
+		k := flows.Key{Src: "10.9.9.9", Dst: "sink", SrcPort: uint16(20000 + i), DstPort: 9, Proto: flows.UDP}
+		gw.table.Do(k, func(tb *flows.Table) {
+			f := tb.Observe(k, flows.PacketMeta{Time: 0, Bytes: 100, Up: true})
+			f.Class, f.Classified = excr.AppClass(i%3), true
+			f.Decided, f.Admitted = true, true
+			gw.table.TrackAdmitted(f)
+		})
+	}
+	// The bootstrap fit never saw matrices this crowded, so teach the
+	// classifier the saturated region: oracle-labeled samples around the
+	// inflated matrix (all negative — the cell is overrun), then a
+	// synchronous retrain so the workload's decisions see the boundary.
+	current := gw.table.Matrix()
+	for i := 0; i < 30; i++ {
+		m := current
+		for j := 0; j < i%5; j++ {
+			m = m.Dec(excr.AppClass(j%3), 0)
+		}
+		arr := excr.Arrival{Matrix: m, Class: excr.AppClass(i % 3), Level: 0}
+		if err := gw.mb.Observe(cellID, excr.Sample{Arrival: arr, Label: gw.oracle.Label(arr)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := gw.mb.Cell(cellID).Classifier.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	var loops sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		loops.Add(1)
+		go func() {
+			defer loops.Done()
+			gw.run(done)
+		}()
+	}
+	defer func() {
+		close(done)
+		loops.Wait()
+	}()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: reg.ServeMux()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	// Scrapers race the packet workers for the whole workload.
+	stopScrape := make(chan struct{})
+	var scrapers sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for {
+				select {
+				case <-stopScrape:
+					return
+				default:
+				}
+				for _, p := range []string{"/metrics", "/debug/traces", "/debug/health"} {
+					if resp, err := http.Get(base + p); err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				}
+			}
+		}()
+	}
+
+	const clients, packets = 4, 14
+	payload := make([]byte, 400)
+	payload[0] = 'U'
+	for c := 0; c < clients; c++ {
+		conn, err := net.DialUDP("udp", nil, gw.conn.LocalAddr().(*net.UDPAddr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := 0; p < packets; p++ {
+			if _, err := conn.Write(payload); err != nil {
+				t.Fatal(err)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		conn.Close()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for gw.rejected.Value() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for a rejection (admitted=%d rejected=%d)",
+				gw.admitted.Value(), gw.rejected.Value())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	close(stopScrape)
+	scrapers.Wait()
+
+	// Force every flow to expire so rejected traces complete with their
+	// observe/expiry spans, then check the exported lifecycle.
+	gw.sweep(1e9, new(classifier.Scratch))
+	gw.checkHealth()
+
+	body := scrape(t, base, "/debug/traces?verdict=reject")
+	var views []trace.View
+	if err := json.Unmarshal([]byte(body), &views); err != nil {
+		t.Fatalf("/debug/traces: %v (%.200s)", err, body)
+	}
+	if len(views) == 0 {
+		t.Fatalf("no rejected traces on /debug/traces: %.300s", scrape(t, base, "/debug/traces"))
+	}
+	complete := false
+	for _, v := range views {
+		if !v.Complete {
+			continue
+		}
+		kinds := map[trace.SpanKind]bool{}
+		var model uint64
+		for _, sp := range v.Spans {
+			kinds[sp.Kind] = true
+			if sp.Kind == trace.KindDecision {
+				model = sp.Model
+			}
+		}
+		if kinds[trace.KindArrival] && kinds[trace.KindDecision] && kinds[trace.KindExpiry] && model > 0 {
+			complete = true
+		}
+	}
+	if !complete {
+		t.Fatalf("no complete rejected trace (arrival+decision+expiry with model version): %+v", views)
+	}
+
+	health := scrape(t, base, "/debug/health")
+	var rep struct {
+		Status string `json:"status"`
+		Cells  []struct {
+			Cell         string `json:"cell"`
+			ModelVersion uint64 `json:"model_version"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal([]byte(health), &rep); err != nil {
+		t.Fatalf("/debug/health: %v (%.200s)", err, health)
+	}
+	if rep.Status == "" || len(rep.Cells) != 1 || rep.Cells[0].Cell != string(cellID) {
+		t.Fatalf("unexpected /debug/health payload: %.300s", health)
+	}
+	if got := metricValue(scrape(t, base, "/metrics"), "exbox_health_status"); got < 0 || got > 2 {
+		t.Fatalf("exbox_health_status gauge out of range: %v", got)
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"exbox/internal/flows"
 	"exbox/internal/mathx"
 	"exbox/internal/obs"
+	"exbox/internal/obs/trace"
 	"exbox/internal/traffic"
 )
 
@@ -57,6 +58,12 @@ func main() {
 	// demo's decisions).
 	reg := obs.NewRegistry()
 	mb.Instrument(reg, 64)
+	// Trace every flow (sampleEvery=1): the demo is small and the point
+	// is to show a complete rejected-flow lifecycle at the end.
+	tracer := trace.New(64, 1)
+	mb.InstrumentTracing(tracer)
+	reg.SetTracer(tracer)
+	reg.SetHealth(func() interface{} { return mb.Health() })
 	if _, err := mb.AddCell(cell, classifier.DefaultConfig()); err != nil {
 		log.Fatal(err)
 	}
@@ -87,7 +94,12 @@ func main() {
 			if now-lastSweep >= 1 {
 				lastSweep = now
 				mu.Lock()
-				table.Expire(now)
+				for _, f := range table.Expire(now) {
+					if f.Trace != nil {
+						f.Trace.Add(trace.Span{Kind: trace.KindExpiry, UnixNanos: time.Now().UnixNano()})
+						f.Trace.Close()
+					}
+				}
 				mu.Unlock()
 			}
 			if err != nil {
@@ -98,16 +110,22 @@ func main() {
 			key := flows.Key{Src: src.IP.String(), SrcPort: uint16(src.Port), Dst: "sink", DstPort: 9, Proto: flows.UDP}
 			f := table.Observe(key, flows.PacketMeta{Time: now, Bytes: n, Up: up})
 			f.SNR = excr.SNRHigh
+			if f.Packets == 1 {
+				f.Trace = tracer.Start(trace.IDFromString(f.Key.String()), string(cell), -1, int(f.SNR), "sampled")
+				f.Trace.Add(trace.Span{Kind: trace.KindArrival, UnixNanos: time.Now().UnixNano()})
+			}
 			if f.ReadyToClassify(table.HeadCap) {
 				if class, _, err := fc.ClassifyFlow(f); err == nil {
 					f.Class, f.Classified = class, true
+					f.Trace.SetClass(int(class))
+					f.Trace.Add(trace.Span{Kind: trace.KindClassify, UnixNanos: time.Now().UnixNano(), Note: class.String()})
 					// Propagate the flow's SNR with the same collapse
 					// rule Reevaluate uses for single-level spaces.
 					lvl := f.SNR
 					if excr.DefaultSpace.Levels == 1 {
 						lvl = 0
 					}
-					out, err := mb.Admit(cell, excr.Arrival{Matrix: table.Matrix(excr.DefaultSpace), Class: class, Level: lvl})
+					out, err := mb.AdmitTraced(cell, excr.Arrival{Matrix: table.Matrix(excr.DefaultSpace), Class: class, Level: lvl}, nil, f.Trace)
 					if err == nil {
 						f.Decided = true
 						f.Admitted = out.Verdict == exboxcore.Admit
@@ -189,6 +207,28 @@ func main() {
 					}
 				}
 			}
+			// One rejected flow's full lifecycle, as /debug/traces would
+			// serve it, and the health verdict /debug/health computes.
+			for _, v := range tracer.Snapshot() {
+				if v.Verdict != "reject" {
+					continue
+				}
+				fmt.Printf("rejected flow trace %s (class %d):\n", v.ID, v.Class)
+				for _, sp := range v.Spans {
+					fmt.Printf("  %-10v %s margin=%+.2f model=%d %s\n",
+						sp.Kind, sp.Verdict, sp.Margin, sp.Model, sp.Note)
+				}
+				break
+			}
+			rep := mb.Health()
+			fmt.Printf("health verdict: %v (%d cells", rep.Status, len(rep.Cells))
+			for _, c := range rep.Cells {
+				if c.Health != nil {
+					fmt.Printf("; %s model=v%d drift=%.3f agreement=%.2f",
+						c.Cell, c.ModelVersion, c.Health.Drift, c.Health.Agreement)
+				}
+			}
+			fmt.Println(")")
 			return
 		}
 	}

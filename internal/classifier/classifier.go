@@ -61,6 +61,11 @@ type Metrics struct {
 	CVChecks     *obs.Counter    // bootstrap cross-validation runs
 	CVScore      *obs.GaugeFloat // most recent cross-validation accuracy
 	Graduations  *obs.Counter    // bootstrap -> online phase transitions
+
+	// Solver cache behavior, accumulated per fit when model health is
+	// enabled and the learner exposes solver accounting.
+	KernelCacheHits   *obs.Counter // kernel-row lookups served from cache
+	KernelCacheMisses *obs.Counter // kernel rows computed
 }
 
 // Controller is the common admission-control interface shared by the
@@ -92,6 +97,11 @@ type Decision struct {
 	// Bootstrap is true when the decision was made during the
 	// bootstrap phase (everything is admitted unconditionally).
 	Bootstrap bool
+	// Model is the version of the model snapshot that made the
+	// decision (monotonic per classifier, 0 during bootstrap), so
+	// audit records and traces can tie a verdict to the exact boundary
+	// that produced it.
+	Model uint64
 }
 
 // Config holds Admittance Classifier hyperparameters.
@@ -174,6 +184,7 @@ type modelSnapshot struct {
 	fast        learner.FastPredictor // model's fast path, nil when not provided
 	calibration float64               // max |decision| over the training set
 	bootstrap   bool
+	version     uint64 // monotonic fit counter, 0 while bootstrapping
 }
 
 // Scratch is per-caller workspace for the allocation-free decision
@@ -221,8 +232,13 @@ type AdmittanceClassifier struct {
 
 	// fitMu serializes model fits so concurrent Retrain/Maintain calls
 	// publish snapshots in a well-defined order.
-	fitMu sync.Mutex
-	state atomic.Pointer[modelSnapshot]
+	fitMu  sync.Mutex
+	state  atomic.Pointer[modelSnapshot]
+	fitSeq atomic.Uint64 // model-version source, incremented per published fit
+
+	// health is the optional model-health monitor (EnableHealth); nil
+	// costs the hot paths one pointer load and branch.
+	health atomic.Pointer[modelHealth]
 
 	learner learner.Learner
 
@@ -331,6 +347,11 @@ func (ac *AdmittanceClassifier) Observe(s excr.Sample) {
 	ac.mu.Lock()
 	ac.observed++
 	ac.metrics.Observations.Inc()
+	if h := ac.health.Load(); h != nil {
+		// Score the sample against the model that would have decided
+		// it, before this observation can trigger a refit.
+		ac.healthObserveSample(h, s)
+	}
 	key := sampleKey(s.Arrival)
 	if i, ok := ac.index[key]; ok && ac.cfg.ReplaceRepeated {
 		ac.samples[i] = s
@@ -475,15 +496,31 @@ func (ac *AdmittanceClassifier) fit(req *fitRequest) error {
 		return ErrNotReady
 	}
 	start := time.Now()
+	// With model health enabled, ask the learner for the solver's
+	// per-phase accounting; learners without it fall back to the plain
+	// entry points and the record simply carries no solve split.
+	h := ac.health.Load()
+	var stats *svm.SolveStats
+	if h != nil {
+		stats = new(svm.SolveStats)
+	}
 	var m learner.Predictor
 	var err error
 	if wl, ok := ac.learner.(learner.WarmLearner); ok && ac.cfg.WarmStart && len(req.keys) == len(req.x) {
 		var warmed bool
-		m, warmed, err = wl.TrainWarm(req.x, req.y, req.keys)
+		if wdl, ok := ac.learner.(learner.WarmDetailedLearner); ok && stats != nil {
+			m, warmed, err = wdl.TrainWarmDetailed(req.x, req.y, req.keys, stats)
+		} else {
+			stats = nil
+			m, warmed, err = wl.TrainWarm(req.x, req.y, req.keys)
+		}
 		if warmed {
 			ac.metrics.WarmFits.Inc()
 		}
+	} else if dl, ok := ac.learner.(learner.DetailedLearner); ok && stats != nil {
+		m, err = dl.TrainDetailed(req.x, req.y, stats)
 	} else {
+		stats = nil
 		m, err = ac.learner.Train(req.x, req.y)
 	}
 	if errors.Is(err, learner.ErrOneClass) {
@@ -517,11 +554,21 @@ func (ac *AdmittanceClassifier) fit(req *fitRequest) error {
 	}
 	wasBoot := ac.state.Load().bootstrap
 	boot := wasBoot && !req.graduate
-	ac.state.Store(&modelSnapshot{model: m, fast: fast, calibration: calib, bootstrap: boot})
+	version := ac.fitSeq.Add(1)
+	ac.state.Store(&modelSnapshot{model: m, fast: fast, calibration: calib, bootstrap: boot, version: version})
 	ac.metrics.Fits.Inc()
-	ac.metrics.FitSeconds.Observe(time.Since(start).Seconds())
+	elapsed := time.Since(start).Seconds()
+	ac.metrics.FitSeconds.Observe(elapsed)
 	if wasBoot && !boot {
 		ac.metrics.Graduations.Inc()
+	}
+	if h != nil {
+		if stats != nil {
+			ac.metrics.KernelCacheHits.Add(int64(stats.CacheHits))
+			ac.metrics.KernelCacheMisses.Add(int64(stats.CacheMisses))
+		}
+		nsv, _ := m.(interface{ NumSV() int })
+		h.record(retrainRecordOf(version, len(req.x), ac.LastCVScore(), elapsed, nsv, stats))
 	}
 	return nil
 }
@@ -601,12 +648,15 @@ func (ac *AdmittanceClassifier) DecideScratch(a excr.Arrival, s *Scratch) Decisi
 		margin = st.model.Decision(s.feat)
 	}
 	ac.metrics.Margin.Observe(margin)
+	if h := ac.health.Load(); h != nil {
+		h.observeMargin(margin)
+	}
 	if margin >= 0 {
 		ac.metrics.Admits.Inc()
 	} else {
 		ac.metrics.Rejects.Inc()
 	}
-	return Decision{Admit: margin >= 0, Margin: margin, Depth: depthOf(margin, st.calibration)}
+	return Decision{Admit: margin >= 0, Margin: margin, Depth: depthOf(margin, st.calibration), Model: st.version}
 }
 
 // DecideBatch scores every arrival against one model snapshot — the
@@ -663,15 +713,19 @@ func (ac *AdmittanceClassifier) DecideBatch(dst []Decision, arrivals []excr.Arri
 			scores[i] = st.model.Decision(row)
 		}
 	}
+	h := ac.health.Load()
 	var admits, rejects int64
 	for i, margin := range scores {
 		ac.metrics.Margin.Observe(margin)
+		if h != nil {
+			h.observeMargin(margin)
+		}
 		if margin >= 0 {
 			admits++
 		} else {
 			rejects++
 		}
-		dst[i] = Decision{Admit: margin >= 0, Margin: margin, Depth: depthOf(margin, st.calibration)}
+		dst[i] = Decision{Admit: margin >= 0, Margin: margin, Depth: depthOf(margin, st.calibration), Model: st.version}
 	}
 	ac.metrics.Admits.Add(admits)
 	ac.metrics.Rejects.Add(rejects)

@@ -2,6 +2,7 @@ package exboxcore
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"exbox/internal/apps"
@@ -10,6 +11,7 @@ import (
 	"exbox/internal/mathx"
 	"exbox/internal/netsim"
 	"exbox/internal/obs"
+	"exbox/internal/obs/trace"
 	"exbox/internal/traffic"
 )
 
@@ -151,6 +153,56 @@ func BenchmarkAdmitObserveMixed(b *testing.B) {
 				}
 			}
 			i++
+		}
+	})
+}
+
+// BenchmarkAdmitTracedUnsampled is the tracing gate: a tracer is
+// attached but the flow is not sampled (nil FlowTrace), which is the
+// steady-state packet path. It must match BenchmarkAdmitParallel —
+// the nil check is two untaken branches and zero allocations.
+func BenchmarkAdmitTracedUnsampled(b *testing.B) {
+	mb := benchMiddlebox(b)
+	mb.InstrumentTracing(trace.New(256, 16))
+	probe := benchProbe()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var s classifier.Scratch
+		for pb.Next() {
+			if _, err := mb.AdmitTraced("ap", probe, &s, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAdmitTracedSampled is the worst case: every admission
+// carries a live FlowTrace, so each decision pays two clock reads and
+// the span append under the trace's mutex. Real deployments sample
+// 1-in-16; this bounds the per-sampled-flow overhead.
+func BenchmarkAdmitTracedSampled(b *testing.B) {
+	mb := benchMiddlebox(b)
+	tr := trace.New(256, 1)
+	mb.InstrumentTracing(tr)
+	probe := benchProbe()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var id atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		var s classifier.Scratch
+		var ft *trace.FlowTrace
+		n := 0
+		for pb.Next() {
+			// A fresh trace every 16 decisions, so the append never
+			// degenerates into the span-cap drop path.
+			if n%16 == 0 {
+				ft = tr.Start(trace.ID(id.Add(1)), "ap", int(excr.Web), 0, "sampled")
+			}
+			if _, err := mb.AdmitTraced("ap", probe, &s, ft); err != nil {
+				b.Fatal(err)
+			}
+			n++
 		}
 	})
 }

@@ -28,6 +28,7 @@ import (
 	"exbox/internal/excr"
 	"exbox/internal/metrics"
 	"exbox/internal/obs"
+	"exbox/internal/obs/trace"
 	"exbox/internal/qoe"
 )
 
@@ -75,6 +76,12 @@ type Cell struct {
 
 	// Per-cell verdict counters, nil on an uninstrumented middlebox.
 	admitN, rejectN, lowpriN *obs.Counter
+
+	// wired marks which registry this cell's metrics are registered in,
+	// making Instrument idempotent per cell: re-instrumenting against
+	// the same registry is a no-op, while a fresh (restarted) registry
+	// re-wires everything.
+	wired *obs.Registry
 }
 
 // kickRetrain signals the background retrainer if deferred work is
@@ -156,6 +163,13 @@ type Middlebox struct {
 	// by Instrument before traffic; the hot path reads it without
 	// synchronization.
 	obs *mbObs
+
+	// tracer is the flow-lifecycle tracer (nil when tracing is off).
+	// Set once by InstrumentTracing before traffic; callers that thread
+	// their own *trace.FlowTrace through AdmitTraced & co. don't need
+	// it, but it lets the middlebox report sampling state and promote
+	// flows on behalf of callers that only hold the middlebox.
+	tracer *trace.Tracer
 }
 
 // mbObs bundles the middlebox-level metrics: the decision audit ring,
@@ -190,34 +204,60 @@ func New(space excr.Space, policy Policy) *Middlebox {
 // the decision audit ring (the last auditSize admissions; <= 0
 // defaults to 256), the admission-latency histogram and the workflow
 // counters, and wires per-cell verdict counters plus the full
-// classifier.Metrics set for every cell — cells already registered and
-// cells added later alike. Call it before the middlebox sees traffic;
-// the admission path reads the hookup without synchronization, and
-// every update it makes is a lone atomic operation (plus the audit
-// ring's one record allocation), so instrumentation adds no locks.
+// classifier.Metrics set (and model-health monitoring) for every cell
+// — cells already registered and cells added later alike. Call it
+// before the middlebox sees traffic; the admission path reads the
+// hookup without synchronization, and every update it makes is a lone
+// atomic operation (plus the audit ring's one record allocation), so
+// instrumentation adds no locks.
+//
+// Instrument is idempotent per (cell, registry): calling it again with
+// the same registry — say, after AddCell, to pick up the new cell —
+// re-wires only cells not yet wired to it and keeps the existing audit
+// ring, so counters are never double-registered and the ring's history
+// survives. A different registry (a restart with fresh telemetry)
+// re-wires everything and gets a fresh ring.
 func (mb *Middlebox) Instrument(reg *obs.Registry, auditSize int) {
-	ring := obs.NewAuditRing(auditSize)
-	reg.SetRing(ring)
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
-	epoch := time.Now()
-	mb.obs = &mbObs{
-		reg:        reg,
-		ring:       ring,
-		epoch:      epoch,
-		epochNanos: epoch.UnixNano(),
-		// 100ns .. ~1.7s: admission is a lock-free model read, so the
-		// low end of the range is where the mass should sit.
-		admitSeconds:    reg.Histogram("exbox_admit_seconds", obs.ExpBuckets(1e-7, 4, 12)),
-		selections:      reg.Counter("exbox_select_total"),
-		selectionAdmits: reg.Counter("exbox_select_admitted_total"),
-		reevalCalls:     reg.Counter("exbox_reevaluate_total"),
-		reevalFlows:     reg.Counter("exbox_reevaluate_flows_total"),
-		reevalEvicted:   reg.Counter("exbox_reevaluate_evicted_total"),
+	if mb.obs == nil || mb.obs.reg != reg {
+		ring := obs.NewAuditRing(auditSize)
+		reg.SetRing(ring)
+		epoch := time.Now()
+		mb.obs = &mbObs{
+			reg:        reg,
+			ring:       ring,
+			epoch:      epoch,
+			epochNanos: epoch.UnixNano(),
+			// 100ns .. ~1.7s: admission is a lock-free model read, so the
+			// low end of the range is where the mass should sit.
+			admitSeconds:    reg.Histogram("exbox_admit_seconds", obs.ExpBuckets(1e-7, 4, 12)),
+			selections:      reg.Counter("exbox_select_total"),
+			selectionAdmits: reg.Counter("exbox_select_admitted_total"),
+			reevalCalls:     reg.Counter("exbox_reevaluate_total"),
+			reevalFlows:     reg.Counter("exbox_reevaluate_flows_total"),
+			reevalEvicted:   reg.Counter("exbox_reevaluate_evicted_total"),
+		}
 	}
 	for _, id := range mb.order {
 		mb.instrumentCellLocked(mb.cells[id])
 	}
+}
+
+// InstrumentTracing attaches the flow-lifecycle tracer. Like
+// Instrument, call it before the middlebox sees traffic. A nil tracer
+// turns tracing off.
+func (mb *Middlebox) InstrumentTracing(tr *trace.Tracer) {
+	mb.mu.Lock()
+	mb.tracer = tr
+	mb.mu.Unlock()
+}
+
+// Tracer returns the attached flow-lifecycle tracer, or nil.
+func (mb *Middlebox) Tracer() *trace.Tracer {
+	mb.mu.RLock()
+	defer mb.mu.RUnlock()
+	return mb.tracer
 }
 
 // metricName lowercases an ID and folds anything outside [a-z0-9_]
@@ -235,11 +275,15 @@ func metricName(id string) string {
 	}, id)
 }
 
-// instrumentCellLocked wires one cell's verdict counters and its
-// classifier metrics into the attached registry. Caller holds mu and
-// has checked mb.obs != nil.
+// instrumentCellLocked wires one cell's verdict counters, its
+// classifier metrics and its model-health monitor into the attached
+// registry, at most once per registry. Caller holds mu and has checked
+// mb.obs != nil.
 func (mb *Middlebox) instrumentCellLocked(c *Cell) {
 	reg := mb.obs.reg
+	if c.wired == reg {
+		return
+	}
 	p := "exbox_cell_" + metricName(string(c.ID)) + "_"
 	c.admitN = reg.Counter(p + "admit_total")
 	c.rejectN = reg.Counter(p + "reject_total")
@@ -267,7 +311,14 @@ func (mb *Middlebox) instrumentCellLocked(c *Cell) {
 		CVChecks:           reg.Counter(p + "clf_cv_checks_total"),
 		CVScore:            reg.GaugeFloat(p + "clf_cv_score"),
 		Graduations:        reg.Counter(p + "clf_graduations_total"),
+		KernelCacheHits:    reg.Counter(p + "clf_kernel_cache_hits_total"),
+		KernelCacheMisses:  reg.Counter(p + "clf_kernel_cache_misses_total"),
 	})
+	// An instrumented cell is a production cell: turn on model-health
+	// monitoring (first EnableHealth call wins, so a custom config set
+	// before Instrument is kept).
+	c.Classifier.EnableHealth(classifier.DefaultHealthConfig())
+	c.wired = reg
 }
 
 // AuditRing returns the decision audit ring, or nil when the
@@ -360,9 +411,22 @@ func (mb *Middlebox) Admit(id CellID, a excr.Arrival) (Outcome, error) {
 // steady-state admission performs no allocation beyond the audit
 // ring's record. A nil scratch uses the classifier's internal pool.
 func (mb *Middlebox) AdmitWith(id CellID, a excr.Arrival, s *classifier.Scratch) (Outcome, error) {
+	return mb.AdmitTraced(id, a, s, nil)
+}
+
+// AdmitTraced is AdmitWith with span emission: when ft is non-nil the
+// decision span (verdict, margin, depth, model version, duration) is
+// appended to the flow's trace. A nil ft — the unsampled common case —
+// costs exactly two untaken branches: no clock read, no allocation, so
+// the zero-allocation admission path is preserved.
+func (mb *Middlebox) AdmitTraced(id CellID, a excr.Arrival, s *classifier.Scratch, ft *trace.FlowTrace) (Outcome, error) {
 	cell, ok := mb.cell(id)
 	if !ok {
 		return Outcome{}, fmt.Errorf("%w: %q", ErrUnknownCell, id)
+	}
+	var t0 time.Time
+	if ft != nil {
+		t0 = time.Now()
 	}
 	// Admission latency is sampled 1-in-16 (keyed off the audit ring's
 	// sequence, which advances once per admission) so the steady-state
@@ -384,7 +448,28 @@ func (mb *Middlebox) AdmitWith(id CellID, a excr.Arrival, s *classifier.Scratch)
 		}
 		mb.recordOutcome(cell, a, out, endOff)
 	}
+	if ft != nil {
+		now := time.Now()
+		ft.Add(DecisionSpan(now.UnixNano(), now.Sub(t0).Nanoseconds(), out))
+	}
 	return out, nil
+}
+
+// DecisionSpan builds the trace span for one admission outcome. It is
+// exported so callers that promote a flow's trace after the fact (a
+// rejection that head sampling skipped) can backfill the decision span
+// they already hold the Outcome for.
+func DecisionSpan(unixNanos, durNanos int64, out Outcome) trace.Span {
+	return trace.Span{
+		Kind:      trace.KindDecision,
+		UnixNanos: unixNanos,
+		DurNanos:  durNanos,
+		Verdict:   out.Verdict.String(),
+		Margin:    out.Decision.Margin,
+		Depth:     out.Decision.Depth,
+		Model:     out.Decision.Model,
+		Bootstrap: out.Decision.Bootstrap,
+	}
 }
 
 // verdict applies the middlebox policy to a classifier decision.
@@ -420,6 +505,7 @@ func (mb *Middlebox) recordOutcome(cell *Cell, a excr.Arrival, out Outcome, endO
 		Depth:     out.Decision.Depth,
 		Verdict:   out.Verdict.String(),
 		Bootstrap: out.Decision.Bootstrap,
+		Model:     out.Decision.Model,
 	})
 }
 
@@ -427,12 +513,26 @@ func (mb *Middlebox) recordOutcome(cell *Cell, a excr.Arrival, out Outcome, endO
 // When the cell defers retraining, crossing a batch boundary kicks the
 // cell's background worker instead of fitting inline.
 func (mb *Middlebox) Observe(id CellID, s excr.Sample) error {
+	return mb.ObserveTraced(id, s, nil)
+}
+
+// ObserveTraced is Observe with span emission: the ground-truth label
+// fed back for the flow is appended to its trace, closing the loop
+// between what the classifier predicted and what the flow experienced.
+func (mb *Middlebox) ObserveTraced(id CellID, s excr.Sample, ft *trace.FlowTrace) error {
 	cell, ok := mb.cell(id)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownCell, id)
 	}
 	cell.Classifier.Observe(s)
 	cell.kickRetrain()
+	if ft != nil {
+		note := "label -1"
+		if s.Label == 1 {
+			note = "label +1"
+		}
+		ft.Add(trace.Span{Kind: trace.KindObserve, UnixNanos: time.Now().UnixNano(), Note: note})
+	}
 	return nil
 }
 
@@ -456,6 +556,36 @@ type Candidate struct {
 // returned Outcome is then the least-bad candidate under the policy.
 func (mb *Middlebox) SelectNetwork(cands []Candidate) (Outcome, bool, error) {
 	return mb.SelectNetworkWith(cands, nil)
+}
+
+// SelectNetworkTraced is SelectNetworkWith with span emission: one
+// Select span summarizing the fan-out (how many candidates, which cell
+// won — or that none admitted) is appended to the flow's trace.
+func (mb *Middlebox) SelectNetworkTraced(cands []Candidate, s *classifier.Scratch, ft *trace.FlowTrace) (Outcome, bool, error) {
+	var t0 time.Time
+	if ft != nil {
+		t0 = time.Now()
+	}
+	out, ok, err := mb.SelectNetworkWith(cands, s)
+	if ft != nil && err == nil {
+		now := time.Now()
+		sp := trace.Span{
+			Kind:      trace.KindSelect,
+			UnixNanos: now.UnixNano(),
+			DurNanos:  now.Sub(t0).Nanoseconds(),
+			Margin:    out.Decision.Margin,
+			Depth:     out.Decision.Depth,
+			Model:     out.Decision.Model,
+			Note:      fmt.Sprintf("%d candidates", len(cands)),
+		}
+		if ok {
+			sp.Verdict = "cell:" + string(out.Cell)
+		} else {
+			sp.Verdict = "no-admitting-cell"
+		}
+		ft.Add(sp)
+	}
+	return out, ok, err
 }
 
 // SelectNetworkWith is SelectNetwork with caller-owned classifier
@@ -525,6 +655,11 @@ type ActiveFlow struct {
 	ID    int
 	Class excr.AppClass
 	Level excr.SNRLevel
+	// Trace, when non-nil, receives the re-evaluation verdict as a
+	// span: a coalesced Monitor "keep" per sweep streak, or a
+	// Reevaluate "evict" when the classification flips. Untraced flows
+	// leave it nil and pay one branch.
+	Trace *trace.FlowTrace
 }
 
 // Reevaluate implements Section 4.3: for each admitted flow, rebuild
@@ -573,13 +708,28 @@ func (mb *Middlebox) ReevaluateWith(id CellID, current excr.Matrix, active []Act
 	}
 	decisions := cell.Classifier.DecideBatch(nil, arrivals, s)
 	var evict []ActiveFlow
+	var nowNanos int64 // one clock read per sweep, only if anything is traced
 	for _, f := range active {
 		lvl := f.Level
 		if mb.Space.Levels == 1 {
 			lvl = 0
 		}
-		if !decisions[group[mb.Space.CellIndex(f.Class, lvl)]].Admit {
+		d := decisions[group[mb.Space.CellIndex(f.Class, lvl)]]
+		if !d.Admit {
 			evict = append(evict, f)
+		}
+		if f.Trace != nil {
+			if nowNanos == 0 {
+				nowNanos = time.Now().UnixNano()
+			}
+			sp := trace.Span{UnixNanos: nowNanos, Margin: d.Margin, Depth: d.Depth, Model: d.Model}
+			if d.Admit {
+				sp.Kind, sp.Verdict = trace.KindMonitor, "keep"
+				f.Trace.AddCoalesced(sp)
+			} else {
+				sp.Kind, sp.Verdict = trace.KindReevaluate, "evict"
+				f.Trace.Add(sp)
+			}
 		}
 	}
 	if mb.obs != nil {

@@ -1,0 +1,248 @@
+package exboxcore
+
+import (
+	"fmt"
+	"time"
+
+	"exbox/internal/classifier"
+)
+
+// HealthStatus is the middlebox's traffic-light verdict: Green is
+// nominal, Yellow is degraded-but-serving, Red needs operator
+// attention. The overall verdict is the worst of the individual
+// checks, so a single red check turns the whole report red.
+type HealthStatus int
+
+const (
+	Green HealthStatus = iota
+	Yellow
+	Red
+)
+
+// String implements fmt.Stringer.
+func (s HealthStatus) String() string {
+	switch s {
+	case Green:
+		return "green"
+	case Yellow:
+		return "yellow"
+	default:
+		return "red"
+	}
+}
+
+// MarshalJSON renders the status as its color name, so /debug/health
+// reads "yellow" rather than 1.
+func (s HealthStatus) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// worse returns the more severe of two statuses.
+func worse(a, b HealthStatus) HealthStatus {
+	if b > a {
+		return b
+	}
+	return a
+}
+
+// HealthThresholds are the cut points the health verdict applies. The
+// zero value is not usable; start from DefaultHealthThresholds.
+type HealthThresholds struct {
+	// DriftYellow/DriftRed bound the margin-distribution PSI against
+	// the post-graduation reference window. The conventional PSI
+	// reading: < 0.1 stable, 0.1–0.25 shifting, > 0.25 shifted.
+	DriftYellow float64 `json:"drift_yellow"`
+	DriftRed    float64 `json:"drift_red"`
+	// AgreementYellow/AgreementRed bound the online agreement EWMA
+	// (how often the live model matches incoming ground-truth labels);
+	// the same cut points apply to the cross-validation accuracy. The
+	// check waits for MinAgreementSamples before judging.
+	AgreementYellow     float64 `json:"agreement_yellow"`
+	AgreementRed        float64 `json:"agreement_red"`
+	MinAgreementSamples int     `json:"min_agreement_samples"`
+	// RetrainSecondsYellow/RetrainSecondsRed bound the worst fit wall
+	// time over the last RetrainRecent retrains — the retrain-latency
+	// budget: an online classifier that takes seconds to refit is
+	// falling behind its own batch cadence.
+	RetrainSecondsYellow float64 `json:"retrain_seconds_yellow"`
+	RetrainSecondsRed    float64 `json:"retrain_seconds_red"`
+	RetrainRecent        int     `json:"retrain_recent"`
+	// RejectFracYellow/RejectFracRed bound the rejected fraction of the
+	// last RejectWindow audited decisions (middlebox-wide). A rejection
+	// spike is the operator-visible symptom of a capacity region that
+	// collapsed — whether from real congestion or a bad model.
+	RejectFracYellow float64 `json:"reject_frac_yellow"`
+	RejectFracRed    float64 `json:"reject_frac_red"`
+	RejectWindow     int     `json:"reject_window"`
+}
+
+// DefaultHealthThresholds returns the cut points described on
+// HealthThresholds.
+func DefaultHealthThresholds() HealthThresholds {
+	return HealthThresholds{
+		DriftYellow:          0.10,
+		DriftRed:             0.25,
+		AgreementYellow:      0.75,
+		AgreementRed:         0.60,
+		MinAgreementSamples:  32,
+		RetrainSecondsYellow: 0.5,
+		RetrainSecondsRed:    2.0,
+		RetrainRecent:        8,
+		RejectFracYellow:     0.5,
+		RejectFracRed:        0.9,
+		RejectWindow:         64,
+	}
+}
+
+// HealthCheck is one evaluated signal: its measured value and the
+// status the thresholds assign it.
+type HealthCheck struct {
+	Name   string       `json:"name"`
+	Status HealthStatus `json:"status"`
+	Value  float64      `json:"value"`
+	Detail string       `json:"detail,omitempty"`
+}
+
+// CellHealth is one cell's slice of the health report.
+type CellHealth struct {
+	Cell          string        `json:"cell"`
+	Status        HealthStatus  `json:"status"`
+	ModelVersion  uint64        `json:"model_version"`
+	Bootstrapping bool          `json:"bootstrapping"`
+	Checks        []HealthCheck `json:"checks,omitempty"`
+	// Health is the classifier's raw monitor snapshot (retrain history,
+	// drift, agreement) when health monitoring is enabled on the cell.
+	Health *classifier.HealthSnapshot `json:"health,omitempty"`
+}
+
+// HealthReport is the full /debug/health payload: the overall verdict,
+// the middlebox-wide checks, and one entry per cell.
+type HealthReport struct {
+	Status    HealthStatus  `json:"status"`
+	UnixNanos int64         `json:"unix_nanos"`
+	Checks    []HealthCheck `json:"checks,omitempty"`
+	Cells     []CellHealth  `json:"cells"`
+}
+
+// grade places v against yellow/red cut points; low=true means lower
+// is worse (accuracy-like signals), low=false means higher is worse
+// (drift, latency, rejection fraction).
+func grade(v, yellow, red float64, low bool) HealthStatus {
+	if low {
+		switch {
+		case v <= red:
+			return Red
+		case v <= yellow:
+			return Yellow
+		}
+		return Green
+	}
+	switch {
+	case v >= red:
+		return Red
+	case v >= yellow:
+		return Yellow
+	}
+	return Green
+}
+
+// Health computes the health report with the default thresholds.
+func (mb *Middlebox) Health() HealthReport {
+	return mb.HealthWith(DefaultHealthThresholds())
+}
+
+// HealthWith computes the green/yellow/red verdict from the signals
+// the health monitors have accumulated: per cell, the margin-drift
+// PSI, the online agreement EWMA, the cross-validation accuracy, and
+// the retrain-latency budget; middlebox-wide, the rejected fraction of
+// the audit ring's tail. Signals that have not accumulated enough
+// evidence (a bootstrapping cell, a short audit ring) are skipped
+// rather than judged, so a freshly started gateway reports green. It
+// runs off the hot path (snapshots and ring walks take locks) and is
+// meant for scrape-time or periodic-sweep use.
+func (mb *Middlebox) HealthWith(th HealthThresholds) HealthReport {
+	rep := HealthReport{UnixNanos: time.Now().UnixNano()}
+
+	// Middlebox-wide: rejection spike over the audit ring's tail. Only
+	// judged on a full window, so startup noise doesn't trip it.
+	if ring := mb.AuditRing(); ring != nil && th.RejectWindow > 0 {
+		recs := ring.Snapshot()
+		if len(recs) >= th.RejectWindow {
+			tail := recs[len(recs)-th.RejectWindow:]
+			rejected := 0
+			for _, r := range tail {
+				if r.Verdict != Admit.String() {
+					rejected++
+				}
+			}
+			frac := float64(rejected) / float64(len(tail))
+			rep.Checks = append(rep.Checks, HealthCheck{
+				Name:   "rejection_spike",
+				Status: grade(frac, th.RejectFracYellow, th.RejectFracRed, false),
+				Value:  frac,
+				Detail: fmt.Sprintf("%d of last %d decisions not admitted", rejected, len(tail)),
+			})
+		}
+	}
+
+	for _, c := range mb.Cells() {
+		ch := CellHealth{
+			Cell:          string(c.ID),
+			ModelVersion:  c.Classifier.ModelVersion(),
+			Bootstrapping: c.Classifier.Bootstrapping(),
+		}
+		if snap, ok := c.Classifier.HealthSnapshot(); ok {
+			ch.Health = &snap
+			if snap.DriftReady {
+				ch.Checks = append(ch.Checks, HealthCheck{
+					Name:   "margin_drift",
+					Status: grade(snap.Drift, th.DriftYellow, th.DriftRed, false),
+					Value:  snap.Drift,
+					Detail: fmt.Sprintf("PSI over %d comparison windows", snap.DriftWindows),
+				})
+			}
+			if snap.AgreementSamples >= th.MinAgreementSamples {
+				ch.Checks = append(ch.Checks, HealthCheck{
+					Name:   "agreement",
+					Status: grade(snap.Agreement, th.AgreementYellow, th.AgreementRed, true),
+					Value:  snap.Agreement,
+					Detail: fmt.Sprintf("EWMA over %d labeled samples", snap.AgreementSamples),
+				})
+			}
+			if snap.LastCV > 0 {
+				ch.Checks = append(ch.Checks, HealthCheck{
+					Name:   "cv_accuracy",
+					Status: grade(snap.LastCV, th.AgreementYellow, th.AgreementRed, true),
+					Value:  snap.LastCV,
+				})
+			}
+			if n := len(snap.History); n > 0 && th.RetrainRecent > 0 {
+				recent := snap.History
+				if n > th.RetrainRecent {
+					recent = recent[n-th.RetrainRecent:]
+				}
+				var worst float64
+				for _, r := range recent {
+					if r.Seconds > worst {
+						worst = r.Seconds
+					}
+				}
+				ch.Checks = append(ch.Checks, HealthCheck{
+					Name:   "retrain_latency",
+					Status: grade(worst, th.RetrainSecondsYellow, th.RetrainSecondsRed, false),
+					Value:  worst,
+					Detail: fmt.Sprintf("worst fit of last %d retrains", len(recent)),
+				})
+			}
+		}
+		for _, chk := range ch.Checks {
+			ch.Status = worse(ch.Status, chk.Status)
+		}
+		rep.Status = worse(rep.Status, ch.Status)
+		rep.Cells = append(rep.Cells, ch)
+	}
+	for _, chk := range rep.Checks {
+		rep.Status = worse(rep.Status, chk.Status)
+	}
+	return rep
+}

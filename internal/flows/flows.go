@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"exbox/internal/excr"
+	"exbox/internal/obs/trace"
 )
 
 // Proto is an IP protocol number; only TCP and UDP appear here.
@@ -82,6 +83,11 @@ type Flow struct {
 	// Admitted reports the middlebox's decision for this flow.
 	Admitted bool
 	Decided  bool
+
+	// Trace is the flow's lifecycle trace when the gateway sampled it
+	// (or promoted it on a rejection), nil otherwise. The table only
+	// carries it; the gateway owns span emission.
+	Trace *trace.FlowTrace
 }
 
 // ReadyToClassify reports whether enough of the flow's head has been

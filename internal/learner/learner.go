@@ -47,6 +47,12 @@ type FastPredictor interface {
 // The svm model is the fast path the classifier relies on.
 var _ FastPredictor = (*svm.Model)(nil)
 
+// The SVM adapters expose the solver's detailed accounting.
+var (
+	_ DetailedLearner     = SVM{}
+	_ WarmDetailedLearner = (*WarmSVM)(nil)
+)
+
 // Learner trains Predictors from labeled rows (labels in {-1, +1}).
 type Learner interface {
 	Train(x [][]float64, y []float64) (Predictor, error)
@@ -66,6 +72,22 @@ type WarmLearner interface {
 	TrainWarm(x [][]float64, y []float64, keys []string) (Predictor, bool, error)
 }
 
+// DetailedLearner is a Learner whose fits can report the solver's
+// per-phase accounting (svm.SolveStats): kernel/cache/shrink split,
+// iteration counts, warm-vs-cold. The classifier's model-health layer
+// uses it when enabled; learners without solver phases (the decision
+// tree) simply don't implement it.
+type DetailedLearner interface {
+	Learner
+	TrainDetailed(x [][]float64, y []float64, stats *svm.SolveStats) (Predictor, error)
+}
+
+// WarmDetailedLearner is the warm-started analogue of DetailedLearner.
+type WarmDetailedLearner interface {
+	WarmLearner
+	TrainWarmDetailed(x [][]float64, y []float64, keys []string, stats *svm.SolveStats) (Predictor, bool, error)
+}
+
 // ErrOneClass is returned by Train when the labels contain a single
 // class, making the problem unlearnable for now.
 var ErrOneClass = errors.New("learner: training data contains a single class")
@@ -80,7 +102,12 @@ func (s SVM) Name() string { return "svm-" + s.Config.Kernel.String() }
 
 // Train implements Learner.
 func (s SVM) Train(x [][]float64, y []float64) (Predictor, error) {
-	m, err := svm.Train(s.Config, x, y)
+	return s.TrainDetailed(x, y, nil)
+}
+
+// TrainDetailed implements DetailedLearner.
+func (s SVM) TrainDetailed(x [][]float64, y []float64, stats *svm.SolveStats) (Predictor, error) {
+	m, _, err := svm.SolveDetailed(s.Config, x, y, nil, stats)
 	if errors.Is(err, svm.ErrOneClass) {
 		return nil, ErrOneClass
 	}
@@ -121,6 +148,11 @@ func (s *WarmSVM) Train(x [][]float64, y []float64) (Predictor, error) {
 
 // TrainWarm implements WarmLearner.
 func (s *WarmSVM) TrainWarm(x [][]float64, y []float64, keys []string) (Predictor, bool, error) {
+	return s.TrainWarmDetailed(x, y, keys, nil)
+}
+
+// TrainWarmDetailed implements WarmDetailedLearner.
+func (s *WarmSVM) TrainWarmDetailed(x [][]float64, y []float64, keys []string, stats *svm.SolveStats) (Predictor, bool, error) {
 	if len(keys) != len(x) || len(y) != len(x) {
 		return nil, false, errors.New("learner: rows/labels/keys length mismatch")
 	}
@@ -128,7 +160,7 @@ func (s *WarmSVM) TrainWarm(x [][]float64, y []float64, keys []string) (Predicto
 	seed := s.remapLocked(keys, y)
 	s.mu.Unlock()
 
-	m, next, err := svm.Solve(s.Config, x, y, seed)
+	m, next, err := svm.SolveDetailed(s.Config, x, y, seed, stats)
 	if errors.Is(err, svm.ErrOneClass) {
 		return nil, false, ErrOneClass
 	}

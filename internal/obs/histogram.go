@@ -126,8 +126,57 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.bounds[len(h.bounds)-1]
 }
 
-// writeText renders Prometheus-style cumulative buckets plus _sum and
-// _count lines.
+// EstimateQuantile returns an interpolated estimate of the q-quantile
+// (0 <= q <= 1): the bucket holding the q-th observation is found as
+// in Quantile, then the position within it is interpolated —
+// log-linearly when both edges are positive (the bucket shapes here
+// are log-spaced, so that is the natural assumption about how mass
+// spreads inside one), linearly otherwise. The overflow bucket has no
+// upper edge and reports the last finite bound, like Quantile.
+func (h *Histogram) EstimateQuantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	rank := math.Ceil(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		cum += n
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(h.bounds) {
+			return h.bounds[len(h.bounds)-1] // overflow: no upper edge
+		}
+		hi := h.bounds[i]
+		var lo float64
+		if i > 0 {
+			lo = h.bounds[i-1]
+		} else if hi > 0 {
+			lo = 0 // first bucket of positive-only bounds
+		} else {
+			return hi // (-inf, hi]: no lower edge to interpolate from
+		}
+		frac := (rank - float64(cum-n)) / float64(n)
+		if lo > 0 && hi > lo {
+			return lo * math.Pow(hi/lo, frac)
+		}
+		return lo + (hi-lo)*frac
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// writeText renders Prometheus-style cumulative buckets plus _sum,
+// _count and estimated-percentile lines (the latter so a latency
+// regression is readable straight off the /metrics page without
+// reassembling buckets).
 func (h *Histogram) writeText(w io.Writer) error {
 	var cum int64
 	for i, b := range h.bounds {
@@ -145,8 +194,18 @@ func (h *Histogram) writeText(w io.Writer) error {
 			return err
 		}
 	}
-	_, err := fmt.Fprintf(w, "%s_count %d\n", h.name, cum)
-	return err
+	if _, err := fmt.Fprintf(w, "%s_count %d\n", h.name, cum); err != nil {
+		return err
+	}
+	for _, p := range [...]struct {
+		suffix string
+		q      float64
+	}{{"p50", 0.5}, {"p95", 0.95}, {"p99", 0.99}} {
+		if _, err := fmt.Fprintf(w, "%s_%s %v\n", h.name, p.suffix, h.EstimateQuantile(p.q)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ExpBuckets returns n log-spaced upper bounds start, start*factor,

@@ -5,7 +5,10 @@ import (
 	"expvar"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync"
+
+	"exbox/internal/obs/trace"
 )
 
 // MetricsHandler serves the plaintext metrics page.
@@ -29,17 +32,76 @@ func (r *Registry) AuditHandler() http.Handler {
 	})
 }
 
+// TracesHandler serves the flow-lifecycle trace ring as a JSON array,
+// oldest-started first (empty array when no tracer is attached).
+// Query filters compose: `?cell=` and `?verdict=` match exactly,
+// `?class=` matches the numeric application class, and `?limit=` keeps
+// only the most recently started matches.
+func (r *Registry) TracesHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		views := r.Tracer().Snapshot()
+		q := req.URL.Query()
+		cell, verdict := q.Get("cell"), q.Get("verdict")
+		class, classSet := -1, false
+		if s := q.Get("class"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil {
+				class, classSet = v, true
+			}
+		}
+		out := views[:0]
+		for _, v := range views {
+			if cell != "" && v.Cell != cell {
+				continue
+			}
+			if verdict != "" && v.Verdict != verdict {
+				continue
+			}
+			if classSet && v.Class != class {
+				continue
+			}
+			out = append(out, v)
+		}
+		if s := q.Get("limit"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n >= 0 && n < len(out) {
+				out = out[len(out)-n:]
+			}
+		}
+		if out == nil {
+			out = []trace.View{}
+		}
+		json.NewEncoder(w).Encode(out)
+	})
+}
+
+// HealthHandler serves the attached health report as JSON, or
+// {"status":"unknown"} when no source is wired.
+func (r *Registry) HealthHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if fn := r.Health(); fn != nil {
+			json.NewEncoder(w).Encode(fn())
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]string{"status": "unknown"})
+	})
+}
+
 // ServeMux returns the observability endpoint bundle cmd/exboxd serves
 // behind -http:
 //
 //	/metrics           plaintext metrics page
 //	/debug/admissions  decision audit ring (JSON)
+//	/debug/traces      flow-lifecycle traces (JSON, filterable)
+//	/debug/health      model/system health verdict (JSON)
 //	/debug/vars        expvar (the process-global map)
 //	/debug/pprof/...   runtime profiling
 func (r *Registry) ServeMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", r.MetricsHandler())
 	mux.Handle("/debug/admissions", r.AuditHandler())
+	mux.Handle("/debug/traces", r.TracesHandler())
+	mux.Handle("/debug/health", r.HealthHandler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -70,8 +132,8 @@ func (r *Registry) Expvar() expvar.Func {
 					"count": v.Count(),
 					"sum":   v.Sum(),
 					"mean":  v.Mean(),
-					"p50":   v.Quantile(0.5),
-					"p99":   v.Quantile(0.99),
+					"p50":   v.EstimateQuantile(0.5),
+					"p99":   v.EstimateQuantile(0.99),
 				}
 			}
 		}

@@ -26,6 +26,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"exbox/internal/obs/trace"
 )
 
 // Registry holds named metrics and renders them for export. The
@@ -34,6 +36,8 @@ type Registry struct {
 	mu      sync.RWMutex
 	metrics map[string]interface{}
 	ring    *AuditRing
+	tracer  *trace.Tracer
+	health  func() interface{}
 }
 
 // NewRegistry returns an empty metric registry.
@@ -134,6 +138,38 @@ func (r *Registry) Ring() *AuditRing {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return r.ring
+}
+
+// SetTracer attaches the flow-lifecycle tracer exported by
+// TracesHandler on /debug/traces.
+func (r *Registry) SetTracer(tr *trace.Tracer) {
+	r.mu.Lock()
+	r.tracer = tr
+	r.mu.Unlock()
+}
+
+// Tracer returns the attached flow tracer, or nil.
+func (r *Registry) Tracer() *trace.Tracer {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.tracer
+}
+
+// SetHealth attaches the health-report source exported by
+// HealthHandler on /debug/health. fn is called at scrape time (off the
+// hot path; it may take locks) and its result is rendered as JSON —
+// the middlebox wires its green/yellow/red verdict here.
+func (r *Registry) SetHealth(fn func() interface{}) {
+	r.mu.Lock()
+	r.health = fn
+	r.mu.Unlock()
+}
+
+// Health returns the attached health-report source, or nil.
+func (r *Registry) Health() func() interface{} {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.health
 }
 
 // snapshot returns the metrics sorted by name for deterministic

@@ -1,11 +1,13 @@
 package obs
 
 import (
+	"fmt"
 	"math"
 	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestCounterGaugeNilSafety(t *testing.T) {
@@ -201,5 +203,111 @@ func TestWriteTextAndHandlers(t *testing.T) {
 	}
 	if m["exbox_admit_total"] != int64(3) || m["audit_ring_len"] != 1 {
 		t.Fatalf("expvar snapshot wrong: %v", m)
+	}
+}
+
+func TestEstimateQuantileInterpolates(t *testing.T) {
+	h := newHistogram("lat_seconds", ExpBuckets(0.001, 10, 4)) // 1ms, 10ms, 100ms, 1s
+	if h.EstimateQuantile(0.5) != 0 {
+		t.Fatal("empty histogram must estimate 0")
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(0.005) // all mass in the (1ms, 10ms] bucket
+	}
+	// Rank 50 of 100, all in one bucket: frac = 0.5, log-linear between
+	// 1ms and 10ms -> sqrt(1e-3 * 1e-2).
+	want := math.Sqrt(1e-3 * 1e-2)
+	if got := h.EstimateQuantile(0.5); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("p50 = %v, want %v", got, want)
+	}
+	// The estimate must stay inside the bucket and below the coarse
+	// upper-bound Quantile.
+	if got := h.EstimateQuantile(0.99); got <= 1e-3 || got > 1e-2 {
+		t.Fatalf("p99 = %v escaped its bucket", got)
+	}
+	if h.EstimateQuantile(0.5) > h.Quantile(0.5) {
+		t.Fatalf("interpolated estimate %v should not exceed bucket bound %v",
+			h.EstimateQuantile(0.5), h.Quantile(0.5))
+	}
+
+	// First bucket of positive bounds interpolates linearly from 0.
+	h2 := newHistogram("h2", ExpBuckets(1, 10, 3))
+	for i := 0; i < 4; i++ {
+		h2.Observe(0.5)
+	}
+	if got := h2.EstimateQuantile(0.5); got <= 0 || got > 1 {
+		t.Fatalf("first-bucket estimate = %v, want in (0, 1]", got)
+	}
+
+	// Overflow reports the last finite bound, like Quantile.
+	h3 := newHistogram("h3", ExpBuckets(1, 10, 2))
+	h3.Observe(1e6)
+	if got := h3.EstimateQuantile(0.5); got != 10 {
+		t.Fatalf("overflow estimate = %v, want 10", got)
+	}
+
+	// Signed bounds: the (-inf, lo] bucket has no lower edge.
+	h4 := newHistogram("h4", SignedExpBuckets(0.01, 2, 3))
+	h4.Observe(-100)
+	if got := h4.EstimateQuantile(0.5); got != -0.04 {
+		t.Fatalf("(-inf, -0.04] estimate = %v, want -0.04", got)
+	}
+}
+
+func TestWriteTextEmitsPercentiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", ExpBuckets(0.001, 10, 4))
+	for i := 0; i < 10; i++ {
+		h.Observe(0.005)
+	}
+	page := r.String()
+	for _, want := range []string{"lat_seconds_p50 ", "lat_seconds_p95 ", "lat_seconds_p99 "} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("metrics page missing %q:\n%s", want, page)
+		}
+	}
+	// The emitted p50 must be the interpolated estimate, not the coarse
+	// bucket bound.
+	var got float64
+	for _, line := range strings.Split(page, "\n") {
+		if strings.HasPrefix(line, "lat_seconds_p50 ") {
+			if _, err := fmt.Sscanf(line, "lat_seconds_p50 %g", &got); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if want := h.EstimateQuantile(0.5); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("page p50 = %v, want EstimateQuantile's %v", got, want)
+	}
+}
+
+// TestAuditRingSeqAndTimestamps pins the record-ordering contract the
+// exporter relies on: every record carries a monotonic sequence number
+// and a wall-clock stamp, so scrapes can be ordered and joined across
+// pulls.
+func TestAuditRingSeqAndTimestamps(t *testing.T) {
+	r := NewAuditRing(8)
+	t0 := time.Now().UnixNano()
+	for i := 0; i < 5; i++ {
+		r.Record(DecisionRecord{Cell: "ap0", Verdict: "admit"})
+	}
+	recs := r.Snapshot()
+	if len(recs) != 5 {
+		t.Fatalf("len = %d, want 5", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Seq != uint64(i+1) {
+			t.Fatalf("record %d seq = %d, want contiguous from 1", i, rec.Seq)
+		}
+		if rec.UnixNanos < t0 || rec.UnixNanos > time.Now().UnixNano() {
+			t.Fatalf("record %d timestamp %d outside test window", i, rec.UnixNanos)
+		}
+	}
+	// A caller-provided timestamp is kept (the middlebox stamps records
+	// from its monotonic epoch).
+	r.Record(DecisionRecord{UnixNanos: 42})
+	recs = r.Snapshot()
+	if got := recs[len(recs)-1]; got.UnixNanos != 42 || got.Seq != 6 {
+		t.Fatalf("caller timestamp not preserved: %+v", got)
 	}
 }

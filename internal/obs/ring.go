@@ -23,6 +23,10 @@ type DecisionRecord struct {
 	Depth     float64 `json:"depth"`
 	Verdict   string  `json:"verdict"`
 	Bootstrap bool    `json:"bootstrap"`
+	// Model is the version of the classifier model that made the
+	// decision (0 during bootstrap), tying each audited verdict to the
+	// exact boundary that produced it.
+	Model uint64 `json:"model,omitempty"`
 }
 
 // AuditRing is a bounded, lock-free ring buffer over the last N

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 )
 
 // Config holds the SVM hyperparameters. The zero value is not usable;
@@ -152,6 +153,12 @@ func (w *WarmState) Usable(n, dim int) bool {
 // useful starting point; the solver converges to the optimum either
 // way.
 func Solve(cfg Config, x [][]float64, y []float64, warm *WarmState) (*Model, *WarmState, error) {
+	return solveWithStats(cfg, x, y, warm, nil)
+}
+
+// solveWithStats is the Solve body; stats, when non-nil, collects
+// per-phase counters and timings (see SolveDetailed).
+func solveWithStats(cfg Config, x [][]float64, y []float64, warm *WarmState, stats *SolveStats) (*Model, *WarmState, error) {
 	if len(x) == 0 {
 		return nil, nil, errors.New("svm: no training data")
 	}
@@ -185,6 +192,11 @@ func Solve(cfg Config, x [][]float64, y []float64, warm *WarmState) (*Model, *Wa
 		gamma = 1 / float64(dim)
 	}
 	useWarm := warm.Usable(len(x), dim)
+	var tInit time.Time
+	if stats != nil {
+		stats.Warm = useWarm
+		tInit = time.Now()
+	}
 	var scaler *Scaler
 	if useWarm {
 		scaler = warm.scaler
@@ -194,8 +206,12 @@ func Solve(cfg Config, x [][]float64, y []float64, warm *WarmState) (*Model, *Wa
 	xs := scaler.TransformAll(x)
 
 	tr := newTrainer(cfg, gamma, xs, y)
+	tr.stats = stats
 	if useWarm {
 		tr.initWarm(warm)
+	}
+	if stats != nil {
+		stats.InitSeconds = time.Since(tInit).Seconds()
 	}
 	tr.solve()
 
@@ -240,6 +256,11 @@ type trainer struct {
 	// computed on demand through kRow with a bounded LRU cache.
 	kfull [][]float64
 	lru   *rowLRU
+
+	// stats, when non-nil, accumulates the per-phase accounting of
+	// SolveDetailed. Every touch is nil-guarded so the plain Solve path
+	// pays only untaken branches.
+	stats *SolveStats
 }
 
 // kernelCacheLimit bounds the n for which a full n×n kernel matrix is
@@ -365,22 +386,39 @@ func (tr *trainer) initWarm(warm *WarmState) {
 func (tr *trainer) kRow(i int) []float64 {
 	if tr.kfull != nil {
 		if tr.kfull[i] == nil {
-			row := make([]float64, tr.n)
-			for j := 0; j < tr.n; j++ {
-				row[j] = tr.kern(tr.x[i], tr.x[j])
-			}
-			tr.kfull[i] = row
+			tr.kfull[i] = tr.computeRow(i)
+		} else if tr.stats != nil {
+			tr.stats.CacheHits++
 		}
 		return tr.kfull[i]
 	}
 	if row, ok := tr.lru.Get(i); ok {
+		if tr.stats != nil {
+			tr.stats.CacheHits++
+		}
 		return row
+	}
+	row := tr.computeRow(i)
+	tr.lru.Put(i, row)
+	return row
+}
+
+// computeRow materializes kernel row i, charging the work to the
+// kernel phase when accounting is on.
+func (tr *trainer) computeRow(i int) []float64 {
+	var t0 time.Time
+	if tr.stats != nil {
+		t0 = time.Now()
 	}
 	row := make([]float64, tr.n)
 	for j := 0; j < tr.n; j++ {
 		row[j] = tr.kern(tr.x[i], tr.x[j])
 	}
-	tr.lru.Put(i, row)
+	if tr.stats != nil {
+		tr.stats.KernelRows++
+		tr.stats.CacheMisses++
+		tr.stats.KernelSeconds += time.Since(t0).Seconds()
+	}
 	return row
 }
 
@@ -409,6 +447,9 @@ func (tr *trainer) solve() {
 	for {
 		tr.sweeps(rng, &iter, maxIter, shrinking)
 		if iter >= maxIter || tr.nActive == tr.n {
+			if tr.stats != nil {
+				tr.stats.Iters = iter
+			}
 			return
 		}
 		tr.unshrink()
@@ -456,6 +497,11 @@ func (tr *trainer) sweeps(rng *rand.Rand, iter *int, maxIter int, shrinking bool
 // and the final unshrink pass re-checks them anyway. Their cached
 // kernel rows are released so the LRU budget stays on live rows.
 func (tr *trainer) shrink() {
+	var t0 time.Time
+	if tr.stats != nil {
+		t0 = time.Now()
+		defer func() { tr.stats.ShrinkSeconds += time.Since(t0).Seconds() }()
+	}
 	tol, c := tr.cfg.Tol, tr.cfg.C
 	for i := 0; i < tr.n; i++ {
 		if !tr.active[i] {
@@ -469,6 +515,9 @@ func (tr *trainer) shrink() {
 		if (a <= 0 && r > shrinkMargin*tol) || (a >= c && r < -shrinkMargin*tol) {
 			tr.active[i] = false
 			tr.nActive--
+			if tr.stats != nil {
+				tr.stats.Shrunk++
+			}
 			if tr.lru != nil {
 				tr.lru.Remove(i)
 			}
@@ -481,6 +530,12 @@ func (tr *trainer) shrink() {
 // stale the moment they are shrunk: the incremental update loop skips
 // them on purpose).
 func (tr *trainer) unshrink() {
+	var t0 time.Time
+	if tr.stats != nil {
+		t0 = time.Now()
+		tr.stats.Unshrinks++
+		defer func() { tr.stats.ShrinkSeconds += time.Since(t0).Seconds() }()
+	}
 	var sv []int
 	for i, a := range tr.alpha {
 		if a > 1e-12 {
@@ -643,6 +698,9 @@ func (tr *trainer) takeStep(i1, i2 int) bool {
 	d2 := y2 * (a2new - a2)
 	tr.alpha[i1] = a1new
 	tr.alpha[i2] = a2new
+	if tr.stats != nil {
+		tr.stats.Steps++
+	}
 	// The incremental update is exact — row values are deterministic
 	// whether cached or recomputed — so no per-step re-derivation of
 	// E_{i1}, E_{i2} is needed. Shrunk examples are skipped; their
@@ -675,6 +733,9 @@ func (tr *trainer) kernAt(i, j int) float64 {
 		if row, ok := tr.lru.Get(j); ok {
 			return row[i]
 		}
+	}
+	if tr.stats != nil {
+		tr.stats.ScalarEvals++
 	}
 	return tr.kern(tr.x[i], tr.x[j])
 }
