@@ -20,6 +20,7 @@
 //
 //	exboxd [-listen 127.0.0.1:0] [-duration 10s] [-demo]
 //	       [-workers N] [-shards N] [-mixedsnr] [-http addr]
+//	       [-rff] [-rffdim D] [-rffagreement F]
 //
 // With -demo (the default), built-in traffic generators emulate a mix
 // of web, streaming and conferencing clients so the daemon is fully
@@ -27,6 +28,13 @@
 // gateway address. With -mixedsnr the daemon runs on the paper's
 // 3-class x 2-SNR-level space, binning each client's (simulated)
 // link quality into the matrix.
+//
+// With -rff each admission is scored through the random-Fourier-
+// feature linearization of the RBF boundary (sub-microsecond instead
+// of a walk over the support-vector slab); the model-health monitor
+// compares the tier against exact scoring on every labeled sample and
+// demotes back to the exact path when agreement drops below
+// -rffagreement.
 //
 // With -http (e.g. -http :9090) the daemon serves its telemetry over
 // HTTP: a plaintext /metrics page, the decision audit trail as
@@ -73,9 +81,16 @@ func main() {
 	warmstart := flag.Bool("warmstart", true, "seed each SVM refit from the previous fit's solver state")
 	traceSample := flag.Int("tracesample", 16, "head-sample 1 in N flows for lifecycle tracing (1 = every flow, 0 = off)")
 	traceBuf := flag.Int("tracebuf", 256, "how many flow traces the /debug/traces ring keeps")
+	rff := flag.Bool("rff", false, "score admissions through the random-Fourier-feature tier (oracle-gated fallback to exact)")
+	rffDim := flag.Int("rffdim", 256, "RFF dictionary size (cos/sin features) when -rff is on")
+	rffAgreement := flag.Float64("rffagreement", 0.9, "demote the RFF tier when its agreement EWMA with exact scoring drops below this")
 	flag.Parse()
 
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
+
+	if err := validateFlags(*workers, *shards, *traceSample, *traceBuf, *rffDim, *rffAgreement); err != nil {
+		log.Fatalf("exboxd: %v", err)
+	}
 
 	space := excr.DefaultSpace
 	if *mixed {
@@ -86,7 +101,12 @@ func main() {
 	if *traceSample > 0 {
 		tracer = trace.New(*traceBuf, *traceSample)
 	}
-	gw, err := newGateway(*listen, space, *shards, *warmstart, reg, tracer)
+	gw, err := newGateway(*listen, space, *shards, gatewayOptions{
+		warmStart:    *warmstart,
+		rff:          *rff,
+		rffDim:       *rffDim,
+		rffAgreement: *rffAgreement,
+	}, reg, tracer)
 	if err != nil {
 		log.Fatalf("exboxd: %v", err)
 	}
@@ -189,11 +209,50 @@ type gateway struct {
 
 const cellID = exboxcore.CellID("ap0")
 
+// gatewayOptions bundles the tunables newGateway threads into the
+// classifier: warm-started refits and the budget-constrained RFF
+// scoring tier with its demotion threshold.
+type gatewayOptions struct {
+	warmStart    bool
+	rff          bool
+	rffDim       int
+	rffAgreement float64
+}
+
+// validateFlags rejects nonsensical flag combinations before any
+// socket is opened or goroutine started, so a typo'd invocation dies
+// with one clear line instead of a zero-traffic run (or a divide/alloc
+// panic deep in a worker). Pure so the table test can sweep it.
+func validateFlags(workers, shards, traceSample, traceBuf, rffDim int, rffAgreement float64) error {
+	if workers < 1 {
+		return fmt.Errorf("-workers must be >= 1, got %d", workers)
+	}
+	if shards < 1 {
+		return fmt.Errorf("-shards must be >= 1, got %d", shards)
+	}
+	if traceSample < 0 {
+		return fmt.Errorf("-tracesample must be >= 0 (0 disables tracing), got %d", traceSample)
+	}
+	if traceBuf < 0 {
+		return fmt.Errorf("-tracebuf must be >= 0, got %d", traceBuf)
+	}
+	if traceSample > 0 && traceBuf < 1 {
+		return fmt.Errorf("-tracebuf must be >= 1 when tracing is on, got %d", traceBuf)
+	}
+	if rffDim < 2 {
+		return fmt.Errorf("-rffdim must be >= 2 (cos/sin pairs), got %d", rffDim)
+	}
+	if rffAgreement <= 0 || rffAgreement > 1 {
+		return fmt.Errorf("-rffagreement must be in (0, 1], got %g", rffAgreement)
+	}
+	return nil
+}
+
 // classifySilence is how long a flow with an unfilled head must stay
 // quiet before the sweep classifies it anyway (the silence case).
 const classifySilence = 2.0 // seconds
 
-func newGateway(listen string, space excr.Space, shards int, warmStart bool, reg *obs.Registry, tracer *trace.Tracer) (*gateway, error) {
+func newGateway(listen string, space excr.Space, shards int, opts gatewayOptions, reg *obs.Registry, tracer *trace.Tracer) (*gateway, error) {
 	addr, err := net.ResolveUDPAddr("udp", listen)
 	if err != nil {
 		return nil, err
@@ -226,11 +285,24 @@ func newGateway(listen string, space excr.Space, shards int, warmStart bool, reg
 	// each refit is seeded from the previous boundary so the worker
 	// keeps up with the paper's retrain-every-batch cadence.
 	cfg.DeferRetrain = true
-	cfg.WarmStart = warmStart
+	cfg.WarmStart = opts.warmStart
+	// The RFF tier trades the exact SV-slab walk for a sub-microsecond
+	// linearized score on every admission; the health monitor's oracle
+	// gate demotes back to exact scoring if the tier misbehaves.
+	cfg.SVM.RFF = opts.rff
+	cfg.SVM.RFFDim = opts.rffDim
 	if _, err := mb.AddCell(cellID, cfg); err != nil {
 		conn.Close()
 		sink.Close()
 		return nil, err
+	}
+	if opts.rff {
+		// The custom demotion threshold must land before Instrument:
+		// EnableHealth is first-call-wins and Instrument installs the
+		// defaults.
+		hc := classifier.DefaultHealthConfig()
+		hc.RFFAgreementMin = opts.rffAgreement
+		mb.Cell(cellID).Classifier.EnableHealth(hc)
 	}
 	// Instrument before the bootstrap training below so the fit
 	// metrics and training-size gauge cover it too. The tracer and the

@@ -55,7 +55,7 @@ func metricValue(page, name string) float64 {
 // — the same wiring `exboxd -http :9090` serves.
 func TestGatewayTelemetryEndToEnd(t *testing.T) {
 	reg := obs.NewRegistry()
-	gw, err := newGateway("127.0.0.1:0", excr.DefaultSpace, 8, true, reg, nil)
+	gw, err := newGateway("127.0.0.1:0", excr.DefaultSpace, 8, gatewayOptions{warmStart: true}, reg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +162,7 @@ func TestGatewayTelemetryEndToEnd(t *testing.T) {
 func TestGatewayTracingAndHealthEndToEnd(t *testing.T) {
 	reg := obs.NewRegistry()
 	tracer := trace.New(64, 1)
-	gw, err := newGateway("127.0.0.1:0", excr.DefaultSpace, 8, true, reg, tracer)
+	gw, err := newGateway("127.0.0.1:0", excr.DefaultSpace, 8, gatewayOptions{warmStart: true}, reg, tracer)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,5 +335,84 @@ func TestSNRStablePerClient(t *testing.T) {
 		if got := snrFor(&net.UDPAddr{IP: ip, Port: port}); got != want {
 			t.Fatalf("client SNR changed with source port %d: %v != %v", port, got, want)
 		}
+	}
+}
+
+// TestValidateFlags sweeps the fail-fast flag validation: every
+// rejected combination names the offending flag, every sane one
+// passes.
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name                                   string
+		workers, shards, traceSample, traceBuf int
+		rffDim                                 int
+		rffAgreement                           float64
+		wantErr                                string
+	}{
+		{"defaults", 4, 32, 16, 256, 256, 0.9, ""},
+		{"tracing off", 4, 32, 0, 256, 256, 0.9, ""},
+		{"tracing off zero buf", 4, 32, 0, 0, 256, 0.9, ""},
+		{"negative tracesample", 4, 32, -1, 256, 256, 0.9, "-tracesample"},
+		{"negative tracebuf", 4, 32, 16, -1, 256, 0.9, "-tracebuf"},
+		{"zero tracebuf while tracing", 4, 32, 16, 0, 256, 0.9, "-tracebuf"},
+		{"zero workers", 0, 32, 16, 256, 256, 0.9, "-workers"},
+		{"zero shards", 4, 0, 16, 256, 256, 0.9, "-shards"},
+		{"rffdim zero", 4, 32, 16, 256, 0, 0.9, "-rffdim"},
+		{"rffdim one", 4, 32, 16, 256, 1, 0.9, "-rffdim"},
+		{"rffdim minimal", 4, 32, 16, 256, 2, 0.9, ""},
+		{"agreement zero", 4, 32, 16, 256, 256, 0, "-rffagreement"},
+		{"agreement negative", 4, 32, 16, 256, 256, -0.5, "-rffagreement"},
+		{"agreement above one", 4, 32, 16, 256, 256, 1.5, "-rffagreement"},
+		{"agreement one", 4, 32, 16, 256, 256, 1, ""},
+	}
+	for _, tc := range cases {
+		err := validateFlags(tc.workers, tc.shards, tc.traceSample, tc.traceBuf, tc.rffDim, tc.rffAgreement)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %v, want mention of %s", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestGatewayRFFOptions boots the gateway with the RFF tier enabled
+// and checks the wiring end to end: the custom demotion threshold
+// survives Instrument (EnableHealth is first-call-wins), the
+// bootstrap fit ships a tier, and the per-cell rff metrics exist.
+func TestGatewayRFFOptions(t *testing.T) {
+	reg := obs.NewRegistry()
+	gw, err := newGateway("127.0.0.1:0", excr.DefaultSpace, 8,
+		gatewayOptions{warmStart: true, rff: true, rffDim: 128, rffAgreement: 0.5}, reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.close()
+	clf := gw.mb.Cell(cellID).Classifier
+	if !clf.HealthEnabled() {
+		t.Fatal("health monitoring not enabled")
+	}
+	snap, ok := clf.HealthSnapshot()
+	if !ok {
+		t.Fatal("no health snapshot")
+	}
+	if !snap.RFFActive || snap.RFFDemoted {
+		t.Fatalf("bootstrap fit did not publish an active tier: %+v", snap)
+	}
+	rep := gw.mb.Health()
+	found := false
+	for _, chk := range rep.Cells[0].Checks {
+		if chk.Name == "rff_tier" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("rff_tier check missing from /debug/health: %+v", rep.Cells[0].Checks)
+	}
+	if reg.Counter("exbox_cell_ap0_clf_rff_demotions_total").Value() != 0 {
+		t.Fatal("spurious demotion on the bootstrap fit")
 	}
 }

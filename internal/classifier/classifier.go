@@ -66,6 +66,19 @@ type Metrics struct {
 	// enabled and the learner exposes solver accounting.
 	KernelCacheHits   *obs.Counter // kernel-row lookups served from cache
 	KernelCacheMisses *obs.Counter // kernel rows computed
+
+	// BadFeatures counts observations and decisions rejected at the
+	// feature boundary: a non-finite feature row, or a model that
+	// returned a NaN margin. Neither is allowed to reach the margin
+	// histogram or the drift bins.
+	BadFeatures *obs.Counter
+
+	// RFF tier lifecycle (see EnableHealth's oracle gate): demotions
+	// flip scoring back to the exact kernel walk when the approximate
+	// tier's agreement EWMA drops below the threshold; promotions count
+	// demoted classifiers restored by a fresh fit that rebuilt a tier.
+	RFFDemotions  *obs.Counter
+	RFFPromotions *obs.Counter
 }
 
 // Controller is the common admission-control interface shared by the
@@ -182,7 +195,8 @@ func DefaultConfig() Config {
 type modelSnapshot struct {
 	model       learner.Predictor
 	fast        learner.FastPredictor // model's fast path, nil when not provided
-	calibration float64               // max |decision| over the training set
+	approx      learner.ApproxPredictor
+	calibration float64 // max |decision| over the training set
 	bootstrap   bool
 	version     uint64 // monotonic fit counter, 0 while bootstrapping
 }
@@ -200,6 +214,7 @@ type Scratch struct {
 	rows  [][]float64 // row views into slab
 	score []float64   // raw decision values for a batch
 	batch []float64   // FastPredictor.DecisionBatch workspace
+	bad   []bool      // per-row non-finite-feature marks for DecideBatch
 }
 
 // scratchPool backs plain Decide so callers that don't hold their own
@@ -239,6 +254,18 @@ type AdmittanceClassifier struct {
 	// health is the optional model-health monitor (EnableHealth); nil
 	// costs the hot paths one pointer load and branch.
 	health atomic.Pointer[modelHealth]
+
+	// rffDemoted is the oracle gate's verdict on the published model's
+	// approximate scoring tier: when set, the decision paths ignore
+	// snapshot.approx and score through the exact fast path. Set by the
+	// health monitor when the RFF-vs-oracle agreement EWMA drops below
+	// threshold, cleared when a fresh fit publishes a new tier. Read
+	// lock-free on every decision.
+	rffDemoted atomic.Bool
+
+	// obsFeat is Observe's feature scratch, guarded by mu, for the
+	// finite-features check at the observation boundary.
+	obsFeat []float64
 
 	learner learner.Learner
 
@@ -345,6 +372,17 @@ func (ac *AdmittanceClassifier) Observe(s excr.Sample) {
 		panic(fmt.Sprintf("classifier: label %v, want ±1", s.Label))
 	}
 	ac.mu.Lock()
+	// Reject corrupt observations at the boundary: a NaN or ±Inf
+	// feature would poison every fused dot product downstream (training
+	// rows, margins, the drift bins). The UDP observation path computes
+	// features from packet counters, so this should never fire — which
+	// is exactly why it is a counter and not a panic.
+	ac.obsFeat = s.Arrival.FeaturesInto(ac.obsFeat)
+	if !mathx.AllFinite(ac.obsFeat) {
+		ac.metrics.BadFeatures.Inc()
+		ac.mu.Unlock()
+		return
+	}
 	ac.observed++
 	ac.metrics.Observations.Inc()
 	if h := ac.health.Load(); h != nil {
@@ -552,10 +590,27 @@ func (ac *AdmittanceClassifier) fit(req *fitRequest) error {
 	if calib < 1e-9 {
 		calib = 1
 	}
+	// The approximate tier ships only when the learner actually built
+	// it for this fit (svm with Config.RFF whose readout regression
+	// succeeded); otherwise the snapshot scores exactly.
+	var approx learner.ApproxPredictor
+	if ap, ok := m.(learner.ApproxPredictor); ok && ap.HasApprox() {
+		approx = ap
+	}
 	wasBoot := ac.state.Load().bootstrap
 	boot := wasBoot && !req.graduate
 	version := ac.fitSeq.Add(1)
-	ac.state.Store(&modelSnapshot{model: m, fast: fast, calibration: calib, bootstrap: boot, version: version})
+	if h != nil {
+		// The oracle gate judges one tier against one model: a new fit
+		// starts the agreement EWMA over.
+		h.resetRFF()
+	}
+	ac.state.Store(&modelSnapshot{model: m, fast: fast, approx: approx, calibration: calib, bootstrap: boot, version: version})
+	// A fresh fit clears a demotion: the new tier gets its own trial
+	// (counted as a promotion only when there is a tier to promote).
+	if wasDemoted := ac.rffDemoted.Swap(false); wasDemoted && approx != nil {
+		ac.metrics.RFFPromotions.Inc()
+	}
 	ac.metrics.Fits.Inc()
 	elapsed := time.Since(start).Seconds()
 	ac.metrics.FitSeconds.Observe(elapsed)
@@ -638,14 +693,26 @@ func (ac *AdmittanceClassifier) DecideScratch(a excr.Arrival, s *Scratch) Decisi
 		return Decision{Admit: true, Bootstrap: true}
 	}
 	s.feat = a.FeaturesInto(s.feat)
+	if !mathx.AllFinite(s.feat) {
+		ac.metrics.BadFeatures.Inc()
+		ac.metrics.Rejects.Inc()
+		return Decision{Model: st.version}
+	}
 	var margin float64
-	if st.fast != nil {
+	if st.approx != nil && !ac.rffDemoted.Load() {
+		margin = st.approx.DecisionApprox(s.feat)
+	} else if st.fast != nil {
 		if need := st.fast.Dim(); cap(s.z) < need {
 			s.z = make([]float64, need)
 		}
 		margin = st.fast.DecisionInto(s.z[:cap(s.z)], s.feat)
 	} else {
 		margin = st.model.Decision(s.feat)
+	}
+	if margin != margin { // NaN: reject, and keep it out of the drift bins
+		ac.metrics.BadFeatures.Inc()
+		ac.metrics.Rejects.Inc()
+		return Decision{Model: st.version}
 	}
 	ac.metrics.Margin.Observe(margin)
 	if h := ac.health.Load(); h != nil {
@@ -696,14 +763,31 @@ func (ac *AdmittanceClassifier) DecideBatch(dst []Decision, arrivals []excr.Arri
 		s.rows = make([][]float64, n)
 	}
 	rows := s.rows[:n]
+	if cap(s.bad) < n {
+		s.bad = make([]bool, n)
+	}
+	bad := s.bad[:n]
+	var nbad int64
 	for i, a := range arrivals {
 		rows[i] = a.FeaturesInto(s.slab[i*fd : i*fd : (i+1)*fd])
+		if bad[i] = !mathx.AllFinite(rows[i]); bad[i] {
+			// Zero the row so the slab pass stays finite; the verdict
+			// for this row is forced to reject below.
+			nbad++
+			for j := range rows[i] {
+				rows[i][j] = 0
+			}
+		}
 	}
 	if cap(s.score) < n {
 		s.score = make([]float64, n)
 	}
 	scores := s.score[:n]
-	if st.fast != nil {
+	if st.approx != nil && !ac.rffDemoted.Load() {
+		for i, row := range rows {
+			scores[i] = st.approx.DecisionApprox(row)
+		}
+	} else if st.fast != nil {
 		if need := st.fast.BatchScratch(n); cap(s.batch) < need {
 			s.batch = make([]float64, need)
 		}
@@ -716,6 +800,14 @@ func (ac *AdmittanceClassifier) DecideBatch(dst []Decision, arrivals []excr.Arri
 	h := ac.health.Load()
 	var admits, rejects int64
 	for i, margin := range scores {
+		if bad[i] || margin != margin {
+			if !bad[i] {
+				nbad++ // NaN margin from a finite row
+			}
+			rejects++
+			dst[i] = Decision{Model: st.version}
+			continue
+		}
 		ac.metrics.Margin.Observe(margin)
 		if h != nil {
 			h.observeMargin(margin)
@@ -726,6 +818,9 @@ func (ac *AdmittanceClassifier) DecideBatch(dst []Decision, arrivals []excr.Arri
 			rejects++
 		}
 		dst[i] = Decision{Admit: margin >= 0, Margin: margin, Depth: depthOf(margin, st.calibration), Model: st.version}
+	}
+	if nbad > 0 {
+		ac.metrics.BadFeatures.Add(nbad)
 	}
 	ac.metrics.Admits.Add(admits)
 	ac.metrics.Rejects.Add(rejects)

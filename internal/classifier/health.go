@@ -27,11 +27,22 @@ type HealthConfig struct {
 	// how often the current model's prediction for an incoming labeled
 	// sample matches its label (default 0.02, ≈ a 50-sample horizon).
 	AgreementAlpha float64
+	// RFFAgreementMin is the oracle gate for the approximate scoring
+	// tier: when the EWMA of RFF-vs-exact sign agreement (same alpha as
+	// AgreementAlpha) drops below this threshold, the classifier is
+	// demoted to exact scoring until the next fit publishes a fresh
+	// tier (default 0.9).
+	RFFAgreementMin float64
+	// RFFMinSamples is how many oracle comparisons must accumulate
+	// before the gate may demote, so a couple of early disagreements
+	// can't condemn a tier (default 32).
+	RFFMinSamples int
 }
 
 // DefaultHealthConfig returns the defaults described on HealthConfig.
 func DefaultHealthConfig() HealthConfig {
-	return HealthConfig{History: 64, DriftWindow: 256, AgreementAlpha: 0.02}
+	return HealthConfig{History: 64, DriftWindow: 256, AgreementAlpha: 0.02,
+		RFFAgreementMin: 0.9, RFFMinSamples: 32}
 }
 
 func (c HealthConfig) withDefaults() HealthConfig {
@@ -44,6 +55,12 @@ func (c HealthConfig) withDefaults() HealthConfig {
 	}
 	if c.AgreementAlpha <= 0 || c.AgreementAlpha > 1 {
 		c.AgreementAlpha = d.AgreementAlpha
+	}
+	if c.RFFAgreementMin <= 0 || c.RFFAgreementMin > 1 {
+		c.RFFAgreementMin = d.RFFAgreementMin
+	}
+	if c.RFFMinSamples <= 0 {
+		c.RFFMinSamples = d.RFFMinSamples
 	}
 	return c
 }
@@ -91,6 +108,15 @@ type HealthSnapshot struct {
 	// incoming ground-truth label" over the last ~1/alpha samples.
 	Agreement        float64 `json:"agreement"`
 	AgreementSamples int     `json:"agreement_samples"`
+	// RFF tier state: RFFActive means the published model carries an
+	// approximate scoring tier and it is currently serving decisions;
+	// RFFDemoted means the oracle gate flipped scoring back to the
+	// exact slab. RFFAgreement/RFFSamples expose the gate's EWMA of
+	// approximate-vs-exact sign agreement for the current model.
+	RFFActive    bool    `json:"rff_active"`
+	RFFDemoted   bool    `json:"rff_demoted"`
+	RFFAgreement float64 `json:"rff_agreement"`
+	RFFSamples   int     `json:"rff_samples"`
 	// History is the retained retrain records, oldest first.
 	History []RetrainRecord `json:"history"`
 }
@@ -113,6 +139,11 @@ type modelHealth struct {
 	agreeN int
 	feat   []float64
 	z      []float64
+
+	// RFF oracle gate: EWMA of approximate-vs-exact sign agreement for
+	// the currently published tier, reset on every fit. Under mu.
+	rffAgree float64
+	rffN     int
 
 	// Margin drift. cur accumulates the running window lock-free; when
 	// curN reaches the window size the counts swap into swap (under
@@ -180,10 +211,15 @@ func (ac *AdmittanceClassifier) HealthSnapshot() (HealthSnapshot, bool) {
 		DriftReady:   h.psiSet.Load(),
 		DriftWindows: h.windows.Load(),
 	}
+	st := ac.state.Load()
+	snap.RFFDemoted = ac.rffDemoted.Load()
+	snap.RFFActive = st.approx != nil && !snap.RFFDemoted
 	h.mu.Lock()
 	snap.Retrains = h.total
 	snap.Agreement = h.agree
 	snap.AgreementSamples = h.agreeN
+	snap.RFFAgreement = h.rffAgree
+	snap.RFFSamples = h.rffN
 	if len(h.records) < h.cfg.History {
 		snap.History = append([]RetrainRecord(nil), h.records...)
 	} else {
@@ -291,6 +327,39 @@ func (ac *AdmittanceClassifier) healthObserveSample(h *modelHealth, s excr.Sampl
 		h.agree += h.cfg.AgreementAlpha * (agree - h.agree)
 	}
 	h.agreeN++
+	// Oracle gate for the approximate tier: the exact margin just
+	// computed above is the oracle, one extra DecisionApprox per
+	// labeled sample is the gate's whole cost. Demotion flips the
+	// classifier's lock-free rffDemoted flag, which the decision paths
+	// read; it stays set until the next fit publishes a fresh tier.
+	if st.approx != nil && !ac.rffDemoted.Load() {
+		am := st.approx.DecisionApprox(h.feat)
+		ok := 0.0
+		if (am >= 0) == (margin >= 0) {
+			ok = 1
+		}
+		if h.rffN == 0 {
+			h.rffAgree = ok
+		} else {
+			h.rffAgree += h.cfg.AgreementAlpha * (ok - h.rffAgree)
+		}
+		h.rffN++
+		if h.rffN >= h.cfg.RFFMinSamples && h.rffAgree < h.cfg.RFFAgreementMin {
+			if !ac.rffDemoted.Swap(true) {
+				ac.metrics.RFFDemotions.Inc()
+			}
+		}
+	}
+	h.mu.Unlock()
+}
+
+// resetRFF starts the oracle gate's agreement EWMA over; the fit path
+// calls it when publishing a new model so a stale tier's score cannot
+// condemn (or excuse) its successor.
+func (h *modelHealth) resetRFF() {
+	h.mu.Lock()
+	h.rffAgree = 0
+	h.rffN = 0
 	h.mu.Unlock()
 }
 

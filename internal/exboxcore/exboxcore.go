@@ -313,6 +313,11 @@ func (mb *Middlebox) instrumentCellLocked(c *Cell) {
 		Graduations:        reg.Counter(p + "clf_graduations_total"),
 		KernelCacheHits:    reg.Counter(p + "clf_kernel_cache_hits_total"),
 		KernelCacheMisses:  reg.Counter(p + "clf_kernel_cache_misses_total"),
+		// Bad features are a middlebox-wide anomaly (corrupt observation
+		// or a poisoned model), not a per-cell rate: one shared counter.
+		BadFeatures:   reg.Counter("exbox_bad_features_total"),
+		RFFDemotions:  reg.Counter(p + "clf_rff_demotions_total"),
+		RFFPromotions: reg.Counter(p + "clf_rff_promotions_total"),
 	})
 	// An instrumented cell is a production cell: turn on model-health
 	// monitoring (first EnableHealth call wins, so a custom config set

@@ -234,6 +234,24 @@ func (mb *Middlebox) HealthWith(th HealthThresholds) HealthReport {
 					Detail: fmt.Sprintf("worst fit of last %d retrains", len(recent)),
 				})
 			}
+			// Approximate-tier verdict: a demotion means the budget path
+			// disagreed with the exact boundary and the cell fell back to
+			// slab scoring — degraded latency, correct decisions, so
+			// Yellow rather than Red. Cells that never carried a tier
+			// (RFF off, or the readout fit failed) skip the check.
+			if snap.RFFActive || snap.RFFDemoted {
+				chk := HealthCheck{
+					Name:  "rff_tier",
+					Value: snap.RFFAgreement,
+					Detail: fmt.Sprintf("approx-vs-exact agreement over %d samples",
+						snap.RFFSamples),
+				}
+				if snap.RFFDemoted {
+					chk.Status = Yellow
+					chk.Detail = "demoted to exact scoring; " + chk.Detail
+				}
+				ch.Checks = append(ch.Checks, chk)
+			}
 		}
 		for _, chk := range ch.Checks {
 			ch.Status = worse(ch.Status, chk.Status)

@@ -1,0 +1,154 @@
+package exboxcore
+
+import (
+	"strings"
+	"testing"
+
+	"exbox/internal/classifier"
+	"exbox/internal/excr"
+	"exbox/internal/mathx"
+	"exbox/internal/obs"
+	"exbox/internal/traffic"
+)
+
+// feedCell streams n labeled random arrivals into one cell through the
+// middlebox Observe path (unlike trainCell it does not require
+// graduation, so MinBootstrap-gated setups can use it).
+func feedCell(t *testing.T, mb *Middlebox, id CellID, n int, seed int64) {
+	t.Helper()
+	o := wifiOracle()
+	rng := mathx.NewRand(seed)
+	for _, e := range traffic.Arrivals(traffic.Random(rng, n, 20, 0, excr.DefaultSpace), nil) {
+		if err := mb.Observe(id, excr.Sample{Arrival: e.Arrival, Label: o.Label(e.Arrival)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// findCheck returns the named check from a cell report, or nil.
+func findCheck(ch CellHealth, name string) *HealthCheck {
+	for i := range ch.Checks {
+		if ch.Checks[i].Name == name {
+			return &ch.Checks[i]
+		}
+	}
+	return nil
+}
+
+// TestHealthRFFTierGreen: a cell whose fit carries a healthy RFF tier
+// reports an rff_tier check, green, with the gate's agreement EWMA as
+// its value.
+func TestHealthRFFTierGreen(t *testing.T) {
+	cfg := classifier.DefaultConfig()
+	cfg.SVM.RFF = true
+	cfg.BatchSize = 100000
+	cfg.MinBootstrap = 1 << 30
+	mb := New(excr.DefaultSpace, Discontinue)
+	if _, err := mb.AddCell("ap", cfg); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	mb.Instrument(reg, 16)
+	feedCell(t, mb, "ap", 200, 13)
+	if err := mb.Cell("ap").Classifier.ForceOnline(); err != nil {
+		t.Fatal(err)
+	}
+	feedCell(t, mb, "ap", 40, 14)
+
+	rep := mb.Health()
+	chk := findCheck(rep.Cells[0], "rff_tier")
+	if chk == nil {
+		t.Fatalf("rff_tier check missing: %+v", rep.Cells[0].Checks)
+	}
+	if chk.Status != Green {
+		t.Fatalf("healthy tier judged %v: %+v", chk.Status, chk)
+	}
+	if chk.Value < 0.95 {
+		t.Fatalf("healthy tier agreement %v", chk.Value)
+	}
+	if got := reg.Counter("exbox_cell_ap_clf_rff_demotions_total").Value(); got != 0 {
+		t.Fatalf("demotions = %d, want 0", got)
+	}
+}
+
+// TestHealthRFFTierDemotedYellow: a tier the oracle gate demoted turns
+// the rff_tier check yellow (degraded latency, still-correct
+// decisions) and bumps the per-cell demotion counter.
+func TestHealthRFFTierDemotedYellow(t *testing.T) {
+	cfg := classifier.DefaultConfig()
+	cfg.SVM.Gamma = 10 // memorize: the starved tier below cannot follow
+	cfg.SVM.RFF = true
+	cfg.SVM.RFFDim = 4
+	cfg.BatchSize = 100000
+	cfg.MinBootstrap = 1 << 30
+	mb := New(excr.DefaultSpace, Discontinue)
+	if _, err := mb.AddCell("ap", cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Custom gate config must precede Instrument: EnableHealth is
+	// first-call-wins, and Instrument installs the defaults.
+	mb.Cell("ap").Classifier.EnableHealth(classifier.HealthConfig{RFFMinSamples: 8})
+	reg := obs.NewRegistry()
+	mb.Instrument(reg, 16)
+
+	rng := mathx.NewRand(3)
+	parity := func() excr.Sample {
+		m := excr.NewMatrix(excr.DefaultSpace)
+		total := 0
+		for c := 0; c < excr.DefaultSpace.Classes; c++ {
+			k := rng.Intn(6)
+			m = m.Set(excr.AppClass(c), 0, k)
+			total += k
+		}
+		label := 1.0
+		if total%2 == 1 {
+			label = -1
+		}
+		return excr.Sample{Arrival: excr.Arrival{Matrix: m, Class: excr.Web}, Label: label}
+	}
+	for i := 0; i < 120; i++ {
+		if err := mb.Observe("ap", parity()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mb.Cell("ap").Classifier.ForceOnline(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 120; i++ {
+		if err := mb.Observe("ap", parity()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rep := mb.Health()
+	chk := findCheck(rep.Cells[0], "rff_tier")
+	if chk == nil {
+		t.Fatalf("rff_tier check missing after demotion: %+v", rep.Cells[0].Checks)
+	}
+	if chk.Status != Yellow || !strings.Contains(chk.Detail, "demoted") {
+		t.Fatalf("demoted tier judged %v (%q), want yellow/demoted", chk.Status, chk.Detail)
+	}
+	if rep.Cells[0].Status < Yellow {
+		t.Fatalf("cell rollup %v ignored the demotion", rep.Cells[0].Status)
+	}
+	if got := reg.Counter("exbox_cell_ap_clf_rff_demotions_total").Value(); got != 1 {
+		t.Fatalf("demotions = %d, want 1", got)
+	}
+	if snap := rep.Cells[0].Health; snap == nil || !snap.RFFDemoted || snap.RFFActive {
+		t.Fatalf("snapshot disagrees with check: %+v", snap)
+	}
+
+	// A manual retrain rebuilds the tier: the check flips back to green
+	// and the promotion is counted.
+	if err := mb.Cell("ap").Classifier.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+	rep = mb.Health()
+	chk = findCheck(rep.Cells[0], "rff_tier")
+	if chk == nil || chk.Status != Green {
+		t.Fatalf("promoted tier not green: %+v", chk)
+	}
+	if got := reg.Counter("exbox_cell_ap_clf_rff_promotions_total").Value(); got != 1 {
+		t.Fatalf("promotions = %d, want 1", got)
+	}
+}

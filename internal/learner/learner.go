@@ -44,8 +44,25 @@ type FastPredictor interface {
 	DecisionBatch(dst []float64, rows [][]float64, scratch []float64) []float64
 }
 
+// ApproxPredictor is a FastPredictor that additionally carries a
+// budget-constrained approximate scoring tier (the svm RFF
+// linearization). HasApprox reports whether the tier was actually
+// built for this model — a model trained with the tier disabled, or
+// whose tier construction failed, answers false and callers must stay
+// on the exact path. DecisionApprox scores one raw row through the
+// tier without allocating; its sign can disagree with Decision, which
+// is why the classifier oracle-gates it (see classifier/health.go).
+type ApproxPredictor interface {
+	FastPredictor
+	HasApprox() bool
+	DecisionApprox(row []float64) float64
+}
+
 // The svm model is the fast path the classifier relies on.
-var _ FastPredictor = (*svm.Model)(nil)
+var (
+	_ FastPredictor   = (*svm.Model)(nil)
+	_ ApproxPredictor = (*svm.Model)(nil)
+)
 
 // The SVM adapters expose the solver's detailed accounting.
 var (
@@ -229,8 +246,10 @@ func (t Tree) Train(x [][]float64, y []float64) (Predictor, error) {
 
 // CrossValidate estimates generalization accuracy of the learner by
 // n-fold cross validation, mirroring svm.CrossValidate but for any
-// Learner. Folds whose training split collapses to one class are
-// scored by majority-class prediction.
+// Learner. Folds are stratified (svm.StratifiedFolds) so a minority
+// class with at least two members appears in every training split;
+// folds whose training split still collapses to one class (a
+// singleton class) are scored by majority-class prediction.
 func CrossValidate(l Learner, x [][]float64, y []float64, folds int, rng *rand.Rand) (float64, error) {
 	if folds < 2 {
 		return 0, errors.New("learner: cross validation needs at least 2 folds")
@@ -241,14 +260,14 @@ func CrossValidate(l Learner, x [][]float64, y []float64, folds int, rng *rand.R
 	if len(x) < folds {
 		return 0, errors.New("learner: fewer samples than folds")
 	}
-	idx := rng.Perm(len(x))
+	fold := svm.StratifiedFolds(y, folds, rng)
 
 	var correct, total int
 	for f := 0; f < folds; f++ {
 		var trainX, testX [][]float64
 		var trainY, testY []float64
-		for pos, i := range idx {
-			if pos%folds == f {
+		for i := range x {
+			if fold[i] == f {
 				testX = append(testX, x[i])
 				testY = append(testY, y[i])
 			} else {

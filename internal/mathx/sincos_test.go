@@ -1,0 +1,90 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFastSincosAccuracy(t *testing.T) {
+	// Dense sweep over several periods on both sides of zero: the RFF
+	// projections feed arguments of either sign and modest magnitude.
+	var worst float64
+	for x := -50.0; x <= 50.0; x += 0.00137 {
+		s, c := FastSincos(x)
+		es, ec := math.Sincos(x)
+		if d := math.Abs(s - es); d > worst {
+			worst = d
+		}
+		if d := math.Abs(c - ec); d > worst {
+			worst = d
+		}
+	}
+	// Lerp over 2048 bins bounds the error by (2π/2048)²/8 ≈ 1.18e-6;
+	// allow a little slack for the range reduction.
+	if worst > 2e-6 {
+		t.Fatalf("worst FastSincos error %.3g, want <= 2e-6", worst)
+	}
+}
+
+func TestFastSincosExactPoints(t *testing.T) {
+	// Table nodes are exact by construction; 0 in particular must give
+	// sin=0, cos=1 bit-for-bit so an all-zero projection is a no-op.
+	s, c := FastSincos(0)
+	if s != 0 || c != 1 {
+		t.Fatalf("FastSincos(0) = %g, %g, want 0, 1", s, c)
+	}
+}
+
+func TestFastSincosNegativeWrap(t *testing.T) {
+	// Negative arguments reduce through the two's-complement mask; they
+	// must agree with the positive-argument path shifted by a period.
+	for _, x := range []float64{-0.1, -math.Pi, -7.3, -123.456} {
+		s1, c1 := FastSincos(x)
+		s2, c2 := FastSincos(x + 2*math.Pi*64)
+		if math.Abs(s1-s2) > 1e-9 || math.Abs(c1-c2) > 1e-9 {
+			t.Fatalf("FastSincos(%g) not periodic: (%g,%g) vs (%g,%g)", x, s1, c1, s2, c2)
+		}
+	}
+}
+
+func TestAllFinite(t *testing.T) {
+	cases := []struct {
+		v    []float64
+		want bool
+	}{
+		{nil, true},
+		{[]float64{}, true},
+		{[]float64{0, 1, -2.5, 1e300, -1e-300}, true},
+		{[]float64{math.NaN()}, false},
+		{[]float64{1, math.Inf(1)}, false},
+		{[]float64{math.Inf(-1), 0}, false},
+		{[]float64{1, 2, math.NaN(), 4}, false},
+	}
+	for _, c := range cases {
+		if got := AllFinite(c.v); got != c.want {
+			t.Errorf("AllFinite(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func BenchmarkFastSincos(b *testing.B) {
+	b.ReportAllocs()
+	var s, c float64
+	for i := 0; i < b.N; i++ {
+		ds, dc := FastSincos(float64(i) * 0.37)
+		s += ds
+		c += dc
+	}
+	_, _ = s, c
+}
+
+func BenchmarkMathSincos(b *testing.B) {
+	b.ReportAllocs()
+	var s, c float64
+	for i := 0; i < b.N; i++ {
+		ds, dc := math.Sincos(float64(i) * 0.37)
+		s += ds
+		c += dc
+	}
+	_, _ = s, c
+}

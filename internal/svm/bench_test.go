@@ -115,6 +115,33 @@ func BenchmarkDecisionRBF(b *testing.B) {
 	_ = sink
 }
 
+// BenchmarkDecisionRFF scores the same heavy RBF model through the
+// random-Fourier-feature tier: the sub-microsecond budget path the CI
+// gate pins (ns/op and the 0 allocs/op contract).
+func BenchmarkDecisionRFF(b *testing.B) {
+	x, y := overlapData(600, 5, 41)
+	cfg := DefaultConfig()
+	cfg.RFF = true
+	m, err := Train(cfg, x, y)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !m.HasRFF() {
+		b.Fatal("RFF tier not built")
+	}
+	if m.NumSV() < 200 {
+		b.Fatalf("RFF bench model has %d SVs, want >= 200", m.NumSV())
+	}
+	row := x[1]
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += m.DecisionRFF(row)
+	}
+	_ = sink
+}
+
 func BenchmarkDecisionRBFRef(b *testing.B) {
 	m, row := benchDecisionModel(b, RBF)
 	b.ReportAllocs()

@@ -5,14 +5,38 @@ import (
 	"math/rand"
 )
 
+// StratifiedFolds assigns each labeled sample to a fold, spreading
+// every class round-robin over the folds in a random order: fold[i]
+// is the held-out fold of sample i. Plain modulo assignment over one
+// shuffle — what CrossValidate used to do — degenerates when a class
+// has fewer members than there are folds: the minority samples can
+// all land in one fold, leaving that fold's *training* split
+// single-class (SMO's Σ αᵢyᵢ = 0 constraint is then trivially
+// infeasible and the fold silently falls back to majority-class
+// scoring, skewing the accuracy estimate). Round-robin per class
+// guarantees every training split contains every class that has at
+// least two members.
+func StratifiedFolds(y []float64, folds int, rng *rand.Rand) []int {
+	fold := make([]int, len(y))
+	next := make(map[float64]int, 2)
+	for _, i := range rng.Perm(len(y)) {
+		c := y[i]
+		fold[i] = next[c] % folds
+		next[c]++
+	}
+	return fold
+}
+
 // CrossValidate estimates generalization accuracy by n-fold cross
-// validation: the data is split into folds random subsets, the model is
-// trained on folds-1 of them and tested on the held-out one, and the
-// mean accuracy over all folds is returned.
+// validation: the data is split into folds stratified random subsets
+// (see StratifiedFolds), the model is trained on folds-1 of them and
+// tested on the held-out one, and the mean accuracy over all folds is
+// returned.
 //
 // This is exactly the procedure ExBox's bootstrap phase runs to decide
 // when the Admittance Classifier is trustworthy enough to go online.
-// Folds whose training split degenerates to a single class are scored
+// Folds whose training split degenerates to a single class (possible
+// only when a class has a single member in the whole set) are scored
 // by majority-class prediction, mirroring how a trivial classifier
 // would behave there.
 func CrossValidate(cfg Config, x [][]float64, y []float64, folds int, rng *rand.Rand) (float64, error) {
@@ -25,14 +49,14 @@ func CrossValidate(cfg Config, x [][]float64, y []float64, folds int, rng *rand.
 	if len(x) < folds {
 		return 0, errors.New("svm: fewer samples than folds")
 	}
-	idx := rng.Perm(len(x))
+	fold := StratifiedFolds(y, folds, rng)
 
 	var correct, total int
 	for f := 0; f < folds; f++ {
 		var trainX, testX [][]float64
 		var trainY, testY []float64
-		for pos, i := range idx {
-			if pos%folds == f {
+		for i := range x {
+			if fold[i] == f {
 				testX = append(testX, x[i])
 				testY = append(testY, y[i])
 			} else {

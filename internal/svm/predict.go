@@ -79,6 +79,11 @@ func buildModel(cfg Config, gamma float64, scaler *Scaler, xs [][]float64, y, al
 			copy(row, xs[i])
 			m.svNorm[k] = mathx.Dot(row, row)
 		}
+		// The RFF tier fits its readout against this model's own exact
+		// decisions on the training rows, so it is built last.
+		if cfg.RFF && len(m.svCoef) > 0 {
+			m.rff = buildRFF(cfg, m, xs)
+		}
 	}
 	return m
 }

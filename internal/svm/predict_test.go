@@ -126,6 +126,45 @@ func checkFastPath(t *testing.T, m *Model, rows [][]float64) {
 	}
 }
 
+// TestFastPathMatchesScalarConstantFeature repeats the 1e-12 pinning
+// with a constant feature column appended: the scaler's zero-variance
+// guard (σ forced to 1) must survive the folded linear weights, the
+// standardized slab, and — when enabled — the RFF projection build.
+// Probes deliberately vary the "constant" column too: both paths must
+// standardize it identically, guard or not.
+func TestFastPathMatchesScalarConstantFeature(t *testing.T) {
+	for _, kernel := range []KernelKind{Linear, RBF} {
+		x, y := overlapData(120, 4, 11)
+		for i := range x {
+			x[i] = append(x[i], 7) // constant fifth column
+		}
+		cfg := DefaultConfig()
+		cfg.Kernel = kernel
+		cfg.RFF = true // exercise buildRFF's fold over the guarded σ
+		m, err := Train(cfg, x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := probeRows(40, 5, 12)
+		for i := range rows {
+			if i%2 == 0 {
+				rows[i][4] = 7 // in-distribution constant
+			}
+		}
+		checkFastPath(t, m, rows)
+		if kernel == RBF {
+			if !m.HasRFF() {
+				t.Fatal("RFF tier not built with constant feature")
+			}
+			for i, row := range rows {
+				if d := m.DecisionRFF(row); math.IsNaN(d) || math.IsInf(d, 0) {
+					t.Fatalf("row %d: non-finite RFF decision %v", i, d)
+				}
+			}
+		}
+	}
+}
+
 // TestDecisionAllocs locks in the zero-allocation contract of the fast
 // path: DecisionInto with caller scratch and DecisionBatch with
 // preallocated dst+scratch must not allocate for either kernel, and

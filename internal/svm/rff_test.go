@@ -1,0 +1,363 @@
+package svm
+
+import (
+	"math"
+	"testing"
+
+	"exbox/internal/mathx"
+)
+
+// livelabData synthesizes the LiveLab-like admission workload shape:
+// integer per-class flow counts with a capacity-threshold label. Each
+// feature carries a fixed "bandwidth cost" weight, a row is admissible
+// when its weighted load is at or below the population mean — the same
+// near-linear-with-curvature boundary the ExCR traffic matrices
+// produce, which is the regime the RFF tier is built for.
+func livelabData(n, dim int, seed int64) (x [][]float64, y []float64) {
+	rng := mathx.NewRand(seed)
+	w := make([]float64, dim)
+	for j := range w {
+		w[j] = 0.5 + 2.5*rng.Float64()
+	}
+	capacity := 0.0
+	for i := 0; i < n; i++ {
+		row := make([]float64, dim)
+		load := 0.0
+		for j := range row {
+			row[j] = float64(rng.Intn(20))
+			load += row[j] * w[j]
+		}
+		x = append(x, row)
+		capacity += load
+	}
+	capacity /= float64(n)
+	for i := range x {
+		load := 0.0
+		for j, v := range x[i] {
+			load += v * w[j]
+		}
+		if load <= capacity {
+			y = append(y, 1)
+		} else {
+			y = append(y, -1)
+		}
+	}
+	return x, y
+}
+
+// signAgreement scores the RFF tier against the decisionScalar oracle
+// over the probe rows, returning the agreeing fraction.
+func signAgreement(t *testing.T, m *Model, probes [][]float64) float64 {
+	t.Helper()
+	if !m.HasRFF() {
+		t.Fatal("model has no RFF tier")
+	}
+	agree := 0
+	for _, row := range probes {
+		exact := m.decisionScalar(row)
+		approx := m.DecisionRFF(row)
+		if math.IsNaN(approx) || math.IsInf(approx, 0) {
+			t.Fatalf("non-finite RFF decision %v for row %v", approx, row)
+		}
+		if (exact >= 0) == (approx >= 0) {
+			agree++
+		}
+	}
+	return float64(agree) / float64(len(probes))
+}
+
+// TestRFFAgreementLiveLab is the tentpole acceptance property: at the
+// default D=256 dictionary the tier reaches ≥99% sign agreement with
+// the exact oracle on the LiveLab-like workload, for both a cold fit
+// and a warm-started refit (the exboxd steady state).
+func TestRFFAgreementLiveLab(t *testing.T) {
+	x, y := livelabData(600, 5, 41)
+	probes, _ := livelabData(2000, 5, 77)
+	cfg := DefaultConfig()
+	cfg.RFF = true
+
+	cold, warmState, err := Solve(cfg, x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ag := signAgreement(t, cold, probes); ag < 0.99 {
+		t.Fatalf("cold-fit RFF agreement %.4f, want >= 0.99", ag)
+	}
+
+	// Warm refit over a slightly grown set, like an online batch.
+	x2, y2 := livelabData(650, 5, 41)
+	warm, _, err := Solve(cfg, x2, y2, warmState)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ag := signAgreement(t, warm, probes); ag < 0.99 {
+		t.Fatalf("warm-fit RFF agreement %.4f, want >= 0.99", ag)
+	}
+}
+
+// TestRFFAgreementAboveDemotionThreshold checks the harder fixtures:
+// the heavily overlapping clouds of the equivalence tests carry dual
+// mass at the box bound (a large RKHS norm, the worst case for random
+// features), so they won't reach 99% — but they must clear the
+// classifier's demotion threshold on in-distribution probes, which is
+// what keeps the tier usable-by-default with the oracle gate as the
+// backstop.
+func TestRFFAgreementAboveDemotionThreshold(t *testing.T) {
+	x, y := overlapData(600, 5, 41)
+	cfg := DefaultConfig()
+	cfg.RFF = true
+	m, err := Train(cfg, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes, _ := overlapData(2000, 5, 99)
+	if ag := signAgreement(t, m, probes); ag < 0.9 {
+		t.Fatalf("overlap-fixture RFF agreement %.4f, want >= 0.9 (demotion threshold)", ag)
+	}
+}
+
+// TestRFFDeterministic pins reproducibility: two fits of the same data
+// must produce bit-identical RFF decisions (frequencies are seeded
+// from the fit state, never from a global RNG).
+func TestRFFDeterministic(t *testing.T) {
+	x, y := livelabData(300, 5, 7)
+	cfg := DefaultConfig()
+	cfg.RFF = true
+	m1, err := Train(cfg, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(cfg, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes, _ := livelabData(200, 5, 8)
+	for _, row := range probes {
+		d1, d2 := m1.DecisionRFF(row), m2.DecisionRFF(row)
+		if d1 != d2 {
+			t.Fatalf("non-deterministic RFF decision: %v vs %v", d1, d2)
+		}
+	}
+}
+
+// TestRFFSmallDim exercises non-default dictionary sizes, including an
+// odd one (rounded down to pairs) and the degenerate D=1 (no pairs —
+// tier not built, exact fallback).
+func TestRFFSmallDim(t *testing.T) {
+	x, y := livelabData(300, 5, 7)
+	probes, _ := livelabData(200, 5, 8)
+	for _, D := range []int{2, 17, 64} {
+		cfg := DefaultConfig()
+		cfg.RFF = true
+		cfg.RFFDim = D
+		m, err := Train(cfg, x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.HasRFF() {
+			t.Fatalf("D=%d: tier not built", D)
+		}
+		for _, row := range probes {
+			if d := m.DecisionRFF(row); math.IsNaN(d) || math.IsInf(d, 0) {
+				t.Fatalf("D=%d: non-finite decision %v", D, d)
+			}
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.RFF = true
+	cfg.RFFDim = 1
+	m, err := Train(cfg, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.HasRFF() {
+		t.Fatal("D=1 must not build a tier")
+	}
+	if got, want := m.DecisionRFF(probes[0]), m.Decision(probes[0]); got != want {
+		t.Fatalf("tier-less DecisionRFF = %v, want exact %v", got, want)
+	}
+}
+
+// TestRFFOffByDefault pins that the tier costs nothing unless asked
+// for: DefaultConfig fits carry no tier and DecisionRFF falls back to
+// the exact path.
+func TestRFFOffByDefault(t *testing.T) {
+	x, y := livelabData(200, 5, 7)
+	m, err := Train(DefaultConfig(), x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.HasRFF() || m.HasApprox() {
+		t.Fatal("DefaultConfig built an RFF tier")
+	}
+	if got, want := m.DecisionRFF(x[0]), m.Decision(x[0]); got != want {
+		t.Fatalf("DecisionRFF = %v, want %v", got, want)
+	}
+}
+
+// TestRFFConstantFeature ties the tier to the scaler's zero-variance
+// guard: a constant column has σ forced to 1, and the folded
+// projection must stay finite and agree with the exact path's sign.
+func TestRFFConstantFeature(t *testing.T) {
+	x, y := livelabData(300, 5, 7)
+	for i := range x {
+		x[i] = append(x[i], 42) // constant sixth column
+	}
+	cfg := DefaultConfig()
+	cfg.RFF = true
+	m, err := Train(cfg, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.HasRFF() {
+		t.Fatal("tier not built with constant feature")
+	}
+	probes, _ := livelabData(500, 5, 8)
+	for i := range probes {
+		probes[i] = append(probes[i], 42)
+	}
+	if ag := signAgreement(t, m, probes); ag < 0.95 {
+		t.Fatalf("constant-feature agreement %.4f, want >= 0.95", ag)
+	}
+}
+
+// TestDecisionRFFAllocs pins the online scoring path at zero
+// allocations.
+func TestDecisionRFFAllocs(t *testing.T) {
+	x, y := livelabData(300, 5, 7)
+	cfg := DefaultConfig()
+	cfg.RFF = true
+	m, err := Train(cfg, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := x[0]
+	if n := testing.AllocsPerRun(100, func() { m.DecisionRFF(row) }); n != 0 {
+		t.Fatalf("DecisionRFF allocates %v per op, want 0", n)
+	}
+}
+
+// TestPruneReducesSVs exercises the post-solve reduced-set selection:
+// with a tolerance, the pruned model must report the drop in
+// SolveStats, carry fewer support vectors, and keep a high sign
+// agreement with the unpruned fit.
+func TestPruneReducesSVs(t *testing.T) {
+	x, y := livelabData(600, 5, 41)
+	cfg := DefaultConfig()
+	base, err := Train(cfg, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.PruneTol = 0.05 * cfg.C
+	var stats SolveStats
+	pruned, _, err := SolveDetailed(cfg, x, y, nil, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pruned == 0 {
+		t.Fatal("SolveStats.Pruned = 0, want > 0")
+	}
+	if pruned.NumSV() >= base.NumSV() {
+		t.Fatalf("pruned model has %d SVs, base %d", pruned.NumSV(), base.NumSV())
+	}
+	if base.NumSV()-pruned.NumSV() != stats.Pruned {
+		t.Fatalf("SV drop %d != Pruned %d", base.NumSV()-pruned.NumSV(), stats.Pruned)
+	}
+	probes, _ := livelabData(1000, 5, 77)
+	agree := 0
+	for _, row := range probes {
+		if (base.Decision(row) >= 0) == (pruned.Decision(row) >= 0) {
+			agree++
+		}
+	}
+	if ag := float64(agree) / float64(len(probes)); ag < 0.97 {
+		t.Fatalf("pruned-vs-base agreement %.4f, want >= 0.97", ag)
+	}
+}
+
+// TestPruneOffIsBitIdentical pins that PruneTol=0 (the default) leaves
+// the solve untouched: same support vectors, same decisions, so every
+// pre-existing equivalence guarantee carries over.
+func TestPruneOffIsBitIdentical(t *testing.T) {
+	x, y := livelabData(300, 5, 7)
+	m1, err := Train(DefaultConfig(), x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats SolveStats
+	m2, _, err := SolveDetailed(DefaultConfig(), x, y, nil, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pruned != 0 {
+		t.Fatalf("Pruned = %d with PruneTol 0", stats.Pruned)
+	}
+	if m1.NumSV() != m2.NumSV() {
+		t.Fatalf("SV count changed: %d vs %d", m1.NumSV(), m2.NumSV())
+	}
+	for _, row := range x[:50] {
+		if m1.Decision(row) != m2.Decision(row) {
+			t.Fatal("decision changed with PruneTol 0")
+		}
+	}
+}
+
+// TestStratifiedFoldsMinorityClass is the CrossValidate regression
+// test: 3 positives among 50 negatives with 5 folds. The old modulo
+// split could drop all positives into one fold's test split, leaving
+// single-class training splits to the silent majority fallback;
+// stratified assignment must place the positives in three distinct
+// folds, so at least two positives survive into every training split
+// that holds one out and all five splits stay two-class.
+func TestStratifiedFoldsMinorityClass(t *testing.T) {
+	const folds = 5
+	y := make([]float64, 53)
+	for i := range y {
+		y[i] = -1
+	}
+	y[7], y[23], y[48] = 1, 1, 1
+	for seed := int64(0); seed < 20; seed++ {
+		fold := StratifiedFolds(y, folds, mathx.NewRand(seed))
+		if len(fold) != len(y) {
+			t.Fatalf("fold assignment length %d, want %d", len(fold), len(y))
+		}
+		posFolds := map[int]int{}
+		for i, f := range fold {
+			if f < 0 || f >= folds {
+				t.Fatalf("fold %d out of range", f)
+			}
+			if y[i] == 1 {
+				posFolds[f]++
+			}
+		}
+		if len(posFolds) != 3 {
+			t.Fatalf("seed %d: positives landed in %d folds, want 3 distinct", seed, len(posFolds))
+		}
+		// Every held-out fold leaves >= 2 positives in its training
+		// split: no fold can make training single-class.
+		for f := 0; f < folds; f++ {
+			if 3-posFolds[f] < 2 {
+				t.Fatalf("seed %d: fold %d leaves %d positives for training", seed, f, 3-posFolds[f])
+			}
+		}
+	}
+
+	// End to end: CV on an actual 3-positive/50-negative set returns a
+	// real estimate without erroring, for both entry points.
+	x := make([][]float64, len(y))
+	rng := mathx.NewRand(3)
+	for i := range x {
+		x[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+		if y[i] == 1 {
+			x[i][0] += 4
+		}
+	}
+	acc, err := CrossValidate(DefaultConfig(), x, y, folds, mathx.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.5 || acc > 1 {
+		t.Fatalf("cv accuracy %v out of range", acc)
+	}
+}

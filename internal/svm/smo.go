@@ -33,6 +33,23 @@ type Config struct {
 	// set is too large for a full kernel matrix (see
 	// kernelCacheLimit). 0 means 512 rows.
 	CacheRows int
+	// RFF enables the budget-constrained RBF inference tier: a random
+	// Fourier feature linearization with a ridge-refit readout, built
+	// at model construction (see rff.go), scoring through DecisionRFF.
+	// Ignored for the linear kernel, which is already one dot product.
+	RFF bool
+	// RFFDim is the RFF dictionary size D (cos/sin pairs count as two).
+	// 0 means 256.
+	RFFDim int
+	// PruneTol drops support vectors whose dual variable ended at or
+	// below the tolerance after the solve (reduced-set selection): their
+	// kernel terms contribute ~α·1 each, so pruning trades a bounded
+	// decision-value perturbation for a shorter slab walk. The dual
+	// equality Σ αᵢyᵢ = 0 is repaired by scaling down the heavier
+	// class, the same repair warm seeding applies. 0 (the default)
+	// disables pruning and keeps fits bit-identical to earlier
+	// versions; SolveStats.Pruned reports how many were dropped.
+	PruneTol float64
 }
 
 // DefaultConfig returns the configuration used by the ExBox
@@ -80,6 +97,11 @@ type Model struct {
 	// stride dim, plus their precomputed squared norms.
 	svSlab []float64
 	svNorm []float64
+
+	// rff is the optional budget-constrained inference tier
+	// (Config.RFF; see rff.go), nil when disabled or when its readout
+	// fit failed.
+	rff *rffModel
 }
 
 // Train fits a soft-margin SVM on rows x with labels y in {-1,+1}.
@@ -214,6 +236,12 @@ func solveWithStats(cfg Config, x [][]float64, y []float64, warm *WarmState, sta
 		stats.InitSeconds = time.Since(tInit).Seconds()
 	}
 	tr.solve()
+
+	if cfg.PruneTol > 0 {
+		if pruned := pruneAlpha(tr.alpha, y, cfg.PruneTol, cfg.C); pruned > 0 && stats != nil {
+			stats.Pruned = pruned
+		}
+	}
 
 	// The trainer follows Platt's convention u(x) = Σ αᵢyᵢK(xᵢ,x) − b;
 	// the model stores the negated threshold so Decision can add it.
@@ -379,6 +407,58 @@ func (tr *trainer) initWarm(warm *WarmState) {
 		}
 		tr.errs[i] = g - tr.b - tr.y[i]
 	}
+}
+
+// pruneAlpha zeroes dual variables at or below tol (Config.PruneTol)
+// so buildModel drops their support vectors, then repairs the dual
+// equality Σ αᵢyᵢ = 0 by scaling down whichever class carries the
+// excess — the same repair initWarm applies to re-aligned seeds, so
+// the pruned solution stays a feasible (slightly perturbed) dual
+// point and can still seed the next warm fit. Variables at the box
+// bound C are never pruned regardless of tol: they are the misfit
+// examples, not numerical dust. Returns how many support vectors
+// (α > the 1e-12 retention threshold) were dropped.
+func pruneAlpha(alpha, y []float64, tol, c float64) int {
+	pruned := 0
+	for i, a := range alpha {
+		if a > 0 && a <= tol && a < c {
+			if a > 1e-12 {
+				pruned++
+			}
+			alpha[i] = 0
+		}
+	}
+	if pruned == 0 {
+		return 0
+	}
+	var pos, neg float64
+	for i, a := range alpha {
+		if a == 0 {
+			continue
+		}
+		if y[i] > 0 {
+			pos += a
+		} else {
+			neg += a
+		}
+	}
+	switch s := pos - neg; {
+	case s > 0 && pos > 0:
+		f := (pos - s) / pos
+		for i := range alpha {
+			if y[i] > 0 {
+				alpha[i] *= f
+			}
+		}
+	case s < 0 && neg > 0:
+		f := (neg + s) / neg
+		for i := range alpha {
+			if y[i] < 0 {
+				alpha[i] *= f
+			}
+		}
+	}
+	return pruned
 }
 
 // kRow returns row i of the kernel matrix, computing and caching it as

@@ -33,6 +33,9 @@ type SolveStats struct {
 	// Unshrinks is how many global restore-and-recheck passes ran.
 	Shrunk    int `json:"shrunk"`
 	Unshrinks int `json:"unshrinks"`
+	// Pruned is how many support vectors post-solve reduced-set
+	// selection dropped (Config.PruneTol; 0 when pruning is off).
+	Pruned int `json:"pruned"`
 
 	// Phase wall-clock split, in seconds.
 	InitSeconds   float64 `json:"init_seconds"`
