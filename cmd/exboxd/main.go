@@ -20,7 +20,7 @@
 //
 //	exboxd [-listen 127.0.0.1:0] [-duration 10s] [-demo]
 //	       [-workers N] [-shards N] [-mixedsnr] [-http addr]
-//	       [-rff] [-rffdim D] [-rffagreement F]
+//	       [-rff] [-rffdim D] [-rffagreement F] [-snapshotdir DIR]
 //
 // With -demo (the default), built-in traffic generators emulate a mix
 // of web, streaming and conferencing clients so the daemon is fully
@@ -36,15 +36,28 @@
 // demotes back to the exact path when agreement drops below
 // -rffagreement.
 //
+// With -snapshotdir the daemon persists each cell's learned model to
+// DIR (atomically, one file per cell: after every background refit,
+// on the periodic sweep, and on shutdown) and warm-boots from those
+// files on the next start — restored cells serve admissions from the
+// saved boundary immediately, with no cold refit. Corrupt or
+// version-skewed files are rejected (counted in
+// clf_snapshot_rejects_total and flagged on /debug/health) and the
+// cell cold-starts.
+//
 // With -http (e.g. -http :9090) the daemon serves its telemetry over
 // HTTP: a plaintext /metrics page, the decision audit trail as
 // /debug/admissions, expvar under /debug/vars, and net/http/pprof
 // under /debug/pprof/. All counters, gauges and histograms come from
 // one obs.Registry shared by the gateway, the middlebox core, the
-// classifier and the flow table.
+// classifier and the flow table. The same server publishes each
+// cell's encoded snapshot at /snapshot/{cell} with the fit sequence
+// as ETag, so a cluster worker can poll cheaply with If-None-Match.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"hash/fnv"
@@ -53,6 +66,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -84,6 +98,7 @@ func main() {
 	rff := flag.Bool("rff", false, "score admissions through the random-Fourier-feature tier (oracle-gated fallback to exact)")
 	rffDim := flag.Int("rffdim", 256, "RFF dictionary size (cos/sin features) when -rff is on")
 	rffAgreement := flag.Float64("rffagreement", 0.9, "demote the RFF tier when its agreement EWMA with exact scoring drops below this")
+	snapshotDir := flag.String("snapshotdir", "", "persist per-cell model snapshots to this directory and warm-boot from it on start")
 	flag.Parse()
 
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
@@ -106,6 +121,7 @@ func main() {
 		rff:          *rff,
 		rffDim:       *rffDim,
 		rffAgreement: *rffAgreement,
+		snapshotDir:  *snapshotDir,
 	}, reg, tracer)
 	if err != nil {
 		log.Fatalf("exboxd: %v", err)
@@ -119,10 +135,27 @@ func main() {
 		if err != nil {
 			log.Fatalf("exboxd: telemetry listener: %v", err)
 		}
-		defer ln.Close()
 		reg.PublishExpvar("exbox")
-		go http.Serve(ln, reg.ServeMux())
-		log.Printf("telemetry on http://%s/metrics (also /debug/admissions, /debug/traces, /debug/health, /debug/vars, /debug/pprof/)", ln.Addr())
+		mux := reg.ServeMux()
+		mux.HandleFunc("/snapshot/", gw.serveSnapshot)
+		// ReadHeaderTimeout keeps a slow-header client from pinning a
+		// connection forever; Serve's error no longer vanishes; Shutdown
+		// (deferred, so it runs before gw.close) drains in-flight scrapes
+		// instead of cutting them off with the listener.
+		srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("telemetry server: %v", err)
+			}
+		}()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				log.Printf("telemetry shutdown: %v", err)
+			}
+		}()
+		log.Printf("telemetry on http://%s/metrics (also /debug/admissions, /debug/traces, /debug/health, /debug/vars, /debug/pprof/, /snapshot/{cell})", ln.Addr())
 	}
 
 	done := make(chan struct{})
@@ -195,6 +228,11 @@ type gateway struct {
 	lastHealth exboxcore.HealthStatus
 	healthSeen bool
 
+	// snapDir is where snapshots persist ("" = off): the sweeper saves
+	// periodically, close saves on shutdown, and the middlebox's retrain
+	// workers save after every refit.
+	snapDir string
+
 	reg       *obs.Registry
 	forwarded *obs.Counter // packets passed upstream
 	dropped   *obs.Counter // packets of rejected flows dropped at the gate
@@ -217,6 +255,7 @@ type gatewayOptions struct {
 	rff          bool
 	rffDim       int
 	rffAgreement float64
+	snapshotDir  string
 }
 
 // validateFlags rejects nonsensical flag combinations before any
@@ -313,24 +352,51 @@ func newGateway(listen string, space excr.Space, shards int, opts gatewayOptions
 	reg.SetTracer(tracer)
 	reg.SetHealth(func() interface{} { return mb.Health() })
 	oracle := apps.Oracle{Net: netsim.FluidWiFi{Config: netsim.TestbedWiFi()}}
-	var assign func(excr.AppClass) excr.SNRLevel
-	if space.Levels > 1 {
-		assign = traffic.RandomLevels(rng, space)
-	}
-	for _, e := range traffic.Arrivals(traffic.Random(rng, 30, 10, 10, space), assign) {
-		if err := mb.Observe(cellID, excr.Sample{Arrival: e.Arrival, Label: oracle.Label(e.Arrival)}); err != nil {
+
+	// Warm boot: restore the cell's learned boundary from the snapshot
+	// directory when one is configured. A restored online cell serves
+	// admissions from the saved fit immediately — the offline bootstrap
+	// below is skipped entirely, so a warm boot performs zero cold
+	// refits. A missing, corrupt or version-skewed file falls through to
+	// the cold path (rejects are counted and flagged on /debug/health).
+	warmBooted := false
+	if opts.snapshotDir != "" {
+		if err := os.MkdirAll(opts.snapshotDir, 0o755); err != nil {
 			conn.Close()
 			sink.Close()
-			return nil, err
+			return nil, fmt.Errorf("snapshot dir: %w", err)
+		}
+		mb.EnableSnapshotPersistence(opts.snapshotDir)
+		n, err := mb.LoadSnapshots(opts.snapshotDir)
+		if err != nil {
+			log.Printf("snapshot load: %v", err)
+		}
+		if n > 0 && !mb.Cell(cellID).Classifier.Bootstrapping() {
+			warmBooted = true
+			log.Printf("warm boot: restored %s from %s (model v%d)",
+				cellID, opts.snapshotDir, mb.Cell(cellID).Classifier.ModelVersion())
 		}
 	}
-	if mb.Cell(cellID).Classifier.Bootstrapping() {
-		// Deferred retraining leaves graduation to the worker; the demo
-		// wants admission control active from the first packet.
-		if err := mb.Cell(cellID).Classifier.ForceOnline(); err != nil {
-			conn.Close()
-			sink.Close()
-			return nil, err
+	if !warmBooted {
+		var assign func(excr.AppClass) excr.SNRLevel
+		if space.Levels > 1 {
+			assign = traffic.RandomLevels(rng, space)
+		}
+		for _, e := range traffic.Arrivals(traffic.Random(rng, 30, 10, 10, space), assign) {
+			if err := mb.Observe(cellID, excr.Sample{Arrival: e.Arrival, Label: oracle.Label(e.Arrival)}); err != nil {
+				conn.Close()
+				sink.Close()
+				return nil, err
+			}
+		}
+		if mb.Cell(cellID).Classifier.Bootstrapping() {
+			// Deferred retraining leaves graduation to the worker; the demo
+			// wants admission control active from the first packet.
+			if err := mb.Cell(cellID).Classifier.ForceOnline(); err != nil {
+				conn.Close()
+				sink.Close()
+				return nil, err
+			}
 		}
 	}
 
@@ -352,6 +418,7 @@ func newGateway(listen string, space excr.Space, shards int, opts gatewayOptions
 		startNanos: start.UnixNano(),
 		tracer:     tracer,
 		healthG:    reg.Gauge("exbox_health_status"),
+		snapDir:    opts.snapshotDir,
 		reg:        reg,
 		forwarded:  reg.Counter("exbox_gw_forwarded_packets_total"),
 		dropped:    reg.Counter("exbox_gw_dropped_packets_total"),
@@ -371,6 +438,54 @@ func (g *gateway) close() {
 	g.conn.Close()
 	g.sink.Close()
 	g.mb.Close()
+	// Final save after the retrain workers stopped: whatever the last
+	// fit and training window were, the next start warm-boots from them.
+	if g.snapDir != "" {
+		if n, err := g.mb.SaveSnapshots(g.snapDir); err != nil {
+			log.Printf("snapshot save: %v", err)
+		} else if n > 0 {
+			log.Printf("saved %d cell snapshot(s) to %s", n, g.snapDir)
+		}
+	}
+}
+
+// saveSnapshots is the sweeper's periodic persistence pass; unchanged
+// cells cost an export but no write.
+func (g *gateway) saveSnapshots() {
+	if g.snapDir == "" {
+		return
+	}
+	if _, err := g.mb.SaveSnapshots(g.snapDir); err != nil {
+		log.Printf("snapshot save: %v", err)
+	}
+}
+
+// serveSnapshot publishes /snapshot/{cell}: the cell's latest encoded
+// snapshot with the fit sequence as ETag, so a subscriber polls with
+// If-None-Match and pays nothing while the model hasn't changed.
+func (g *gateway) serveSnapshot(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/snapshot/")
+	if id == "" || strings.Contains(id, "/") {
+		http.NotFound(w, r)
+		return
+	}
+	data, seq, err := g.mb.EncodeCellSnapshot(exboxcore.CellID(id))
+	if err != nil {
+		if errors.Is(err, exboxcore.ErrUnknownCell) {
+			http.NotFound(w, r)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	etag := fmt.Sprintf("%q", fmt.Sprint(seq))
+	w.Header().Set("ETag", etag)
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(data)
 }
 
 // run is one packet worker's forwarding loop: account each datagram to
@@ -555,6 +670,7 @@ func (g *gateway) sweeper(done chan struct{}) {
 			if n++; n%10 == 0 {
 				g.logStats()
 				g.checkHealth()
+				g.saveSnapshots()
 			}
 		}
 	}

@@ -1,0 +1,195 @@
+package classifier
+
+import (
+	"errors"
+	"fmt"
+
+	"exbox/internal/excr"
+	"exbox/internal/learner"
+	"exbox/internal/mathx"
+	"exbox/internal/svm"
+)
+
+// This file is the classifier's persistence boundary: PersistState is
+// everything a restarted process needs to serve admissions from the
+// same boundary — the published model's inference representation, the
+// training window, the phase counters, and the warm-start solver seed
+// — exported under the training locks so the snapshot is a consistent
+// fit, and imported with full validation so a corrupt or version-skewed
+// snapshot degrades to a cold start instead of a panic. The binary
+// codec lives in internal/snapshot; this layer only speaks structs.
+
+// PersistState is one classifier's complete restorable state.
+type PersistState struct {
+	// FitSeq is the model version of the published snapshot (0 while
+	// bootstrapping); the restored classifier resumes versioning above
+	// it, so audit records never see a version reused across a restart.
+	FitSeq      uint64
+	Bootstrap   bool
+	Calibration float64 // depth normalizer of the published fit
+	Observed    int
+	SinceTrain  int
+	SinceCV     int
+	LastCVScore float64
+	Space       excr.Space
+	// Samples is the deduplicated training window in LRU order (oldest
+	// first), exactly as the next refit would consume it.
+	Samples []excr.Sample
+	// Model is the published inference state, nil while bootstrapping.
+	Model *svm.ModelState
+	// Warm is the warm-start solver seed, nil when the learner keeps
+	// none (cold-start learners, or no fit yet).
+	Warm *learner.WarmSVMState
+}
+
+// ErrUnsupportedLearner is returned by ExportState when the published
+// model is not an SVM (e.g. the decision-tree ablation): the snapshot
+// format only carries SVM inference state.
+var ErrUnsupportedLearner = errors.New("classifier: published model is not serializable")
+
+// ExportState captures a consistent snapshot of the classifier under
+// the training locks: the published model cannot change mid-export and
+// the training window matches the phase counters. It is safe to call
+// concurrently with Decide (which stays lock-free) and with Observe.
+func (ac *AdmittanceClassifier) ExportState() (*PersistState, error) {
+	// fitMu first, then mu — the same order the fit path composes them
+	// (Observe releases mu before fit takes fitMu), so no inversion.
+	ac.fitMu.Lock()
+	defer ac.fitMu.Unlock()
+	st := ac.state.Load()
+	ps := &PersistState{
+		FitSeq:      st.version,
+		Bootstrap:   st.bootstrap,
+		Calibration: st.calibration,
+		Space:       ac.space,
+	}
+	if st.model != nil {
+		m, ok := st.model.(*svm.Model)
+		if !ok {
+			return nil, ErrUnsupportedLearner
+		}
+		ms := m.State()
+		ps.Model = &ms
+	}
+	if wl, ok := ac.learner.(*learner.WarmSVM); ok {
+		if ws, ok := wl.ExportState(); ok {
+			ps.Warm = &ws
+		}
+	}
+	ac.mu.Lock()
+	ps.Samples = append([]excr.Sample(nil), ac.samples...)
+	ps.Observed = ac.observed
+	ps.SinceTrain = ac.sinceTrain
+	ps.SinceCV = ac.sinceCV
+	ps.LastCVScore = ac.lastCVScore
+	ac.mu.Unlock()
+	return ps, nil
+}
+
+// ImportState restores a previously exported state: it validates
+// everything (space match, model shape, sample labels and features,
+// counter ranges), rebuilds the training index, seeds the warm-start
+// learner, and atomically publishes the restored model so the next
+// Decide serves from the saved boundary with no refit. On any
+// validation error the classifier is left exactly as it was — the
+// caller keeps its cold-start state.
+func (ac *AdmittanceClassifier) ImportState(ps *PersistState) error {
+	if ps == nil {
+		return errors.New("classifier: nil persist state")
+	}
+	if ps.Space != ac.space {
+		return fmt.Errorf("classifier: snapshot space %dx%d, classifier space %dx%d",
+			ps.Space.Classes, ps.Space.Levels, ac.space.Classes, ac.space.Levels)
+	}
+	if (ps.Model == nil) != ps.Bootstrap {
+		return errors.New("classifier: bootstrap flag inconsistent with model presence")
+	}
+	if ps.Observed < 0 || ps.SinceTrain < 0 || ps.SinceCV < 0 ||
+		!(ps.LastCVScore >= 0 && ps.LastCVScore <= 1) ||
+		!(ps.Calibration >= 0) || !mathx.AllFinite([]float64{ps.Calibration}) {
+		return errors.New("classifier: snapshot counters out of range")
+	}
+	feat := make([]float64, excr.FeatureDim(ac.space))
+	for i, s := range ps.Samples {
+		if s.Label != 1 && s.Label != -1 {
+			return fmt.Errorf("classifier: snapshot sample %d label %v", i, s.Label)
+		}
+		if s.Arrival.Matrix.Space() != ac.space {
+			return fmt.Errorf("classifier: snapshot sample %d matrix space mismatch", i)
+		}
+		if feat = s.Arrival.FeaturesInto(feat); !mathx.AllFinite(feat) {
+			return fmt.Errorf("classifier: snapshot sample %d has non-finite features", i)
+		}
+	}
+	var m *svm.Model
+	if ps.Model != nil {
+		var err error
+		if m, err = svm.ModelFromState(*ps.Model); err != nil {
+			return err
+		}
+		if m.Dim() != excr.FeatureDim(ac.space) {
+			return fmt.Errorf("classifier: snapshot model dim %d, space wants %d",
+				m.Dim(), excr.FeatureDim(ac.space))
+		}
+	}
+	if ps.Warm != nil {
+		wl, ok := ac.learner.(*learner.WarmSVM)
+		if !ok {
+			return errors.New("classifier: snapshot carries a warm seed but the learner is not warm-starting")
+		}
+		if err := wl.ImportState(*ps.Warm); err != nil {
+			return err
+		}
+	}
+
+	samples := append([]excr.Sample(nil), ps.Samples...)
+	if max := ac.cfg.MaxTrainingSet; max > 0 && len(samples) > max {
+		samples = append([]excr.Sample(nil), samples[len(samples)-max:]...)
+	}
+	keys := make([]string, len(samples))
+	index := make(map[string]int, len(samples))
+	for i, s := range samples {
+		keys[i] = sampleKey(s.Arrival)
+		index[keys[i]] = i // duplicates (ReplaceRepeated off): newest wins, as in Observe
+	}
+
+	ac.fitMu.Lock()
+	defer ac.fitMu.Unlock()
+	ac.mu.Lock()
+	ac.samples = samples
+	ac.keys = keys
+	ac.index = index
+	ac.observed = ps.Observed
+	ac.sinceTrain = ps.SinceTrain
+	ac.sinceCV = ps.SinceCV
+	ac.lastCVScore = ps.LastCVScore
+	ac.retrainPending = false
+	ac.mu.Unlock()
+	ac.metrics.TrainingSize.Set(int64(len(samples)))
+
+	// Resume versioning at or above the snapshot's fit sequence so a
+	// post-restore refit publishes a strictly newer version.
+	for {
+		cur := ac.fitSeq.Load()
+		if ps.FitSeq <= cur || ac.fitSeq.CompareAndSwap(cur, ps.FitSeq) {
+			break
+		}
+	}
+	snap := &modelSnapshot{bootstrap: ps.Model == nil, version: ps.FitSeq}
+	if m != nil {
+		snap.model = m
+		snap.fast = m
+		if m.HasApprox() {
+			snap.approx = m
+		}
+		snap.calibration = ps.Calibration
+	}
+	if h := ac.health.Load(); h != nil {
+		// The restored tier gets a fresh oracle-gate trial, like any
+		// newly published fit.
+		h.resetRFF()
+	}
+	ac.state.Store(snap)
+	ac.rffDemoted.Store(false)
+	return nil
+}

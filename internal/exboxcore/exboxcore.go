@@ -22,6 +22,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"exbox/internal/classifier"
@@ -77,6 +78,18 @@ type Cell struct {
 	// Per-cell verdict counters, nil on an uninstrumented middlebox.
 	admitN, rejectN, lowpriN *obs.Counter
 
+	// Snapshot-persistence accounting. The atomics count saves, loads,
+	// rejected (corrupt/skewed) files and save failures whether or not
+	// the middlebox is instrumented — /debug/health reads them directly;
+	// instrumentCellLocked additionally exposes them as
+	// clf_snapshot_{saves,loads,rejects}_total. snapMu guards the
+	// last-saved watermark that lets an idle periodic sweep skip writes.
+	snapSaves, snapLoads, snapRejects, snapSaveErrs atomic.Uint64
+	snapMu                                          sync.Mutex
+	snapSavedOnce                                   bool
+	snapSavedSeq                                    uint64
+	snapSavedObs                                    int
+
 	// wired marks which registry this cell's metrics are registered in,
 	// making Instrument idempotent per cell: re-instrumenting against
 	// the same registry is a no-op, while a fresh (restarted) registry
@@ -97,15 +110,23 @@ func (c *Cell) kickRetrain() {
 }
 
 // retrainLoop is the cell's background worker: it waits on the latch
-// and performs the deferred SVM fits off the admission path.
-func (c *Cell) retrainLoop(wg *sync.WaitGroup) {
-	defer wg.Done()
+// and performs the deferred SVM fits off the admission path. With
+// snapshot persistence enabled, each coalesced refit is followed by a
+// snapshot write, so the on-disk state tracks every published fit —
+// the ISSUE's "save on retrain-coalesce" hook.
+func (mb *Middlebox) retrainLoop(c *Cell) {
+	defer mb.wg.Done()
 	for {
 		select {
 		case <-c.stop:
 			return
 		case <-c.retrain:
 			_ = c.Classifier.Maintain()
+			if dir := mb.snapshotDir(); dir != "" {
+				// Save errors are counted (snapSaveErrs, surfaced by
+				// /debug/health); a full disk must not stop retraining.
+				_, _ = mb.saveCell(c, dir)
+			}
 		}
 	}
 }
@@ -154,10 +175,11 @@ type Middlebox struct {
 	Policy    Policy
 	Estimator *qoe.Estimator // optional: network-side QoE estimation
 
-	mu    sync.RWMutex // guards cells and order
-	cells map[CellID]*Cell
-	order []CellID
-	wg    sync.WaitGroup // per-cell retrain workers
+	mu      sync.RWMutex // guards cells, order and snapDir
+	cells   map[CellID]*Cell
+	order   []CellID
+	snapDir string         // retrain-hook snapshot directory, "" = off
+	wg      sync.WaitGroup // per-cell retrain workers
 
 	// obs is the telemetry hookup, nil when not instrumented. Set once
 	// by Instrument before traffic; the hot path reads it without
@@ -319,6 +341,11 @@ func (mb *Middlebox) instrumentCellLocked(c *Cell) {
 		RFFDemotions:  reg.Counter(p + "clf_rff_demotions_total"),
 		RFFPromotions: reg.Counter(p + "clf_rff_promotions_total"),
 	})
+	// Snapshot persistence counts on the cell's own atomics (health
+	// reads them even uninstrumented); the registry view is derived.
+	reg.GaugeFunc(p+"clf_snapshot_saves_total", func() float64 { return float64(c.snapSaves.Load()) })
+	reg.GaugeFunc(p+"clf_snapshot_loads_total", func() float64 { return float64(c.snapLoads.Load()) })
+	reg.GaugeFunc(p+"clf_snapshot_rejects_total", func() float64 { return float64(c.snapRejects.Load()) })
 	// An instrumented cell is a production cell: turn on model-health
 	// monitoring (first EnableHealth call wins, so a custom config set
 	// before Instrument is kept).
@@ -353,7 +380,7 @@ func (mb *Middlebox) AddCell(id CellID, cfg classifier.Config) (*Cell, error) {
 		c.retrain = make(chan struct{}, 1)
 		c.stop = make(chan struct{})
 		mb.wg.Add(1)
-		go c.retrainLoop(&mb.wg)
+		go mb.retrainLoop(c)
 	}
 	mb.cells[id] = c
 	mb.order = append(mb.order, id)

@@ -253,6 +253,25 @@ func (mb *Middlebox) HealthWith(th HealthThresholds) HealthReport {
 				ch.Checks = append(ch.Checks, chk)
 			}
 		}
+		// Snapshot persistence: a rejected file means the cell cold-started
+		// instead of warm-booting (stale-but-serving, so Yellow); repeated
+		// save failures mean restarts will keep losing state.
+		if rej := c.snapRejects.Load(); rej > 0 {
+			ch.Checks = append(ch.Checks, HealthCheck{
+				Name:   "snapshot_rejects",
+				Status: Yellow,
+				Value:  float64(rej),
+				Detail: "corrupt or version-skewed snapshot files rejected; cell cold-started",
+			})
+		}
+		if fails := c.snapSaveErrs.Load(); fails > 0 {
+			ch.Checks = append(ch.Checks, HealthCheck{
+				Name:   "snapshot_save_errors",
+				Status: Yellow,
+				Value:  float64(fails),
+				Detail: "snapshot writes failed; learned state is not being persisted",
+			})
+		}
 		for _, chk := range ch.Checks {
 			ch.Status = worse(ch.Status, chk.Status)
 		}

@@ -1,0 +1,139 @@
+package exboxcore
+
+import (
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+
+	"exbox/internal/snapshot"
+)
+
+// This file is the middlebox's persistence sweep: every cell's
+// classifier state encoded with internal/snapshot and written
+// atomically to one file per cell, plus the warm-boot restore that
+// reads them back. A cell whose file is missing, torn, corrupt or
+// version-skewed simply cold-starts — restore never fails the whole
+// middlebox and never panics — and each rejection is counted so
+// /debug/health can surface it.
+
+// SnapshotFileName is the on-disk name for one cell's snapshot. Cell
+// IDs are path-escaped so arbitrary IDs ("ap/1") cannot climb out of
+// the snapshot directory.
+func SnapshotFileName(id CellID) string {
+	return url.PathEscape(string(id)) + ".snap"
+}
+
+// EnableSnapshotPersistence makes the per-cell retrain workers write a
+// fresh snapshot after every coalesced refit, in addition to whatever
+// periodic or shutdown sweeps the caller runs. Call it before traffic,
+// alongside Instrument.
+func (mb *Middlebox) EnableSnapshotPersistence(dir string) {
+	mb.mu.Lock()
+	mb.snapDir = dir
+	mb.mu.Unlock()
+}
+
+// snapshotDir returns the retrain-hook directory ("" when disabled).
+func (mb *Middlebox) snapshotDir() string {
+	mb.mu.RLock()
+	defer mb.mu.RUnlock()
+	return mb.snapDir
+}
+
+// EncodeCellSnapshot exports one cell's state under its training locks
+// and returns the encoded snapshot plus the fit sequence it captures —
+// the payload and ETag of the /snapshot/{cell} publish endpoint.
+func (mb *Middlebox) EncodeCellSnapshot(id CellID) ([]byte, uint64, error) {
+	c, ok := mb.cell(id)
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %q", ErrUnknownCell, id)
+	}
+	ps, err := c.Classifier.ExportState()
+	if err != nil {
+		return nil, 0, err
+	}
+	return snapshot.Encode(ps), ps.FitSeq, nil
+}
+
+// SaveSnapshots writes every cell's current state into dir, one file
+// per cell, each write atomic (temp + fsync + rename). Cells whose
+// state is unchanged since their last save — same fit sequence, same
+// observation count — are skipped, so a periodic sweep over an idle
+// gateway costs exports but no writes. It returns how many files were
+// written; on error the sweep keeps going and the first error is
+// returned after all cells were attempted.
+func (mb *Middlebox) SaveSnapshots(dir string) (int, error) {
+	var saved int
+	var firstErr error
+	for _, c := range mb.Cells() {
+		n, err := mb.saveCell(c, dir)
+		saved += n
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cell %q: %w", c.ID, err)
+		}
+	}
+	return saved, firstErr
+}
+
+// saveCell exports, encodes and atomically writes one cell's snapshot,
+// skipping the write when nothing changed since the last save. Returns
+// 1 when a file was written.
+func (mb *Middlebox) saveCell(c *Cell, dir string) (int, error) {
+	ps, err := c.Classifier.ExportState()
+	if err != nil {
+		c.snapSaveErrs.Add(1)
+		return 0, err
+	}
+	c.snapMu.Lock()
+	defer c.snapMu.Unlock()
+	if c.snapSavedOnce && c.snapSavedSeq == ps.FitSeq && c.snapSavedObs == ps.Observed {
+		return 0, nil
+	}
+	if err := snapshot.Save(filepath.Join(dir, SnapshotFileName(c.ID)), snapshot.Encode(ps)); err != nil {
+		c.snapSaveErrs.Add(1)
+		return 0, err
+	}
+	c.snapSavedOnce, c.snapSavedSeq, c.snapSavedObs = true, ps.FitSeq, ps.Observed
+	c.snapSaves.Add(1)
+	return 1, nil
+}
+
+// LoadSnapshots warm-boots every registered cell from dir: for each
+// cell with a snapshot file, decode it and import it into the cell's
+// classifier. A missing file is a normal cold start; a file that fails
+// decoding or validation is counted on the cell's reject counter and
+// that cell cold-starts — the error never propagates, because a stale
+// or torn snapshot must not keep the gateway from serving. It returns
+// how many cells were restored; the error covers only I/O failures
+// reading an existing file.
+func (mb *Middlebox) LoadSnapshots(dir string) (int, error) {
+	var loaded int
+	var firstErr error
+	for _, c := range mb.Cells() {
+		path := filepath.Join(dir, SnapshotFileName(c.ID))
+		data, err := snapshot.Load(path)
+		if err != nil {
+			if !os.IsNotExist(err) && firstErr == nil {
+				firstErr = fmt.Errorf("cell %q: %w", c.ID, err)
+			}
+			continue
+		}
+		ps, err := snapshot.Decode(data)
+		if err == nil {
+			err = c.Classifier.ImportState(ps)
+		}
+		if err != nil {
+			c.snapRejects.Add(1)
+			continue
+		}
+		// The restored state is what's on disk: the next sweep can skip
+		// its write until something changes.
+		c.snapMu.Lock()
+		c.snapSavedOnce, c.snapSavedSeq, c.snapSavedObs = true, ps.FitSeq, ps.Observed
+		c.snapMu.Unlock()
+		c.snapLoads.Add(1)
+		loaded++
+	}
+	return loaded, firstErr
+}

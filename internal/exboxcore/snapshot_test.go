@@ -1,0 +1,243 @@
+package exboxcore
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"exbox/internal/classifier"
+	"exbox/internal/excr"
+	"exbox/internal/mathx"
+	"exbox/internal/obs"
+	"exbox/internal/traffic"
+)
+
+// probeArrivals returns fresh arrivals to compare verdicts on.
+func probeArrivals(n int, seed int64) []excr.Arrival {
+	evs := traffic.Arrivals(traffic.Random(mathx.NewRand(seed), n, 20, 0, excr.DefaultSpace), nil)
+	out := make([]excr.Arrival, len(evs))
+	for i, e := range evs {
+		out[i] = e.Arrival
+	}
+	return out
+}
+
+// TestWarmBootEndToEnd is the tentpole's acceptance test: train a
+// middlebox, save its snapshots, build a completely fresh middlebox
+// from the same directory, and assert it serves identical admission
+// verdicts — margins bit-equal — with zero refits. Runs under -race in
+// CI, so it also exercises the save/load paths against the concurrent
+// middlebox machinery.
+func TestWarmBootEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	cfg := classifier.DefaultConfig()
+	cfg.WarmStart = true
+	o := wifiOracle()
+
+	first := New(excr.DefaultSpace, Discontinue)
+	first.Instrument(obs.NewRegistry(), 64)
+	if _, err := first.AddCell("ap0", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := first.AddCell("ap1", cfg); err != nil {
+		t.Fatal(err)
+	}
+	trainCell(t, first, "ap0", o, 71)
+	trainCell(t, first, "ap1", lteOracle(), 72)
+	saved, err := first.SaveSnapshots(dir)
+	if err != nil {
+		t.Fatalf("SaveSnapshots: %v", err)
+	}
+	if saved != 2 {
+		t.Fatalf("saved %d snapshots, want 2", saved)
+	}
+	// Unchanged state: the second sweep writes nothing.
+	if n, err := first.SaveSnapshots(dir); err != nil || n != 0 {
+		t.Fatalf("idle sweep wrote %d files (err %v), want 0", n, err)
+	}
+
+	second := New(excr.DefaultSpace, Discontinue)
+	reg := obs.NewRegistry()
+	second.Instrument(reg, 64)
+	for _, id := range []CellID{"ap0", "ap1"} {
+		if _, err := second.AddCell(id, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fits := reg.Counter("exbox_cell_ap0_clf_fits_total")
+	loaded, err := second.LoadSnapshots(dir)
+	if err != nil {
+		t.Fatalf("LoadSnapshots: %v", err)
+	}
+	if loaded != 2 {
+		t.Fatalf("loaded %d snapshots, want 2", loaded)
+	}
+	for _, c := range second.Cells() {
+		if c.Classifier.Bootstrapping() {
+			t.Fatalf("cell %s still bootstrapping after warm boot", c.ID)
+		}
+		if got, want := c.Classifier.ModelVersion(), first.Cell(c.ID).Classifier.ModelVersion(); got != want {
+			t.Fatalf("cell %s model version %d, want %d", c.ID, got, want)
+		}
+	}
+	if fits.Value() != 0 {
+		t.Fatalf("warm boot performed %d refits, want 0", fits.Value())
+	}
+
+	for _, id := range []CellID{"ap0", "ap1"} {
+		for _, a := range probeArrivals(25, 73) {
+			oa, err := first.Admit(id, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ob, err := second.Admit(id, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if oa.Verdict != ob.Verdict ||
+				math.Float64bits(oa.Decision.Margin) != math.Float64bits(ob.Decision.Margin) ||
+				math.Float64bits(oa.Decision.Depth) != math.Float64bits(ob.Decision.Depth) {
+				t.Fatalf("cell %s: warm-booted verdict diverged: %+v != %+v", id, oa, ob)
+			}
+		}
+	}
+	if fits.Value() != 0 {
+		t.Fatalf("admissions after warm boot triggered %d refits, want 0", fits.Value())
+	}
+}
+
+// TestLoadSnapshotsRejectsCorrupt: a corrupt file must cold-start its
+// cell, bump the reject counter, flag /debug/health yellow — and never
+// error the load or crash.
+func TestLoadSnapshotsRejectsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	cfg := classifier.DefaultConfig()
+	src := New(excr.DefaultSpace, Discontinue)
+	if _, err := src.AddCell("ap0", cfg); err != nil {
+		t.Fatal(err)
+	}
+	trainCell(t, src, "ap0", wifiOracle(), 74)
+	if _, err := src.SaveSnapshots(dir); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, SnapshotFileName("ap0"))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := New(excr.DefaultSpace, Discontinue)
+	reg := obs.NewRegistry()
+	dst.Instrument(reg, 64)
+	if _, err := dst.AddCell("ap0", cfg); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := dst.LoadSnapshots(dir)
+	if err != nil {
+		t.Fatalf("corrupt snapshot errored the load: %v", err)
+	}
+	if loaded != 0 {
+		t.Fatalf("loaded %d snapshots from a corrupt file, want 0", loaded)
+	}
+	c := dst.Cell("ap0")
+	if !c.Classifier.Bootstrapping() {
+		t.Fatal("cell should cold-start after a rejected snapshot")
+	}
+	if got := c.snapRejects.Load(); got != 1 {
+		t.Fatalf("snapshot rejects = %d, want 1", got)
+	}
+	rep := dst.Health()
+	var flagged bool
+	for _, ch := range rep.Cells {
+		for _, chk := range ch.Checks {
+			if chk.Name == "snapshot_rejects" && chk.Status == Yellow {
+				flagged = true
+			}
+		}
+	}
+	if !flagged {
+		t.Fatal("health report does not flag the rejected snapshot")
+	}
+	// The cold cell still serves (bootstrap admits).
+	out, err := dst.Admit("ap0", probeArrivals(1, 75)[0])
+	if err != nil || out.Verdict != Admit {
+		t.Fatalf("cold-started cell unusable: %+v, %v", out, err)
+	}
+}
+
+// TestLoadSnapshotsMissingDirAndFiles: nothing on disk is a normal
+// cold start, not an error.
+func TestLoadSnapshotsMissingDirAndFiles(t *testing.T) {
+	mb := New(excr.DefaultSpace, Discontinue)
+	if _, err := mb.AddCell("ap0", classifier.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := mb.LoadSnapshots(t.TempDir()); err != nil || n != 0 {
+		t.Fatalf("empty dir: loaded %d, err %v", n, err)
+	}
+	if n, err := mb.LoadSnapshots(filepath.Join(t.TempDir(), "never-created")); err != nil || n != 0 {
+		t.Fatalf("missing dir: loaded %d, err %v", n, err)
+	}
+}
+
+// TestRetrainLoopSavesSnapshot: with persistence enabled, the deferred
+// retrain worker writes a snapshot after its coalesced fit.
+func TestRetrainLoopSavesSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	cfg := classifier.DefaultConfig()
+	cfg.DeferRetrain = true
+	mb := New(excr.DefaultSpace, Discontinue)
+	defer mb.Close()
+	mb.EnableSnapshotPersistence(dir)
+	if _, err := mb.AddCell("ap0", cfg); err != nil {
+		t.Fatal(err)
+	}
+	o := wifiOracle()
+	rng := mathx.NewRand(76)
+	for _, e := range traffic.Arrivals(traffic.Random(rng, 40, 20, 0, excr.DefaultSpace), nil) {
+		if err := mb.Observe("ap0", excr.Sample{Arrival: e.Arrival, Label: o.Label(e.Arrival)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(dir, SnapshotFileName("ap0"))
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := os.Stat(path); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("retrain worker never wrote a snapshot")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestEncodeCellSnapshot covers the /snapshot/{cell} publish surface:
+// the encoded bytes decode to the cell's current fit, and the returned
+// sequence matches the model version (the endpoint's ETag).
+func TestEncodeCellSnapshot(t *testing.T) {
+	mb := New(excr.DefaultSpace, Discontinue)
+	if _, err := mb.AddCell("ap0", classifier.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	trainCell(t, mb, "ap0", wifiOracle(), 77)
+	data, seq, err := mb.EncodeCellSnapshot("ap0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := mb.Cell("ap0").Classifier.ModelVersion(); seq != want {
+		t.Fatalf("snapshot seq %d, want model version %d", seq, want)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty snapshot payload")
+	}
+	if _, _, err := mb.EncodeCellSnapshot("nope"); err == nil {
+		t.Fatal("unknown cell should error")
+	}
+}

@@ -1,0 +1,130 @@
+package flows
+
+import (
+	"fmt"
+	"testing"
+
+	"exbox/internal/excr"
+)
+
+// tieKey builds distinct keys that all share one FirstSeen tick.
+func tieKey(i int) Key {
+	return Key{
+		Src: fmt.Sprintf("10.1.%d.%d", i/200, i%200), Dst: "sink",
+		SrcPort: uint16(50000 + i), DstPort: 443, Proto: TCP,
+	}
+}
+
+// TestKeyLessOrdersFields: the tie-break comparator is a strict weak
+// order over (Src, Dst, SrcPort, DstPort, Proto), in that precedence.
+func TestKeyLessOrdersFields(t *testing.T) {
+	base := Key{Src: "a", Dst: "b", SrcPort: 1, DstPort: 2, Proto: TCP}
+	cases := []struct {
+		name string
+		hi   Key
+	}{
+		{"src", Key{Src: "z", Dst: "a", SrcPort: 0, DstPort: 0, Proto: UDP}},
+		{"dst", Key{Src: "a", Dst: "c", SrcPort: 0, DstPort: 0, Proto: UDP}},
+		{"sport", Key{Src: "a", Dst: "b", SrcPort: 2, DstPort: 0, Proto: UDP}},
+		{"dport", Key{Src: "a", Dst: "b", SrcPort: 1, DstPort: 3, Proto: UDP}},
+		{"proto", Key{Src: "a", Dst: "b", SrcPort: 1, DstPort: 2, Proto: UDP}},
+	}
+	for _, tc := range cases {
+		if !base.Less(tc.hi) || tc.hi.Less(base) {
+			t.Fatalf("%s: want %+v < %+v strictly", tc.name, base, tc.hi)
+		}
+	}
+	if base.Less(base) {
+		t.Fatal("Less must be irreflexive")
+	}
+}
+
+// TestExpireOrderDeterministicOnTies is the regression test for the
+// sort.Slice-on-FirstSeen bug: with every flow sharing one arrival
+// tick the old comparator gave map-iteration order, so two identical
+// tables could expire the same flows in different orders. Now the key
+// breaks the tie, so repeated runs — and independently built tables —
+// must agree element-for-element.
+func TestExpireOrderDeterministicOnTies(t *testing.T) {
+	build := func(perm []int) *Table {
+		tab := NewTable(5, 30)
+		for _, i := range perm {
+			tab.Observe(tieKey(i), PacketMeta{Time: 1, Bytes: 100})
+		}
+		return tab
+	}
+	perms := [][]int{
+		{0, 1, 2, 3, 4, 5, 6, 7},
+		{7, 6, 5, 4, 3, 2, 1, 0},
+		{3, 0, 7, 1, 6, 2, 5, 4},
+	}
+	var want []Key
+	for _, perm := range perms {
+		gone := build(perm).Expire(100)
+		if len(gone) != 8 {
+			t.Fatalf("expired %d flows, want 8", len(gone))
+		}
+		got := make([]Key, len(gone))
+		for i, f := range gone {
+			got[i] = f.Key
+		}
+		for i := 1; i < len(gone); i++ {
+			if !flowBefore(gone[i-1], gone[i]) {
+				t.Fatalf("expire output not strictly ordered at %d: %+v !< %+v", i, gone[i-1].Key, gone[i].Key)
+			}
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("insertion order changed expire order: perm %v gave %+v at %d, want %+v", perm, got[i], i, want[i])
+			}
+		}
+	}
+}
+
+// TestActiveOrderDeterministicOnTies: Active has the same contract —
+// FirstSeen ascending, key-ordered within one tick — on both the plain
+// table and the sharded one (where flows additionally arrive from
+// different shards).
+func TestActiveOrderDeterministicOnTies(t *testing.T) {
+	tab := NewTable(5, 30)
+	st := NewShardedTable(8, 5, 30, excr.DefaultSpace)
+	// Two ticks, four tied flows each, fed in scrambled order.
+	for _, i := range []int{5, 1, 6, 2, 7, 3, 4, 0} {
+		tick := float64(1 + i/4)
+		k := tieKey(i)
+		tab.Observe(k, PacketMeta{Time: tick, Bytes: 100})
+		st.Do(k, func(t *Table) { t.Observe(k, PacketMeta{Time: tick, Bytes: 100}) })
+	}
+	flat := tab.Active()
+	if len(flat) != 8 {
+		t.Fatalf("plain Active returned %d flows, want 8", len(flat))
+	}
+	for i := 1; i < len(flat); i++ {
+		if !flowBefore(flat[i-1], flat[i]) {
+			t.Fatalf("plain Active not strictly ordered at %d", i)
+		}
+	}
+	sharded := st.Active()
+	if len(sharded) != 8 {
+		t.Fatalf("sharded Active returned %d flows, want 8", len(sharded))
+	}
+	for i := range sharded {
+		if sharded[i].Key != flat[i].Key {
+			t.Fatalf("sharded Active order diverged from plain at %d: %+v != %+v", i, sharded[i].Key, flat[i].Key)
+		}
+	}
+	// Sharded expiry honors the same global order across shards.
+	gone := st.Expire(100)
+	if len(gone) != 8 {
+		t.Fatalf("sharded Expire returned %d flows, want 8", len(gone))
+	}
+	for i := range gone {
+		if gone[i].Key != flat[i].Key {
+			t.Fatalf("sharded Expire order diverged at %d: %+v != %+v", i, gone[i].Key, flat[i].Key)
+		}
+	}
+}

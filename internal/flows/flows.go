@@ -57,6 +57,36 @@ func (k Key) Reverse() Key {
 	return Key{Src: k.Dst, Dst: k.Src, SrcPort: k.DstPort, DstPort: k.SrcPort, Proto: k.Proto}
 }
 
+// Less orders keys lexicographically (Src, Dst, SrcPort, DstPort,
+// Proto). It is the tie-break behind the time-sorted flow listings:
+// FirstSeen alone is non-deterministic on same-tick arrivals, and the
+// listings feed label feedback and the exit report, which must not
+// reorder across runs.
+func (k Key) Less(o Key) bool {
+	if k.Src != o.Src {
+		return k.Src < o.Src
+	}
+	if k.Dst != o.Dst {
+		return k.Dst < o.Dst
+	}
+	if k.SrcPort != o.SrcPort {
+		return k.SrcPort < o.SrcPort
+	}
+	if k.DstPort != o.DstPort {
+		return k.DstPort < o.DstPort
+	}
+	return k.Proto < o.Proto
+}
+
+// flowBefore is the deterministic ordering every Expire/Active listing
+// sorts by: first-seen time, then flow key on ties.
+func flowBefore(a, b *Flow) bool {
+	if a.FirstSeen != b.FirstSeen {
+		return a.FirstSeen < b.FirstSeen
+	}
+	return a.Key.Less(b.Key)
+}
+
 // PacketMeta is the per-packet information the gateway records: no
 // payload, matching the paper's note that classification works on
 // encrypted traffic.
@@ -177,7 +207,8 @@ func (t *Table) Observe(k Key, p PacketMeta) *Flow {
 }
 
 // Expire removes and returns flows idle past the timeout at time now,
-// sorted by first-seen time for deterministic processing.
+// sorted by first-seen time (flow key on ties) for deterministic
+// processing.
 func (t *Table) Expire(now float64) []*Flow {
 	var out []*Flow
 	for k, f := range t.flows {
@@ -186,17 +217,18 @@ func (t *Table) Expire(now float64) []*Flow {
 			delete(t.flows, k)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].FirstSeen < out[j].FirstSeen })
+	sort.Slice(out, func(i, j int) bool { return flowBefore(out[i], out[j]) })
 	return out
 }
 
-// Active returns the live flows sorted by first-seen time.
+// Active returns the live flows sorted by first-seen time (flow key on
+// ties).
 func (t *Table) Active() []*Flow {
 	out := make([]*Flow, 0, len(t.flows))
 	for _, f := range t.flows {
 		out = append(out, f)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].FirstSeen < out[j].FirstSeen })
+	sort.Slice(out, func(i, j int) bool { return flowBefore(out[i], out[j]) })
 	return out
 }
 

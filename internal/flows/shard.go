@@ -180,8 +180,13 @@ func (st *ShardedTable) TrackAdmitted(f *Flow) {
 }
 
 // UntrackAdmitted removes a previously tracked flow from the running
-// matrix — used when re-evaluation discontinues an admitted flow.
-// Call it under the owning shard's Do before clearing Admitted.
+// matrix — used when re-evaluation discontinues an admitted flow. For
+// a flow still in the table, call it under the owning shard's Do
+// before clearing Admitted, so the matrix deduction and the flag flip
+// are one atomic step against the packet workers. A flow already
+// removed from the table (Expire's evictees) is exclusively owned by
+// the caller — no worker can reach it — so no shard lock is needed;
+// Expire untracks after releasing the lock for exactly that reason.
 func (st *ShardedTable) UntrackAdmitted(f *Flow) {
 	if st.tracked(f) {
 		st.counts[st.cell(f.Class, f.SNR)].Add(-1)
@@ -203,8 +208,11 @@ func (st *ShardedTable) Matrix() excr.Matrix {
 }
 
 // Expire removes flows idle past the timeout from every shard and
-// returns them sorted by first-seen time. Admitted flows leaving the
-// table are deducted from the running matrix.
+// returns them sorted by first-seen time (flow key on ties, so the
+// label-feedback order is deterministic across runs). Admitted flows
+// leaving the table are deducted from the running matrix — after the
+// shard unlocks, which is safe because the evictees are already out of
+// the table and exclusively ours (see UntrackAdmitted).
 func (st *ShardedTable) Expire(now float64) []*Flow {
 	var out []*Flow
 	for i := range st.shards {
@@ -218,13 +226,14 @@ func (st *ShardedTable) Expire(now float64) []*Flow {
 		st.expiredN.Add(int64(len(gone)))
 		out = append(out, gone...)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].FirstSeen < out[j].FirstSeen })
+	sort.Slice(out, func(i, j int) bool { return flowBefore(out[i], out[j]) })
 	return out
 }
 
 // Active returns copies of the live flows across all shards sorted by
-// first-seen time. Copies, not live records: the caller holds no shard
-// lock, so it must not see pointers the packet workers are mutating.
+// first-seen time (flow key on ties). Copies, not live records: the
+// caller holds no shard lock, so it must not see pointers the packet
+// workers are mutating.
 func (st *ShardedTable) Active() []Flow {
 	var out []Flow
 	st.Sweep(func(t *Table) {
@@ -232,6 +241,6 @@ func (st *ShardedTable) Active() []Flow {
 			out = append(out, *f)
 		}
 	})
-	sort.Slice(out, func(i, j int) bool { return out[i].FirstSeen < out[j].FirstSeen })
+	sort.Slice(out, func(i, j int) bool { return flowBefore(&out[i], &out[j]) })
 	return out
 }

@@ -1,0 +1,62 @@
+package learner
+
+import (
+	"errors"
+
+	"exbox/internal/svm"
+)
+
+// WarmSVMState is the serializable warm-start state of a WarmSVM: the
+// solver state of the last fit plus the per-row keys and labels the
+// next fit re-aligns the seed by. A restored state makes the first
+// post-restore refit warm instead of cold, so a warm-booted gateway
+// keeps the paper's retrain-every-batch cadence cheap from the start.
+type WarmSVMState struct {
+	Warm   svm.WarmStateData
+	Keys   []string
+	Labels []float64
+}
+
+// ExportState returns a copy of the learner's warm-start state; ok is
+// false when no fit has produced one yet.
+func (s *WarmSVM) ExportState() (WarmSVMState, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == nil {
+		return WarmSVMState{}, false
+	}
+	return WarmSVMState{
+		Warm:   s.state.Data(),
+		Keys:   append([]string(nil), s.keys...),
+		Labels: append([]float64(nil), s.labels...),
+	}, true
+}
+
+// ImportState installs a previously exported warm-start state,
+// replacing whatever seed the learner held. The state is validated
+// (aligned keys/labels/alphas, labels in ±1, finite solver state) so a
+// corrupt snapshot is rejected with an error rather than poisoning the
+// next fit.
+func (s *WarmSVM) ImportState(st WarmSVMState) error {
+	if len(st.Keys) != len(st.Labels) {
+		return errors.New("learner: warm state keys/labels length mismatch")
+	}
+	if len(st.Warm.Alpha) != len(st.Keys) {
+		return errors.New("learner: warm state alphas not aligned to keys")
+	}
+	for _, l := range st.Labels {
+		if l != 1 && l != -1 {
+			return errors.New("learner: warm state label outside ±1")
+		}
+	}
+	warm, err := svm.WarmStateFromData(st.Warm)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.state = warm
+	s.keys = append(s.keys[:0], st.Keys...)
+	s.labels = append(s.labels[:0], st.Labels...)
+	s.mu.Unlock()
+	return nil
+}

@@ -96,6 +96,26 @@ func (h *Histogram) Name() string {
 	return h.name
 }
 
+// snapshotCounts copies the bucket counts into one local slice and
+// returns them with their total. Quantile math must run against this
+// single snapshot: deriving the rank from one pass over the atomics
+// and the cumulative walk from a second pass races concurrent Observe
+// calls — buckets read later see increments the rank pass missed, and
+// (worse) a rank computed from a later total can exceed what an
+// earlier cumulative walk ever reaches, spuriously reporting the
+// overflow bound. One snapshot makes rank and walk agree by
+// construction. The slice allocates, which is fine on these cold
+// scrape/log paths.
+func (h *Histogram) snapshotCounts() ([]int64, int64) {
+	counts := make([]int64, len(h.counts))
+	var total int64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	return counts, total
+}
+
 // Quantile returns an upper-bound estimate of the q-quantile
 // (0 <= q <= 1): the upper bound of the bucket holding the q-th
 // observation, or the last finite bound for the overflow bucket.
@@ -105,7 +125,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return 0
 	}
-	total := h.Count()
+	counts, total := h.snapshotCounts()
 	if total == 0 {
 		return 0
 	}
@@ -113,9 +133,12 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if rank < 1 {
 		rank = 1
 	}
+	if rank > total {
+		rank = total
+	}
 	var cum int64
-	for i := range h.counts {
-		cum += h.counts[i].Load()
+	for i, n := range counts {
+		cum += n
 		if cum >= rank {
 			if i < len(h.bounds) {
 				return h.bounds[i]
@@ -137,7 +160,7 @@ func (h *Histogram) EstimateQuantile(q float64) float64 {
 	if h == nil {
 		return 0
 	}
-	total := h.Count()
+	counts, total := h.snapshotCounts()
 	if total == 0 {
 		return 0
 	}
@@ -145,9 +168,11 @@ func (h *Histogram) EstimateQuantile(q float64) float64 {
 	if rank < 1 {
 		rank = 1
 	}
+	if rank > float64(total) {
+		rank = float64(total)
+	}
 	var cum int64
-	for i := range h.counts {
-		n := h.counts[i].Load()
+	for i, n := range counts {
 		cum += n
 		if float64(cum) < rank {
 			continue

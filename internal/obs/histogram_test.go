@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestQuantileConcurrentObserve is the regression test for the
+// rank-vs-walk race: Quantile used to derive the rank from one pass
+// over the atomic buckets and run the cumulative walk in a second
+// pass, so a rank computed against a later (larger) total could
+// exceed everything an earlier walk accumulated and fall through to
+// the overflow bound. With every observed value landing in the first
+// two buckets, any answer above bound 2 is that race. Run with -race
+// in CI for the memory-model angle on top of this value assertion.
+func TestQuantileConcurrentObserve(t *testing.T) {
+	h := newHistogram("conc", []float64{1, 2, 3, 4, 5})
+	var wg sync.WaitGroup
+	var done atomic.Bool
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			v := 0.5
+			if w%2 == 1 {
+				v = 1.5 // second bucket
+			}
+			for i := 0; i < 100000; i++ {
+				h.Observe(v)
+			}
+		}(w)
+	}
+	go func() { wg.Wait(); done.Store(true) }()
+	for !done.Load() {
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			if got := h.Quantile(q); got != 0 && got > 2 {
+				t.Fatalf("Quantile(%v) = %v under concurrent writes; all mass is at or below 2", q, got)
+			}
+			if got := h.EstimateQuantile(q); got != 0 && got > 2 {
+				t.Fatalf("EstimateQuantile(%v) = %v under concurrent writes; all mass is at or below 2", q, got)
+			}
+		}
+	}
+	wg.Wait()
+	if h.Count() != 400000 {
+		t.Fatalf("count = %d after writers finished, want 400000", h.Count())
+	}
+
+	// Quiescent exactness: with writers stopped the bucketed quantiles
+	// are deterministic.
+	if got := h.Quantile(1); got != 2 {
+		t.Fatalf("quiescent Quantile(1) = %v, want 2", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Fatalf("quiescent Quantile(0) = %v, want 1", got)
+	}
+}
+
+// TestQuantileRankClamp: ranks computed from q at either edge must be
+// clamped into [1, total] — q=0 still reports the first occupied
+// bucket and q=1 never walks past the data.
+func TestQuantileRankClamp(t *testing.T) {
+	h := newHistogram("clamp", []float64{1, 2, 3})
+	h.Observe(2.5)
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := h.Quantile(q); got != 3 {
+			t.Fatalf("Quantile(%v) = %v, want 3 (single sample in bucket 3)", q, got)
+		}
+		if got := h.EstimateQuantile(q); got < 2 || got > 3 {
+			t.Fatalf("EstimateQuantile(%v) = %v, want within (2, 3]", q, got)
+		}
+	}
+}

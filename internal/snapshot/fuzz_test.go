@@ -1,0 +1,79 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+)
+
+// FuzzDecode is the decoder's hostile-input harness: whatever bytes
+// arrive — torn writes, bit rot, version skew, adversarial lengths —
+// Decode must return an error or a state, never panic and never
+// over-allocate past the input size. When a mutated input does decode
+// (the fuzzer can fix up the CRC), the state must re-encode and
+// re-decode to the same payload, pinning the codec's determinism.
+func FuzzDecode(f *testing.F) {
+	// Seed corpus: a hand-built minimal valid snapshot (bootstrap state,
+	// no model, no warm seed) plus envelope mutations of it.
+	minimal := encodeMinimal()
+	f.Add([]byte{})
+	f.Add([]byte("EXSN"))
+	f.Add(minimal)
+	short := append([]byte(nil), minimal[:len(minimal)-3]...)
+	f.Add(short)
+	junk := append(append([]byte(nil), minimal...), 0xDE, 0xAD)
+	f.Add(junk)
+	skew := append([]byte(nil), minimal...)
+	binary.LittleEndian.PutUint16(skew[4:], Version+7)
+	f.Add(skew)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ps, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re := Encode(ps)
+		ps2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encode of accepted snapshot does not decode: %v", err)
+		}
+		if !bytes.Equal(re, Encode(ps2)) {
+			t.Fatal("codec is not deterministic across a round trip")
+		}
+	})
+}
+
+// encodeMinimal builds the smallest interesting valid snapshot without
+// going through a trained classifier: a 3x1 bootstrap state with one
+// sample.
+func encodeMinimal() []byte {
+	var w writer
+	w.u64(0)      // fitSeq
+	w.bool(true)  // bootstrap
+	w.f64(0)      // calibration
+	w.u64(1)      // observed
+	w.u64(1)      // sinceTrain
+	w.u64(1)      // sinceCV
+	w.f64(0)      // lastCVScore
+	w.u32(3)      // classes
+	w.u32(1)      // levels
+	w.u32(1)      // one sample
+	w.u32(2)      // counts[0]
+	w.u32(0)      // counts[1]
+	w.u32(1)      // counts[2]
+	w.u32(0)      // class
+	w.u32(0)      // level
+	w.f64(1)      // label
+	w.bool(false) // no model
+	w.bool(false) // no warm seed
+
+	payload := w.buf
+	out := make([]byte, headerLen+len(payload)+trailerLen)
+	copy(out, magic[:])
+	binary.LittleEndian.PutUint16(out[4:], Version)
+	binary.LittleEndian.PutUint64(out[6:], uint64(len(payload)))
+	copy(out[headerLen:], payload)
+	binary.LittleEndian.PutUint32(out[headerLen+len(payload):], crc32.Checksum(payload, crcTable))
+	return out
+}
