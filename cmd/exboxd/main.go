@@ -6,11 +6,16 @@
 // rejected flows are dropped at the gateway, exactly as Section 4.2
 // describes.
 //
-// The datapath is concurrent end to end: N packet workers share the
-// ingress socket, flow state is partitioned across independently
-// locked shards keyed on the 5-tuple hash, the traffic matrix that
-// conditions each admission decision is read lock-free from atomic
-// counters, and SVM retraining runs on a background worker per cell.
+// The datapath is burst-batched end to end: one read loop owns the
+// ingress socket and publishes each datagram into the owning worker's
+// bounded MPSC ring (hashed once on the 5-tuple; a full ring drops
+// with a counter instead of back-pressuring the socket), workers
+// drain up to -burst packets at a time and run each burst through
+// grouped flow-table passes (one shard lock per touched shard) and
+// one batched admission call. Flow state is partitioned across
+// independently locked shards, the traffic matrix that conditions
+// each admission decision is read lock-free from atomic counters,
+// and SVM retraining runs on a background worker per cell.
 // A periodic sweep goroutine expires idle flows, late-classifies
 // short flows whose head never filled (the silence case), and
 // re-evaluates admitted flows against the current matrix (Section 4.3
@@ -19,7 +24,8 @@
 // Usage:
 //
 //	exboxd [-listen 127.0.0.1:0] [-duration 10s] [-demo]
-//	       [-workers N] [-shards N] [-mixedsnr] [-http addr]
+//	       [-workers N] [-shards N] [-burst N] [-ringsize N]
+//	       [-mixedsnr] [-http addr]
 //	       [-rff] [-rffdim D] [-rffagreement F] [-snapshotdir DIR]
 //
 // With -demo (the default), built-in traffic generators emulate a mix
@@ -79,6 +85,7 @@ import (
 	"exbox/internal/netsim"
 	"exbox/internal/obs"
 	"exbox/internal/obs/trace"
+	"exbox/internal/ring"
 	"exbox/internal/traffic"
 
 	"exbox/internal/apps"
@@ -90,6 +97,8 @@ func main() {
 	demo := flag.Bool("demo", true, "spawn built-in demo traffic generators")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "packet-handling workers")
 	shards := flag.Int("shards", 32, "flow-table shards")
+	burst := flag.Int("burst", 64, "max packets a worker drains and processes per burst")
+	ringSize := flag.Int("ringsize", 1024, "per-worker ingest ring capacity (rounded up to a power of two)")
 	mixed := flag.Bool("mixedsnr", false, "use the 3-class x 2-SNR-level space")
 	httpAddr := flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	warmstart := flag.Bool("warmstart", true, "seed each SVM refit from the previous fit's solver state")
@@ -103,7 +112,7 @@ func main() {
 
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
 
-	if err := validateFlags(*workers, *shards, *traceSample, *traceBuf, *rffDim, *rffAgreement); err != nil {
+	if err := validateFlags(*workers, *shards, *traceSample, *traceBuf, *rffDim, *burst, *ringSize, *rffAgreement); err != nil {
 		log.Fatalf("exboxd: %v", err)
 	}
 
@@ -122,13 +131,16 @@ func main() {
 		rffDim:       *rffDim,
 		rffAgreement: *rffAgreement,
 		snapshotDir:  *snapshotDir,
+		workers:      *workers,
+		burst:        *burst,
+		ringSize:     *ringSize,
 	}, reg, tracer)
 	if err != nil {
 		log.Fatalf("exboxd: %v", err)
 	}
 	defer gw.close()
-	log.Printf("gateway listening on %s, sink on %s (%d workers, %d shards, space %dx%d)",
-		gw.conn.LocalAddr(), gw.sink.LocalAddr(), *workers, *shards, space.Classes, space.Levels)
+	log.Printf("gateway listening on %s, sink on %s (%d workers, %d shards, burst %d, ring %d, space %dx%d)",
+		gw.conn.LocalAddr(), gw.sink.LocalAddr(), *workers, *shards, *burst, gw.rings[0].Cap(), space.Classes, space.Levels)
 
 	if *httpAddr != "" {
 		ln, err := net.Listen("tcp", *httpAddr)
@@ -160,13 +172,7 @@ func main() {
 
 	done := make(chan struct{})
 	var loops sync.WaitGroup
-	for i := 0; i < *workers; i++ {
-		loops.Add(1)
-		go func() {
-			defer loops.Done()
-			gw.run(done)
-		}()
-	}
+	gw.spawn(done, &loops)
 	loops.Add(1)
 	go func() {
 		defer loops.Done()
@@ -208,6 +214,18 @@ type gateway struct {
 	sink  *net.UDPConn
 	space excr.Space
 
+	// The burst-batched ingest datapath: the read loop hashes each
+	// datagram to its flow's shard, picks the worker owning that shard
+	// (shard mod workers — a flow's packets always drain on one worker,
+	// preserving per-flow order) and publishes into that worker's
+	// bounded MPSC ring; a full ring drops the packet with a counter
+	// instead of back-pressuring the socket. Workers drain up to burst
+	// entries at a time and run the whole burst through two grouped
+	// passes over the flow table plus one batched admission call.
+	rings []*ring.MPSC[pkt]
+	wake  []chan struct{} // one buffered wake signal per worker
+	burst int
+
 	table *flows.ShardedTable
 	fc    *flowclass.Classifier
 	mb    *exboxcore.Middlebox
@@ -243,31 +261,145 @@ type gateway struct {
 	expired   *obs.Counter // idle flows expired from the table
 	feedback  *obs.Counter // labeled samples fed back for online learning
 	admitLat  *obs.Histogram
+	ingest    *obs.IngestMetrics // ring depth/drops and burst-size telemetry
+
+	// noForwardIO makes processBurst account forwards without the sink
+	// write. Benchmarks of the in-memory datapath set it so a per-packet
+	// UDP syscall doesn't drown what they measure.
+	noForwardIO bool
+}
+
+// pkt is one ingest-ring entry: the packet's metadata plus a pointer
+// to its client's interned ingest state. Keeping the entry down to two
+// words plus the metadata matters — every packet is copied into a ring
+// slot and back out on drain, and the interned entry already carries
+// the derived values (key, shard, SNR) the worker would otherwise
+// recompute.
+type pkt struct {
+	ce   *clientEntry
+	meta flows.PacketMeta
+}
+
+// clientEntry is the per-client ingest state the read loop interns on
+// a client's first packet: the flow key built from its address, the
+// key's shard slot, and the SNR level the AP reports for the station.
+// Before interning, every packet paid an IP-string allocation, a key
+// construction and a shard hash in the read loop; now a packet from a
+// known client costs one map probe on its compact address.
+type clientEntry struct {
+	key   flows.Key
+	snr   excr.SNRLevel
+	shard int32
+}
+
+// clientAddr is the comparable compact form of a client address that
+// keys the read loop's intern map.
+type clientAddr struct {
+	ip   [16]byte
+	port int
+}
+
+// maxInternedClients bounds the read loop's intern map. When the cap
+// is hit the map is dropped and rebuilt from live traffic — an
+// amortized reset, not an LRU, because the map is a pure cache: losing
+// it costs each active client one re-intern, never correctness.
+const maxInternedClients = 1 << 16
+
+// interner is the read loop's client cache. The one-entry memo in
+// front of the map serves per-flow packet trains — UDP sources emit
+// runs of back-to-back datagrams, so most probes are for the client
+// the previous packet came from — and the map serves the interleave
+// across clients.
+type interner struct {
+	gw      *gateway
+	clients map[clientAddr]*clientEntry
+	lastCA  clientAddr
+	lastCE  *clientEntry
+}
+
+func newInterner(gw *gateway) *interner {
+	return &interner{gw: gw, clients: make(map[clientAddr]*clientEntry)}
+}
+
+// get returns the interned ingest state for src, creating it on the
+// client's first packet.
+func (in *interner) get(src *net.UDPAddr) *clientEntry {
+	var ca clientAddr
+	// To4 aliases the existing slice (no allocation) and folds the
+	// 4-byte and IPv4-mapped 16-byte spellings of one address into the
+	// same intern key.
+	if ip4 := src.IP.To4(); ip4 != nil {
+		copy(ca.ip[12:], ip4)
+	} else {
+		copy(ca.ip[:], src.IP)
+	}
+	ca.port = src.Port
+	if in.lastCE != nil && ca == in.lastCA {
+		return in.lastCE
+	}
+	ce := in.clients[ca]
+	if ce == nil {
+		key := flows.Key{
+			Src: src.IP.String(), Dst: "sink",
+			SrcPort: uint16(src.Port), DstPort: 9, Proto: flows.UDP,
+		}
+		// One hash at intern time: the shard slot both routes the
+		// client's packets to their worker (shard mod workers keeps a
+		// flow's packets in order on one worker) and is reused by the
+		// drain path's grouped table pass.
+		ce = &clientEntry{
+			key:   key,
+			snr:   snrFor(src),
+			shard: int32(in.gw.table.ShardIndex(key)),
+		}
+		if len(in.clients) >= maxInternedClients {
+			in.clients = make(map[clientAddr]*clientEntry)
+		}
+		in.clients[ca] = ce
+	}
+	in.lastCA, in.lastCE = ca, ce
+	return ce
 }
 
 const cellID = exboxcore.CellID("ap0")
 
 // gatewayOptions bundles the tunables newGateway threads into the
-// classifier: warm-started refits and the budget-constrained RFF
-// scoring tier with its demotion threshold.
+// classifier and the ingest datapath: warm-started refits, the
+// budget-constrained RFF scoring tier with its demotion threshold,
+// and the ring/burst geometry (zero values pick the defaults, so
+// tests can leave them unset).
 type gatewayOptions struct {
 	warmStart    bool
 	rff          bool
 	rffDim       int
 	rffAgreement float64
 	snapshotDir  string
+	workers      int // ring count; <= 0 defaults to 1
+	burst        int // max packets per drained burst; <= 0 defaults to 64
+	ringSize     int // per-worker ring capacity; <= 0 defaults to 1024
+	// syncRetrain runs SVM fits inline in Observe instead of on the
+	// cell's background worker. Production keeps the worker (fits must
+	// never stall a packet); determinism tests set this so the model
+	// version a decision sees does not depend on retrain timing.
+	syncRetrain bool
 }
 
 // validateFlags rejects nonsensical flag combinations before any
 // socket is opened or goroutine started, so a typo'd invocation dies
 // with one clear line instead of a zero-traffic run (or a divide/alloc
 // panic deep in a worker). Pure so the table test can sweep it.
-func validateFlags(workers, shards, traceSample, traceBuf, rffDim int, rffAgreement float64) error {
+func validateFlags(workers, shards, traceSample, traceBuf, rffDim, burst, ringSize int, rffAgreement float64) error {
 	if workers < 1 {
 		return fmt.Errorf("-workers must be >= 1, got %d", workers)
 	}
 	if shards < 1 {
 		return fmt.Errorf("-shards must be >= 1, got %d", shards)
+	}
+	if burst < 1 {
+		return fmt.Errorf("-burst must be >= 1, got %d", burst)
+	}
+	if ringSize < burst {
+		return fmt.Errorf("-ringsize must be >= -burst (%d), got %d", burst, ringSize)
 	}
 	if traceSample < 0 {
 		return fmt.Errorf("-tracesample must be >= 0 (0 disables tracing), got %d", traceSample)
@@ -323,7 +455,7 @@ func newGateway(listen string, space excr.Space, shards int, opts gatewayOptions
 	// worker, never on a packet worker, and (unless -warmstart=false)
 	// each refit is seeded from the previous boundary so the worker
 	// keeps up with the paper's retrain-every-batch cadence.
-	cfg.DeferRetrain = true
+	cfg.DeferRetrain = !opts.syncRetrain
 	cfg.WarmStart = opts.warmStart
 	// The RFF tier trades the exact SV-slab walk for a sub-microsecond
 	// linearized score on every admission; the health monitor's oracle
@@ -405,11 +537,41 @@ func newGateway(listen string, space excr.Space, shards int, opts gatewayOptions
 	// (occupancy, expiries) and the gateway's own packet/flow counters.
 	table := flows.NewShardedTable(shards, 10, 30, space)
 	table.Instrument(reg, "exbox_flows")
+
+	// The ingest rings: one bounded MPSC per worker, plus the wake
+	// signal the read loop taps after each publish. The depth gauge
+	// sums occupancy across all rings at scrape time.
+	if opts.workers <= 0 {
+		opts.workers = 1
+	}
+	if opts.burst <= 0 {
+		opts.burst = 64
+	}
+	if opts.ringSize <= 0 {
+		opts.ringSize = 1024
+	}
+	rings := make([]*ring.MPSC[pkt], opts.workers)
+	wake := make([]chan struct{}, opts.workers)
+	for i := range rings {
+		rings[i] = ring.New[pkt](opts.ringSize)
+		wake[i] = make(chan struct{}, 1)
+	}
+	ingest := obs.NewIngestMetrics(reg, func() int64 {
+		var d int64
+		for _, r := range rings {
+			d += int64(r.Depth())
+		}
+		return d
+	})
+
 	start := time.Now()
 	return &gateway{
 		conn:       conn,
 		sink:       sink,
 		space:      space,
+		rings:      rings,
+		wake:       wake,
+		burst:      opts.burst,
 		table:      table,
 		fc:         fc,
 		mb:         mb,
@@ -431,6 +593,7 @@ func newGateway(listen string, space excr.Space, shards int, opts gatewayOptions
 		expired:  reg.Counter("exbox_flows_expired_total"),
 		feedback: reg.Counter("exbox_gw_feedback_samples_total"),
 		admitLat: reg.Histogram("exbox_admit_seconds", nil),
+		ingest:   ingest,
 	}, nil
 }
 
@@ -488,16 +651,37 @@ func (g *gateway) serveSnapshot(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(data)
 }
 
-// run is one packet worker's forwarding loop: account each datagram to
-// its flow under the owning shard's lock, classify once enough head
-// packets arrived, decide admission against the lock-free matrix,
-// forward or drop. UDP reads are safe to share across workers.
-func (g *gateway) run(done chan struct{}) {
+// start spawns the ingest datapath: one socket read loop plus the
+// ring-draining workers. main and the end-to-end tests share it, so
+// the goroutine topology under test is the production one.
+func (g *gateway) spawn(done chan struct{}, loops *sync.WaitGroup) {
+	loops.Add(1)
+	go func() {
+		defer loops.Done()
+		g.readLoop(done)
+	}()
+	for w := range g.rings {
+		loops.Add(1)
+		go func(w int) {
+			defer loops.Done()
+			g.worker(w, done)
+		}(w)
+	}
+}
+
+// readLoop owns the ingress socket: read a datagram, intern its
+// client (key, shard and SNR are derived once per client, not once per
+// packet), publish it on the owning worker's ring, and tap the
+// worker's wake signal when the worker may be parked. A full ring
+// drops the packet with a counter — bounded queues and explicit loss,
+// never unbounded buffering. The wake signal is only sent when the
+// push landed on the slot the consumer's cursor points at (see
+// ring.TryPushWake); every other push already has a drain pass
+// guaranteed by the entries queued ahead of it.
+func (g *gateway) readLoop(done chan struct{}) {
 	buf := make([]byte, 64*1024)
-	// Per-worker classifier workspace: admission on this worker's flows
-	// reuses it, so the steady-state decision path never allocates.
-	scratch := new(classifier.Scratch)
-	sinkAddr := g.sink.LocalAddr().(*net.UDPAddr)
+	nw := len(g.rings)
+	in := newInterner(g)
 	for {
 		select {
 		case <-done:
@@ -513,52 +697,240 @@ func (g *gateway) run(done chan struct{}) {
 			return
 		}
 		up := n > 0 && buf[0] == 'U'
-		if g.handle(src, n, up, scratch) {
-			if _, err := g.conn.WriteToUDP(buf[:n], sinkAddr); err != nil {
-				log.Printf("forward: %v", err)
+		ce := in.get(src)
+		w := int(ce.shard) % nw
+		p := pkt{
+			ce:   ce,
+			meta: flows.PacketMeta{Time: time.Since(g.start).Seconds(), Bytes: n, Up: up},
+		}
+		pushed, wake := g.rings[w].TryPushWake(p)
+		if !pushed {
+			g.ingest.Drops.Inc()
+			continue
+		}
+		if wake {
+			select {
+			case g.wake[w] <- struct{}{}:
+			default:
 			}
 		}
 	}
 }
 
-// handle updates flow state and returns whether to forward the packet.
-// The first payload byte carries the direction marker the demo
-// generators set ('U' uplink, 'D' downlink), standing in for the
-// ingress interface a real gateway would key on.
-func (g *gateway) handle(src *net.UDPAddr, bytes int, up bool, scratch *classifier.Scratch) bool {
-	key := flows.Key{
-		Src: src.IP.String(), Dst: "sink",
-		SrcPort: uint16(src.Port), DstPort: 9, Proto: flows.UDP,
+// worker drains its ring in bursts and runs each burst through the
+// batched pipeline. An empty ring parks on the wake signal; the read
+// loop taps it after every publish, so the handoff is one buffered
+// channel operation per burst in steady state, not one per packet.
+func (g *gateway) worker(w int, done chan struct{}) {
+	ws := newWorkerState(g.burst)
+	for {
+		n := g.rings[w].Drain(ws.pkts)
+		if n == 0 {
+			select {
+			case <-done:
+				return
+			case <-g.wake[w]:
+			}
+			continue
+		}
+		g.processBurst(ws, ws.pkts[:n])
 	}
-	now := time.Since(g.start).Seconds()
-	forward := true
-	g.table.Do(key, func(t *flows.Table) {
-		f := t.Observe(key, flows.PacketMeta{Time: now, Bytes: bytes, Up: up})
-		if f.Packets == 1 {
-			// The AP/eNodeB reports each client's link quality; the
-			// demo derives a stable per-client SNR from its address.
-			f.SNR = snrFor(src)
-			// Head sampling: the tracing decision for the flow's whole
-			// lifecycle is made here, once, from the key hash. Unsampled
-			// flows leave f.Trace nil and never touch the tracer again.
-			if id := traceID(f.Key); g.tracer.Sampled(id) {
-				f.Trace = g.tracer.Start(id, string(cellID), -1, int(f.SNR), "sampled")
-				f.Trace.Add(trace.Span{Kind: trace.KindArrival, UnixNanos: g.startNanos + int64(now*1e9)})
+}
+
+// workerState is one worker's reusable workspace: the drain buffer and
+// every scratch the burst pipeline needs. Nothing in it is shared, so
+// the steady-state burst path allocates only what the admission layer
+// itself allocates (matrix snapshots and audit records).
+type workerState struct {
+	pkts    []pkt
+	bsc     flows.BatchScratch
+	burst   exboxcore.BurstScratch
+	cands   []exboxcore.BurstCandidate
+	conf    []float64 // classifier confidence per candidate, for the log line
+	candIdx []int32   // packet index -> candidate index, -1 when none
+	outs    []exboxcore.Outcome
+	forward []bool
+	payload []byte // forwarding buffer (the sink only sees sizes)
+}
+
+func newWorkerState(burst int) *workerState {
+	return &workerState{
+		pkts:    make([]pkt, burst),
+		candIdx: make([]int32, burst),
+		forward: make([]bool, burst),
+		payload: make([]byte, 64*1024),
+	}
+}
+
+// processBurst is the batched datapath for one drained burst:
+//
+//  1. One grouped pass over the flow table (each touched shard locked
+//     once): account every packet, set up first-packet SNR/tracing,
+//     classify flows whose head filled, and collect the admission
+//     candidates in visit order.
+//  2. One AdmitBurst call: the middlebox replays the per-packet matrix
+//     dynamics across the burst's candidates against a single matrix
+//     snapshot plus the burst's own admits.
+//  3. Only when the burst produced candidates, a second grouped pass
+//     (applyDecisions) applies each decision under the shard lock and
+//     resettles the forward/drop verdicts; candidate-free bursts are
+//     done after one pass.
+//
+// Within a shard, packets are processed in arrival order; a flow's
+// packets all map to one shard, so per-flow semantics are identical to
+// the per-packet path (see flows/batch.go for the ordering contract).
+func (g *gateway) processBurst(ws *workerState, pkts []pkt) {
+	n := len(pkts)
+	g.ingest.BurstSize.Observe(float64(n))
+	ws.cands = ws.cands[:0]
+	ws.conf = ws.conf[:0]
+	candIdx := ws.candIdx[:n]
+	for i := range candIdx {
+		candIdx[i] = -1
+	}
+	forward := ws.forward[:n]
+
+	// Same-flow memo: UDP traffic arrives in per-flow packet trains, and
+	// the grouped pass keeps a train's packets adjacent under one
+	// continuously held shard lock — so the previous packet's flow is
+	// reusable for the next without a lookup. Pointer-equal interned
+	// client entries prove the keys equal, so not even a key comparison
+	// is needed (flows.ObserveOwned). The memo resets whenever the
+	// visit moves to another shard (a different table, a different
+	// lock).
+	var lastT *flows.Table
+	var lastCE *clientEntry
+	var lastF *flows.Flow
+	g.table.DoBatch(&ws.bsc, n,
+		func(i int) int { return int(pkts[i].ce.shard) },
+		func(i int, t *flows.Table) {
+			p := &pkts[i]
+			if t != lastT {
+				lastT, lastCE, lastF = t, nil, nil
+			}
+			var f *flows.Flow
+			if p.ce == lastCE {
+				f = lastF
+				t.ObserveOwned(f, p.meta)
+			} else {
+				f = t.Observe(p.ce.key, p.meta)
+				lastCE, lastF = p.ce, f
+			}
+			if f.Packets == 1 {
+				// The AP/eNodeB reports each client's link quality; the
+				// demo derives a stable per-client SNR from its address.
+				f.SNR = p.ce.snr
+				// Head sampling: the tracing decision for the flow's whole
+				// lifecycle is made here, once, from the key hash. Unsampled
+				// flows leave f.Trace nil and never touch the tracer again.
+				if id := traceID(f.Key); g.tracer.Sampled(id) {
+					f.Trace = g.tracer.Start(id, string(cellID), -1, int(f.SNR), "sampled")
+					f.Trace.Add(trace.Span{Kind: trace.KindArrival, UnixNanos: g.startNanos + int64(p.meta.Time*1e9)})
+				}
+			}
+			if f.ReadyToClassify(t.HeadCap) {
+				class, conf, err := g.fc.ClassifyFlow(f)
+				if err != nil {
+					return
+				}
+				f.Class, f.Classified = class, true
+				if f.Trace != nil {
+					f.Trace.SetClass(int(class))
+					f.Trace.Add(trace.Span{
+						Kind: trace.KindClassify, UnixNanos: time.Now().UnixNano(),
+						Note: fmt.Sprintf("%v p=%.2f", class, conf),
+					})
+				}
+				candIdx[i] = int32(len(ws.cands))
+				ws.cands = append(ws.cands, exboxcore.BurstCandidate{
+					Class: class, Level: g.level(f.SNR), Trace: f.Trace,
+				})
+				ws.conf = append(ws.conf, conf)
+			}
+			// Settle the verdict from the flow's current state; when this
+			// burst produces decisions, the second pass recomputes every
+			// slot after they are applied.
+			forward[i] = !(f.Decided && !f.Admitted)
+		})
+
+	// Candidate-free bursts — the steady state once long-lived flows are
+	// decided — are done: every verdict above is final, so the second
+	// table pass (and its per-packet flow lookup) is skipped entirely.
+	if len(ws.cands) > 0 {
+		var err error
+		ws.outs, err = g.mb.AdmitBurst(cellID, g.table.Matrix(), ws.cands, ws.outs, &ws.burst)
+		if err != nil {
+			log.Printf("admit burst: %v", err)
+			ws.cands = ws.cands[:0]
+		}
+		g.applyDecisions(ws, pkts, candIdx, forward)
+	}
+
+	sinkAddr := g.sink.LocalAddr().(*net.UDPAddr)
+	nfwd := 0
+	for i := range pkts {
+		if !forward[i] {
+			continue
+		}
+		nfwd++
+		size := pkts[i].meta.Bytes
+		if size > len(ws.payload) {
+			size = len(ws.payload)
+		}
+		if size > 0 && !g.noForwardIO {
+			if _, err := g.conn.WriteToUDP(ws.payload[:size], sinkAddr); err != nil {
+				log.Printf("forward: %v", err)
 			}
 		}
-		if f.ReadyToClassify(t.HeadCap) {
-			g.classifyAndDecide(f, scratch)
-		}
-		// Pre-decision packets pass (classification needs them); after
-		// the decision, rejected flows are dropped at the gateway.
-		forward = !(f.Decided && !f.Admitted)
-	})
-	if forward {
-		g.forwarded.Inc()
-	} else {
-		g.dropped.Inc()
 	}
-	return forward
+	// One counter add per burst, not one per packet.
+	g.forwarded.Add(int64(nfwd))
+	g.dropped.Add(int64(n - nfwd))
+}
+
+// applyDecisions is the burst pipeline's second grouped pass, run only
+// when the burst produced admission candidates: apply each decision to
+// its flow under the shard lock (exactly what the per-packet path did
+// inside Do) and resettle every packet's forward/drop verdict —
+// packets behind a rejection in the same burst are dropped, as they
+// would be had the decisions been made synchronously.
+func (g *gateway) applyDecisions(ws *workerState, pkts []pkt, candIdx []int32, forward []bool) {
+	g.table.DoBatch(&ws.bsc, len(pkts),
+		func(i int) int { return int(pkts[i].ce.shard) },
+		func(i int, t *flows.Table) {
+			p := &pkts[i]
+			f := t.Get(p.ce.key)
+			if f == nil {
+				// Expired between the passes by a concurrent sweep; the
+				// packet has nothing to be dropped for.
+				forward[i] = true
+				return
+			}
+			if ci := candIdx[i]; ci >= 0 && int(ci) < len(ws.outs) {
+				out := ws.outs[ci]
+				f.Decided = true
+				f.Admitted = out.Verdict == exboxcore.Admit
+				if f.Admitted {
+					g.admitted.Inc()
+					g.table.TrackAdmitted(f)
+				} else {
+					g.rejected.Inc()
+					// Rejections are always worth a trace: promote the flow
+					// past head sampling, backfilling the arrival and
+					// decision spans so the exported trace is complete.
+					if f.Trace == nil && g.tracer != nil {
+						f.Trace = g.tracer.Promote(traceID(f.Key), string(cellID), int(f.Class), int(g.level(f.SNR)),
+							"rejected", g.startNanos+int64(f.FirstSeen*1e9))
+						f.Trace.Add(exboxcore.DecisionSpan(time.Now().UnixNano(), 0, out))
+					}
+				}
+				log.Printf("flow %s classified %v (p=%.2f) snr=%v -> %v (margin %.2f)",
+					f.Key, f.Class, ws.conf[ci], f.SNR, out.Verdict, out.Decision.Margin)
+			}
+			// Pre-decision packets pass (classification needs them);
+			// after the decision, rejected flows are dropped at the gate.
+			forward[i] = !(f.Decided && !f.Admitted)
+		})
 }
 
 // classifyAndDecide runs traffic classification and admission control
@@ -709,11 +1081,12 @@ func (g *gateway) checkHealth() {
 // logStats emits the periodic one-line gateway summary from the same
 // registry the /metrics page serves.
 func (g *gateway) logStats() {
-	log.Printf("stats: fwd=%d drop=%d admit=%d reject=%d discont=%d expired=%d late=%d feedback=%d tracked=%d admit_p50=%.3gs p99=%.3gs",
+	log.Printf("stats: fwd=%d drop=%d admit=%d reject=%d discont=%d expired=%d late=%d feedback=%d tracked=%d admit_p50=%.3gs p99=%.3gs ring_drops=%d burst_p50=%.3g p99=%.3g",
 		g.forwarded.Value(), g.dropped.Value(), g.admitted.Value(),
 		g.rejected.Value(), g.evicted.Value(), g.expired.Value(),
 		g.lateClass.Value(), g.feedback.Value(), g.table.Len(),
-		g.admitLat.Quantile(0.5), g.admitLat.Quantile(0.99))
+		g.admitLat.Quantile(0.5), g.admitLat.Quantile(0.99),
+		g.ingest.Drops.Value(), g.ingest.BurstSize.Quantile(0.5), g.ingest.BurstSize.Quantile(0.99))
 }
 
 func (g *gateway) sweep(now float64, scratch *classifier.Scratch) {
@@ -735,13 +1108,25 @@ func (g *gateway) sweep(now float64, scratch *classifier.Scratch) {
 	// retrainer. Rejected flows expire too — the gateway stops
 	// refreshing their activity once the drop decision is made — so
 	// negative outcomes feed the training set just like positives.
+	// The whole expiry batch goes through ObserveBatchTraced: one
+	// training-lock hold and one retrain kick per sweep instead of one
+	// per expired flow.
 	current := g.table.Matrix()
-	for _, f := range g.table.Expire(now) {
+	expired := g.table.Expire(now)
+	var samples []excr.Sample
+	var traces []*trace.FlowTrace
+	for _, f := range expired {
 		if f.Classified {
 			arr := excr.Arrival{Matrix: current, Class: f.Class, Level: g.level(f.SNR)}
-			_ = g.mb.ObserveTraced(cellID, excr.Sample{Arrival: arr, Label: g.oracle.Label(arr)}, f.Trace)
-			g.feedback.Inc()
+			samples = append(samples, excr.Sample{Arrival: arr, Label: g.oracle.Label(arr)})
+			traces = append(traces, f.Trace)
 		}
+	}
+	if len(samples) > 0 {
+		_ = g.mb.ObserveBatchTraced(cellID, samples, traces)
+		g.feedback.Add(int64(len(samples)))
+	}
+	for _, f := range expired {
 		if f.Trace != nil {
 			f.Trace.Add(trace.Span{
 				Kind: trace.KindExpiry, UnixNanos: time.Now().UnixNano(),

@@ -63,13 +63,7 @@ func TestGatewayTelemetryEndToEnd(t *testing.T) {
 
 	done := make(chan struct{})
 	var loops sync.WaitGroup
-	for i := 0; i < 2; i++ {
-		loops.Add(1)
-		go func() {
-			defer loops.Done()
-			gw.run(done)
-		}()
-	}
+	gw.spawn(done, &loops)
 	defer func() {
 		close(done)
 		loops.Wait()
@@ -201,13 +195,7 @@ func TestGatewayTracingAndHealthEndToEnd(t *testing.T) {
 
 	done := make(chan struct{})
 	var loops sync.WaitGroup
-	for i := 0; i < 2; i++ {
-		loops.Add(1)
-		go func() {
-			defer loops.Done()
-			gw.run(done)
-		}()
-	}
+	gw.spawn(done, &loops)
 	defer func() {
 		close(done)
 		loops.Wait()
@@ -345,28 +333,33 @@ func TestValidateFlags(t *testing.T) {
 	cases := []struct {
 		name                                   string
 		workers, shards, traceSample, traceBuf int
-		rffDim                                 int
+		rffDim, burst, ringSize                int
 		rffAgreement                           float64
 		wantErr                                string
 	}{
-		{"defaults", 4, 32, 16, 256, 256, 0.9, ""},
-		{"tracing off", 4, 32, 0, 256, 256, 0.9, ""},
-		{"tracing off zero buf", 4, 32, 0, 0, 256, 0.9, ""},
-		{"negative tracesample", 4, 32, -1, 256, 256, 0.9, "-tracesample"},
-		{"negative tracebuf", 4, 32, 16, -1, 256, 0.9, "-tracebuf"},
-		{"zero tracebuf while tracing", 4, 32, 16, 0, 256, 0.9, "-tracebuf"},
-		{"zero workers", 0, 32, 16, 256, 256, 0.9, "-workers"},
-		{"zero shards", 4, 0, 16, 256, 256, 0.9, "-shards"},
-		{"rffdim zero", 4, 32, 16, 256, 0, 0.9, "-rffdim"},
-		{"rffdim one", 4, 32, 16, 256, 1, 0.9, "-rffdim"},
-		{"rffdim minimal", 4, 32, 16, 256, 2, 0.9, ""},
-		{"agreement zero", 4, 32, 16, 256, 256, 0, "-rffagreement"},
-		{"agreement negative", 4, 32, 16, 256, 256, -0.5, "-rffagreement"},
-		{"agreement above one", 4, 32, 16, 256, 256, 1.5, "-rffagreement"},
-		{"agreement one", 4, 32, 16, 256, 256, 1, ""},
+		{"defaults", 4, 32, 16, 256, 256, 64, 1024, 0.9, ""},
+		{"tracing off", 4, 32, 0, 256, 256, 64, 1024, 0.9, ""},
+		{"tracing off zero buf", 4, 32, 0, 0, 256, 64, 1024, 0.9, ""},
+		{"negative tracesample", 4, 32, -1, 256, 256, 64, 1024, 0.9, "-tracesample"},
+		{"negative tracebuf", 4, 32, 16, -1, 256, 64, 1024, 0.9, "-tracebuf"},
+		{"zero tracebuf while tracing", 4, 32, 16, 0, 256, 64, 1024, 0.9, "-tracebuf"},
+		{"zero workers", 0, 32, 16, 256, 256, 64, 1024, 0.9, "-workers"},
+		{"zero shards", 4, 0, 16, 256, 256, 64, 1024, 0.9, "-shards"},
+		{"rffdim zero", 4, 32, 16, 256, 0, 64, 1024, 0.9, "-rffdim"},
+		{"rffdim one", 4, 32, 16, 256, 1, 64, 1024, 0.9, "-rffdim"},
+		{"rffdim minimal", 4, 32, 16, 256, 2, 64, 1024, 0.9, ""},
+		{"agreement zero", 4, 32, 16, 256, 256, 64, 1024, 0, "-rffagreement"},
+		{"agreement negative", 4, 32, 16, 256, 256, 64, 1024, -0.5, "-rffagreement"},
+		{"agreement above one", 4, 32, 16, 256, 256, 64, 1024, 1.5, "-rffagreement"},
+		{"agreement one", 4, 32, 16, 256, 256, 64, 1024, 1, ""},
+		{"zero burst", 4, 32, 16, 256, 256, 0, 1024, 0.9, "-burst"},
+		{"negative burst", 4, 32, 16, 256, 256, -1, 1024, 0.9, "-burst"},
+		{"burst of one", 4, 32, 16, 256, 256, 1, 1024, 0.9, ""},
+		{"ring smaller than burst", 4, 32, 16, 256, 256, 64, 32, 0.9, "-ringsize"},
+		{"ring equals burst", 4, 32, 16, 256, 256, 64, 64, 0.9, ""},
 	}
 	for _, tc := range cases {
-		err := validateFlags(tc.workers, tc.shards, tc.traceSample, tc.traceBuf, tc.rffDim, tc.rffAgreement)
+		err := validateFlags(tc.workers, tc.shards, tc.traceSample, tc.traceBuf, tc.rffDim, tc.burst, tc.ringSize, tc.rffAgreement)
 		if tc.wantErr == "" {
 			if err != nil {
 				t.Errorf("%s: unexpected error %v", tc.name, err)

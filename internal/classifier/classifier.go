@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -264,8 +265,13 @@ type AdmittanceClassifier struct {
 	rffDemoted atomic.Bool
 
 	// obsFeat is Observe's feature scratch, guarded by mu, for the
-	// finite-features check at the observation boundary.
+	// finite-features check at the observation boundary. keyBuf is the
+	// reusable sample-key buffer: the replace-repeated lookup builds
+	// the key bytes here and probes the index without materializing a
+	// string, so a steady-state (replacement-hit) observation
+	// allocates nothing.
 	obsFeat []float64
+	keyBuf  []byte
 
 	learner learner.Learner
 
@@ -363,15 +369,60 @@ func sampleKey(a excr.Arrival) string {
 	return fmt.Sprintf("%s|%d|%d", a.Matrix.Key(), a.Class, a.Level)
 }
 
+// appendSampleKey is sampleKey into a reusable buffer, byte-identical
+// to it (the alloc-free pinning test holds the two together). The
+// observation path builds the key here and only materializes a string
+// for genuinely new samples.
+func appendSampleKey(dst []byte, a excr.Arrival) []byte {
+	dst = a.Matrix.AppendKey(dst)
+	dst = append(dst, '|')
+	dst = strconv.AppendInt(dst, int64(a.Class), 10)
+	dst = append(dst, '|')
+	return strconv.AppendInt(dst, int64(a.Level), 10)
+}
+
 // Observe implements Controller: it folds one ground-truth labeled
 // tuple into the training set and advances the phase machinery —
 // cross-validation during bootstrap, batch retraining online (or, with
 // DeferRetrain, marking the work pending for Maintain).
 func (ac *AdmittanceClassifier) Observe(s excr.Sample) {
+	ac.mu.Lock()
+	req := ac.observeLocked(s)
+	ac.mu.Unlock()
+	if req != nil {
+		_ = ac.fit(req)
+	}
+}
+
+// ObserveBatch feeds a burst of labeled tuples under one hold of the
+// training lock — the per-burst entry point of the ingest datapath,
+// amortizing the lock handshake and the phase accounting that Observe
+// pays per sample. Semantics are identical to calling Observe in
+// sequence: when a sample crosses a batch boundary (or a bootstrap CV
+// checkpoint) without DeferRetrain, the lock is dropped, the fit runs
+// inline, and the batch resumes — so later samples in the burst see
+// exactly the phase transitions the per-sample path would have
+// produced.
+func (ac *AdmittanceClassifier) ObserveBatch(samples []excr.Sample) {
+	ac.mu.Lock()
+	for i := range samples {
+		if req := ac.observeLocked(samples[i]); req != nil {
+			ac.mu.Unlock()
+			_ = ac.fit(req)
+			ac.mu.Lock()
+		}
+	}
+	ac.mu.Unlock()
+}
+
+// observeLocked is the body shared by Observe and ObserveBatch: fold
+// one labeled tuple into the training set and return the fit to run
+// outside the lock, if the phase machinery asks for one. Caller holds
+// mu.
+func (ac *AdmittanceClassifier) observeLocked(s excr.Sample) *fitRequest {
 	if s.Label != 1 && s.Label != -1 {
 		panic(fmt.Sprintf("classifier: label %v, want ±1", s.Label))
 	}
-	ac.mu.Lock()
 	// Reject corrupt observations at the boundary: a NaN or ±Inf
 	// feature would poison every fused dot product downstream (training
 	// rows, margins, the drift bins). The UDP observation path computes
@@ -380,8 +431,7 @@ func (ac *AdmittanceClassifier) Observe(s excr.Sample) {
 	ac.obsFeat = s.Arrival.FeaturesInto(ac.obsFeat)
 	if !mathx.AllFinite(ac.obsFeat) {
 		ac.metrics.BadFeatures.Inc()
-		ac.mu.Unlock()
-		return
+		return nil
 	}
 	ac.observed++
 	ac.metrics.Observations.Inc()
@@ -390,23 +440,24 @@ func (ac *AdmittanceClassifier) Observe(s excr.Sample) {
 		// it, before this observation can trigger a refit.
 		ac.healthObserveSample(h, s)
 	}
-	key := sampleKey(s.Arrival)
-	if i, ok := ac.index[key]; ok && ac.cfg.ReplaceRepeated {
+	ac.keyBuf = appendSampleKey(ac.keyBuf[:0], s.Arrival)
+	// The []byte→string conversion in the index probe does not
+	// allocate (compiler-recognized map-lookup form), so the
+	// replacement hit — the steady state once the matrix space has
+	// been explored — is allocation-free end to end.
+	if i, ok := ac.index[string(ac.keyBuf)]; ok && ac.cfg.ReplaceRepeated {
 		ac.samples[i] = s
 		ac.touchLocked(i)
 		ac.metrics.Replacements.Inc()
 	} else {
+		key := string(ac.keyBuf)
 		ac.samples = append(ac.samples, s)
 		ac.keys = append(ac.keys, key)
 		ac.index[key] = len(ac.samples) - 1
 		ac.evictIfNeededLocked()
 	}
 	ac.metrics.TrainingSize.Set(int64(len(ac.samples)))
-	req := ac.advancePhaseLocked()
-	ac.mu.Unlock()
-	if req != nil {
-		_ = ac.fit(req)
-	}
+	return ac.advancePhaseLocked()
 }
 
 // advancePhaseLocked runs the per-observation phase accounting and
@@ -735,25 +786,117 @@ func (ac *AdmittanceClassifier) DecideScratch(a excr.Arrival, s *Scratch) Decisi
 // counter updates.
 func (ac *AdmittanceClassifier) DecideBatch(dst []Decision, arrivals []excr.Arrival, s *Scratch) []Decision {
 	n := len(arrivals)
-	if cap(dst) < n {
-		dst = make([]Decision, n)
-	}
-	dst = dst[:n]
 	if n == 0 {
-		return dst
-	}
-	st := ac.state.Load()
-	if st.bootstrap || st.model == nil {
-		ac.metrics.BootstrapDecisions.Add(int64(n))
-		ac.metrics.Admits.Add(int64(n))
-		for i := range dst {
-			dst[i] = Decision{Admit: true, Bootstrap: true}
-		}
-		return dst
+		return dst[:0]
 	}
 	if s == nil {
 		s = scratchPool.Get().(*Scratch)
 		defer scratchPool.Put(s)
+	}
+	dst = ac.scoreBatch(dst, arrivals, s)
+	if dst[0].Bootstrap {
+		ac.metrics.BootstrapDecisions.Add(int64(n))
+		ac.metrics.Admits.Add(int64(n))
+		return dst
+	}
+	h := ac.health.Load()
+	var admits, rejects, nbad int64
+	for i, d := range dst {
+		if s.bad[i] {
+			nbad++
+			rejects++
+			continue
+		}
+		ac.metrics.Margin.Observe(d.Margin)
+		if h != nil {
+			h.observeMargin(d.Margin)
+		}
+		if d.Admit {
+			admits++
+		} else {
+			rejects++
+		}
+	}
+	if nbad > 0 {
+		ac.metrics.BadFeatures.Add(nbad)
+	}
+	ac.metrics.Admits.Add(admits)
+	ac.metrics.Rejects.Add(rejects)
+	return dst
+}
+
+// PeekBatch scores every arrival like DecideBatch but records nothing:
+// no counters, no margin histogram, no health samples. It exists for
+// speculative scoring — the burst-admission cascade (exboxcore's
+// AdmitBurst) may score a candidate several times under different
+// traffic-matrix assumptions and commit only one of those scores, and
+// only the committed decision may reach telemetry (via
+// RecordDecision, with the row's Bad mark). After the call, Bad(i)
+// reports whether row i was forced to reject at the feature boundary.
+// Requires a caller-owned Scratch, since the Bad marks live in it.
+func (ac *AdmittanceClassifier) PeekBatch(dst []Decision, arrivals []excr.Arrival, s *Scratch) []Decision {
+	if len(arrivals) == 0 {
+		return dst[:0]
+	}
+	return ac.scoreBatch(dst, arrivals, s)
+}
+
+// RecordDecision performs the per-decision telemetry that DecideScratch
+// would have recorded for d: the verdict counter, margin histogram and
+// health sample (or the bootstrap/bad-feature counters). bad is the
+// scratch's Bad mark for the row d came from. AdmitBurst calls it once
+// per candidate, in packet order, when the cascade commits the
+// candidate's final decision.
+func (ac *AdmittanceClassifier) RecordDecision(d Decision, bad bool) {
+	if d.Bootstrap {
+		ac.metrics.BootstrapDecisions.Inc()
+		ac.metrics.Admits.Inc()
+		return
+	}
+	if bad {
+		ac.metrics.BadFeatures.Inc()
+		ac.metrics.Rejects.Inc()
+		return
+	}
+	ac.metrics.Margin.Observe(d.Margin)
+	if h := ac.health.Load(); h != nil {
+		h.observeMargin(d.Margin)
+	}
+	if d.Admit {
+		ac.metrics.Admits.Inc()
+	} else {
+		ac.metrics.Rejects.Inc()
+	}
+}
+
+// Bad reports whether row i of this Scratch's most recent
+// PeekBatch/DecideBatch was rejected at the feature boundary (a
+// non-finite feature row, or a NaN margin from the model). Valid until
+// the Scratch's next batch call.
+func (s *Scratch) Bad(i int) bool { return s.bad[i] }
+
+// scoreBatch is the scoring core of DecideBatch and PeekBatch: extract
+// features into the scratch slab, score the whole batch against one
+// model snapshot, and write the decisions — recording no telemetry.
+// s.bad[i] marks rows forced to reject at the feature boundary
+// (including NaN margins). Caller guarantees n > 0 and s != nil.
+func (ac *AdmittanceClassifier) scoreBatch(dst []Decision, arrivals []excr.Arrival, s *Scratch) []Decision {
+	n := len(arrivals)
+	if cap(dst) < n {
+		dst = make([]Decision, n)
+	}
+	dst = dst[:n]
+	st := ac.state.Load()
+	if cap(s.bad) < n {
+		s.bad = make([]bool, n)
+	}
+	bad := s.bad[:n]
+	if st.bootstrap || st.model == nil {
+		for i := range dst {
+			dst[i] = Decision{Admit: true, Bootstrap: true}
+			bad[i] = false
+		}
+		return dst
 	}
 	fd := excr.FeatureDim(ac.space)
 	if cap(s.slab) < n*fd {
@@ -763,17 +906,11 @@ func (ac *AdmittanceClassifier) DecideBatch(dst []Decision, arrivals []excr.Arri
 		s.rows = make([][]float64, n)
 	}
 	rows := s.rows[:n]
-	if cap(s.bad) < n {
-		s.bad = make([]bool, n)
-	}
-	bad := s.bad[:n]
-	var nbad int64
 	for i, a := range arrivals {
 		rows[i] = a.FeaturesInto(s.slab[i*fd : i*fd : (i+1)*fd])
 		if bad[i] = !mathx.AllFinite(rows[i]); bad[i] {
 			// Zero the row so the slab pass stays finite; the verdict
 			// for this row is forced to reject below.
-			nbad++
 			for j := range rows[i] {
 				rows[i][j] = 0
 			}
@@ -797,33 +934,14 @@ func (ac *AdmittanceClassifier) DecideBatch(dst []Decision, arrivals []excr.Arri
 			scores[i] = st.model.Decision(row)
 		}
 	}
-	h := ac.health.Load()
-	var admits, rejects int64
 	for i, margin := range scores {
 		if bad[i] || margin != margin {
-			if !bad[i] {
-				nbad++ // NaN margin from a finite row
-			}
-			rejects++
+			bad[i] = true // NaN margin from a finite row counts as bad
 			dst[i] = Decision{Model: st.version}
 			continue
 		}
-		ac.metrics.Margin.Observe(margin)
-		if h != nil {
-			h.observeMargin(margin)
-		}
-		if margin >= 0 {
-			admits++
-		} else {
-			rejects++
-		}
 		dst[i] = Decision{Admit: margin >= 0, Margin: margin, Depth: depthOf(margin, st.calibration), Model: st.version}
 	}
-	if nbad > 0 {
-		ac.metrics.BadFeatures.Add(nbad)
-	}
-	ac.metrics.Admits.Add(admits)
-	ac.metrics.Rejects.Add(rejects)
 	return dst
 }
 

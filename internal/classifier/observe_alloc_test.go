@@ -1,0 +1,59 @@
+package classifier
+
+import (
+	"testing"
+
+	"exbox/internal/excr"
+)
+
+// TestAppendSampleKeyMatchesSampleKey pins appendSampleKey to the
+// fmt-based sampleKey byte for byte: the observation path's index
+// probes go through the append form, so any drift between the two
+// would silently split the replace-repeated policy into two key
+// spaces.
+func TestAppendSampleKeyMatchesSampleKey(t *testing.T) {
+	var buf []byte
+	for n := 0; n < 40; n++ {
+		a := webArrival(n)
+		a.Class = excr.AppClass(n % excr.DefaultSpace.Classes)
+		a.Level = excr.SNRLevel(n % excr.DefaultSpace.Levels)
+		a.Matrix = a.Matrix.Inc(excr.Streaming, 0)
+		want := sampleKey(a)
+		buf = appendSampleKey(buf[:0], a)
+		if string(buf) != want {
+			t.Fatalf("arrival %d: appendSampleKey %q, sampleKey %q", n, buf, want)
+		}
+	}
+}
+
+// TestObserveSteadyStateAllocs locks in the allocation contract of the
+// steady-state feedback path: once a tuple's key is in the index, a
+// repeat observation is a replacement hit — key built in the reusable
+// buffer, map probed through the no-alloc conversion, sample slot
+// overwritten in place — and with DeferRetrain the phase machinery
+// only flips a pending bit. Zero allocations, or the per-expiry
+// feedback burst starts taxing the collector.
+func TestObserveSteadyStateAllocs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DeferRetrain = true
+	if !cfg.ReplaceRepeated {
+		t.Fatal("default config lost ReplaceRepeated; the steady-state path depends on it")
+	}
+	ac := New(excr.DefaultSpace, cfg)
+	s := excr.Sample{Arrival: webArrival(3), Label: 1}
+	ac.Observe(s) // first sight inserts the key
+	if got := testing.AllocsPerRun(500, func() { ac.Observe(s) }); got != 0 {
+		t.Errorf("steady-state Observe: %v allocs/op, want 0", got)
+	}
+
+	// The batched entry point shares observeLocked, so a warmed burst
+	// of replacement hits must stay allocation-free too.
+	burst := make([]excr.Sample, 8)
+	for i := range burst {
+		burst[i] = s
+	}
+	ac.ObserveBatch(burst)
+	if got := testing.AllocsPerRun(200, func() { ac.ObserveBatch(burst) }); got != 0 {
+		t.Errorf("steady-state ObserveBatch: %v allocs/op, want 0", got)
+	}
+}

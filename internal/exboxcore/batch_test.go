@@ -1,0 +1,384 @@
+package exboxcore
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"exbox/internal/classifier"
+	"exbox/internal/excr"
+	"exbox/internal/mathx"
+	"exbox/internal/obs"
+	"exbox/internal/traffic"
+)
+
+// twinMiddlebox builds one instrumented, deterministically trained
+// middlebox; calling it twice with the same seed yields bit-identical
+// models, so the per-packet and burst paths can be compared on
+// separate instances without sharing any telemetry state.
+func twinMiddlebox(t *testing.T, seed int64) (*Middlebox, *obs.Registry) {
+	t.Helper()
+	mb := New(excr.DefaultSpace, Discontinue)
+	reg := obs.NewRegistry()
+	mb.Instrument(reg, 1024)
+	if _, err := mb.AddCell("ap", classifier.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	trainCell(t, mb, "ap", wifiOracle(), seed)
+	return mb, reg
+}
+
+// burstPlan cuts n candidates into bursts of cycling sizes, returning
+// the boundary offsets [0, s1, s1+s2, ..., n].
+func burstPlan(n int) []int {
+	sizes := []int{1, 3, 8, 17, 32}
+	bounds := []int{0}
+	for i := 0; bounds[len(bounds)-1] < n; i++ {
+		next := bounds[len(bounds)-1] + sizes[i%len(sizes)]
+		if next > n {
+			next = n
+		}
+		bounds = append(bounds, next)
+	}
+	return bounds
+}
+
+// stripTimed drops the wall-clock-dependent registry lines (latency
+// and fit-duration histograms) so the rest of the telemetry — verdict
+// and margin counters, histogram bucket counts, training-size gauges —
+// can be compared exactly across the two paths.
+func stripTimed(s string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, "seconds") {
+			continue
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestAdmitBurstMatchesPerPacket is the burst datapath's determinism
+// pin: the same candidate sequence driven per packet (each decision
+// conditioning on the matrix left by the previous one) and driven
+// through AdmitBurst in mixed-size bursts must produce bit-identical
+// outcomes, identical audit-ring records modulo timestamps, and
+// identical non-timing telemetry.
+func TestAdmitBurstMatchesPerPacket(t *testing.T) {
+	mbA, regA := twinMiddlebox(t, 7)
+	mbB, regB := twinMiddlebox(t, 7)
+	space := excr.DefaultSpace
+
+	const n = 150
+	cands := make([]BurstCandidate, n)
+	for i := range cands {
+		cands[i] = BurstCandidate{Class: excr.AppClass(i % space.Classes), Level: 0}
+	}
+	bounds := burstPlan(n)
+
+	// decay drains the matrix at burst boundaries (flows expiring), so
+	// the load hovers around the region boundary and the verdict
+	// sequence alternates — the cascade's multi-pass case.
+	decay := func(counts []int) {
+		for i := range counts {
+			counts[i] = counts[i] * 3 / 4
+		}
+	}
+
+	// Per-packet reference on middlebox A.
+	perPkt := make([]Outcome, 0, n)
+	countsA := make([]int, space.Dim())
+	var s classifier.Scratch
+	for bi := 1; bi < len(bounds); bi++ {
+		for g := bounds[bi-1]; g < bounds[bi]; g++ {
+			c := cands[g]
+			out, err := mbA.AdmitWith("ap", excr.Arrival{
+				Matrix: excr.MatrixFromCounts(space, countsA), Class: c.Class, Level: c.Level,
+			}, &s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			perPkt = append(perPkt, out)
+			if out.Verdict == Admit {
+				countsA[space.CellIndex(c.Class, c.Level)]++
+			}
+		}
+		decay(countsA)
+	}
+
+	// Burst path on middlebox B.
+	burst := make([]Outcome, 0, n)
+	countsB := make([]int, space.Dim())
+	var bs BurstScratch
+	var dst []Outcome
+	for bi := 1; bi < len(bounds); bi++ {
+		lo, hi := bounds[bi-1], bounds[bi]
+		var err error
+		dst, err = mbB.AdmitBurst("ap", excr.MatrixFromCounts(space, countsB), cands[lo:hi], dst, &bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, out := range dst {
+			burst = append(burst, out)
+			if out.Verdict == Admit {
+				c := cands[lo+k]
+				countsB[space.CellIndex(c.Class, c.Level)]++
+			}
+		}
+		decay(countsB)
+	}
+
+	if len(perPkt) != len(burst) {
+		t.Fatalf("outcome counts differ: %d vs %d", len(perPkt), len(burst))
+	}
+	admits, rejects := 0, 0
+	for i := range perPkt {
+		if perPkt[i] != burst[i] {
+			t.Fatalf("outcome %d diverged:\nper-packet %+v\nburst      %+v", i, perPkt[i], burst[i])
+		}
+		if perPkt[i].Verdict == Admit {
+			admits++
+		} else {
+			rejects++
+		}
+	}
+	// The sequence must exercise both verdicts, or the cascade's
+	// breaker logic was never on trial.
+	if admits == 0 || rejects == 0 {
+		t.Fatalf("degenerate workload: %d admits, %d rejects", admits, rejects)
+	}
+
+	// Audit rings: same records in the same order, modulo timestamps.
+	ringA, ringB := regA.Ring().Snapshot(), regB.Ring().Snapshot()
+	if len(ringA) != len(ringB) {
+		t.Fatalf("ring lengths differ: %d vs %d", len(ringA), len(ringB))
+	}
+	for i := range ringA {
+		a, b := ringA[i], ringB[i]
+		a.UnixNanos, b.UnixNanos = 0, 0
+		if a != b {
+			t.Fatalf("ring record %d diverged:\nper-packet %+v\nburst      %+v", i, a, b)
+		}
+	}
+
+	// Every non-timing metric line — verdict counters, margin buckets,
+	// classifier counters, health gauges — must agree exactly.
+	if a, b := stripTimed(regA.String()), stripTimed(regB.String()); a != b {
+		t.Fatalf("telemetry diverged:\nper-packet:\n%s\nburst:\n%s", a, b)
+	}
+}
+
+// TestAdmitBurstBootstrap covers the one-pass fast path: a
+// bootstrapping cell admits everything, so the whole burst commits on
+// the first assume-admit pass with Bootstrap flagged on every outcome.
+func TestAdmitBurstBootstrap(t *testing.T) {
+	mb := New(excr.DefaultSpace, Discontinue)
+	reg := obs.NewRegistry()
+	mb.Instrument(reg, 64)
+	if _, err := mb.AddCell("ap", classifier.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	cands := make([]BurstCandidate, 10)
+	for i := range cands {
+		cands[i] = BurstCandidate{Class: excr.AppClass(i % 3)}
+	}
+	out, err := mb.AdmitBurst("ap", excr.NewMatrix(excr.DefaultSpace), cands, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range out {
+		if o.Verdict != Admit || !o.Decision.Bootstrap {
+			t.Fatalf("outcome %d: %+v, want bootstrap admit", i, o)
+		}
+	}
+	if got := mb.Cell("ap").admitN.Value(); got != 10 {
+		t.Fatalf("admit counter %d, want 10", got)
+	}
+	if got := reg.Ring().Len(); got != 10 {
+		t.Fatalf("ring has %d records, want 10", got)
+	}
+}
+
+func TestAdmitBurstUnknownCell(t *testing.T) {
+	mb := New(excr.DefaultSpace, Discontinue)
+	if _, err := mb.AdmitBurst("ghost", excr.NewMatrix(excr.DefaultSpace), []BurstCandidate{{}}, nil, nil); !errors.Is(err, ErrUnknownCell) {
+		t.Fatalf("err = %v, want ErrUnknownCell", err)
+	}
+	if _, err := mb.AdmitBatch("ghost", []excr.Arrival{{Matrix: excr.NewMatrix(excr.DefaultSpace)}}, nil, nil); !errors.Is(err, ErrUnknownCell) {
+		t.Fatalf("err = %v, want ErrUnknownCell", err)
+	}
+	if err := mb.ObserveBatch("ghost", []excr.Sample{{Arrival: excr.Arrival{Matrix: excr.NewMatrix(excr.DefaultSpace)}, Label: 1}}); !errors.Is(err, ErrUnknownCell) {
+		t.Fatalf("err = %v, want ErrUnknownCell", err)
+	}
+}
+
+// TestAdmitBatchMatchesAdmit pins the independent-arrivals batch: the
+// same arrivals decided one by one and in one AdmitBatch call must
+// agree bit for bit, including the audit trail.
+func TestAdmitBatchMatchesAdmit(t *testing.T) {
+	mbA, regA := twinMiddlebox(t, 11)
+	mbB, regB := twinMiddlebox(t, 11)
+	space := excr.DefaultSpace
+
+	arrivals := make([]excr.Arrival, 40)
+	for i := range arrivals {
+		m := excr.NewMatrix(space).
+			Set(excr.Web, 0, i%12).Set(excr.Streaming, 0, (i*7)%20).Set(excr.Conferencing, 0, i%9)
+		arrivals[i] = excr.Arrival{Matrix: m, Class: excr.AppClass(i % space.Classes)}
+	}
+
+	var s classifier.Scratch
+	perOne := make([]Outcome, len(arrivals))
+	for i, a := range arrivals {
+		out, err := mbA.AdmitWith("ap", a, &s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perOne[i] = out
+	}
+	batch, err := mbB.AdmitBatch("ap", arrivals, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range perOne {
+		if perOne[i] != batch[i] {
+			t.Fatalf("outcome %d diverged:\nper-one %+v\nbatch   %+v", i, perOne[i], batch[i])
+		}
+	}
+	ringA, ringB := regA.Ring().Snapshot(), regB.Ring().Snapshot()
+	if len(ringA) != len(ringB) {
+		t.Fatalf("ring lengths differ: %d vs %d", len(ringA), len(ringB))
+	}
+	for i := range ringA {
+		a, b := ringA[i], ringB[i]
+		a.UnixNanos, b.UnixNanos = 0, 0
+		if a != b {
+			t.Fatalf("ring record %d diverged: %+v vs %+v", i, a, b)
+		}
+	}
+	if a, b := stripTimed(regA.String()), stripTimed(regB.String()); a != b {
+		t.Fatalf("telemetry diverged:\nper-one:\n%s\nbatch:\n%s", a, b)
+	}
+}
+
+// TestObserveBatchMatchesObserve drives the same labeled feed through
+// per-sample Observe and through ObserveBatch bursts — across the
+// bootstrap graduation and subsequent refits — and requires the
+// resulting models to decide identically.
+func TestObserveBatchMatchesObserve(t *testing.T) {
+	build := func() *Middlebox {
+		mb := New(excr.DefaultSpace, Discontinue)
+		if _, err := mb.AddCell("ap", classifier.DefaultConfig()); err != nil {
+			t.Fatal(err)
+		}
+		return mb
+	}
+	mbA, mbB := build(), build()
+
+	o := wifiOracle()
+	samples := make([]excr.Sample, 0, 200)
+	for i := 0; i < 200; i++ {
+		m := excr.NewMatrix(excr.DefaultSpace).
+			Set(excr.Web, 0, i%15).Set(excr.Streaming, 0, (i*3)%22).Set(excr.Conferencing, 0, (i*5)%11)
+		a := excr.Arrival{Matrix: m, Class: excr.AppClass(i % 3)}
+		samples = append(samples, excr.Sample{Arrival: a, Label: o.Label(a)})
+	}
+
+	for _, s := range samples {
+		if err := mbA.Observe("ap", s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bounds := burstPlan(len(samples))
+	for bi := 1; bi < len(bounds); bi++ {
+		if err := mbB.ObserveBatch("ap", samples[bounds[bi-1]:bounds[bi]]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ca, cb := mbA.Cell("ap").Classifier, mbB.Cell("ap").Classifier
+	if ca.Bootstrapping() != cb.Bootstrapping() {
+		t.Fatalf("phase diverged: %v vs %v", ca.Bootstrapping(), cb.Bootstrapping())
+	}
+	if ca.ModelVersion() != cb.ModelVersion() {
+		t.Fatalf("model version diverged: %d vs %d", ca.ModelVersion(), cb.ModelVersion())
+	}
+	var s classifier.Scratch
+	for i := 0; i < 60; i++ {
+		m := excr.NewMatrix(excr.DefaultSpace).
+			Set(excr.Web, 0, i%18).Set(excr.Streaming, 0, (i*7)%18).Set(excr.Conferencing, 0, i%7)
+		a := excr.Arrival{Matrix: m, Class: excr.AppClass(i % 3)}
+		da := ca.DecideScratch(a, &s)
+		db := cb.DecideScratch(a, &s)
+		if da != db {
+			t.Fatalf("probe %d: decisions diverged %+v vs %+v", i, da, db)
+		}
+	}
+}
+
+// TestAdmitWithZeroAlloc pins the single-packet admission path on an
+// uninstrumented middlebox: with a caller-owned scratch, AdmitWith
+// must not allocate. The batch paths ride on the same scorer, so this
+// is the floor the burst pipeline amortizes from.
+func TestAdmitWithZeroAlloc(t *testing.T) {
+	mb := New(excr.DefaultSpace, Discontinue)
+	mb.AddCell("ap", classifier.DefaultConfig())
+	trainCell(t, mb, "ap", wifiOracle(), 7)
+	a := lightArrival()
+	var s classifier.Scratch
+	if _, err := mb.AdmitWith("ap", a, &s); err != nil {
+		t.Fatal(err)
+	}
+	var sink float64
+	if got := testing.AllocsPerRun(200, func() {
+		out, _ := mb.AdmitWith("ap", a, &s)
+		sink += out.Decision.Margin
+	}); got != 0 {
+		t.Errorf("AdmitWith: %v allocs/op, want 0", got)
+	}
+	_ = sink
+}
+
+// TestAdmitObserveMixedSteadyStateAllocs pins the mixed datapath the
+// ingest workers actually run — admissions interleaved with feedback
+// observations whose tuples recur (replacement hits) — at zero
+// allocations per operation once warmed. This is the AllocsPerRun twin
+// of BenchmarkAdmitObserveMixed's CI allocs gate.
+func TestAdmitObserveMixedSteadyStateAllocs(t *testing.T) {
+	mb := New(excr.DefaultSpace, Discontinue)
+	cfg := classifier.DefaultConfig()
+	// Deferred retraining keeps fits off the measured path, as in the
+	// live gateway; graduation is forced explicitly.
+	cfg.DeferRetrain = true
+	mb.AddCell("ap", cfg)
+	o := wifiOracle()
+	rng := mathx.NewRand(7)
+	for _, e := range traffic.Arrivals(traffic.Random(rng, 25, 20, 0, excr.DefaultSpace), nil) {
+		if err := mb.Observe("ap", excr.Sample{Arrival: e.Arrival, Label: o.Label(e.Arrival)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mb.Cell("ap").Classifier.ForceOnline(); err != nil {
+		t.Fatal(err)
+	}
+	a := lightArrival()
+	s := excr.Sample{Arrival: a, Label: 1}
+	var sc classifier.Scratch
+	mb.Observe("ap", s) // insert the key once
+	mb.AdmitWith("ap", a, &sc)
+	var sink float64
+	i := 0
+	if got := testing.AllocsPerRun(320, func() {
+		if i%16 == 15 {
+			mb.Observe("ap", s)
+		} else {
+			out, _ := mb.AdmitWith("ap", a, &sc)
+			sink += out.Decision.Margin
+		}
+		i++
+	}); got != 0 {
+		t.Errorf("mixed Observe/Admit steady state: %v allocs/op, want 0", got)
+	}
+	_ = sink
+}

@@ -225,6 +225,20 @@ func (m Matrix) Key() string {
 	return b.String()
 }
 
+// AppendKey appends the Key encoding to dst and returns it,
+// byte-identical to Key. Callers that build map-lookup keys in a
+// reusable buffer (the classifier's sample keys) use it to keep the
+// steady-state observation path allocation-free.
+func (m Matrix) AppendKey(dst []byte) []byte {
+	for i, v := range m.counts {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = strconv.AppendInt(dst, int64(v), 10)
+	}
+	return dst
+}
+
 // Counts returns a copy of the flat cell counts in class-major order.
 func (m Matrix) Counts() []int {
 	out := make([]int, len(m.counts))

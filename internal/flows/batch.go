@@ -1,0 +1,110 @@
+package flows
+
+// This file is the flow table's burst entry point. The per-packet path
+// (ShardedTable.Do) pays one shard-lock handshake and one key hash per
+// packet; an ingest burst of B packets grouped by shard pays the hash
+// once per packet (or zero, when the read loop pre-hashed at publish
+// time) and each touched shard's lock exactly once. Grouping is a
+// stable two-pass counting sort over the shard indices — no
+// comparison sort, no allocation once the scratch has warmed up.
+//
+// Ordering contract: visits are grouped by shard and walk shards in
+// slot order, so cross-shard arrival interleaving is not preserved —
+// but relative order WITHIN a shard is, and a flow's packets all map
+// to one shard (the hash is direction-canonical), so every per-flow
+// observable (head window, byte counts, LastSeen monotonicity,
+// classification trigger point) is identical to calling Do per packet
+// in arrival order.
+
+// BatchScratch is caller-owned workspace for DoBatch/ObserveBatch: the
+// per-packet shard slots, the per-shard counters, and the grouped
+// visit order. One per worker; grown on demand and reused across
+// bursts. Must not be shared concurrently.
+type BatchScratch struct {
+	shard []int32 // per-packet shard slot
+	count []int32 // per-shard counter, then run-end offsets
+	order []int32 // packet indices, grouped by shard (stable)
+}
+
+// DoBatch runs visit(i, t) for every packet index i in [0, n), holding
+// the owning shard's lock and taking each distinct shard's lock once
+// per call. shardOf(i) must return ShardIndex of packet i's key — the
+// ingest ring stores the slot computed at publish time, so the hash is
+// off the drain path entirely. A nil sc allocates locally (convenience
+// for cold callers); workers pass their own.
+func (st *ShardedTable) DoBatch(sc *BatchScratch, n int, shardOf func(int) int, visit func(int, *Table)) {
+	if n == 0 {
+		return
+	}
+	if sc == nil {
+		sc = &BatchScratch{}
+	}
+	ns := len(st.shards)
+	if cap(sc.shard) < n {
+		sc.shard = make([]int32, n)
+		sc.order = make([]int32, n)
+	}
+	if cap(sc.count) < ns {
+		sc.count = make([]int32, ns)
+	}
+	shard, order, count := sc.shard[:n], sc.order[:n], sc.count[:ns]
+	for s := range count {
+		count[s] = 0
+	}
+	for i := 0; i < n; i++ {
+		s := shardOf(i)
+		shard[i] = int32(s)
+		count[s]++
+	}
+	// Prefix sums turn counts into run-start offsets; the stable
+	// scatter advances them, leaving count[s] at the run's end.
+	off := int32(0)
+	for s := range count {
+		c := count[s]
+		count[s] = off
+		off += c
+	}
+	for i := 0; i < n; i++ {
+		s := shard[i]
+		order[count[s]] = int32(i)
+		count[s]++
+	}
+	start := int32(0)
+	for s := 0; s < ns; s++ {
+		end := count[s]
+		if end == start {
+			continue
+		}
+		sh := &st.shards[s]
+		sh.mu.Lock()
+		for _, i := range order[start:end] {
+			visit(int(i), sh.t)
+		}
+		sh.mu.Unlock()
+		start = end
+	}
+}
+
+// PacketObs is one packet of an ingest burst: the directed flow key
+// and the per-packet metadata to account.
+type PacketObs struct {
+	Key  Key
+	Meta PacketMeta
+}
+
+// ObserveBatch folds a burst of packets into the table, taking each
+// touched shard's lock once, and calls visit for every packet with the
+// live flow record while still holding the owning shard's lock — the
+// window where callers read or set flow decision state, exactly as
+// inside Do. Flow pointers must not escape visit. See the file comment
+// for the ordering contract. visit may be nil.
+func (st *ShardedTable) ObserveBatch(sc *BatchScratch, pkts []PacketObs, visit func(i int, t *Table, f *Flow)) {
+	st.DoBatch(sc, len(pkts),
+		func(i int) int { return st.ShardIndex(pkts[i].Key) },
+		func(i int, t *Table) {
+			f := t.Observe(pkts[i].Key, pkts[i].Meta)
+			if visit != nil {
+				visit(i, t, f)
+			}
+		})
+}

@@ -1,0 +1,172 @@
+package flows
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"exbox/internal/excr"
+)
+
+func batchSpace() excr.Space { return excr.Space{Classes: 3, Levels: 2} }
+
+// refShardIndex is the pre-refactor hash/fnv implementation, kept here
+// verbatim to pin ShardIndex's inline FNV-1a to it: flow→shard
+// placement must not move.
+func refShardIndex(st *ShardedTable, k Key) int {
+	c := canonical(k)
+	h := fnv.New32a()
+	h.Write([]byte(c.Src))
+	h.Write([]byte{0, byte(c.SrcPort >> 8), byte(c.SrcPort)})
+	h.Write([]byte(c.Dst))
+	h.Write([]byte{0, byte(c.DstPort >> 8), byte(c.DstPort), byte(c.Proto)})
+	return int(h.Sum32()) % len(st.shards)
+}
+
+func randomKey(rng *rand.Rand) Key {
+	return Key{
+		Src:     fmt.Sprintf("10.0.%d.%d", rng.Intn(8), rng.Intn(32)),
+		Dst:     fmt.Sprintf("192.168.%d.%d", rng.Intn(4), rng.Intn(16)),
+		SrcPort: uint16(1024 + rng.Intn(60000)),
+		DstPort: uint16(rng.Intn(1024)),
+		Proto:   Proto([]Proto{TCP, UDP}[rng.Intn(2)]),
+	}
+}
+
+func TestShardIndexMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, shards := range []int{1, 7, 32, 256} {
+		st := NewShardedTable(shards, 4, 60, batchSpace())
+		for i := 0; i < 500; i++ {
+			k := randomKey(rng)
+			if got, want := st.ShardIndex(k), refShardIndex(st, k); got != want {
+				t.Fatalf("shards=%d key=%v: ShardIndex %d, reference %d", shards, k, got, want)
+			}
+			// Direction independence must survive the refactor too.
+			if got, rev := st.ShardIndex(k), st.ShardIndex(k.Reverse()); got != rev {
+				t.Fatalf("key %v: shard %d but reverse hashes to %d", k, got, rev)
+			}
+		}
+	}
+}
+
+// TestObserveBatchMatchesPerPacket drives the same packet sequence
+// through per-packet Do+Observe and through ObserveBatch bursts, and
+// checks every per-flow observable ends up identical.
+func TestObserveBatchMatchesPerPacket(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	keys := make([]Key, 40)
+	for i := range keys {
+		keys[i] = randomKey(rng)
+	}
+	pkts := make([]PacketObs, 600)
+	for i := range pkts {
+		pkts[i] = PacketObs{
+			Key:  keys[rng.Intn(len(keys))],
+			Meta: PacketMeta{Time: float64(i) * 0.01, Bytes: 40 + rng.Intn(1400), Up: rng.Intn(2) == 0},
+		}
+	}
+
+	perPacket := NewShardedTable(16, 6, 60, batchSpace())
+	for _, p := range pkts {
+		perPacket.Do(p.Key, func(tb *Table) { tb.Observe(p.Key, p.Meta) })
+	}
+
+	batched := NewShardedTable(16, 6, 60, batchSpace())
+	var sc BatchScratch
+	visited := 0
+	for start := 0; start < len(pkts); start += 64 {
+		end := start + 64
+		if end > len(pkts) {
+			end = len(pkts)
+		}
+		batched.ObserveBatch(&sc, pkts[start:end], func(i int, tb *Table, f *Flow) {
+			visited++
+			if f == nil {
+				t.Fatal("nil flow in visit")
+			}
+		})
+	}
+	if visited != len(pkts) {
+		t.Fatalf("visited %d packets, want %d", visited, len(pkts))
+	}
+
+	a, b := perPacket.Active(), batched.Active()
+	if len(a) != len(b) {
+		t.Fatalf("flow counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		fa, fb := a[i], b[i]
+		if fa.Key != fb.Key || fa.Packets != fb.Packets || fa.Bytes != fb.Bytes ||
+			fa.FirstSeen != fb.FirstSeen || fa.LastSeen != fb.LastSeen || len(fa.Head) != len(fb.Head) {
+			t.Fatalf("flow %v diverged: per-packet %+v vs batched %+v", fa.Key, fa, fb)
+		}
+		for j := range fa.Head {
+			if fa.Head[j] != fb.Head[j] {
+				t.Fatalf("flow %v head[%d] diverged", fa.Key, j)
+			}
+		}
+	}
+}
+
+// TestDoBatchLockOncePerShard counts lock acquisitions indirectly: the
+// visit callback records the shard slot sequence, which must be a set
+// of contiguous runs — one per touched shard — in slot order.
+func TestDoBatchLockOncePerShard(t *testing.T) {
+	st := NewShardedTable(8, 4, 60, batchSpace())
+	rng := rand.New(rand.NewSource(5))
+	pkts := make([]PacketObs, 100)
+	for i := range pkts {
+		pkts[i] = PacketObs{Key: randomKey(rng), Meta: PacketMeta{Time: float64(i)}}
+	}
+	var slots []int
+	st.DoBatch(nil, len(pkts),
+		func(i int) int { return st.ShardIndex(pkts[i].Key) },
+		func(i int, tb *Table) { slots = append(slots, st.ShardIndex(pkts[i].Key)) })
+	if len(slots) != len(pkts) {
+		t.Fatalf("visited %d, want %d", len(slots), len(pkts))
+	}
+	for i := 1; i < len(slots); i++ {
+		if slots[i] < slots[i-1] {
+			t.Fatalf("shard slot sequence not grouped in slot order at %d: %v", i, slots[max(0, i-3):i+1])
+		}
+	}
+}
+
+// TestObserveBatchConcurrent is a -race smoke: several workers drive
+// disjoint bursts through ObserveBatch while a sweeper walks the
+// table, mirroring the gateway's concurrency shape.
+func TestObserveBatchConcurrent(t *testing.T) {
+	st := NewShardedTable(8, 4, 60, batchSpace())
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			var sc BatchScratch
+			pkts := make([]PacketObs, 32)
+			for round := 0; round < 50; round++ {
+				for i := range pkts {
+					pkts[i] = PacketObs{Key: randomKey(rng), Meta: PacketMeta{Time: float64(round)}}
+				}
+				st.ObserveBatch(&sc, pkts, func(i int, tb *Table, f *Flow) { _ = f.Packets })
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case <-done:
+			if st.Len() == 0 {
+				t.Fatal("no flows tracked")
+			}
+			return
+		default:
+			st.Sweep(func(tb *Table) { _ = tb.Len() })
+		}
+	}
+}

@@ -2,7 +2,6 @@ package flows
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -99,14 +98,36 @@ func canonical(k Key) Key {
 	return r
 }
 
-func (st *ShardedTable) shardFor(k Key) *tableShard {
+// ShardIndex returns the shard slot owning k — an inline FNV-1a over
+// the canonical key, allocation-free, producing exactly the hash the
+// original hash/fnv implementation did (pinned by a test). It is
+// exported so the ingest read loop can hash each packet once at
+// publish time and hand the precomputed slot to DoBatch.
+func (st *ShardedTable) ShardIndex(k Key) int {
 	c := canonical(k)
-	h := fnv.New32a()
-	h.Write([]byte(c.Src))
-	h.Write([]byte{0, byte(c.SrcPort >> 8), byte(c.SrcPort)})
-	h.Write([]byte(c.Dst))
-	h.Write([]byte{0, byte(c.DstPort >> 8), byte(c.DstPort), byte(c.Proto)})
-	return &st.shards[int(h.Sum32())%len(st.shards)]
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(c.Src); i++ {
+		h = (h ^ uint32(c.Src[i])) * prime32
+	}
+	h = (h ^ 0) * prime32
+	h = (h ^ uint32(byte(c.SrcPort>>8))) * prime32
+	h = (h ^ uint32(byte(c.SrcPort))) * prime32
+	for i := 0; i < len(c.Dst); i++ {
+		h = (h ^ uint32(c.Dst[i])) * prime32
+	}
+	h = (h ^ 0) * prime32
+	h = (h ^ uint32(byte(c.DstPort>>8))) * prime32
+	h = (h ^ uint32(byte(c.DstPort))) * prime32
+	h = (h ^ uint32(byte(c.Proto))) * prime32
+	return int(h) % len(st.shards)
+}
+
+func (st *ShardedTable) shardFor(k Key) *tableShard {
+	return &st.shards[st.ShardIndex(k)]
 }
 
 // Do runs fn on the shard owning k while holding that shard's lock.

@@ -1,0 +1,43 @@
+package obs
+
+// Ingest telemetry: the per-worker MPSC rings between the gateway's
+// read loop and its packet workers are invisible to every other layer,
+// so their health signals — occupancy, overflow drops, and how large
+// the drained bursts actually are — get their own small metric bundle
+// here. One IngestMetrics covers all workers: drops and burst sizes
+// are already per-event atomics, and depth is read across the rings at
+// scrape time, so nothing on the publish or drain path ever touches a
+// lock.
+
+// IngestMetrics is the ring datapath's metric bundle. Workers count
+// every overflow drop in Drops and observe each drained burst's size
+// in BurstSize; the registry scrapes total ring depth through the
+// gauge function passed to NewIngestMetrics.
+type IngestMetrics struct {
+	// Drops counts packets the read loop could not publish because the
+	// target worker's ring was full (exbox_ring_drops_total).
+	Drops *Counter
+	// BurstSize is the log-bucketed histogram of drained burst sizes
+	// (exbox_burst_size): buckets 1, 2, 4, ... 256, so the operator
+	// can tell a trickle (bursts of 1 — the ring never fills, batching
+	// is idle) from saturation (bursts pinned at the -burst cap).
+	BurstSize *Histogram
+}
+
+// NewIngestMetrics registers the ingest ring telemetry: the
+// exbox_ring_depth gauge (the summed occupancy depth() reports at
+// scrape time), the exbox_ring_drops_total counter and the
+// exbox_burst_size histogram. depth may be nil when the caller has no
+// rings to report (the gauge then reads 0).
+func NewIngestMetrics(reg *Registry, depth func() int64) *IngestMetrics {
+	reg.GaugeFunc("exbox_ring_depth", func() float64 {
+		if depth == nil {
+			return 0
+		}
+		return float64(depth())
+	})
+	return &IngestMetrics{
+		Drops:     reg.Counter("exbox_ring_drops_total"),
+		BurstSize: reg.Histogram("exbox_burst_size", ExpBuckets(1, 2, 9)),
+	}
+}

@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIngestMetrics(t *testing.T) {
+	reg := NewRegistry()
+	depth := int64(0)
+	im := NewIngestMetrics(reg, func() int64 { return depth })
+
+	im.Drops.Add(3)
+	for _, n := range []float64{1, 1, 4, 64, 300} {
+		im.BurstSize.Observe(n)
+	}
+	depth = 17
+
+	out := reg.String()
+	for _, want := range []string{
+		"exbox_ring_depth 17",
+		"exbox_ring_drops_total 3",
+		"exbox_burst_size",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics page missing %q:\n%s", want, out)
+		}
+	}
+	if got := im.BurstSize.Count(); got != 5 {
+		t.Fatalf("burst histogram count %d, want 5", got)
+	}
+}
+
+func TestIngestMetricsNilDepth(t *testing.T) {
+	reg := NewRegistry()
+	NewIngestMetrics(reg, nil)
+	if !strings.Contains(reg.String(), "exbox_ring_depth 0") {
+		t.Fatalf("nil depth should read 0:\n%s", reg.String())
+	}
+}

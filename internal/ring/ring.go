@@ -1,0 +1,190 @@
+// Package ring provides the bounded lock-free MPSC ring buffer behind
+// the exboxd burst-ingest datapath: the socket read loop publishes
+// packet entries from any number of producer goroutines, and exactly
+// one worker drains them in bursts.
+//
+// The design is the classic Vyukov bounded queue: a power-of-two slot
+// array where every slot carries a sequence number that encodes, for
+// lock-free readers and writers, whether the slot currently holds the
+// value for the producer lap or the consumer lap. Producers claim a
+// slot with one CAS on the tail and then publish by storing the slot's
+// next sequence; the single consumer needs no CAS at all — it owns the
+// head and just waits for each slot's sequence to catch up. There is
+// no blocking anywhere: a full ring fails the push (the gateway counts
+// the drop and moves on, which is the right behavior on a datapath —
+// backpressure on a UDP ingest loop is just a slower kind of drop).
+package ring
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// slot pairs a value with its Vyukov sequence number. seq == index
+// means "free for the producer whose tail position maps here";
+// seq == index+1 means "published, waiting for the consumer";
+// after consumption the consumer stores index+capacity so the slot is
+// free again for the next lap.
+type slot[T any] struct {
+	seq atomic.Uint64
+	val T
+}
+
+// MPSC is a bounded multi-producer single-consumer queue of T with
+// power-of-two capacity. TryPush is safe from any number of
+// goroutines; Pop, Drain and the drain side of Depth assume exactly
+// one consumer goroutine. The zero value is not usable — construct
+// with New.
+type MPSC[T any] struct {
+	mask  uint64
+	slots []slot[T]
+
+	// tail is the producer cursor (next position to claim) and head
+	// the consumer cursor (next position to pop). They sit on separate
+	// cache lines so producers hammering tail don't invalidate the
+	// consumer's head line.
+	tail atomic.Uint64
+	_    [56]byte
+	head atomic.Uint64
+	_    [56]byte
+}
+
+// New returns a ring with capacity rounded up to the next power of two
+// (minimum 2). Capacity is fixed for the ring's lifetime.
+func New[T any](capacity int) *MPSC[T] {
+	if capacity < 2 {
+		capacity = 2
+	}
+	c := 1 << bits.Len(uint(capacity-1)) // next power of two
+	r := &MPSC[T]{mask: uint64(c - 1), slots: make([]slot[T], c)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// Cap returns the ring's (power-of-two) capacity.
+func (r *MPSC[T]) Cap() int { return len(r.slots) }
+
+// TryPush publishes v and reports whether it fit. It never blocks: a
+// full ring returns false immediately and the caller decides what a
+// drop means (exboxd counts it in exbox_ring_drops_total).
+func (r *MPSC[T]) TryPush(v T) bool {
+	_, ok := r.push(v)
+	return ok
+}
+
+// TryPushWake publishes v like TryPush and additionally reports
+// whether the consumer may be parked waiting for this entry: true
+// when, after the publish, the consumer's cursor already points at the
+// just-filled slot. Producers pairing the ring with a wake signal can
+// skip the signal when it is false — the consumer then has entries
+// queued ahead of this one, and whoever published the entry its cursor
+// does point at is the one responsible for waking it. (The sequencing
+// is safe: the slot's sequence is stored before the head load, both
+// are sequentially consistent atomics, so either the consumer's next
+// pop sees the publish, or this load sees the consumer's cursor parked
+// on the slot and wake comes back true. Spurious trues are possible
+// and harmless; false negatives are not possible.)
+func (r *MPSC[T]) TryPushWake(v T) (pushed, wake bool) {
+	pos, ok := r.push(v)
+	if !ok {
+		return false, false
+	}
+	return true, r.head.Load() == pos
+}
+
+// push claims a slot, publishes v and returns the claimed position.
+func (r *MPSC[T]) push(v T) (uint64, bool) {
+	pos := r.tail.Load()
+	for {
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		switch d := int64(seq - pos); {
+		case d == 0:
+			// Slot free for this position: claim it. On CAS failure
+			// another producer took pos; reload and retry.
+			if r.tail.CompareAndSwap(pos, pos+1) {
+				s.val = v
+				s.seq.Store(pos + 1)
+				return pos, true
+			}
+			pos = r.tail.Load()
+		case d < 0:
+			// The consumer hasn't freed this slot from the previous
+			// lap: the ring is full.
+			return pos, false
+		default:
+			// Another producer claimed pos but hasn't published yet,
+			// or we raced far behind; resync with the tail.
+			pos = r.tail.Load()
+		}
+	}
+}
+
+// Pop removes the oldest entry. Single consumer only.
+func (r *MPSC[T]) Pop() (v T, ok bool) {
+	pos := r.head.Load()
+	s := &r.slots[pos&r.mask]
+	seq := s.seq.Load()
+	if int64(seq-(pos+1)) < 0 {
+		// Next slot not published yet: empty (or a producer mid-claim,
+		// which for the consumer is the same thing — nothing readable).
+		return v, false
+	}
+	v = s.val
+	var zero T
+	s.val = zero // drop references so consumed payloads can be GC'd
+	s.seq.Store(pos + r.mask + 1)
+	r.head.Store(pos + 1)
+	return v, true
+}
+
+// Drain pops up to len(buf) entries into buf and returns how many it
+// moved. This is the burst entry point: one call per wakeup gives the
+// worker a batch to process with all per-burst costs amortized. Unlike
+// a loop over Pop, the consumer cursor is published once for the whole
+// batch — producers never read it for fullness (slot sequences carry
+// that), so deferring the store costs nothing but a slightly staler
+// Depth, and TryPushWake stays safe because the cursor is always
+// published before the consumer can observe an empty ring and park.
+// Single consumer only.
+func (r *MPSC[T]) Drain(buf []T) int {
+	pos := r.head.Load()
+	n := 0
+	for n < len(buf) {
+		s := &r.slots[pos&r.mask]
+		if int64(s.seq.Load()-(pos+1)) < 0 {
+			break // next slot not published: empty for the consumer
+		}
+		// Unlike Pop, the slot is not zeroed: a drained slot keeps its
+		// value until a producer's next lap overwrites it, so a ring of
+		// capacity C retains references to at most C consumed entries.
+		// That bounded retention buys back a per-slot clear (and its
+		// write barrier) on the hot path; callers queuing entries that
+		// pin large payloads should size the ring accordingly or Pop.
+		buf[n] = s.val
+		s.seq.Store(pos + r.mask + 1)
+		pos++
+		n++
+	}
+	if n > 0 {
+		r.head.Store(pos)
+	}
+	return n
+}
+
+// Depth returns a point-in-time estimate of the number of queued
+// entries. It reads both cursors without synchronizing against
+// in-flight operations, so it is only approximate — exactly what a
+// telemetry gauge needs and nothing more.
+func (r *MPSC[T]) Depth() int {
+	d := int64(r.tail.Load() - r.head.Load())
+	if d < 0 {
+		d = 0
+	}
+	if max := int64(len(r.slots)); d > max {
+		d = max
+	}
+	return int(d)
+}

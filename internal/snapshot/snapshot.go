@@ -9,7 +9,7 @@
 //
 //	offset  size  field
 //	0       4     magic "EXSN"
-//	4       2     format version (currently 1)
+//	4       2     format version (currently 2)
 //	6       8     payload length
 //	14      n     payload (version-specific field stream)
 //	14+n    4     CRC-32C (Castagnoli) over the payload
@@ -47,7 +47,8 @@ import (
 // Version is the current snapshot format version. Decode rejects
 // anything else; bumping it is how incompatible layout changes stay
 // restart-safe (an old daemon refuses a new file and cold-starts).
-const Version = 1
+// v2 appended Config.QuantizeSVs to the model field stream.
+const Version = 2
 
 // magic identifies a snapshot file.
 var magic = [4]byte{'E', 'X', 'S', 'N'}
@@ -99,6 +100,7 @@ func Encode(ps *classifier.PersistState) []byte {
 		w.bool(m.Config.RFF)
 		w.u64(uint64(m.Config.RFFDim))
 		w.f64(m.Config.PruneTol)
+		w.bool(m.Config.QuantizeSVs)
 		w.f64(m.Gamma)
 		w.u32(uint32(m.Dim))
 		w.f64s(m.ScalerMean)
@@ -233,6 +235,7 @@ func Decode(data []byte) (*classifier.PersistState, error) {
 		m.Config.RFF = r.bool()
 		m.Config.RFFDim = r.count()
 		m.Config.PruneTol = r.f64()
+		m.Config.QuantizeSVs = r.bool()
 		m.Gamma = r.f64()
 		m.Dim = int(r.u32())
 		m.ScalerMean = r.f64s()

@@ -1,0 +1,212 @@
+package svm
+
+import (
+	"math"
+	"testing"
+)
+
+// trainQuantPair fits the same data twice — once with QuantizeSVs off,
+// once on — so tests can compare the production paths of both against
+// each other and against the scalar oracle.
+func trainQuantPair(t testing.TB, n, dim int, seed int64) (exact, quant *Model) {
+	x, y := overlapData(n, dim, seed)
+	cfg := DefaultConfig()
+	cfg.Kernel = RBF
+	exact, err := Train(cfg, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.QuantizeSVs = true
+	quant, err = Train(cfg, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quant.qSlab == nil {
+		t.Fatal("QuantizeSVs set but no quantized slab built")
+	}
+	if exact.qSlab != nil {
+		t.Fatal("quantized slab built with QuantizeSVs off")
+	}
+	return exact, quant
+}
+
+// TestQuantOffBitIdentical pins that the flag changes nothing but the
+// inference representation: the solver ignores QuantizeSVs, so the
+// exact slab, coefficients and threshold of the quantized model are
+// bitwise equal to the model trained with the flag off, and scoring
+// both through the same (scalar-oracle) algorithm is bit-identical.
+// With the flag off no quantized slab exists at all, so DecisionInto
+// takes exactly the pre-quantization code path.
+func TestQuantOffBitIdentical(t *testing.T) {
+	for _, dim := range []int{2, 5, 9} {
+		exact, quant := trainQuantPair(t, 150, dim, int64(dim)*31)
+		if exact.NumSV() != quant.NumSV() {
+			t.Fatalf("dim=%d: SV count diverged %d vs %d", dim, exact.NumSV(), quant.NumSV())
+		}
+		if exact.b != quant.b {
+			t.Fatalf("dim=%d: threshold diverged", dim)
+		}
+		for i := range exact.svSlab {
+			if exact.svSlab[i] != quant.svSlab[i] {
+				t.Fatalf("dim=%d: exact slab diverged at %d", dim, i)
+			}
+		}
+		for i := range exact.svCoef {
+			if exact.svCoef[i] != quant.svCoef[i] {
+				t.Fatalf("dim=%d: coefficients diverged at %d", dim, i)
+			}
+		}
+		for i, row := range probeRows(40, dim, int64(dim)) {
+			e := exact.decisionScalar(row)
+			q := quant.decisionScalar(row)
+			if e != q {
+				t.Fatalf("dim=%d row %d: oracle %v vs quant-model oracle %v — exact representation not bit-identical", dim, i, e, q)
+			}
+		}
+	}
+}
+
+// TestQuantSignAgreement is the PR 4/6-style oracle pinning for the
+// int16 slab: on fitted models the quantized decision must agree in
+// sign with the exact decision on every probe whose exact margin isn't
+// hairline, and the value must track the exact one closely (int16
+// resolution is ~3e-5 of the per-feature range, which perturbs the
+// kernel sum far below these bounds).
+func TestQuantSignAgreement(t *testing.T) {
+	for _, dim := range []int{2, 5, 9} {
+		for seed := int64(1); seed <= 3; seed++ {
+			_, quant := trainQuantPair(t, 150, dim, seed*100+int64(dim))
+			scratch := make([]float64, dim)
+			rows := probeRows(60, dim, seed)
+			for i, row := range rows {
+				e := quant.decisionScalar(row)
+				q := quant.DecisionInto(scratch, row)
+				if math.Abs(q-e) > 1e-3*(1+math.Abs(e)) {
+					t.Errorf("dim=%d seed=%d row %d: quantized %v drifted from exact %v", dim, seed, i, q, e)
+				}
+				if math.Abs(e) > 1e-2 && math.Signbit(q) != math.Signbit(e) {
+					t.Errorf("dim=%d seed=%d row %d: sign flip — quantized %v, exact %v", dim, seed, i, q, e)
+				}
+			}
+			// Batch path must be bit-identical to the scalar quantized path.
+			dst := make([]float64, len(rows))
+			batch := quant.DecisionBatch(dst, rows, make([]float64, quant.BatchScratch(len(rows))))
+			for i, row := range rows {
+				if got := quant.DecisionInto(scratch, row); batch[i] != got {
+					t.Fatalf("dim=%d seed=%d row %d: DecisionBatch %v != DecisionInto %v", dim, seed, i, batch[i], got)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantStateRoundTrip checks the rebuild-on-import contract: a
+// quantized model exported through State and restored with
+// ModelFromState re-derives the identical int16 slab from the verbatim
+// exact slab, so restored decisions are bit-equal.
+func TestQuantStateRoundTrip(t *testing.T) {
+	_, quant := trainQuantPair(t, 150, 5, 77)
+	got, err := ModelFromState(quant.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.qSlab == nil {
+		t.Fatal("restored model lost the quantized slab")
+	}
+	for i, v := range quant.qSlab {
+		if got.qSlab[i] != v {
+			t.Fatalf("qSlab[%d] = %d, want %d — rebuild not deterministic", i, got.qSlab[i], v)
+		}
+	}
+	scratch := make([]float64, 5)
+	for i, row := range probeRows(30, 5, 9) {
+		if a, b := quant.DecisionInto(scratch, row), got.DecisionInto(scratch, row); a != b {
+			t.Fatalf("row %d: decision %v != restored %v", i, a, b)
+		}
+	}
+}
+
+// TestQuantZeroFeature covers the step-0 corner: a feature that is
+// constant across the training set standardizes to 0 on every support
+// vector, so its quantization step is 0 and both representations agree
+// exactly on that coordinate.
+func TestQuantZeroFeature(t *testing.T) {
+	x, y := overlapData(120, 4, 5)
+	for _, row := range x {
+		row[2] = 3.25 // constant feature
+	}
+	cfg := DefaultConfig()
+	cfg.Kernel = RBF
+	cfg.QuantizeSVs = true
+	m, err := Train(cfg, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.qSlab == nil {
+		t.Fatal("no quantized slab")
+	}
+	if m.qScale[2] != 0 {
+		t.Fatalf("constant feature got step %v, want 0", m.qScale[2])
+	}
+	scratch := make([]float64, 4)
+	for i, row := range probeRows(20, 4, 6) {
+		row[2] = 3.25
+		e := m.decisionScalar(row)
+		q := m.DecisionInto(scratch, row)
+		if math.IsNaN(q) {
+			t.Fatalf("row %d: NaN from zero-step feature", i)
+		}
+		if math.Abs(q-e) > 1e-3*(1+math.Abs(e)) {
+			t.Fatalf("row %d: quantized %v vs exact %v", i, q, e)
+		}
+	}
+}
+
+// BenchmarkDecisionQuantRBF is BenchmarkDecisionRBF over the int16
+// slab: same ≥200-SV model shape, ~4× smaller decision working set.
+func BenchmarkDecisionQuantRBF(b *testing.B) {
+	x, y := overlapData(600, 5, 17)
+	cfg := DefaultConfig()
+	cfg.Kernel = RBF
+	cfg.QuantizeSVs = true
+	m, err := Train(cfg, x, y)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if m.NumSV() < 200 {
+		b.Fatalf("bench model has %d SVs, want >= 200", m.NumSV())
+	}
+	row := x[1]
+	scratch := make([]float64, m.Dim())
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += m.DecisionInto(scratch, row)
+	}
+	_ = sink
+}
+
+// BenchmarkDecisionBatchQuantRBF mirrors BenchmarkDecisionBatchRBF
+// (16 rows per op, one slab pass) against the quantized slab.
+func BenchmarkDecisionBatchQuantRBF(b *testing.B) {
+	x, y := overlapData(600, 5, 17)
+	cfg := DefaultConfig()
+	cfg.Kernel = RBF
+	cfg.QuantizeSVs = true
+	m, err := Train(cfg, x, y)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := probeRows(16, 5, 3)
+	dst := make([]float64, len(rows))
+	scratch := make([]float64, m.BatchScratch(len(rows)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		out := m.DecisionBatch(dst, rows, scratch)
+		sink += out[0]
+	}
+	_ = sink
+}

@@ -50,6 +50,16 @@ type Config struct {
 	// disables pruning and keeps fits bit-identical to earlier
 	// versions; SolveStats.Pruned reports how many were dropped.
 	PruneTol float64
+	// QuantizeSVs stores the standardized support-vector slab a second
+	// time as int16 with one scale per feature (see buildQuantSlab)
+	// and scores RBF decisions against that slab, shrinking the
+	// decision working set ~4× so large admission bursts stay cache
+	// resident. The float64 slab is retained and decisionScalar keeps
+	// scoring against it, so the exact path remains available as the
+	// oracle the equivalence tests and the health monitor compare to.
+	// Ignored for the linear kernel. Off by default: decisions are
+	// bit-identical to earlier versions unless this is set.
+	QuantizeSVs bool
 }
 
 // DefaultConfig returns the configuration used by the ExBox
@@ -97,6 +107,15 @@ type Model struct {
 	// stride dim, plus their precomputed squared norms.
 	svSlab []float64
 	svNorm []float64
+
+	// Quantized slab (Config.QuantizeSVs, RBF only): the support
+	// vectors again as int16 with a per-feature step size, plus the
+	// squared norms of the *dequantized* vectors, so the decision is
+	// exactly the RBF decision of the dequantized model. qSlab == nil
+	// when quantization is off.
+	qScale []float64 // dim: standardized units per int16 step
+	qSlab  []int16   // len(svCoef)×dim, row-major
+	qNorm  []float64 // len(svCoef): ‖q·scale‖² per support vector
 
 	// rff is the optional budget-constrained inference tier
 	// (Config.RFF; see rff.go), nil when disabled or when its readout
