@@ -27,6 +27,8 @@
 //	       [-workers N] [-shards N] [-burst N] [-ringsize N]
 //	       [-mixedsnr] [-http addr]
 //	       [-rff] [-rffdim D] [-rffagreement F] [-snapshotdir DIR]
+//	       [-flightdir DIR] [-tsres 1s] [-tsretain 15m]
+//	       [-slowindow 15m] [-sloobj 0.99] [-latsample N]
 //
 // With -demo (the default), built-in traffic generators emulate a mix
 // of web, streaming and conferencing clients so the daemon is fully
@@ -51,9 +53,22 @@
 // clf_snapshot_rejects_total and flagged on /debug/health) and the
 // cell cold-starts.
 //
+// With -flightdir the daemon journals every admission verdict (with
+// its margin and audit sequence number), health transition, retrain,
+// snapshot event, ingest-ring drop burst and QoE SLO breach into
+// crash-safe binary segment files in DIR. After any exit — including
+// kill -9 — `exlog -dir DIR` reconstructs the post-mortem timeline
+// from whatever was flushed. QoE SLO burn-rate accounting (objective
+// -sloobj over the -slowindow sliding window, with a fast window at
+// 1/15th of it) runs regardless and surfaces as the slo_burn check on
+// /debug/health. -latsample tunes how many admissions pay for a
+// latency-histogram observation.
+//
 // With -http (e.g. -http :9090) the daemon serves its telemetry over
 // HTTP: a plaintext /metrics page, the decision audit trail as
-// /debug/admissions, expvar under /debug/vars, and net/http/pprof
+// /debug/admissions, windowed metric history as /debug/timeline
+// (JSON; ?metric=, ?cell=, ?since= filters) and /timeline.bin
+// (compact binary), expvar under /debug/vars, and net/http/pprof
 // under /debug/pprof/. All counters, gauges and histograms come from
 // one obs.Registry shared by the gateway, the middlebox core, the
 // classifier and the flow table. The same server publishes each
@@ -72,6 +87,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"time"
@@ -84,7 +100,9 @@ import (
 	"exbox/internal/mathx"
 	"exbox/internal/netsim"
 	"exbox/internal/obs"
+	"exbox/internal/obs/flightrec"
 	"exbox/internal/obs/trace"
+	"exbox/internal/obs/tsdb"
 	"exbox/internal/ring"
 	"exbox/internal/traffic"
 
@@ -108,11 +126,17 @@ func main() {
 	rffDim := flag.Int("rffdim", 256, "RFF dictionary size (cos/sin features) when -rff is on")
 	rffAgreement := flag.Float64("rffagreement", 0.9, "demote the RFF tier when its agreement EWMA with exact scoring drops below this")
 	snapshotDir := flag.String("snapshotdir", "", "persist per-cell model snapshots to this directory and warm-boot from it on start")
+	flightDir := flag.String("flightdir", "", "journal flight-recorder events (admissions, health, retrains, snapshots, SLO breaches) to segment files in this directory")
+	tsRes := flag.Duration("tsres", time.Second, "timeline sample resolution behind /debug/timeline")
+	tsRetain := flag.Duration("tsretain", 15*time.Minute, "timeline retention window")
+	sloWindow := flag.Duration("slowindow", 15*time.Minute, "QoE SLO slow burn-rate window (the fast window is 1/15th of it)")
+	sloObj := flag.Float64("sloobj", 0.99, "QoE SLO objective: target good fraction of QoE ticks")
+	latSample := flag.Int("latsample", 16, "sample 1 in N admissions into the latency histogram (rounded up to a power of two)")
 	flag.Parse()
 
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
 
-	if err := validateFlags(*workers, *shards, *traceSample, *traceBuf, *rffDim, *burst, *ringSize, *rffAgreement); err != nil {
+	if err := validateFlags(*workers, *shards, *traceSample, *traceBuf, *rffDim, *burst, *ringSize, *latSample, *rffAgreement, *sloObj, *tsRes, *tsRetain, *sloWindow); err != nil {
 		log.Fatalf("exboxd: %v", err)
 	}
 
@@ -121,10 +145,33 @@ func main() {
 		space = excr.MixedSNRSpace
 	}
 	reg := obs.NewRegistry()
+	revision, goVersion := buildIdentity()
+	reg.Info("exbox_build_info", map[string]string{"revision": revision, "goversion": goVersion})
+	log.Printf("exboxd build: revision %s, %s", revision, goVersion)
 	var tracer *trace.Tracer
 	if *traceSample > 0 {
 		tracer = trace.New(*traceBuf, *traceSample)
 	}
+
+	// The flight recorder starts before the gateway and its stop is
+	// deferred before gw.close — LIFO defers then guarantee the writer
+	// outlives the shutdown snapshot sweep, so the final KindSnapshot
+	// events reach the journal before the last fsync.
+	var flight *flightrec.Recorder
+	if *flightDir != "" {
+		flight = flightrec.NewRecorder(0)
+		frDone := make(chan struct{})
+		frErr := make(chan error, 1)
+		go func() { frErr <- flight.RunWriter(flightrec.WriterConfig{Dir: *flightDir}, frDone) }()
+		defer func() {
+			close(frDone)
+			if err := <-frErr; err != nil {
+				log.Printf("flight recorder: %v", err)
+			}
+		}()
+		log.Printf("flight recorder journaling to %s", *flightDir)
+	}
+
 	gw, err := newGateway(*listen, space, *shards, gatewayOptions{
 		warmStart:    *warmstart,
 		rff:          *rff,
@@ -134,11 +181,21 @@ func main() {
 		workers:      *workers,
 		burst:        *burst,
 		ringSize:     *ringSize,
+		latSample:    *latSample,
+		sloObjective: *sloObj,
+		sloWindow:    *sloWindow,
+		flight:       flight,
 	}, reg, tracer)
 	if err != nil {
 		log.Fatalf("exboxd: %v", err)
 	}
 	defer gw.close()
+
+	// The in-process timeline store: every registered metric sampled on
+	// a fixed cadence into fixed-memory rings, served as JSON and as the
+	// compact binary dump. It samples whether or not -http is set, so a
+	// post-mortem /timeline.bin pull always has history behind it.
+	timeline := tsdb.New(reg, tsdb.Config{Resolution: *tsRes, Retention: *tsRetain})
 	log.Printf("gateway listening on %s, sink on %s (%d workers, %d shards, burst %d, ring %d, space %dx%d)",
 		gw.conn.LocalAddr(), gw.sink.LocalAddr(), *workers, *shards, *burst, gw.rings[0].Cap(), space.Classes, space.Levels)
 
@@ -150,6 +207,8 @@ func main() {
 		reg.PublishExpvar("exbox")
 		mux := reg.ServeMux()
 		mux.HandleFunc("/snapshot/", gw.serveSnapshot)
+		mux.Handle("/debug/timeline", timeline.Handler())
+		mux.Handle("/timeline.bin", timeline.BinaryHandler())
 		// ReadHeaderTimeout keeps a slow-header client from pinning a
 		// connection forever; Serve's error no longer vanishes; Shutdown
 		// (deferred, so it runs before gw.close) drains in-flight scrapes
@@ -167,7 +226,7 @@ func main() {
 				log.Printf("telemetry shutdown: %v", err)
 			}
 		}()
-		log.Printf("telemetry on http://%s/metrics (also /debug/admissions, /debug/traces, /debug/health, /debug/vars, /debug/pprof/, /snapshot/{cell})", ln.Addr())
+		log.Printf("telemetry on http://%s/metrics (also /debug/admissions, /debug/traces, /debug/health, /debug/timeline, /timeline.bin, /debug/vars, /debug/pprof/, /snapshot/{cell})", ln.Addr())
 	}
 
 	done := make(chan struct{})
@@ -177,6 +236,11 @@ func main() {
 	go func() {
 		defer loops.Done()
 		gw.sweeper(done)
+	}()
+	loops.Add(1)
+	go func() {
+		defer loops.Done()
+		timeline.Run(done)
 	}()
 
 	if *demo {
@@ -245,6 +309,12 @@ type gateway struct {
 	healthG    *obs.Gauge
 	lastHealth exboxcore.HealthStatus
 	healthSeen bool
+
+	// flight mirrors the middlebox's recorder for the gateway's own
+	// events: health transitions and ingest-ring drop deltas (nil = off).
+	// lastRingDrops is the drop total already journaled.
+	flight        *flightrec.Recorder
+	lastRingDrops int64
 
 	// snapDir is where snapshots persist ("" = off): the sweeper saves
 	// periodically, close saves on shutdown, and the middlebox's retrain
@@ -377,6 +447,14 @@ type gatewayOptions struct {
 	workers      int // ring count; <= 0 defaults to 1
 	burst        int // max packets per drained burst; <= 0 defaults to 64
 	ringSize     int // per-worker ring capacity; <= 0 defaults to 1024
+	latSample    int // sample 1 in N admit latencies; <= 0 keeps the default
+	// QoE SLO burn-rate accounting: zero values pick the SLOConfig
+	// defaults (99% objective over a 15-minute slow window).
+	sloObjective float64
+	sloWindow    time.Duration
+	// flight, when non-nil, journals admissions, health transitions,
+	// retrains, snapshots and SLO breaches to the crash-safe recorder.
+	flight *flightrec.Recorder
 	// syncRetrain runs SVM fits inline in Observe instead of on the
 	// cell's background worker. Production keeps the worker (fits must
 	// never stall a packet); determinism tests set this so the model
@@ -388,7 +466,7 @@ type gatewayOptions struct {
 // socket is opened or goroutine started, so a typo'd invocation dies
 // with one clear line instead of a zero-traffic run (or a divide/alloc
 // panic deep in a worker). Pure so the table test can sweep it.
-func validateFlags(workers, shards, traceSample, traceBuf, rffDim, burst, ringSize int, rffAgreement float64) error {
+func validateFlags(workers, shards, traceSample, traceBuf, rffDim, burst, ringSize, latSample int, rffAgreement, sloObj float64, tsRes, tsRetain, sloWindow time.Duration) error {
 	if workers < 1 {
 		return fmt.Errorf("-workers must be >= 1, got %d", workers)
 	}
@@ -416,7 +494,42 @@ func validateFlags(workers, shards, traceSample, traceBuf, rffDim, burst, ringSi
 	if rffAgreement <= 0 || rffAgreement > 1 {
 		return fmt.Errorf("-rffagreement must be in (0, 1], got %g", rffAgreement)
 	}
+	if latSample < 1 {
+		return fmt.Errorf("-latsample must be >= 1 (1 = every admission), got %d", latSample)
+	}
+	if sloObj <= 0 || sloObj >= 1 {
+		return fmt.Errorf("-sloobj must be in (0, 1), got %g", sloObj)
+	}
+	if tsRes <= 0 {
+		return fmt.Errorf("-tsres must be > 0, got %v", tsRes)
+	}
+	if tsRetain < tsRes {
+		return fmt.Errorf("-tsretain must be >= -tsres (%v), got %v", tsRes, tsRetain)
+	}
+	if sloWindow < 15*time.Second {
+		return fmt.Errorf("-slowindow must be >= 15s (the fast window is 1/15th of it), got %v", sloWindow)
+	}
 	return nil
+}
+
+// buildIdentity reports the VCS revision and Go toolchain this binary
+// was built from, for the exbox_build_info metric and the startup log.
+func buildIdentity() (revision, goVersion string) {
+	revision, goVersion = "unknown", runtime.Version()
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.GoVersion != "" {
+			goVersion = bi.GoVersion
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				revision = s.Value
+				if len(revision) > 12 {
+					revision = revision[:12]
+				}
+			}
+		}
+	}
+	return revision, goVersion
 }
 
 // classifySilence is how long a flow with an unfilled head must stay
@@ -481,6 +594,13 @@ func newGateway(listen string, space excr.Space, shards int, opts gatewayOptions
 	// the tracer's ring, /debug/health the middlebox's report.
 	mb.Instrument(reg, 256)
 	mb.InstrumentTracing(tracer)
+	if opts.latSample > 0 {
+		mb.SetAdmitLatencySampling(opts.latSample)
+	}
+	mb.EnableSLO(exboxcore.SLOConfig{Objective: opts.sloObjective, SlowWindow: opts.sloWindow})
+	if opts.flight != nil {
+		mb.InstrumentFlightRecorder(opts.flight)
+	}
 	reg.SetTracer(tracer)
 	reg.SetHealth(func() interface{} { return mb.Health() })
 	oracle := apps.Oracle{Net: netsim.FluidWiFi{Config: netsim.TestbedWiFi()}}
@@ -580,6 +700,7 @@ func newGateway(listen string, space excr.Space, shards int, opts gatewayOptions
 		startNanos: start.UnixNano(),
 		tracer:     tracer,
 		healthG:    reg.Gauge("exbox_health_status"),
+		flight:     opts.flight,
 		snapDir:    opts.snapshotDir,
 		reg:        reg,
 		forwarded:  reg.Counter("exbox_gw_forwarded_packets_total"),
@@ -1054,8 +1175,33 @@ func (g *gateway) sweeper(done chan struct{}) {
 func (g *gateway) checkHealth() {
 	rep := g.mb.Health()
 	g.healthG.Set(int64(rep.Status))
+	if g.flight != nil {
+		// Journal ingest-ring drops as batched deltas at health cadence —
+		// one record per burst of loss, never one per dropped packet.
+		if d := g.ingest.Drops.Value(); d > g.lastRingDrops {
+			g.flight.Record(flightrec.Record{
+				UnixNanos: rep.UnixNanos,
+				Kind:      flightrec.KindRingDrop,
+				Value:     float64(d - g.lastRingDrops),
+				Aux:       float64(d),
+			})
+			g.lastRingDrops = d
+		}
+	}
 	if g.healthSeen && rep.Status == g.lastHealth {
 		return
+	}
+	if g.flight != nil {
+		prev := float64(g.lastHealth)
+		if !g.healthSeen {
+			prev = -1 // no prior observation
+		}
+		g.flight.Record(flightrec.Record{
+			UnixNanos: rep.UnixNanos,
+			Kind:      flightrec.KindHealth,
+			Value:     float64(rep.Status),
+			Aux:       prev,
+		})
 	}
 	var checks []string
 	for _, c := range rep.Checks {

@@ -330,36 +330,57 @@ func TestSNRStablePerClient(t *testing.T) {
 // rejected combination names the offending flag, every sane one
 // passes.
 func TestValidateFlags(t *testing.T) {
-	cases := []struct {
-		name                                   string
+	// sane holds the passing default for every argument; each case
+	// overrides what it sweeps so new flags don't rewrite the table.
+	type args struct {
 		workers, shards, traceSample, traceBuf int
-		rffDim, burst, ringSize                int
-		rffAgreement                           float64
-		wantErr                                string
+		rffDim, burst, ringSize, latSample     int
+		rffAgreement, sloObj                   float64
+		tsRes, tsRetain, sloWindow             time.Duration
+	}
+	sane := args{4, 32, 16, 256, 256, 64, 1024, 16, 0.9, 0.99, time.Second, 15 * time.Minute, 15 * time.Minute}
+	cases := []struct {
+		name    string
+		mut     func(*args)
+		wantErr string
 	}{
-		{"defaults", 4, 32, 16, 256, 256, 64, 1024, 0.9, ""},
-		{"tracing off", 4, 32, 0, 256, 256, 64, 1024, 0.9, ""},
-		{"tracing off zero buf", 4, 32, 0, 0, 256, 64, 1024, 0.9, ""},
-		{"negative tracesample", 4, 32, -1, 256, 256, 64, 1024, 0.9, "-tracesample"},
-		{"negative tracebuf", 4, 32, 16, -1, 256, 64, 1024, 0.9, "-tracebuf"},
-		{"zero tracebuf while tracing", 4, 32, 16, 0, 256, 64, 1024, 0.9, "-tracebuf"},
-		{"zero workers", 0, 32, 16, 256, 256, 64, 1024, 0.9, "-workers"},
-		{"zero shards", 4, 0, 16, 256, 256, 64, 1024, 0.9, "-shards"},
-		{"rffdim zero", 4, 32, 16, 256, 0, 64, 1024, 0.9, "-rffdim"},
-		{"rffdim one", 4, 32, 16, 256, 1, 64, 1024, 0.9, "-rffdim"},
-		{"rffdim minimal", 4, 32, 16, 256, 2, 64, 1024, 0.9, ""},
-		{"agreement zero", 4, 32, 16, 256, 256, 64, 1024, 0, "-rffagreement"},
-		{"agreement negative", 4, 32, 16, 256, 256, 64, 1024, -0.5, "-rffagreement"},
-		{"agreement above one", 4, 32, 16, 256, 256, 64, 1024, 1.5, "-rffagreement"},
-		{"agreement one", 4, 32, 16, 256, 256, 64, 1024, 1, ""},
-		{"zero burst", 4, 32, 16, 256, 256, 0, 1024, 0.9, "-burst"},
-		{"negative burst", 4, 32, 16, 256, 256, -1, 1024, 0.9, "-burst"},
-		{"burst of one", 4, 32, 16, 256, 256, 1, 1024, 0.9, ""},
-		{"ring smaller than burst", 4, 32, 16, 256, 256, 64, 32, 0.9, "-ringsize"},
-		{"ring equals burst", 4, 32, 16, 256, 256, 64, 64, 0.9, ""},
+		{"defaults", func(*args) {}, ""},
+		{"tracing off", func(a *args) { a.traceSample = 0 }, ""},
+		{"tracing off zero buf", func(a *args) { a.traceSample, a.traceBuf = 0, 0 }, ""},
+		{"negative tracesample", func(a *args) { a.traceSample = -1 }, "-tracesample"},
+		{"negative tracebuf", func(a *args) { a.traceBuf = -1 }, "-tracebuf"},
+		{"zero tracebuf while tracing", func(a *args) { a.traceBuf = 0 }, "-tracebuf"},
+		{"zero workers", func(a *args) { a.workers = 0 }, "-workers"},
+		{"zero shards", func(a *args) { a.shards = 0 }, "-shards"},
+		{"rffdim zero", func(a *args) { a.rffDim = 0 }, "-rffdim"},
+		{"rffdim one", func(a *args) { a.rffDim = 1 }, "-rffdim"},
+		{"rffdim minimal", func(a *args) { a.rffDim = 2 }, ""},
+		{"agreement zero", func(a *args) { a.rffAgreement = 0 }, "-rffagreement"},
+		{"agreement negative", func(a *args) { a.rffAgreement = -0.5 }, "-rffagreement"},
+		{"agreement above one", func(a *args) { a.rffAgreement = 1.5 }, "-rffagreement"},
+		{"agreement one", func(a *args) { a.rffAgreement = 1 }, ""},
+		{"zero burst", func(a *args) { a.burst = 0 }, "-burst"},
+		{"negative burst", func(a *args) { a.burst = -1 }, "-burst"},
+		{"burst of one", func(a *args) { a.burst = 1 }, ""},
+		{"ring smaller than burst", func(a *args) { a.ringSize = 32 }, "-ringsize"},
+		{"ring equals burst", func(a *args) { a.ringSize = 64 }, ""},
+		{"zero latsample", func(a *args) { a.latSample = 0 }, "-latsample"},
+		{"negative latsample", func(a *args) { a.latSample = -4 }, "-latsample"},
+		{"latsample every admission", func(a *args) { a.latSample = 1 }, ""},
+		{"sloobj zero", func(a *args) { a.sloObj = 0 }, "-sloobj"},
+		{"sloobj one", func(a *args) { a.sloObj = 1 }, "-sloobj"},
+		{"sloobj three nines", func(a *args) { a.sloObj = 0.999 }, ""},
+		{"zero tsres", func(a *args) { a.tsRes = 0 }, "-tsres"},
+		{"negative tsres", func(a *args) { a.tsRes = -time.Second }, "-tsres"},
+		{"retention below resolution", func(a *args) { a.tsRetain = time.Millisecond }, "-tsretain"},
+		{"coarse timeline", func(a *args) { a.tsRes, a.tsRetain = 10*time.Second, time.Hour }, ""},
+		{"slo window too short", func(a *args) { a.sloWindow = 10 * time.Second }, "-slowindow"},
+		{"slo window minimum", func(a *args) { a.sloWindow = 15 * time.Second }, ""},
 	}
 	for _, tc := range cases {
-		err := validateFlags(tc.workers, tc.shards, tc.traceSample, tc.traceBuf, tc.rffDim, tc.burst, tc.ringSize, tc.rffAgreement)
+		a := sane
+		tc.mut(&a)
+		err := validateFlags(a.workers, a.shards, a.traceSample, a.traceBuf, a.rffDim, a.burst, a.ringSize, a.latSample, a.rffAgreement, a.sloObj, a.tsRes, a.tsRetain, a.sloWindow)
 		if tc.wantErr == "" {
 			if err != nil {
 				t.Errorf("%s: unexpected error %v", tc.name, err)

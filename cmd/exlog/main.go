@@ -1,0 +1,219 @@
+// Command exlog decodes flight-recorder segments and reconstructs the
+// gateway's post-mortem timeline: what ExBox admitted, rejected,
+// retrained, snapshotted and alerted on — right up to the last
+// fully-written frame before a crash. It reads a segment directory
+// (-dir, as written by exboxd -flightdir) or individual segment files,
+// merges and sorts the records, applies the filters, and prints one
+// line per event (or JSON with -json).
+//
+// Usage:
+//
+//	exlog -dir /var/lib/exbox/flight
+//	exlog -dir flight -cell ap0 -kind admission -verdict reject -since 5m
+//	exlog -json flight/flight-current.exfr
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"exbox/internal/obs/flightrec"
+)
+
+func main() {
+	var (
+		dir     = flag.String("dir", "", "flight-recorder segment directory (exboxd -flightdir)")
+		cell    = flag.String("cell", "", "keep only this cell's events")
+		kind    = flag.String("kind", "", "keep only this event kind (admission, health, retrain, snapshot, ringdrop, slobreach)")
+		verdict = flag.String("verdict", "", "keep only admissions with this verdict (admit, reject, low-priority)")
+		since   = flag.String("since", "", "keep events after this time (duration ago like 10m, or unix seconds)")
+		until   = flag.String("until", "", "keep events before this time (duration ago, or unix seconds)")
+		asJSON  = flag.Bool("json", false, "emit JSON lines instead of the human timeline")
+	)
+	flag.Parse()
+
+	recs, err := collect(*dir, flag.Args())
+	if err != nil {
+		// A truncated live segment is the expected post-crash shape:
+		// report it, keep the records that decoded.
+		fmt.Fprintf(os.Stderr, "exlog: %v\n", err)
+	}
+	if recs == nil && err != nil && len(flag.Args()) == 0 && *dir == "" {
+		os.Exit(2)
+	}
+
+	f := filter{
+		cell:    *cell,
+		kind:    flightrec.KindFromString(*kind),
+		verdict: *verdict,
+		since:   parseWhen(*since, time.Now()),
+		until:   parseWhen(*until, time.Now()),
+	}
+	if *kind != "" && f.kind == 0 {
+		fmt.Fprintf(os.Stderr, "exlog: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	for _, r := range recs {
+		if !f.keep(r) {
+			continue
+		}
+		if *asJSON {
+			enc.Encode(jsonRecord(r))
+			continue
+		}
+		fmt.Println(formatRecord(r))
+	}
+}
+
+// collect merges a directory's segments with any explicitly named
+// segment files.
+func collect(dir string, files []string) ([]flightrec.DecodedRecord, error) {
+	if dir == "" && len(files) == 0 {
+		return nil, fmt.Errorf("nothing to decode: pass -dir or segment files")
+	}
+	var out []flightrec.DecodedRecord
+	var firstErr error
+	if dir != "" {
+		recs, err := flightrec.ReadDir(dir)
+		out, firstErr = recs, err
+	}
+	for _, p := range files {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		recs, err := flightrec.DecodeSegment(data)
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("%s: %w", p, err)
+		}
+		out = append(out, recs...)
+	}
+	return out, firstErr
+}
+
+// filter is the record predicate; zero fields match everything.
+type filter struct {
+	cell         string
+	kind         flightrec.Kind
+	verdict      string
+	since, until int64
+}
+
+func (f filter) keep(r flightrec.DecodedRecord) bool {
+	if f.cell != "" && r.CellName != f.cell {
+		return false
+	}
+	if f.kind != 0 && r.Kind != f.kind {
+		return false
+	}
+	if f.verdict != "" && (r.Kind != flightrec.KindAdmission || flightrec.VerdictString(r.Verdict) != f.verdict) {
+		return false
+	}
+	if f.since != 0 && r.UnixNanos < f.since {
+		return false
+	}
+	if f.until != 0 && r.UnixNanos > f.until {
+		return false
+	}
+	return true
+}
+
+// parseWhen resolves a time filter: a Go duration means that-long-ago,
+// a bare integer means unix seconds, empty means unbounded (0).
+func parseWhen(s string, now time.Time) int64 {
+	if s == "" {
+		return 0
+	}
+	if d, err := time.ParseDuration(s); err == nil && d > 0 {
+		return now.Add(-d).UnixNano()
+	}
+	if sec, err := strconv.ParseInt(s, 10, 64); err == nil && sec > 0 {
+		return sec * int64(time.Second)
+	}
+	fmt.Fprintf(os.Stderr, "exlog: unparseable time %q (want a duration like 10m or unix seconds)\n", s)
+	os.Exit(2)
+	return 0
+}
+
+// formatRecord renders one timeline line.
+func formatRecord(r flightrec.DecodedRecord) string {
+	ts := time.Unix(0, r.UnixNanos).UTC().Format("2006-01-02T15:04:05.000000Z")
+	cell := r.CellName
+	if cell == "" {
+		cell = "-"
+	}
+	switch r.Kind {
+	case flightrec.KindAdmission:
+		boot := ""
+		if r.Flags&flightrec.FlagBootstrap != 0 {
+			boot = " bootstrap"
+		}
+		return fmt.Sprintf("%s admission cell=%s seq=%d verdict=%s margin=%+.6g depth=%.4g class=%d level=%d model=%d%s",
+			ts, cell, r.Seq, flightrec.VerdictString(r.Verdict), r.Value, r.Aux, r.Class, r.Level, r.Model, boot)
+	case flightrec.KindHealth:
+		return fmt.Sprintf("%s health cell=%s status=%s previous=%s",
+			ts, cell, statusName(r.Value), statusName(r.Aux))
+	case flightrec.KindRetrain:
+		return fmt.Sprintf("%s retrain cell=%s model=%d fit_seconds=%.6g", ts, cell, r.Model, r.Value)
+	case flightrec.KindSnapshot:
+		op := [...]string{"saved", "loaded", "rejected"}
+		o := "unknown"
+		if int(r.Verdict) < len(op) {
+			o = op[r.Verdict]
+		}
+		return fmt.Sprintf("%s snapshot cell=%s op=%s fit_seq=%d", ts, cell, o, r.Model)
+	case flightrec.KindRingDrop:
+		return fmt.Sprintf("%s ringdrop drops=%g", ts, r.Value)
+	case flightrec.KindSLOBreach:
+		sev := statusName(float64(r.Verdict))
+		return fmt.Sprintf("%s slobreach cell=%s severity=%s burn_fast=%.3g burn_slow=%.3g",
+			ts, cell, sev, r.Value, r.Aux)
+	default:
+		return fmt.Sprintf("%s unknown kind=%d cell=%s value=%g", ts, r.Kind, cell, r.Value)
+	}
+}
+
+func statusName(v float64) string {
+	switch int(v) {
+	case 0:
+		return "green"
+	case 1:
+		return "yellow"
+	case 2:
+		return "red"
+	default:
+		return "unknown"
+	}
+}
+
+// jsonRecord is the -json line shape: the decoded record with
+// symbolic kind/verdict names alongside the raw fields.
+func jsonRecord(r flightrec.DecodedRecord) map[string]interface{} {
+	out := map[string]interface{}{
+		"unix_nanos": r.UnixNanos,
+		"kind":       r.Kind.String(),
+		"cell":       r.CellName,
+		"value":      r.Value,
+		"aux":        r.Aux,
+		"model":      r.Model,
+	}
+	if r.Kind == flightrec.KindAdmission {
+		out["seq"] = r.Seq
+		out["verdict"] = flightrec.VerdictString(r.Verdict)
+		out["class"] = r.Class
+		out["level"] = r.Level
+		out["bootstrap"] = r.Flags&flightrec.FlagBootstrap != 0
+	} else {
+		out["verdict"] = r.Verdict
+	}
+	return out
+}

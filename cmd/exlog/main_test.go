@@ -1,0 +1,143 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"exbox/internal/obs/flightrec"
+)
+
+func adm(ts int64, cell string, seq uint64, verdict uint8) flightrec.DecodedRecord {
+	return flightrec.DecodedRecord{
+		Record: flightrec.Record{
+			UnixNanos: ts, Seq: seq, Kind: flightrec.KindAdmission,
+			Verdict: verdict, Value: -0.5, Aux: 0.25, Class: 1, Level: 0, Model: 7,
+		},
+		CellName: cell,
+	}
+}
+
+// TestFilterKeep sweeps the record predicate: each filter alone and
+// composed, with zero values matching everything.
+func TestFilterKeep(t *testing.T) {
+	r := adm(100, "ap0", 3, flightrec.VerdictReject)
+	health := flightrec.DecodedRecord{
+		Record:   flightrec.Record{UnixNanos: 200, Kind: flightrec.KindHealth, Value: 2},
+		CellName: "ap0",
+	}
+	cases := []struct {
+		name string
+		f    filter
+		rec  flightrec.DecodedRecord
+		want bool
+	}{
+		{"zero filter", filter{}, r, true},
+		{"cell match", filter{cell: "ap0"}, r, true},
+		{"cell miss", filter{cell: "ap1"}, r, false},
+		{"kind match", filter{kind: flightrec.KindAdmission}, r, true},
+		{"kind miss", filter{kind: flightrec.KindRetrain}, r, false},
+		{"verdict match", filter{verdict: "reject"}, r, true},
+		{"verdict miss", filter{verdict: "admit"}, r, false},
+		{"verdict on non-admission", filter{verdict: "reject"}, health, false},
+		{"since keeps newer", filter{since: 50}, r, true},
+		{"since drops older", filter{since: 150}, r, false},
+		{"until keeps older", filter{until: 150}, r, true},
+		{"until drops newer", filter{until: 50}, r, false},
+		{"composed pass", filter{cell: "ap0", kind: flightrec.KindAdmission, verdict: "reject", since: 50, until: 150}, r, true},
+		{"composed fail on one", filter{cell: "ap0", kind: flightrec.KindAdmission, verdict: "reject", since: 150}, r, false},
+	}
+	for _, tc := range cases {
+		if got := tc.f.keep(tc.rec); got != tc.want {
+			t.Errorf("%s: keep = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestParseWhen pins the -since/-until grammar (the garbage path calls
+// os.Exit and is covered by the usage contract, not here).
+func TestParseWhen(t *testing.T) {
+	now := time.Unix(1000, 0)
+	if got := parseWhen("", now); got != 0 {
+		t.Fatalf("empty: %d", got)
+	}
+	if got := parseWhen("10m", now); got != now.Add(-10*time.Minute).UnixNano() {
+		t.Fatalf("duration: %d", got)
+	}
+	if got := parseWhen("900", now); got != 900*int64(time.Second) {
+		t.Fatalf("unix seconds: %d", got)
+	}
+}
+
+// TestFormatRecord spot-checks one line per kind: the kind tag, the
+// cell and the load-bearing fields must all render.
+func TestFormatRecord(t *testing.T) {
+	cases := []struct {
+		rec  flightrec.DecodedRecord
+		want []string
+	}{
+		{adm(1, "ap0", 3, flightrec.VerdictReject), []string{"admission", "cell=ap0", "seq=3", "verdict=reject", "margin=-0.5", "model=7"}},
+		{
+			flightrec.DecodedRecord{Record: flightrec.Record{Kind: flightrec.KindAdmission, Flags: flightrec.FlagBootstrap}},
+			[]string{"admission", "cell=-", "bootstrap"},
+		},
+		{
+			flightrec.DecodedRecord{Record: flightrec.Record{Kind: flightrec.KindHealth, Value: 2, Aux: 0}, CellName: "ap0"},
+			[]string{"health", "status=red", "previous=green"},
+		},
+		{
+			flightrec.DecodedRecord{Record: flightrec.Record{Kind: flightrec.KindRetrain, Model: 9, Value: 0.25}, CellName: "ap0"},
+			[]string{"retrain", "model=9", "fit_seconds=0.25"},
+		},
+		{
+			flightrec.DecodedRecord{Record: flightrec.Record{Kind: flightrec.KindSnapshot, Model: 4, Verdict: 2}, CellName: "ap0"},
+			[]string{"snapshot", "op=rejected", "fit_seq=4"},
+		},
+		{
+			flightrec.DecodedRecord{Record: flightrec.Record{Kind: flightrec.KindRingDrop, Value: 17}},
+			[]string{"ringdrop", "drops=17"},
+		},
+		{
+			flightrec.DecodedRecord{Record: flightrec.Record{Kind: flightrec.KindSLOBreach, Verdict: 1, Value: 3.5, Aux: 1.5}, CellName: "ap0"},
+			[]string{"slobreach", "severity=yellow", "burn_fast=3.5", "burn_slow=1.5"},
+		},
+	}
+	for _, tc := range cases {
+		line := formatRecord(tc.rec)
+		for _, frag := range tc.want {
+			if !strings.Contains(line, frag) {
+				t.Errorf("%s line %q missing %q", tc.rec.Kind, line, frag)
+			}
+		}
+	}
+}
+
+// TestJSONRecord pins the -json shape: symbolic names plus the
+// admission-only fields gated on the kind.
+func TestJSONRecord(t *testing.T) {
+	out := jsonRecord(adm(1, "ap0", 3, flightrec.VerdictAdmit))
+	if out["kind"] != "admission" || out["verdict"] != "admit" || out["cell"] != "ap0" {
+		t.Fatalf("admission json: %v", out)
+	}
+	if _, ok := out["seq"]; !ok {
+		t.Fatalf("admission json missing seq: %v", out)
+	}
+	out = jsonRecord(flightrec.DecodedRecord{Record: flightrec.Record{Kind: flightrec.KindHealth, Value: 1}})
+	if out["kind"] != "health" {
+		t.Fatalf("health json: %v", out)
+	}
+	if _, ok := out["seq"]; ok {
+		t.Fatalf("health json leaks admission fields: %v", out)
+	}
+}
+
+// TestCollect merges a directory with explicit files and reports the
+// no-input error.
+func TestCollect(t *testing.T) {
+	if _, err := collect("", nil); err == nil {
+		t.Fatal("no inputs must error")
+	}
+	if _, err := collect("", []string{"/nonexistent/segment.exfr"}); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"exbox/internal/mathx"
 	"exbox/internal/obs"
 	"exbox/internal/obs/trace"
+	"exbox/internal/obs/tsdb"
 	"exbox/internal/traffic"
 )
 
@@ -64,6 +65,11 @@ func main() {
 	mb.InstrumentTracing(tracer)
 	reg.SetTracer(tracer)
 	reg.SetHealth(func() interface{} { return mb.Health() })
+	// QoE SLO burn-rate accounting over a demo-sized window, and the
+	// windowed timeline store exboxd serves at /debug/timeline — here it
+	// feeds the closing per-second history line.
+	mb.EnableSLO(exboxcore.SLOConfig{SlowWindow: 30 * time.Second, MinTicks: 1})
+	timeline := tsdb.New(reg, tsdb.Config{Resolution: 250 * time.Millisecond, Retention: time.Minute})
 	if _, err := mb.AddCell(cell, classifier.DefaultConfig()); err != nil {
 		log.Fatal(err)
 	}
@@ -79,6 +85,7 @@ func main() {
 	// Forwarding loop, with a periodic expiry sweep so idle flows leave
 	// the traffic matrix instead of inflating every later decision.
 	done := make(chan struct{})
+	go timeline.Run(done)
 	go func() {
 		buf := make([]byte, 64*1024)
 		lastSweep := 0.0
@@ -219,6 +226,16 @@ func main() {
 						sp.Kind, sp.Verdict, sp.Margin, sp.Model, sp.Note)
 				}
 				break
+			}
+			// The windowed timeline the tsdb sampler accumulated while the
+			// demo ran — what exboxd's /debug/timeline would serve.
+			for _, s := range timeline.Query("admit_total", "", 0) {
+				var sum float64
+				for _, p := range s.Points {
+					sum += p.Value
+				}
+				fmt.Printf("timeline %s (%s): %d samples, %.0f admits recorded\n",
+					s.Name, s.Kind, len(s.Points), sum)
 			}
 			rep := mb.Health()
 			fmt.Printf("health verdict: %v (%d cells", rep.Status, len(rep.Cells))

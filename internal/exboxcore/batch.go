@@ -115,7 +115,7 @@ func (mb *Middlebox) AdmitBatch(id CellID, arrivals []excr.Arrival, dst []Outcom
 	var startOff time.Duration
 	sampled := false
 	if mb.obs != nil {
-		if sampled = mb.obs.ring.Seq()&15 == 0; sampled {
+		if sampled = mb.obs.ring.Seq()&mb.obs.latMask == 0; sampled {
 			startOff = time.Since(mb.obs.epoch)
 		}
 	}
@@ -132,6 +132,8 @@ func (mb *Middlebox) AdmitBatch(id CellID, arrivals []excr.Arrival, dst []Outcom
 		dst[i] = out
 		if mb.obs != nil {
 			mb.recordOutcome(cell, arrivals[i], out, endOff)
+		} else if mb.flight != nil {
+			mb.recordFlight(cell, arrivals[i], out, 0, 0)
 		}
 	}
 	return dst, nil
@@ -185,7 +187,7 @@ func (mb *Middlebox) AdmitBurst(id CellID, base excr.Matrix, cands []BurstCandid
 	var startOff time.Duration
 	sampled := false
 	if mb.obs != nil {
-		if sampled = mb.obs.ring.Seq()&15 == 0; sampled {
+		if sampled = mb.obs.ring.Seq()&mb.obs.latMask == 0; sampled {
 			startOff = time.Since(mb.obs.epoch)
 		}
 	}
@@ -288,6 +290,8 @@ func (mb *Middlebox) AdmitBurst(id CellID, base excr.Matrix, cands []BurstCandid
 		cell.Classifier.RecordDecision(d, bad[g])
 		if mb.obs != nil {
 			mb.recordOutcome(cell, finalArr[g], out, endOff)
+		} else if mb.flight != nil {
+			mb.recordFlight(cell, finalArr[g], out, 0, 0)
 		}
 		if ft := cands[g].Trace; ft != nil {
 			ft.Add(DecisionSpan(nowNanos, perDec.Nanoseconds(), out))

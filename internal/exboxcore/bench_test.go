@@ -11,6 +11,7 @@ import (
 	"exbox/internal/mathx"
 	"exbox/internal/netsim"
 	"exbox/internal/obs"
+	"exbox/internal/obs/flightrec"
 	"exbox/internal/obs/trace"
 	"exbox/internal/traffic"
 )
@@ -280,5 +281,38 @@ func BenchmarkReevaluate(b *testing.B) {
 		if _, err := mb.ReevaluateWith("ap", m, active, &s); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkAdmitFlightRecorded is BenchmarkAdmitParallel with the
+// flight recorder attached and its writer draining to disk in the
+// background. The journal enqueue is a by-value publish into a
+// preallocated ring, so the path must stay allocation-free and within
+// noise of the bare parallel benchmark.
+func BenchmarkAdmitFlightRecorded(b *testing.B) {
+	mb := benchMiddlebox(b)
+	fr := flightrec.NewRecorder(1 << 16)
+	dir := b.TempDir()
+	done := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		errc <- fr.RunWriter(flightrec.WriterConfig{Dir: dir, SegmentBytes: 64 << 20}, done)
+	}()
+	mb.InstrumentFlightRecorder(fr)
+	probe := benchProbe()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var s classifier.Scratch
+		for pb.Next() {
+			if _, err := mb.AdmitWith("ap", probe, &s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	close(done)
+	if err := <-errc; err != nil {
+		b.Fatal(err)
 	}
 }

@@ -20,7 +20,6 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +28,7 @@ import (
 	"exbox/internal/excr"
 	"exbox/internal/metrics"
 	"exbox/internal/obs"
+	"exbox/internal/obs/flightrec"
 	"exbox/internal/obs/trace"
 	"exbox/internal/qoe"
 )
@@ -78,6 +78,17 @@ type Cell struct {
 	// Per-cell verdict counters, nil on an uninstrumented middlebox.
 	admitN, rejectN, lowpriN *obs.Counter
 
+	// SLO accounting: the burn-rate tracker (nil when SLO accounting
+	// is off) and its counters/gauges (nil-safe when uninstrumented).
+	slo                *sloTracker
+	sloGoodN, sloBadN  *obs.Counter
+	sloBreachN         *obs.Counter
+	sloFastG, sloSlowG *obs.GaugeFloat
+
+	// flightCell is this cell's interned index in the flight
+	// recorder's cell table (0 when no recorder is wired).
+	flightCell uint16
+
 	// Snapshot-persistence accounting. The atomics count saves, loads,
 	// rejected (corrupt/skewed) files and save failures whether or not
 	// the middlebox is instrumented — /debug/health reads them directly;
@@ -121,7 +132,16 @@ func (mb *Middlebox) retrainLoop(c *Cell) {
 		case <-c.stop:
 			return
 		case <-c.retrain:
+			t0 := time.Now()
 			_ = c.Classifier.Maintain()
+			if mb.flight != nil {
+				mb.flight.Record(flightrec.Record{
+					Kind:  flightrec.KindRetrain,
+					Cell:  c.flightCell,
+					Model: c.Classifier.ModelVersion(),
+					Value: time.Since(t0).Seconds(),
+				})
+			}
 			if dir := mb.snapshotDir(); dir != "" {
 				// Save errors are counted (snapSaveErrs, surfaced by
 				// /debug/health); a full disk must not stop retraining.
@@ -192,6 +212,17 @@ type Middlebox struct {
 	// it, but it lets the middlebox report sampling state and promote
 	// flows on behalf of callers that only hold the middlebox.
 	tracer *trace.Tracer
+
+	// flight is the flight recorder (nil when not wired). Set once by
+	// InstrumentFlightRecorder before traffic; independent of obs so a
+	// middlebox can journal events without carrying the audit ring's
+	// per-decision allocation. The hot path reads it without
+	// synchronization; one enqueue is a by-value lock-free ring publish.
+	flight *flightrec.Recorder
+
+	// sloCfg enables per-cell SLO burn-rate accounting (nil = off).
+	// Set once by EnableSLO before traffic.
+	sloCfg *SLOConfig
 }
 
 // mbObs bundles the middlebox-level metrics: the decision audit ring,
@@ -206,6 +237,13 @@ type mbObs struct {
 	// time.Now() costs roughly twice a monotonic read.
 	epoch      time.Time
 	epochNanos int64
+
+	// latMask is the admission-latency sampling mask: a decision is
+	// timed when ring.Seq()&latMask == 0, i.e. 1 in latMask+1
+	// (default 15 → 1-in-16). Power-of-two-minus-one by construction
+	// (SetAdmitLatencySampling); set before traffic, read without
+	// synchronization on the hot path.
+	latMask uint64
 
 	selections      *obs.Counter
 	selectionAdmits *obs.Counter
@@ -251,6 +289,7 @@ func (mb *Middlebox) Instrument(reg *obs.Registry, auditSize int) {
 			ring:       ring,
 			epoch:      epoch,
 			epochNanos: epoch.UnixNano(),
+			latMask:    15,
 			// 100ns .. ~1.7s: admission is a lock-free model read, so the
 			// low end of the range is where the mass should sit.
 			admitSeconds:    reg.Histogram("exbox_admit_seconds", obs.ExpBuckets(1e-7, 4, 12)),
@@ -260,10 +299,62 @@ func (mb *Middlebox) Instrument(reg *obs.Registry, auditSize int) {
 			reevalFlows:     reg.Counter("exbox_reevaluate_flows_total"),
 			reevalEvicted:   reg.Counter("exbox_reevaluate_evicted_total"),
 		}
+		// The effective sampling rate is exported so timeline consumers
+		// can de-bias the sampled latency series.
+		reg.Gauge("exbox_admit_latency_sample_rate").Set(int64(mb.obs.latMask + 1))
 	}
 	for _, id := range mb.order {
 		mb.instrumentCellLocked(mb.cells[id])
 	}
+}
+
+// SetAdmitLatencySampling sets the admission-latency sampling rate to
+// 1-in-n, rounding n up to a power of two (n <= 1 means every
+// decision), and returns the effective n — also exported as the
+// exbox_admit_latency_sample_rate gauge. Call after Instrument and
+// before the middlebox sees traffic: the hot path reads the mask
+// without synchronization. A no-op (returning 0) when the middlebox is
+// not instrumented, since sampling keys off the audit ring's sequence.
+func (mb *Middlebox) SetAdmitLatencySampling(n int) int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.obs == nil {
+		return 0
+	}
+	if n < 1 {
+		n = 1
+	}
+	eff := 1
+	for eff < n {
+		eff <<= 1
+	}
+	mb.obs.latMask = uint64(eff - 1)
+	mb.obs.reg.Gauge("exbox_admit_latency_sample_rate").Set(int64(eff))
+	return eff
+}
+
+// InstrumentFlightRecorder attaches the flight recorder: every
+// admission verdict (and, via the health/retrain/snapshot hooks, every
+// notable lifecycle event) is journaled as one fixed-width record. The
+// enqueue is a single lock-free by-value ring publish — no locks, no
+// allocations — so it rides the zero-allocation admission path, and it
+// is independent of Instrument: a middlebox can journal without
+// carrying the audit ring. Call before traffic; cell names are
+// interned into the recorder's table here. A nil recorder detaches.
+func (mb *Middlebox) InstrumentFlightRecorder(fr *flightrec.Recorder) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	mb.flight = fr
+	for _, id := range mb.order {
+		mb.cells[id].flightCell = fr.CellIndex(string(id))
+	}
+}
+
+// FlightRecorder returns the attached flight recorder, or nil.
+func (mb *Middlebox) FlightRecorder() *flightrec.Recorder {
+	mb.mu.RLock()
+	defer mb.mu.RUnlock()
+	return mb.flight
 }
 
 // InstrumentTracing attaches the flow-lifecycle tracer. Like
@@ -282,19 +373,11 @@ func (mb *Middlebox) Tracer() *trace.Tracer {
 	return mb.tracer
 }
 
-// metricName lowercases an ID and folds anything outside [a-z0-9_]
-// to '_' so cell IDs compose into valid metric names.
+// metricName folds a cell ID into a valid metric-name fragment; the
+// rule lives in obs.SanitizeName so timeline consumers can apply the
+// same mapping.
 func metricName(id string) string {
-	return strings.Map(func(r rune) rune {
-		switch {
-		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_':
-			return r
-		case r >= 'A' && r <= 'Z':
-			return r + ('a' - 'A')
-		default:
-			return '_'
-		}
-	}, id)
+	return obs.SanitizeName(id)
 }
 
 // instrumentCellLocked wires one cell's verdict counters, its
@@ -350,6 +433,9 @@ func (mb *Middlebox) instrumentCellLocked(c *Cell) {
 	// monitoring (first EnableHealth call wins, so a custom config set
 	// before Instrument is kept).
 	c.Classifier.EnableHealth(classifier.DefaultHealthConfig())
+	if c.slo != nil {
+		mb.wireSLOLocked(c)
+	}
 	c.wired = reg
 }
 
@@ -373,6 +459,12 @@ func (mb *Middlebox) AddCell(id CellID, cfg classifier.Config) (*Cell, error) {
 		return nil, fmt.Errorf("exboxcore: cell %q already registered", id)
 	}
 	c := &Cell{ID: id, Classifier: classifier.New(mb.Space, cfg)}
+	if mb.flight != nil {
+		c.flightCell = mb.flight.CellIndex(string(id))
+	}
+	if mb.sloCfg != nil {
+		c.slo = newSLOTracker(*mb.sloCfg)
+	}
 	if mb.obs != nil {
 		mb.instrumentCellLocked(c)
 	}
@@ -460,14 +552,15 @@ func (mb *Middlebox) AdmitTraced(id CellID, a excr.Arrival, s *classifier.Scratc
 	if ft != nil {
 		t0 = time.Now()
 	}
-	// Admission latency is sampled 1-in-16 (keyed off the audit ring's
-	// sequence, which advances once per admission) so the steady-state
-	// cost of telemetry is one clock read, a few atomics, and the ring
-	// record's single small allocation — never a lock.
+	// Admission latency is sampled 1-in-latMask+1 (default 1-in-16,
+	// keyed off the audit ring's sequence, which advances once per
+	// admission) so the steady-state cost of telemetry is one clock
+	// read, a few atomics, and the ring record's single small
+	// allocation — never a lock.
 	var startOff time.Duration
 	sampled := false
 	if mb.obs != nil {
-		if sampled = mb.obs.ring.Seq()&15 == 0; sampled {
+		if sampled = mb.obs.ring.Seq()&mb.obs.latMask == 0; sampled {
 			startOff = time.Since(mb.obs.epoch)
 		}
 	}
@@ -479,6 +572,10 @@ func (mb *Middlebox) AdmitTraced(id CellID, a excr.Arrival, s *classifier.Scratc
 			mb.obs.admitSeconds.Observe((endOff - startOff).Seconds())
 		}
 		mb.recordOutcome(cell, a, out, endOff)
+	} else if mb.flight != nil {
+		// Flight recording without registry instrumentation: the journal
+		// enqueue alone, preserving the zero-allocation admission path.
+		mb.recordFlight(cell, a, out, 0, 0)
 	}
 	if ft != nil {
 		now := time.Now()
@@ -516,8 +613,11 @@ func (mb *Middlebox) verdict(d classifier.Decision) Verdict {
 }
 
 // recordOutcome performs the per-decision telemetry: the cell's
-// verdict counter and the audit-ring record. Caller has checked
-// mb.obs != nil and provides the monotonic offset for the timestamp.
+// verdict counter, the audit-ring record, and — when a flight recorder
+// is wired — the journal record carrying the audit ring's sequence, so
+// exlog can replay verdicts bit-for-bit against the audit trail.
+// Caller has checked mb.obs != nil and provides the monotonic offset
+// for the timestamp.
 func (mb *Middlebox) recordOutcome(cell *Cell, a excr.Arrival, out Outcome, endOff time.Duration) {
 	switch out.Verdict {
 	case Admit:
@@ -527,8 +627,9 @@ func (mb *Middlebox) recordOutcome(cell *Cell, a excr.Arrival, out Outcome, endO
 	default:
 		cell.lowpriN.Inc()
 	}
-	mb.obs.ring.Record(obs.DecisionRecord{
-		UnixNanos: mb.obs.epochNanos + int64(endOff),
+	stamp := mb.obs.epochNanos + int64(endOff)
+	seq := mb.obs.ring.Record(obs.DecisionRecord{
+		UnixNanos: stamp,
 		Cell:      string(out.Cell),
 		Class:     int(a.Class),
 		Level:     int(a.Level),
@@ -538,6 +639,32 @@ func (mb *Middlebox) recordOutcome(cell *Cell, a excr.Arrival, out Outcome, endO
 		Verdict:   out.Verdict.String(),
 		Bootstrap: out.Decision.Bootstrap,
 		Model:     out.Decision.Model,
+	})
+	if mb.flight != nil {
+		mb.recordFlight(cell, a, out, stamp, seq)
+	}
+}
+
+// recordFlight journals one admission decision: a single by-value
+// lock-free ring publish, zero allocations. Caller has checked
+// mb.flight != nil; stamp 0 lets the recorder stamp the record.
+func (mb *Middlebox) recordFlight(cell *Cell, a excr.Arrival, out Outcome, stamp int64, seq uint64) {
+	var flags uint8
+	if out.Decision.Bootstrap {
+		flags |= flightrec.FlagBootstrap
+	}
+	mb.flight.Record(flightrec.Record{
+		UnixNanos: stamp,
+		Seq:       seq,
+		Model:     out.Decision.Model,
+		Value:     out.Decision.Margin,
+		Aux:       out.Decision.Depth,
+		Cell:      cell.flightCell,
+		Class:     int8(a.Class),
+		Level:     int8(a.Level),
+		Kind:      flightrec.KindAdmission,
+		Verdict:   uint8(out.Verdict),
+		Flags:     flags,
 	})
 }
 
@@ -768,6 +895,18 @@ func (mb *Middlebox) ReevaluateWith(id CellID, current excr.Matrix, active []Act
 		mb.obs.reevalCalls.Inc()
 		mb.obs.reevalFlows.Add(int64(len(active)))
 		mb.obs.reevalEvicted.Add(int64(len(evict)))
+	}
+	// SLO accounting: every monitored flow that stays inside the
+	// capacity region is a good QoE tick, every eviction a bad one —
+	// the sliding-window substrate the burn-rate alert reads.
+	if cell.slo != nil && len(active) > 0 {
+		good := len(active) - len(evict)
+		if nowNanos == 0 {
+			nowNanos = time.Now().UnixNano()
+		}
+		cell.slo.add(nowNanos, good, len(evict))
+		cell.sloGoodN.Add(int64(good))
+		cell.sloBadN.Add(int64(len(evict)))
 	}
 	return evict, nil
 }

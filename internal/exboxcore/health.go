@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"exbox/internal/classifier"
+	"exbox/internal/obs/flightrec"
 )
 
 // HealthStatus is the middlebox's traffic-light verdict: Green is
@@ -271,6 +272,40 @@ func (mb *Middlebox) HealthWith(th HealthThresholds) HealthReport {
 				Value:  float64(fails),
 				Detail: "snapshot writes failed; learned state is not being persisted",
 			})
+		}
+		// QoE SLO burn rate: both the fast and the slow window must
+		// exceed a cut point to alert (see slo.go). Abstains until the
+		// slow window has accumulated MinTicks of evidence. Status
+		// transitions are edge-detected here — the health scrape/sweep is
+		// the alert cadence — and journaled to the flight recorder.
+		if c.slo != nil {
+			if b, ok := c.slo.burn(rep.UnixNanos); ok {
+				st := c.slo.status(b)
+				c.sloFastG.Set(b.FastBurn)
+				c.sloSlowG.Set(b.SlowBurn)
+				ch.Checks = append(ch.Checks, HealthCheck{
+					Name:   "slo_burn",
+					Status: st,
+					Value:  b.SlowBurn,
+					Detail: fmt.Sprintf("burn fast %.2f (%d ticks) / slow %.2f (%d ticks), objective %v",
+						b.FastBurn, b.FastTicks, b.SlowBurn, b.SlowTicks, c.slo.cfg.Objective),
+				})
+				if _, changed := c.slo.transition(st); changed {
+					if st > Green {
+						c.sloBreachN.Inc()
+					}
+					if mb.flight != nil {
+						mb.flight.Record(flightrec.Record{
+							UnixNanos: rep.UnixNanos,
+							Cell:      c.flightCell,
+							Kind:      flightrec.KindSLOBreach,
+							Verdict:   uint8(st),
+							Value:     b.FastBurn,
+							Aux:       b.SlowBurn,
+						})
+					}
+				}
+			}
 		}
 		for _, chk := range ch.Checks {
 			ch.Status = worse(ch.Status, chk.Status)

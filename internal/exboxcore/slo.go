@@ -1,0 +1,218 @@
+package exboxcore
+
+import (
+	"sync"
+	"time"
+)
+
+// This file is the QoE SLO accounting layer (ISSUE 10 tentpole c):
+// per-cell sliding windows of good/bad QoE ticks fed by the
+// re-evaluation sweeps, reduced to multi-window burn rates the health
+// verdict alerts on. The shape is the SRE burn-rate alert: with
+// objective o, the burn rate is badFraction/(1-o) — burn 1 means
+// exactly spending the error budget, burn 6 on a 15-minute window
+// means the monthly budget dies in days — and an alert fires only when
+// BOTH a fast and a slow window agree, so a transient blip (fast-only)
+// and a long-recovered incident (slow-only) both stay quiet.
+
+// SLOConfig parameterizes the per-cell QoE SLO.
+type SLOConfig struct {
+	// Objective is the target good-tick fraction (default 0.99).
+	Objective float64
+	// SlowWindow is the slow burn window (default 15m); the fast
+	// window is SlowWindow/15 (so the defaults pair 1m with 15m).
+	SlowWindow time.Duration
+	// BurnYellow/BurnRed are the burn-rate cut points (defaults 1, 6)
+	// a window pair must both exceed.
+	BurnYellow, BurnRed float64
+	// MinTicks is the evidence gate: fewer QoE ticks than this in the
+	// slow window and the check abstains (default 30).
+	MinTicks int
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.Objective <= 0 || c.Objective >= 1 {
+		c.Objective = 0.99
+	}
+	if c.SlowWindow <= 0 {
+		c.SlowWindow = 15 * time.Minute
+	}
+	if c.SlowWindow < 15*time.Second {
+		c.SlowWindow = 15 * time.Second // fast window floor of 1s
+	}
+	if c.BurnYellow <= 0 {
+		c.BurnYellow = 1
+	}
+	if c.BurnRed <= c.BurnYellow {
+		c.BurnRed = 6 * c.BurnYellow
+	}
+	if c.MinTicks <= 0 {
+		c.MinTicks = 30
+	}
+	return c
+}
+
+// FastWindow returns the fast burn window (SlowWindow/15).
+func (c SLOConfig) FastWindow() time.Duration { return c.SlowWindow / 15 }
+
+// sloBucket accumulates one second's QoE ticks.
+type sloBucket struct {
+	sec       int64
+	good, bad uint32
+}
+
+// SLOBurn is one cell's burn-rate readout.
+type SLOBurn struct {
+	FastBadFrac, SlowBadFrac float64
+	FastBurn, SlowBurn       float64
+	FastTicks, SlowTicks     int64
+}
+
+// sloTracker is one cell's sliding window: a power-of-two ring of
+// per-second buckets covering the slow window. Ticks arrive from
+// re-evaluation sweeps and reads from health scrapes — both off the
+// packet path — so a plain mutex is the right tool; nothing here is
+// ever touched by Admit.
+type sloTracker struct {
+	cfg SLOConfig
+
+	mu         sync.Mutex
+	buckets    []sloBucket
+	lastStatus HealthStatus
+}
+
+func newSLOTracker(cfg SLOConfig) *sloTracker {
+	cfg = cfg.withDefaults()
+	secs := int(cfg.SlowWindow / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	size := 1
+	for size < secs {
+		size <<= 1
+	}
+	return &sloTracker{cfg: cfg, buckets: make([]sloBucket, size)}
+}
+
+// add accumulates one sweep's ticks into the current second's bucket.
+func (t *sloTracker) add(nowNanos int64, good, bad int) {
+	sec := nowNanos / int64(time.Second)
+	t.mu.Lock()
+	b := &t.buckets[sec&int64(len(t.buckets)-1)]
+	if b.sec != sec {
+		*b = sloBucket{sec: sec}
+	}
+	b.good += uint32(good)
+	b.bad += uint32(bad)
+	t.mu.Unlock()
+}
+
+// burn reduces the window to the burn-rate readout. ok is false while
+// the slow window holds fewer than MinTicks ticks — the evidence gate.
+func (t *sloTracker) burn(nowNanos int64) (SLOBurn, bool) {
+	nowSec := nowNanos / int64(time.Second)
+	fastSecs := int64(t.cfg.FastWindow() / time.Second)
+	if fastSecs < 1 {
+		fastSecs = 1
+	}
+	slowSecs := int64(t.cfg.SlowWindow / time.Second)
+
+	var fastGood, fastBad, slowGood, slowBad int64
+	t.mu.Lock()
+	for i := range t.buckets {
+		b := t.buckets[i]
+		age := nowSec - b.sec
+		if b.sec == 0 || age < 0 || age >= slowSecs {
+			continue
+		}
+		slowGood += int64(b.good)
+		slowBad += int64(b.bad)
+		if age < fastSecs {
+			fastGood += int64(b.good)
+			fastBad += int64(b.bad)
+		}
+	}
+	t.mu.Unlock()
+
+	var out SLOBurn
+	out.FastTicks = fastGood + fastBad
+	out.SlowTicks = slowGood + slowBad
+	if out.SlowTicks < int64(t.cfg.MinTicks) {
+		return out, false
+	}
+	budget := 1 - t.cfg.Objective
+	if out.FastTicks > 0 {
+		out.FastBadFrac = float64(fastBad) / float64(out.FastTicks)
+		out.FastBurn = out.FastBadFrac / budget
+	}
+	out.SlowBadFrac = float64(slowBad) / float64(out.SlowTicks)
+	out.SlowBurn = out.SlowBadFrac / budget
+	return out, true
+}
+
+// status grades a readout: both windows must clear a cut point for it
+// to count, the multi-window rule that keeps blips and stale incidents
+// from alerting.
+func (t *sloTracker) status(b SLOBurn) HealthStatus {
+	switch {
+	case b.FastBurn >= t.cfg.BurnRed && b.SlowBurn >= t.cfg.BurnRed:
+		return Red
+	case b.FastBurn >= t.cfg.BurnYellow && b.SlowBurn >= t.cfg.BurnYellow:
+		return Yellow
+	}
+	return Green
+}
+
+// transition records the newly observed status and reports the
+// previous one with whether it changed — the edge detector behind
+// breach events.
+func (t *sloTracker) transition(s HealthStatus) (prev HealthStatus, changed bool) {
+	t.mu.Lock()
+	prev, changed = t.lastStatus, t.lastStatus != s
+	t.lastStatus = s
+	t.mu.Unlock()
+	return prev, changed
+}
+
+// EnableSLO turns on per-cell QoE SLO burn-rate accounting for every
+// registered cell (and cells added later): re-evaluation sweeps feed
+// good/bad ticks, HealthWith grades the burn rates as the slo_burn
+// check, and status transitions are journaled to the flight recorder
+// and counted per cell. Call before traffic; calling again replaces
+// the config and resets the windows.
+func (mb *Middlebox) EnableSLO(cfg SLOConfig) {
+	cfg = cfg.withDefaults()
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	mb.sloCfg = &cfg
+	for _, id := range mb.order {
+		c := mb.cells[id]
+		c.slo = newSLOTracker(cfg)
+		if mb.obs != nil {
+			mb.wireSLOLocked(c)
+		}
+	}
+}
+
+// wireSLOLocked registers one cell's SLO counters and burn gauges.
+// Caller holds mu and has checked mb.obs != nil; registration is
+// get-or-create, so re-wiring is free.
+func (mb *Middlebox) wireSLOLocked(c *Cell) {
+	p := "exbox_cell_" + metricName(string(c.ID)) + "_"
+	c.sloGoodN = mb.obs.reg.Counter(p + "slo_good_ticks_total")
+	c.sloBadN = mb.obs.reg.Counter(p + "slo_bad_ticks_total")
+	c.sloBreachN = mb.obs.reg.Counter(p + "slo_breaches_total")
+	c.sloFastG = mb.obs.reg.GaugeFloat(p + "slo_burn_fast")
+	c.sloSlowG = mb.obs.reg.GaugeFloat(p + "slo_burn_slow")
+}
+
+// SLOBurnFor returns the named cell's current burn readout; ok is
+// false for unknown cells, disabled SLO accounting, or not enough
+// evidence yet.
+func (mb *Middlebox) SLOBurnFor(id CellID) (SLOBurn, bool) {
+	c, ok := mb.cell(id)
+	if !ok || c.slo == nil {
+		return SLOBurn{}, false
+	}
+	return c.slo.burn(time.Now().UnixNano())
+}

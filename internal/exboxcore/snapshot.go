@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"exbox/internal/obs/flightrec"
 	"exbox/internal/snapshot"
 )
 
@@ -96,8 +97,23 @@ func (mb *Middlebox) saveCell(c *Cell, dir string) (int, error) {
 	}
 	c.snapSavedOnce, c.snapSavedSeq, c.snapSavedObs = true, ps.FitSeq, ps.Observed
 	c.snapSaves.Add(1)
+	if mb.flight != nil {
+		mb.flight.Record(flightrec.Record{
+			Kind:    flightrec.KindSnapshot,
+			Cell:    c.flightCell,
+			Model:   ps.FitSeq,
+			Verdict: snapshotSaved,
+		})
+	}
 	return 1, nil
 }
+
+// Flight-record verdict values for KindSnapshot events.
+const (
+	snapshotSaved    = 0
+	snapshotLoaded   = 1
+	snapshotRejected = 2
+)
 
 // LoadSnapshots warm-boots every registered cell from dir: for each
 // cell with a snapshot file, decode it and import it into the cell's
@@ -125,6 +141,13 @@ func (mb *Middlebox) LoadSnapshots(dir string) (int, error) {
 		}
 		if err != nil {
 			c.snapRejects.Add(1)
+			if mb.flight != nil {
+				mb.flight.Record(flightrec.Record{
+					Kind:    flightrec.KindSnapshot,
+					Cell:    c.flightCell,
+					Verdict: snapshotRejected,
+				})
+			}
 			continue
 		}
 		// The restored state is what's on disk: the next sweep can skip
@@ -133,6 +156,14 @@ func (mb *Middlebox) LoadSnapshots(dir string) (int, error) {
 		c.snapSavedOnce, c.snapSavedSeq, c.snapSavedObs = true, ps.FitSeq, ps.Observed
 		c.snapMu.Unlock()
 		c.snapLoads.Add(1)
+		if mb.flight != nil {
+			mb.flight.Record(flightrec.Record{
+				Kind:    flightrec.KindSnapshot,
+				Cell:    c.flightCell,
+				Model:   ps.FitSeq,
+				Verdict: snapshotLoaded,
+			})
+		}
 		loaded++
 	}
 	return loaded, firstErr

@@ -1,0 +1,180 @@
+package flightrec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// DecodedRecord is a Record with its cell index resolved against the
+// segment's journaled cell table.
+type DecodedRecord struct {
+	Record
+	CellName string
+}
+
+var (
+	// ErrCorrupt reports a segment whose header is unreadable — wrong
+	// magic or version; nothing in the file is trustworthy.
+	ErrCorrupt = errors.New("flightrec: corrupt segment")
+	// ErrTruncated reports a segment that stopped decoding mid-stream —
+	// a partial or CRC-failing frame, the expected shape of the live
+	// segment after a crash. Every record from the fully-written frames
+	// before the break is still returned.
+	ErrTruncated = errors.New("flightrec: truncated segment")
+)
+
+// DecodeSegment decodes one segment. It never panics on hostile input:
+// every read is bounds-checked, and decoding is sticky — the records
+// of every fully-written frame up to the first bad byte are returned,
+// with err nil on a clean end, ErrTruncated (wrapped with detail) when
+// the tail is torn or corrupt, ErrCorrupt when the header itself is
+// bad.
+func DecodeSegment(data []byte) ([]DecodedRecord, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("%w: %d bytes, want >= %d", ErrCorrupt, len(data), headerSize)
+	}
+	if string(data[:len(segMagic)]) != segMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint16(data[len(segMagic):]); v != segVersion {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrCorrupt, v, segVersion)
+	}
+	var (
+		out   []DecodedRecord
+		cells []string
+		off   = headerSize
+	)
+	for off < len(data) {
+		if len(data)-off < frameHead {
+			return out, fmt.Errorf("%w: partial frame header at offset %d", ErrTruncated, off)
+		}
+		typ := data[off]
+		plen := int(binary.LittleEndian.Uint32(data[off+1:]))
+		if plen < 0 || len(data)-off-frameHead < plen+4 {
+			return out, fmt.Errorf("%w: partial frame (%d payload bytes) at offset %d", ErrTruncated, plen, off)
+		}
+		payload := data[off+frameHead : off+frameHead+plen]
+		crc := binary.LittleEndian.Uint32(data[off+frameHead+plen:])
+		if got := crc32.Checksum(payload, castagnoli); got != crc {
+			return out, fmt.Errorf("%w: frame CRC %08x, want %08x at offset %d", ErrTruncated, got, crc, off)
+		}
+		switch typ {
+		case frameCells:
+			table, err := decodeCellTable(payload)
+			if err != nil {
+				return out, fmt.Errorf("%w: %v at offset %d", ErrTruncated, err, off)
+			}
+			cells = table
+		case frameRecords:
+			if plen%recordSize != 0 {
+				return out, fmt.Errorf("%w: records frame of %d bytes at offset %d", ErrTruncated, plen, off)
+			}
+			for i := 0; i < plen; i += recordSize {
+				rec := decodeRecord(payload[i : i+recordSize])
+				dr := DecodedRecord{Record: rec}
+				if int(rec.Cell) < len(cells) {
+					dr.CellName = cells[rec.Cell]
+				}
+				out = append(out, dr)
+			}
+		default:
+			// Unknown frame types are skippable by construction (framed
+			// with their own length and CRC): a newer writer's extra
+			// frames don't strand an older decoder.
+		}
+		off += frameHead + plen + 4
+	}
+	return out, nil
+}
+
+// decodeRecord decodes one 48-byte wire record.
+func decodeRecord(b []byte) Record {
+	return Record{
+		UnixNanos: int64(binary.LittleEndian.Uint64(b)),
+		Seq:       binary.LittleEndian.Uint64(b[8:]),
+		Model:     binary.LittleEndian.Uint64(b[16:]),
+		Value:     math.Float64frombits(binary.LittleEndian.Uint64(b[24:])),
+		Aux:       math.Float64frombits(binary.LittleEndian.Uint64(b[32:])),
+		Cell:      binary.LittleEndian.Uint16(b[40:]),
+		Class:     int8(b[42]),
+		Level:     int8(b[43]),
+		Kind:      Kind(b[44]),
+		Verdict:   b[45],
+		Flags:     b[46],
+	}
+}
+
+// decodeCellTable parses a cell-table payload.
+func decodeCellTable(payload []byte) ([]string, error) {
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("cell table of %d bytes", len(payload))
+	}
+	n := int(binary.LittleEndian.Uint32(payload))
+	// Each entry costs at least 2 bytes; a count beyond that is a lie.
+	if n < 0 || n > (len(payload)-4)/2+1 {
+		return nil, fmt.Errorf("cell table count %d", n)
+	}
+	out := make([]string, 0, n)
+	off := 4
+	for i := 0; i < n; i++ {
+		if len(payload)-off < 2 {
+			return nil, fmt.Errorf("cell table truncated at entry %d", i)
+		}
+		l := int(binary.LittleEndian.Uint16(payload[off:]))
+		off += 2
+		if len(payload)-off < l {
+			return nil, fmt.Errorf("cell table name %d overruns", i)
+		}
+		out = append(out, string(payload[off:off+l]))
+		off += l
+	}
+	return out, nil
+}
+
+// ReadDir decodes every segment under dir — sealed segments
+// oldest-first, then the live current segment — and returns the merged
+// records sorted by timestamp (sequence as tiebreak). Per-segment
+// decode failures don't discard the rest: all recoverable records are
+// returned alongside the joined errors, ErrTruncated on the live
+// segment being the expected post-crash shape.
+func ReadDir(dir string) ([]DecodedRecord, error) {
+	paths, err := sealedSegments(dir)
+	if err != nil {
+		return nil, fmt.Errorf("flightrec: %w", err)
+	}
+	if cur := filepath.Join(dir, currentName); fileExists(cur) {
+		paths = append(paths, cur)
+	}
+	var out []DecodedRecord
+	var errs []error
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		recs, err := DecodeSegment(data)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", filepath.Base(p), err))
+		}
+		out = append(out, recs...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].UnixNanos != out[j].UnixNanos {
+			return out[i].UnixNanos < out[j].UnixNanos
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out, errors.Join(errs...)
+}
+
+func fileExists(p string) bool {
+	_, err := os.Stat(p)
+	return err == nil
+}

@@ -1,0 +1,233 @@
+// Package flightrec is the gateway's flight recorder: an always-on,
+// crash-safe binary journal of the events that matter in a post-mortem
+// — admission verdicts with their margins, health transitions, retrain
+// and snapshot events, ingest-ring drops, SLO breaches. The datapath
+// side is a single by-value publish into a bounded lock-free ring
+// (zero allocations, no locks, drops counted under overload — a flight
+// recorder must never become backpressure); a background writer drains
+// the ring and spills fixed-width 48-byte records into size-capped
+// segment files under the internal/snapshot envelope discipline
+// (magic/version, CRC-32C per frame, atomic rename rotation), so after
+// a SIGKILL every fully-written frame decodes and `exlog` can replay
+// exactly what the daemon did last.
+package flightrec
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"exbox/internal/ring"
+)
+
+// Kind tags what a record describes.
+type Kind uint8
+
+const (
+	// KindAdmission is one admission decision; Seq matches the audit
+	// ring's sequence for the same decision, Value is the SVM margin,
+	// Aux the normalized depth, Verdict the disposition.
+	KindAdmission Kind = 1
+	// KindHealth is a health-status transition; Value is the new
+	// status (0 green / 1 yellow / 2 red), Aux the previous one.
+	KindHealth Kind = 2
+	// KindRetrain is a completed background refit; Model is the new
+	// model version, Value the fit latency in seconds.
+	KindRetrain Kind = 3
+	// KindSnapshot is a model-snapshot save (Verdict 0) or load
+	// (Verdict 1) or rejected load (Verdict 2); Model is the model
+	// version involved when known.
+	KindSnapshot Kind = 4
+	// KindRingDrop reports ingest-ring drops; Value is how many drops
+	// were newly observed since the last such record.
+	KindRingDrop Kind = 5
+	// KindSLOBreach is an SLO burn-rate alert transition; Value is the
+	// fast-window burn rate, Aux the slow-window burn rate, Verdict the
+	// new severity (1 yellow, 2 red, 0 recovered).
+	KindSLOBreach Kind = 6
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindAdmission:
+		return "admission"
+	case KindHealth:
+		return "health"
+	case KindRetrain:
+		return "retrain"
+	case KindSnapshot:
+		return "snapshot"
+	case KindRingDrop:
+		return "ringdrop"
+	case KindSLOBreach:
+		return "slobreach"
+	default:
+		return "unknown"
+	}
+}
+
+// KindFromString inverts String (empty Kind 0 for unknown names).
+func KindFromString(s string) Kind {
+	for k := KindAdmission; k <= KindSLOBreach; k++ {
+		if k.String() == s {
+			return k
+		}
+	}
+	return 0
+}
+
+// Admission-verdict values (mirroring exboxcore's Verdict order, which
+// flightrec cannot import — exboxcore imports flightrec).
+const (
+	VerdictAdmit       = 0
+	VerdictReject      = 1
+	VerdictLowPriority = 2
+)
+
+// VerdictString renders an admission verdict value.
+func VerdictString(v uint8) string {
+	switch v {
+	case VerdictAdmit:
+		return "admit"
+	case VerdictReject:
+		return "reject"
+	case VerdictLowPriority:
+		return "low-priority"
+	default:
+		return "unknown"
+	}
+}
+
+// FlagBootstrap marks an admission decided during the classifier's
+// bootstrap phase.
+const FlagBootstrap uint8 = 1 << 0
+
+// Record is one fixed-width flight-recorder event. Cell is an index
+// into the recorder's interned cell-name table (0 = no cell); the
+// writer journals the table alongside the records so decoders can
+// resolve names. The fixed 48-byte wire shape (see recordSize) is what
+// keeps the hot-path enqueue a single by-value ring publish.
+type Record struct {
+	UnixNanos int64
+	Seq       uint64 // audit-ring sequence for admissions, else 0
+	Model     uint64 // classifier model version when known
+	Value     float64
+	Aux       float64
+	Cell      uint16
+	Class     int8
+	Level     int8
+	Kind      Kind
+	Verdict   uint8
+	Flags     uint8
+}
+
+// Recorder is the in-process side: a bounded MPSC ring any number of
+// producers publish into plus the interned cell-name table. Construct
+// with NewRecorder; all producer-side methods are nil-safe no-ops so
+// instrumented code runs unchanged when no recorder is wired.
+type Recorder struct {
+	ring  *ring.MPSC[Record]
+	wake  chan struct{}
+	drops atomic.Uint64
+
+	// The cell table interns cell names once, off the hot path (at
+	// instrumentation time), so hot-path records carry a uint16.
+	mu      sync.Mutex
+	cellIdx map[string]uint16
+	cells   []string
+}
+
+// NewRecorder returns a recorder whose ring holds capacity records
+// (rounded up to a power of two; <= 0 defaults to 65536). Size the
+// ring for the burst the background writer must absorb: a full ring
+// drops records (counted), it never blocks a producer.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &Recorder{
+		ring:    ring.New[Record](capacity),
+		wake:    make(chan struct{}, 1),
+		cellIdx: map[string]uint16{"": 0},
+		cells:   []string{""},
+	}
+}
+
+// CellIndex interns a cell name and returns its table index (0 is
+// reserved for "no cell"). Call at wiring time, not on the hot path;
+// the table is append-only and capped at 65535 entries (overflow maps
+// to 0). Nil-safe.
+func (r *Recorder) CellIndex(name string) uint16 {
+	if r == nil || name == "" {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i, ok := r.cellIdx[name]; ok {
+		return i
+	}
+	if len(r.cells) > 0xFFFF {
+		return 0
+	}
+	i := uint16(len(r.cells))
+	r.cellIdx[name] = i
+	r.cells = append(r.cells, name)
+	return i
+}
+
+// cellTable snapshots the interned names (index = position).
+func (r *Recorder) cellTable() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.cells...)
+}
+
+// cellCount returns how many names are interned.
+func (r *Recorder) cellCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.cells)
+}
+
+// Record publishes one event: a time stamp (when the caller didn't
+// provide one), one lock-free ring publish, and at most one
+// non-blocking channel send to wake the writer. No locks, no
+// allocations — safe on the unsampled admission path. A full ring
+// counts a drop and moves on. Nil-safe.
+func (r *Recorder) Record(rec Record) {
+	if r == nil {
+		return
+	}
+	if rec.UnixNanos == 0 {
+		rec.UnixNanos = time.Now().UnixNano()
+	}
+	pushed, wake := r.ring.TryPushWake(rec)
+	if !pushed {
+		r.drops.Add(1)
+		return
+	}
+	if wake {
+		select {
+		case r.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Drops returns how many records the ring rejected because the writer
+// fell behind. Nil-safe.
+func (r *Recorder) Drops() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.drops.Load()
+}
+
+// Depth returns the ring's current backlog estimate. Nil-safe.
+func (r *Recorder) Depth() int {
+	if r == nil {
+		return 0
+	}
+	return r.ring.Depth()
+}

@@ -1,0 +1,352 @@
+package flightrec
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// runWriter starts RunWriter on a fresh goroutine and returns a stop
+// function that shuts it down and reports its error.
+func runWriter(t *testing.T, r *Recorder, cfg WriterConfig) (stop func() error) {
+	t.Helper()
+	done := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() { errc <- r.RunWriter(cfg, done) }()
+	var once bool
+	return func() error {
+		if once {
+			return nil
+		}
+		once = true
+		close(done)
+		select {
+		case err := <-errc:
+			return err
+		case <-time.After(5 * time.Second):
+			t.Fatal("writer did not stop")
+			return nil
+		}
+	}
+}
+
+// TestRoundTrip records a spread of event kinds, stops the writer and
+// decodes the directory: every record must come back bit-for-bit with
+// its cell name resolved.
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRecorder(1 << 10)
+	ap0 := r.CellIndex("ap0")
+	ap1 := r.CellIndex("ap/1")
+	stop := runWriter(t, r, WriterConfig{Dir: dir})
+
+	in := []Record{
+		{UnixNanos: 10, Seq: 1, Model: 3, Value: -0.25, Aux: 0.5, Cell: ap0, Class: 2, Level: 1, Kind: KindAdmission, Verdict: VerdictReject, Flags: FlagBootstrap},
+		{UnixNanos: 20, Cell: ap1, Kind: KindHealth, Value: 2, Aux: 0},
+		{UnixNanos: 30, Cell: ap0, Kind: KindRetrain, Model: 4, Value: 0.012},
+		{UnixNanos: 40, Cell: ap0, Kind: KindSnapshot, Model: 4, Verdict: 0},
+		{UnixNanos: 50, Kind: KindRingDrop, Value: 17},
+		{UnixNanos: 60, Cell: ap1, Kind: KindSLOBreach, Verdict: 2, Value: 8.5, Aux: 6.1},
+	}
+	for _, rec := range in {
+		r.Record(rec)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+
+	out, err := ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("records: got %d, want %d", len(out), len(in))
+	}
+	for i, want := range in {
+		if out[i].Record != want {
+			t.Errorf("record %d: got %+v, want %+v", i, out[i].Record, want)
+		}
+	}
+	if out[0].CellName != "ap0" || out[1].CellName != "ap/1" || out[4].CellName != "" {
+		t.Fatalf("cell names: %q %q %q", out[0].CellName, out[1].CellName, out[4].CellName)
+	}
+	if r.Drops() != 0 {
+		t.Fatalf("drops: %d", r.Drops())
+	}
+}
+
+// TestRecordStampsAndDrops pins the producer contract: a zero
+// timestamp is stamped at publish, a full ring counts a drop instead
+// of blocking, and every producer-side method is nil-safe.
+func TestRecordStampsAndDrops(t *testing.T) {
+	r := NewRecorder(2) // ring.New rounds up; keep it tiny
+	capacity := 0
+	for {
+		before := r.Depth()
+		r.Record(Record{Kind: KindRingDrop})
+		if r.Depth() == before {
+			break
+		}
+		capacity++
+	}
+	if r.Drops() != 1 {
+		t.Fatalf("drops after overfill: %d", r.Drops())
+	}
+	// Drain one and check the stamp was filled in.
+	var batch [1]Record
+	if n := r.ring.Drain(batch[:]); n != 1 || batch[0].UnixNanos == 0 {
+		t.Fatalf("drained %d, stamp %d", n, batch[0].UnixNanos)
+	}
+
+	var nilRec *Recorder
+	nilRec.Record(Record{})
+	if nilRec.CellIndex("x") != 0 || nilRec.Drops() != 0 || nilRec.Depth() != 0 {
+		t.Fatal("nil recorder not a no-op")
+	}
+}
+
+// TestCellInterning pins index stability, the reserved zero index and
+// the overflow clamp path's determinism.
+func TestCellInterning(t *testing.T) {
+	r := NewRecorder(16)
+	a := r.CellIndex("ap0")
+	b := r.CellIndex("ap1")
+	if a == 0 || b == 0 || a == b {
+		t.Fatalf("indices: %d %d", a, b)
+	}
+	if r.CellIndex("ap0") != a {
+		t.Fatal("re-intern changed index")
+	}
+	if r.CellIndex("") != 0 {
+		t.Fatal("empty name must map to 0")
+	}
+	if got := r.cellTable(); len(got) != 3 || got[0] != "" || got[a] != "ap0" || got[b] != "ap1" {
+		t.Fatalf("table: %v", got)
+	}
+}
+
+// TestDecodeTruncatedTail cuts a valid segment at every byte offset:
+// DecodeSegment must never panic, must return ErrCorrupt only for
+// header damage, and for mid-stream cuts must return ErrTruncated with
+// every fully-written frame's records intact.
+func TestDecodeTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRecorder(64)
+	ap0 := r.CellIndex("ap0")
+	stop := runWriter(t, r, WriterConfig{Dir: dir})
+	for i := 0; i < 5; i++ {
+		r.Record(Record{UnixNanos: int64(i + 1), Seq: uint64(i), Cell: ap0, Kind: KindAdmission})
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, currentName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := DecodeSegment(data)
+	if err != nil || len(full) != 5 {
+		t.Fatalf("clean decode: %d records, %v", len(full), err)
+	}
+
+	for cut := 0; cut < len(data); cut++ {
+		recs, err := DecodeSegment(data[:cut])
+		if cut < headerSize {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("cut %d: err %v, want ErrCorrupt", cut, err)
+			}
+			continue
+		}
+		// A cut landing exactly on a frame boundary decodes cleanly (the
+		// prefix really is a complete segment); anywhere else must be
+		// flagged as truncated.
+		if err != nil && !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut %d: err %v, want nil or ErrTruncated", cut, err)
+		}
+		// Whatever decoded must be a strict prefix of the full decode.
+		if len(recs) > len(full) {
+			t.Fatalf("cut %d: %d records from a %d-record segment", cut, len(recs), len(full))
+		}
+		for i, rec := range recs {
+			if rec != full[i] {
+				t.Fatalf("cut %d: record %d diverged", cut, i)
+			}
+		}
+	}
+}
+
+// TestDecodeByteFlips flips each byte of a segment: decode must never
+// panic and never silently accept a damaged frame — every flip either
+// fails (truncated/corrupt) or, when it lands in an already-undecoded
+// region, changes nothing.
+func TestDecodeByteFlips(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRecorder(64)
+	r.CellIndex("ap0")
+	stop := runWriter(t, r, WriterConfig{Dir: dir})
+	for i := 0; i < 3; i++ {
+		r.Record(Record{UnixNanos: int64(i + 1), Kind: KindAdmission, Cell: 1})
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, currentName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _ := DecodeSegment(data)
+
+	for i := 0; i < len(data); i++ {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x20
+		recs, err := DecodeSegment(mut) // must not panic
+		if err == nil && len(recs) == len(full) {
+			same := true
+			for j := range recs {
+				if recs[j] != full[j] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Fatalf("flip at %d decoded identically with nil error — CRC hole", i)
+			}
+		}
+	}
+}
+
+// TestRotationAndPrune forces tiny segments: the writer must seal by
+// rename, cap the directory at MaxSegments, keep newest data, and
+// journal the cell table into every segment so sealed files decode
+// standalone.
+func TestRotationAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRecorder(1 << 10)
+	ap0 := r.CellIndex("ap0")
+	stop := runWriter(t, r, WriterConfig{Dir: dir, SegmentBytes: 256, MaxSegments: 3})
+	const total = 200
+	for i := 0; i < total; i++ {
+		r.Record(Record{UnixNanos: int64(i + 1), Seq: uint64(i), Cell: ap0, Kind: KindAdmission})
+		if i%20 == 0 {
+			time.Sleep(2 * time.Millisecond) // let the writer interleave drains
+		}
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+
+	sealed, err := sealedSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sealed) == 0 || len(sealed) > 2 { // MaxSegments 3 = 2 sealed + current
+		t.Fatalf("sealed segments: %d (%v)", len(sealed), sealed)
+	}
+	// Every sealed segment decodes standalone with resolved cell names.
+	for _, p := range sealed {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := DecodeSegment(data)
+		if err != nil || len(recs) == 0 {
+			t.Fatalf("%s: %d records, %v", p, len(recs), err)
+		}
+		for _, rec := range recs {
+			if rec.CellName != "ap0" {
+				t.Fatalf("%s: unresolved cell %q", p, rec.CellName)
+			}
+		}
+	}
+	// The merged view ends with the newest record, in order.
+	recs, err := ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	if len(recs) == 0 || recs[len(recs)-1].Seq != total-1 {
+		t.Fatalf("newest record missing: %d records, last seq %d", len(recs), recs[len(recs)-1].Seq)
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].UnixNanos < recs[i-1].UnixNanos {
+			t.Fatalf("unsorted merge at %d", i)
+		}
+	}
+}
+
+// TestSealStale simulates a crash-restart: a leftover current segment
+// must be sealed (preserved under its first stamp), not truncated, and
+// the next writer's records must merge after it.
+func TestSealStale(t *testing.T) {
+	dir := t.TempDir()
+
+	r1 := NewRecorder(64)
+	r1.CellIndex("ap0")
+	stop1 := runWriter(t, r1, WriterConfig{Dir: dir})
+	r1.Record(Record{UnixNanos: 100, Seq: 1, Cell: 1, Kind: KindAdmission})
+	if err := stop1(); err != nil {
+		t.Fatalf("writer 1: %v", err)
+	}
+	// Simulate the torn tail a kill -9 leaves: append garbage that the
+	// next decode must flag but survive.
+	cur := filepath.Join(dir, currentName)
+	f, err := os.OpenFile(cur, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{frameRecords, 0xFF, 0xFF})
+	f.Close()
+
+	r2 := NewRecorder(64)
+	r2.CellIndex("ap0")
+	stop2 := runWriter(t, r2, WriterConfig{Dir: dir})
+	r2.Record(Record{UnixNanos: 200, Seq: 2, Cell: 1, Kind: KindAdmission})
+	if err := stop2(); err != nil {
+		t.Fatalf("writer 2: %v", err)
+	}
+
+	recs, err := ReadDir(dir)
+	if err == nil || !errors.Is(err, ErrTruncated) {
+		t.Fatalf("expected truncation report from the stale segment, got %v", err)
+	}
+	if len(recs) != 2 || recs[0].Seq != 1 || recs[1].Seq != 2 {
+		t.Fatalf("merged records: %+v", recs)
+	}
+	sealed, _ := sealedSegments(dir)
+	if len(sealed) != 1 || !strings.Contains(sealed[0], fmt.Sprintf("%020d", 100)) {
+		t.Fatalf("stale segment not sealed under its first stamp: %v", sealed)
+	}
+}
+
+// TestRecordZeroAlloc pins the producer publish at zero allocations —
+// the property that lets the unsampled admission path journal every
+// verdict for free.
+func TestRecordZeroAlloc(t *testing.T) {
+	r := NewRecorder(1 << 16)
+	cell := r.CellIndex("ap0")
+	rec := Record{UnixNanos: 1, Seq: 9, Cell: cell, Kind: KindAdmission, Value: 0.5}
+	if n := testing.AllocsPerRun(1000, func() { r.Record(rec) }); n != 0 {
+		t.Fatalf("Record allocates %v/op, want 0", n)
+	}
+}
+
+// TestKindStrings pins the Kind/verdict name round-trips exlog's
+// filters rely on.
+func TestKindStrings(t *testing.T) {
+	for k := KindAdmission; k <= KindSLOBreach; k++ {
+		if got := KindFromString(k.String()); got != k {
+			t.Fatalf("kind %d round-trips to %d via %q", k, got, k.String())
+		}
+	}
+	if KindFromString("nope") != 0 || KindFromString("") != 0 {
+		t.Fatal("unknown kind must map to 0")
+	}
+	for v, want := range map[uint8]string{0: "admit", 1: "reject", 2: "low-priority", 9: "unknown"} {
+		if got := VerdictString(v); got != want {
+			t.Fatalf("verdict %d: %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,312 @@
+package flightrec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Segment format. A segment file is:
+//
+//	magic "EXFR" | u16 version
+//
+// followed by self-delimiting frames:
+//
+//	u8 frameType | u32 payloadLen | payload | u32 CRC-32C(payload)
+//
+// frameCells payload: u32 n, then n × (u16 nameLen | name) — the full
+// interned cell table, rewritten whenever it grows so every record
+// frame is preceded by a table covering its indices. frameRecords
+// payload: n × 48-byte records (see encodeRecord). All integers
+// little-endian. A torn tail (the crash case) breaks at a frame
+// boundary at worst mid-frame, and the CRC makes a partial final frame
+// detectable, so decode recovers every fully-written frame.
+const (
+	segMagic   = "EXFR"
+	segVersion = 1
+
+	frameCells   = 1
+	frameRecords = 2
+
+	recordSize = 48
+	headerSize = len(segMagic) + 2
+	frameHead  = 1 + 4
+)
+
+// currentName is the live segment's file name; sealed segments are
+// renamed to flight-<firstUnixNanos>.exfr.
+const currentName = "flight-current.exfr"
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeRecord appends rec's 48-byte wire form.
+func encodeRecord(b []byte, rec Record) []byte {
+	b = binary.LittleEndian.AppendUint64(b, uint64(rec.UnixNanos))
+	b = binary.LittleEndian.AppendUint64(b, rec.Seq)
+	b = binary.LittleEndian.AppendUint64(b, rec.Model)
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(rec.Value))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(rec.Aux))
+	b = binary.LittleEndian.AppendUint16(b, rec.Cell)
+	b = append(b, byte(rec.Class), byte(rec.Level), byte(rec.Kind), rec.Verdict, rec.Flags, 0)
+	return b
+}
+
+// WriterConfig sizes the background writer.
+type WriterConfig struct {
+	// Dir is the segment directory (created if missing). Required.
+	Dir string
+	// SegmentBytes caps one segment before rotation (default 1 MiB).
+	SegmentBytes int
+	// MaxSegments caps how many segments (sealed + current) are kept;
+	// older sealed segments are pruned (default 8).
+	MaxSegments int
+}
+
+func (c WriterConfig) withDefaults() WriterConfig {
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 1 << 20
+	}
+	if c.SegmentBytes < headerSize+frameHead+recordSize {
+		c.SegmentBytes = headerSize + frameHead + recordSize
+	}
+	if c.MaxSegments <= 0 {
+		c.MaxSegments = 8
+	}
+	return c
+}
+
+// writer is the single consumer draining a Recorder's ring to disk.
+type writer struct {
+	rec *Recorder
+	cfg WriterConfig
+
+	f         *os.File
+	size      int
+	firstTS   int64 // first record stamp in the current segment
+	wroteRecs bool
+	tableLen  int // interned cells covered by the last table frame
+
+	buf   []byte   // frame build buffer, reused
+	batch []Record // drain buffer, reused
+}
+
+// RunWriter drains the recorder into segment files under cfg.Dir until
+// done is closed, then flushes the backlog, syncs and returns. It is
+// the ring's single consumer — run exactly one per recorder:
+//
+//	go func() { _ = rec.RunWriter(cfg, done) }()
+//
+// Setup errors (unwritable directory) are returned immediately;
+// runtime write errors abort the writer with the error (the recorder
+// keeps accepting records, which then age out as ring drops — a dead
+// disk must not take the datapath with it).
+func (r *Recorder) RunWriter(cfg WriterConfig, done <-chan struct{}) error {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return fmt.Errorf("flightrec: empty segment directory")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return fmt.Errorf("flightrec: %w", err)
+	}
+	w := &writer{rec: r, cfg: cfg, batch: make([]Record, 512)}
+	if err := w.sealStale(); err != nil {
+		return err
+	}
+	if err := w.openSegment(); err != nil {
+		return err
+	}
+	defer w.f.Close()
+
+	// The pull cadence: a wake from a producer when the ring goes
+	// non-empty, with a timer backstop so a missed wake (benign race)
+	// or a quiet trickle still flushes promptly.
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-done:
+			if err := w.drainAll(); err != nil {
+				return err
+			}
+			return w.f.Sync()
+		case <-r.wake:
+		case <-tick.C:
+		}
+		if err := w.drainAll(); err != nil {
+			return err
+		}
+	}
+}
+
+// drainAll moves everything currently in the ring to disk, fsyncing
+// once per call so records are on stable storage within one flush
+// cadence of being recorded.
+func (w *writer) drainAll() error {
+	wrote := false
+	for {
+		n := w.rec.ring.Drain(w.batch)
+		if n == 0 {
+			break
+		}
+		if err := w.writeBatch(w.batch[:n]); err != nil {
+			return err
+		}
+		wrote = true
+	}
+	if !wrote {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("flightrec: sync: %w", err)
+	}
+	if w.size >= w.cfg.SegmentBytes {
+		return w.rotate()
+	}
+	return nil
+}
+
+// writeBatch writes one records frame (preceded by a fresh cell-table
+// frame whenever the table grew, so the frame's indices all resolve).
+func (w *writer) writeBatch(recs []Record) error {
+	if n := w.rec.cellCount(); n > w.tableLen {
+		if err := w.writeCellTable(); err != nil {
+			return err
+		}
+	}
+	w.buf = w.buf[:0]
+	for _, rec := range recs {
+		w.buf = encodeRecord(w.buf, rec)
+	}
+	if !w.wroteRecs {
+		w.firstTS, w.wroteRecs = recs[0].UnixNanos, true
+	}
+	return w.writeFrame(frameRecords, w.buf)
+}
+
+// writeCellTable journals the current interned cell table.
+func (w *writer) writeCellTable() error {
+	cells := w.rec.cellTable()
+	payload := binary.LittleEndian.AppendUint32(nil, uint32(len(cells)))
+	for _, name := range cells {
+		payload = binary.LittleEndian.AppendUint16(payload, uint16(len(name)))
+		payload = append(payload, name...)
+	}
+	if err := w.writeFrame(frameCells, payload); err != nil {
+		return err
+	}
+	w.tableLen = len(cells)
+	return nil
+}
+
+// writeFrame writes one framed payload to the current segment.
+func (w *writer) writeFrame(typ byte, payload []byte) error {
+	head := make([]byte, 0, frameHead)
+	head = append(head, typ)
+	head = binary.LittleEndian.AppendUint32(head, uint32(len(payload)))
+	frame := append(head, payload...)
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(payload, castagnoli))
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("flightrec: write: %w", err)
+	}
+	w.size += len(frame)
+	return nil
+}
+
+// openSegment creates a fresh current segment with its header and an
+// initial cell-table frame.
+func (w *writer) openSegment() error {
+	f, err := os.OpenFile(filepath.Join(w.cfg.Dir, currentName), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("flightrec: %w", err)
+	}
+	hdr := make([]byte, 0, headerSize)
+	hdr = append(hdr, segMagic...)
+	hdr = binary.LittleEndian.AppendUint16(hdr, segVersion)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return fmt.Errorf("flightrec: write header: %w", err)
+	}
+	w.f, w.size, w.firstTS, w.wroteRecs, w.tableLen = f, headerSize, 0, false, 0
+	return w.writeCellTable()
+}
+
+// rotate seals the current segment under its first record's timestamp
+// (atomic rename — a reader never sees a half-sealed file), prunes old
+// sealed segments beyond MaxSegments-1, and opens a fresh current.
+func (w *writer) rotate() error {
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("flightrec: close: %w", err)
+	}
+	ts := w.firstTS
+	if ts == 0 {
+		ts = time.Now().UnixNano()
+	}
+	sealed := filepath.Join(w.cfg.Dir, fmt.Sprintf("flight-%020d.exfr", ts))
+	if err := os.Rename(filepath.Join(w.cfg.Dir, currentName), sealed); err != nil {
+		return fmt.Errorf("flightrec: seal: %w", err)
+	}
+	w.prune()
+	return w.openSegment()
+}
+
+// sealStale preserves a current segment left behind by a previous
+// process (the crash case): it is sealed under its first record's
+// timestamp before openSegment would truncate it.
+func (w *writer) sealStale() error {
+	cur := filepath.Join(w.cfg.Dir, currentName)
+	data, err := os.ReadFile(cur)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("flightrec: %w", err)
+	}
+	ts := time.Now().UnixNano()
+	if recs, _ := DecodeSegment(data); len(recs) > 0 {
+		ts = recs[0].UnixNanos
+	}
+	sealed := filepath.Join(w.cfg.Dir, fmt.Sprintf("flight-%020d.exfr", ts))
+	if err := os.Rename(cur, sealed); err != nil {
+		return fmt.Errorf("flightrec: seal stale: %w", err)
+	}
+	w.prune()
+	return nil
+}
+
+// prune removes the oldest sealed segments beyond MaxSegments-1
+// (leaving room for the current segment). Sealed names embed
+// zero-padded nanosecond stamps, so lexical order is age order.
+func (w *writer) prune() {
+	sealed, err := sealedSegments(w.cfg.Dir)
+	if err != nil {
+		return // pruning is best-effort; the writer must keep recording
+	}
+	for len(sealed) > w.cfg.MaxSegments-1 {
+		os.Remove(sealed[0])
+		sealed = sealed[1:]
+	}
+}
+
+// sealedSegments lists the sealed segment paths oldest-first.
+func sealedSegments(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if name == currentName || !strings.HasPrefix(name, "flight-") || !strings.HasSuffix(name, ".exfr") {
+			continue
+		}
+		out = append(out, filepath.Join(dir, name))
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -11,10 +11,16 @@ import (
 	"exbox/internal/obs/trace"
 )
 
-// MetricsHandler serves the plaintext metrics page.
+// MetricsHandler serves the plaintext metrics page with the
+// Prometheus text-exposition content type (version=0.0.4, the marker
+// standard scrapers negotiate on). HEAD is answered with headers only,
+// so liveness probes don't pay for a full render.
 func (r *Registry) MetricsHandler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if req.Method == http.MethodHead {
+			return
+		}
 		r.WriteText(w)
 	})
 }
@@ -127,6 +133,8 @@ func (r *Registry) Expvar() expvar.Func {
 				out[v.name] = v.Value()
 			case *funcGauge:
 				out[v.name] = v.fn()
+			case *Info:
+				out[v.name] = v.labels
 			case *Histogram:
 				out[v.name] = map[string]interface{}{
 					"count": v.Count(),

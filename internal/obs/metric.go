@@ -117,3 +117,29 @@ type funcGauge struct {
 	name string
 	fn   func() float64
 }
+
+// Info is a constant informational metric: it renders as
+// `name{key="value",...} 1`, the Prometheus build-info idiom, carrying
+// identity in its labels rather than its value. Labels are fixed at
+// registration (see Registry.Info).
+type Info struct {
+	name   string
+	labels string // pre-rendered `{k="v",...}`, "" when label-free
+}
+
+// Name returns the registered name.
+func (i *Info) Name() string {
+	if i == nil {
+		return ""
+	}
+	return i.name
+}
+
+// Labels returns the pre-rendered label block (`{k="v",...}`), or ""
+// when the info metric carries no labels.
+func (i *Info) Labels() string {
+	if i == nil {
+		return ""
+	}
+	return i.labels
+}

@@ -125,6 +125,66 @@ func (r *Registry) HistogramNoSum(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// Info registers a constant informational metric rendering as
+// `name{key="value",...} 1` (the Prometheus build-info idiom). Labels
+// are sorted by key for deterministic output; values are escaped per
+// the exposition format. Re-registering a name keeps the first labels.
+func (r *Registry) Info(name string, labels map[string]string) *Info {
+	m := r.register(name, func() interface{} {
+		return &Info{name: name, labels: renderLabels(labels)}
+	})
+	i, ok := m.(*Info)
+	if !ok {
+		panic(fmt.Sprintf("obs: %q already registered as %T", name, m))
+	}
+	return i
+}
+
+// renderLabels pre-renders a label map as `{k="v",...}` with sorted
+// keys and exposition-format escaping (backslash, quote, newline).
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	esc := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(esc.Replace(labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// SanitizeName lowercases an identifier and folds anything outside
+// [a-z0-9_] to '_' so free-form IDs (cell names, file names) compose
+// into valid metric names. It is the naming rule behind the
+// `exbox_cell_<id>_...` convention, exported so timeline consumers can
+// map a cell ID to its metric prefix the same way the middlebox does.
+func SanitizeName(id string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return '_'
+		}
+	}, id)
+}
+
 // SetRing attaches the decision audit ring exported by AuditHandler
 // and the expvar snapshot. The middlebox wires its ring here.
 func (r *Registry) SetRing(ring *AuditRing) {
@@ -189,6 +249,35 @@ func (r *Registry) snapshot() []interface{} {
 	return out
 }
 
+// Sample walks every registered metric as named scalar samples, in
+// sorted name order — the iteration surface the windowed time-series
+// store ticks against. cumulative reports whether the value is a
+// monotone running total (counters, histogram counts) the consumer
+// should difference into per-interval deltas, or a level (gauges,
+// quantile estimates) to record as-is. Histograms fan out into three
+// samples: `<name>_count` (cumulative) plus `<name>_p50` and
+// `<name>_p99` estimated-quantile levels. Info metrics carry identity,
+// not a signal, and are skipped. Sample runs off the hot path: it
+// takes the registry read lock and histogram quantiles allocate.
+func (r *Registry) Sample(fn func(name string, cumulative bool, v float64)) {
+	for _, m := range r.snapshot() {
+		switch v := m.(type) {
+		case *Counter:
+			fn(v.name, true, float64(v.Value()))
+		case *Gauge:
+			fn(v.name, false, float64(v.Value()))
+		case *GaugeFloat:
+			fn(v.name, false, v.Value())
+		case *funcGauge:
+			fn(v.name, false, v.fn())
+		case *Histogram:
+			fn(v.name+"_count", true, float64(v.Count()))
+			fn(v.name+"_p50", false, v.EstimateQuantile(0.5))
+			fn(v.name+"_p99", false, v.EstimateQuantile(0.99))
+		}
+	}
+}
+
 // WriteText renders every metric as plaintext, one `name value` line
 // per scalar and Prometheus-style cumulative `_bucket{le="..."}`,
 // `_sum` and `_count` lines per histogram.
@@ -204,6 +293,8 @@ func (r *Registry) WriteText(w io.Writer) error {
 			_, err = fmt.Fprintf(w, "%s %v\n", v.name, v.Value())
 		case *funcGauge:
 			_, err = fmt.Fprintf(w, "%s %v\n", v.name, v.fn())
+		case *Info:
+			_, err = fmt.Fprintf(w, "%s%s 1\n", v.name, v.labels)
 		case *Histogram:
 			err = v.writeText(w)
 		}

@@ -55,17 +55,21 @@ func NewAuditRing(n int) *AuditRing {
 	return &AuditRing{slots: make([]atomic.Pointer[DecisionRecord], size)}
 }
 
-// Record stores one decision, stamping its sequence number and time.
-// Nil-safe; safe for concurrent use.
-func (r *AuditRing) Record(rec DecisionRecord) {
+// Record stores one decision, stamping its sequence number and time,
+// and returns the assigned sequence number (0 on a nil ring) so other
+// event sinks — the flight recorder — can tag their copy of the same
+// decision with the identical sequence. Nil-safe; safe for concurrent
+// use.
+func (r *AuditRing) Record(rec DecisionRecord) uint64 {
 	if r == nil {
-		return
+		return 0
 	}
 	rec.Seq = r.seq.Add(1)
 	if rec.UnixNanos == 0 {
 		rec.UnixNanos = time.Now().UnixNano()
 	}
 	r.slots[(rec.Seq-1)&uint64(len(r.slots)-1)].Store(&rec)
+	return rec.Seq
 }
 
 // Cap returns the ring capacity.

@@ -1,0 +1,86 @@
+// Command timelinecheck is the CI smoke gate over /debug/timeline
+// output: it validates the JSON shape a scrape consumer relies on —
+// an array of series, each with a non-empty name, a kind of "gauge" or
+// "delta", a positive resolution, and points as [unixNanos, value]
+// pairs with non-decreasing timestamps. It does not pin values or
+// series names (those drift with legitimate metric changes); it
+// catches the structural breakage that unit tests on the store itself
+// can miss once the daemon's wiring is in between.
+//
+// Usage:
+//
+//	curl -s http://HOST/debug/timeline | go run ./internal/tools/timelinecheck
+//	go run ./internal/tools/timelinecheck -min-series 1 < timeline.json
+//
+// Exit status 0 when the document is well-formed, 1 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type series struct {
+	Name              string      `json:"name"`
+	Kind              string      `json:"kind"`
+	ResolutionSeconds float64     `json:"resolution_seconds"`
+	Points            [][]float64 `json:"points"`
+}
+
+func main() {
+	minSeries := flag.Int("min-series", 1, "fail unless at least this many series are present")
+	flag.Parse()
+
+	var doc []series
+	dec := json.NewDecoder(os.Stdin)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		fatalf("timeline is not a series array: %v", err)
+	}
+	if len(doc) < *minSeries {
+		fatalf("%d series, want at least %d", len(doc), *minSeries)
+	}
+	if err := validate(doc); err != nil {
+		fatalf("%v", err)
+	}
+	points := 0
+	for _, s := range doc {
+		points += len(s.Points)
+	}
+	fmt.Printf("timelinecheck: %d series, %d points ok\n", len(doc), points)
+}
+
+func validate(doc []series) error {
+	for i, s := range doc {
+		if s.Name == "" {
+			return fmt.Errorf("series %d: empty name", i)
+		}
+		if s.Kind != "gauge" && s.Kind != "delta" {
+			return fmt.Errorf("series %q: kind %q, want gauge or delta", s.Name, s.Kind)
+		}
+		if s.ResolutionSeconds <= 0 {
+			return fmt.Errorf("series %q: resolution %v, want > 0", s.Name, s.ResolutionSeconds)
+		}
+		var last float64
+		for j, p := range s.Points {
+			if len(p) != 2 {
+				return fmt.Errorf("series %q point %d: %d elements, want [t, v]", s.Name, j, len(p))
+			}
+			if t := p[0]; t != float64(int64(t)) || t < 0 {
+				return fmt.Errorf("series %q point %d: timestamp %v is not a non-negative integer", s.Name, j, p[0])
+			}
+			if j > 0 && p[0] < last {
+				return fmt.Errorf("series %q point %d: timestamp %v < previous %v", s.Name, j, p[0], last)
+			}
+			last = p[0]
+		}
+	}
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "timelinecheck: "+format+"\n", args...)
+	os.Exit(1)
+}
